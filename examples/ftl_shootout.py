@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""FTL shootout — compare GeckoFTL with DFTL, LazyFTL, µ-FTL and IB-FTL.
+
+Reproduces, at example scale, the paper's three-way comparison (Figure 13):
+integrated RAM, recovery time, and write-amplification, using the analytical
+models for the first two (at the paper's 2 TB scale) and trace-driven
+simulation for the third.
+
+Run with::
+
+    python examples/ftl_shootout.py [--writes N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import all_ftl_ram, all_ftl_recovery
+from repro.bench.harness import compare_ftls
+from repro.bench.reporting import format_bytes, format_seconds, print_report
+from repro.flash.config import paper_configuration, simulation_configuration
+
+
+def show_analytical_comparison() -> None:
+    config = paper_configuration()
+    print_report("Integrated RAM at 2 TB (analytical, Figure 13 top)", [{
+        "ftl": breakdown.ftl,
+        "total": format_bytes(breakdown.total),
+        **{name: format_bytes(size)
+           for name, size in sorted(breakdown.components.items())},
+    } for breakdown in all_ftl_ram(config)])
+
+    print_report("Recovery time at 2 TB (analytical, Figure 13 middle)", [{
+        "ftl": breakdown.ftl,
+        "battery": "yes" if breakdown.requires_battery else "no",
+        "total": format_seconds(breakdown.total_seconds(config)),
+    } for breakdown in all_ftl_recovery(config)])
+
+
+def show_simulated_comparison(writes: int) -> None:
+    device = simulation_configuration(num_blocks=128, pages_per_block=16,
+                                      page_size=256)
+    results = compare_ftls(["DFTL", "LazyFTL", "uFTL", "IB-FTL", "GeckoFTL"],
+                           device, cache_capacity=128,
+                           write_operations=writes)
+    print_report(
+        f"Write-amplification after {writes} random updates "
+        "(simulated, Figure 13 bottom)",
+        [result.row() for result in results])
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--writes", type=int, default=5000,
+                        help="measured application writes per FTL")
+    arguments = parser.parse_args()
+    show_analytical_comparison()
+    show_simulated_comparison(arguments.writes)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Trace replay — record a workload, replay it against two FTLs, compare.
+
+Real FTL evaluations are trace-driven. This example shows the full loop with
+the library's portable text trace format:
+
+1. generate a mixed hot/cold workload and record it to a trace file,
+2. replay the identical trace against GeckoFTL and against µ-FTL, and
+3. compare the resulting write-amplification breakdowns.
+
+To replay your own block trace, convert it to one ``W <logical page>`` /
+``R <logical page>`` line per request.
+
+Run with::
+
+    python examples/trace_replay.py [--trace PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro import FlashDevice, GeckoFTL, MuFTL, simulation_configuration
+from repro.bench.harness import write_amplification_breakdown
+from repro.bench.reporting import print_report
+from repro.workloads import (
+    HotColdWrites,
+    TraceWorkload,
+    WorkloadRunner,
+    fill_device,
+    record_trace,
+)
+
+OPERATIONS = 8_000
+
+
+def make_trace(path: Path, logical_pages: int) -> None:
+    workload = HotColdWrites(logical_pages, seed=11, hot_fraction=0.2,
+                             hot_probability=0.8)
+    count = record_trace(workload.operations(OPERATIONS), path)
+    print(f"Recorded {count} operations to {path}")
+
+
+def replay(ftl_class, config, trace_path: Path) -> dict:
+    device = FlashDevice(config)
+    ftl = ftl_class(device, cache_capacity=512)
+    fill_device(ftl)
+    device.stats.reset()
+    workload = TraceWorkload.from_file(trace_path, config.logical_pages)
+    runner = WorkloadRunner(ftl, interval_writes=2_000)
+    result = runner.run(workload, OPERATIONS)
+    breakdown = write_amplification_breakdown(result.final_stats, config.delta)
+    return {
+        "ftl": ftl.name,
+        "wa_total": round(result.write_amplification(config.delta), 3),
+        **{f"wa_{purpose}": round(value, 3)
+           for purpose, value in sorted(breakdown.items())},
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", type=Path, default=None,
+                        help="existing trace file to replay (optional)")
+    arguments = parser.parse_args()
+
+    config = simulation_configuration(num_blocks=256, pages_per_block=32,
+                                      page_size=512)
+    if arguments.trace is not None:
+        trace_path = arguments.trace
+    else:
+        trace_path = Path(tempfile.gettempdir()) / "repro_example_trace.txt"
+        make_trace(trace_path, config.logical_pages)
+
+    rows = [replay(GeckoFTL, config, trace_path),
+            replay(MuFTL, config, trace_path)]
+    print_report("Identical trace, two FTLs", rows)
+    print("\nGeckoFTL's advantage is concentrated in the 'validity' column: "
+          "µ-FTL pays a flash read-modify-write per invalidation, Logarithmic "
+          "Gecko buffers and merges them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The environment this repository targets may lack the ``wheel`` package, in
+which case PEP-517 editable installs fail with ``invalid command
+'bdist_wheel'``. Keeping a classic ``setup.py`` lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (or plain
+``python setup.py develop``) work offline; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

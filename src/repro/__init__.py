@@ -1,0 +1,71 @@
+"""repro — a reproduction of GeckoFTL (SIGMOD 2016).
+
+The package provides:
+
+* :mod:`repro.flash` — a simulated NAND flash device with IO accounting;
+* :mod:`repro.ftl` — the shared page-mapped FTL machinery and the competitor
+  FTLs (DFTL, LazyFTL, µ-FTL, IB-FTL);
+* :mod:`repro.core` — Logarithmic Gecko and GeckoFTL, the paper's contribution;
+* :mod:`repro.workloads` — workload generators and trace replay;
+* :mod:`repro.analysis` — the paper's analytical RAM, recovery-time and IO
+  cost models (Figures 1 and 13, Table 1);
+* :mod:`repro.bench` — the experiment harness used by the benchmark suite.
+
+Quickstart::
+
+    from repro import GeckoFTL, simulation_configuration, FlashDevice
+
+    device = FlashDevice(simulation_configuration())
+    ftl = GeckoFTL(device, cache_capacity=2048)
+    ftl.write(42, data="hello")
+    assert ftl.read(42) == "hello"
+    print(ftl.write_amplification())
+"""
+
+from .core import (
+    EntryLayout,
+    GeckoConfig,
+    GeckoFTL,
+    GeckoRecovery,
+    InMemoryGeckoStorage,
+    LogarithmicGecko,
+    RecoveryReport,
+)
+from .flash import (
+    DeviceConfig,
+    FlashDevice,
+    IOPurpose,
+    IOStats,
+    LatencyConfig,
+    PhysicalAddress,
+    paper_configuration,
+    simulation_configuration,
+)
+from .ftl import DFTL, IBFTL, LazyFTL, MuFTL, PageMappedFTL, VictimPolicy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DFTL",
+    "DeviceConfig",
+    "EntryLayout",
+    "FlashDevice",
+    "GeckoConfig",
+    "GeckoFTL",
+    "GeckoRecovery",
+    "IBFTL",
+    "IOPurpose",
+    "IOStats",
+    "InMemoryGeckoStorage",
+    "LatencyConfig",
+    "LazyFTL",
+    "LogarithmicGecko",
+    "MuFTL",
+    "PageMappedFTL",
+    "PhysicalAddress",
+    "RecoveryReport",
+    "VictimPolicy",
+    "paper_configuration",
+    "simulation_configuration",
+    "__version__",
+]

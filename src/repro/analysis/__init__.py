@@ -1,0 +1,67 @@
+"""Analytical models: RAM footprints, recovery times, IO costs, slowdown."""
+
+from . import cost_model, ram_model, recovery_model, slowdown
+from .cost_model import (
+    ValidityCosts,
+    capacity_crossover_sweep,
+    crossover_block_count,
+    flash_pvb_costs,
+    logarithmic_gecko_costs,
+    ram_pvb_costs,
+    table1,
+    updates_per_gc_query,
+)
+from .ram_model import (
+    DEFAULT_CACHE_BYTES,
+    RamBreakdown,
+    all_ftl_ram,
+    dftl_ram,
+    gecko_ftl_ram,
+    ib_ftl_ram,
+    lazyftl_ram,
+    mu_ftl_ram,
+)
+from .recovery_model import (
+    PhaseCost,
+    RecoveryBreakdown,
+    all_ftl_recovery,
+    dftl_recovery,
+    gecko_ftl_recovery,
+    ib_ftl_recovery,
+    lazyftl_recovery,
+    mu_ftl_recovery,
+)
+from .slowdown import MixedWorkloadModel, compare_slowdown
+
+__all__ = [
+    "DEFAULT_CACHE_BYTES",
+    "MixedWorkloadModel",
+    "PhaseCost",
+    "RamBreakdown",
+    "RecoveryBreakdown",
+    "ValidityCosts",
+    "all_ftl_ram",
+    "all_ftl_recovery",
+    "capacity_crossover_sweep",
+    "compare_slowdown",
+    "cost_model",
+    "crossover_block_count",
+    "dftl_ram",
+    "dftl_recovery",
+    "flash_pvb_costs",
+    "gecko_ftl_ram",
+    "gecko_ftl_recovery",
+    "ib_ftl_ram",
+    "ib_ftl_recovery",
+    "lazyftl_ram",
+    "lazyftl_recovery",
+    "logarithmic_gecko_costs",
+    "mu_ftl_ram",
+    "mu_ftl_recovery",
+    "ram_model",
+    "ram_pvb_costs",
+    "recovery_model",
+    "slowdown",
+    "table1",
+    "updates_per_gc_query",
+]

@@ -1,0 +1,209 @@
+"""Analytical model of integrated-RAM requirements (paper Section 2, Appendix B).
+
+These closed-form formulas reproduce the top part of Figure 13 (the per-FTL
+RAM breakdown at paper scale) and, swept over device capacity, the top part
+of Figure 1. They deliberately use the paper's constants — 4-byte physical
+addresses, 8 bytes per cached mapping entry, 2 bytes per BVC counter — so the
+absolute numbers are comparable to the published ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..flash.config import BLOCK_KEY_BYTES, MAPPING_ENTRY_BYTES, DeviceConfig
+
+#: Bytes per cached mapping entry assumed by the paper (Section 5).
+CACHE_ENTRY_BYTES = 8
+#: Default LRU cache budget in the paper's experiments: 4 MB.
+DEFAULT_CACHE_BYTES = 4 * 2**20
+
+
+@dataclass(frozen=True)
+class RamBreakdown:
+    """Per-structure integrated-RAM footprint of one FTL, in bytes."""
+
+    ftl: str
+    components: Dict[str, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.components.values())
+
+    def as_rows(self) -> List[tuple]:
+        return sorted(self.components.items())
+
+
+# ----------------------------------------------------------------------
+# Shared component formulas
+# ----------------------------------------------------------------------
+def translation_table_bytes(config: DeviceConfig) -> int:
+    """``TT``: 4 bytes per logical page."""
+    return MAPPING_ENTRY_BYTES * config.logical_pages
+
+
+def gmd_bytes(config: DeviceConfig) -> int:
+    """Global Mapping Directory: 4 bytes per translation page (``4*TT/P``)."""
+    return MAPPING_ENTRY_BYTES * config.num_translation_pages
+
+
+def pvb_bytes(config: DeviceConfig) -> int:
+    """RAM-resident Page Validity Bitmap: one bit per physical page."""
+    return config.pvb_bytes
+
+
+def bvc_bytes(config: DeviceConfig) -> int:
+    """Block Validity Counter: 2 bytes per block."""
+    return 2 * config.num_blocks
+
+
+def gecko_entry_bytes(config: DeviceConfig) -> float:
+    """Size of one unpartitioned Gecko entry in flash: 4-byte key + B/8 bitmap."""
+    return BLOCK_KEY_BYTES + config.pages_per_block / 8
+
+
+def gecko_pages(config: DeviceConfig) -> int:
+    """Flash pages occupied by Logarithmic Gecko (Appendix B).
+
+    The largest run holds one entry per block; the smaller runs together are
+    at most as large again, hence the factor of two.
+    """
+    entries_per_page = config.page_size / gecko_entry_bytes(config)
+    return math.ceil(2 * config.num_blocks / entries_per_page)
+
+
+def gecko_run_directory_bytes(config: DeviceConfig) -> int:
+    """Run directories: 8 bytes (key + address) per Gecko page."""
+    return 2 * MAPPING_ENTRY_BYTES * gecko_pages(config)
+
+
+def gecko_levels(config: DeviceConfig, size_ratio: int = 2) -> int:
+    """``L = ceil(log_T(K / V))`` with V the entries per buffer page."""
+    entries_per_page = config.page_size / gecko_entry_bytes(config)
+    ratio = max(2.0, config.num_blocks / entries_per_page)
+    return max(1, math.ceil(math.log(ratio, size_ratio)))
+
+
+def gecko_buffer_bytes(config: DeviceConfig, size_ratio: int = 2,
+                       multiway_merge: bool = True) -> int:
+    """Insert buffer plus merge buffers: ``P * (2 + L)`` with multi-way merging."""
+    if multiway_merge:
+        return config.page_size * (2 + gecko_levels(config, size_ratio))
+    return config.page_size * 2
+
+
+def flash_pvb_directory_bytes(config: DeviceConfig) -> int:
+    """µ-FTL's RAM directory of flash-resident PVB pages: 4 bytes per PVB page."""
+    pvb_flash_pages = math.ceil(config.pvb_bytes / config.page_size)
+    return MAPPING_ENTRY_BYTES * pvb_flash_pages
+
+
+def pvl_ram_bytes(config: DeviceConfig) -> int:
+    """IB-FTL's RAM metadata: chain head + erase timestamp per block, plus buffer."""
+    return (MAPPING_ENTRY_BYTES + 4) * config.num_blocks + config.page_size
+
+
+def btree_root_bytes(config: DeviceConfig) -> int:
+    """µ-FTL keeps only its translation B-tree root resident (one page)."""
+    return config.page_size
+
+
+# ----------------------------------------------------------------------
+# Per-FTL breakdowns (Figure 13, top)
+# ----------------------------------------------------------------------
+def dftl_ram(config: DeviceConfig,
+             cache_bytes: int = DEFAULT_CACHE_BYTES) -> RamBreakdown:
+    """DFTL: GMD + LRU cache + RAM-resident PVB."""
+    return RamBreakdown("DFTL", {
+        "gmd": gmd_bytes(config),
+        "lru_cache": cache_bytes,
+        "pvb": pvb_bytes(config),
+    })
+
+
+def lazyftl_ram(config: DeviceConfig,
+                cache_bytes: int = DEFAULT_CACHE_BYTES) -> RamBreakdown:
+    """LazyFTL: same resident structures as DFTL."""
+    breakdown = dftl_ram(config, cache_bytes)
+    return RamBreakdown("LazyFTL", dict(breakdown.components))
+
+
+def mu_ftl_ram(config: DeviceConfig,
+               cache_bytes: int = DEFAULT_CACHE_BYTES) -> RamBreakdown:
+    """µ-FTL: B-tree root + cache + BVC + flash-PVB directory."""
+    return RamBreakdown("uFTL", {
+        "btree_root": btree_root_bytes(config),
+        "lru_cache": cache_bytes,
+        "bvc": bvc_bytes(config),
+        "pvb_directory": flash_pvb_directory_bytes(config),
+    })
+
+
+def ib_ftl_ram(config: DeviceConfig,
+               cache_bytes: int = DEFAULT_CACHE_BYTES) -> RamBreakdown:
+    """IB-FTL: GMD + cache + BVC + page-validity-log chain metadata."""
+    return RamBreakdown("IB-FTL", {
+        "gmd": gmd_bytes(config),
+        "lru_cache": cache_bytes,
+        "bvc": bvc_bytes(config),
+        "pvl_metadata": pvl_ram_bytes(config),
+    })
+
+
+def gecko_ftl_ram(config: DeviceConfig,
+                  cache_bytes: int = DEFAULT_CACHE_BYTES,
+                  size_ratio: int = 2) -> RamBreakdown:
+    """GeckoFTL: GMD + cache + BVC + run directories + Gecko buffers."""
+    return RamBreakdown("GeckoFTL", {
+        "gmd": gmd_bytes(config),
+        "lru_cache": cache_bytes,
+        "bvc": bvc_bytes(config),
+        "gecko_run_directories": gecko_run_directory_bytes(config),
+        "gecko_buffers": gecko_buffer_bytes(config, size_ratio),
+    })
+
+
+def all_ftl_ram(config: DeviceConfig,
+                cache_bytes: int = DEFAULT_CACHE_BYTES) -> List[RamBreakdown]:
+    """RAM breakdowns for every FTL the paper compares (Figure 13, top)."""
+    return [
+        dftl_ram(config, cache_bytes),
+        lazyftl_ram(config, cache_bytes),
+        mu_ftl_ram(config, cache_bytes),
+        ib_ftl_ram(config, cache_bytes),
+        gecko_ftl_ram(config, cache_bytes),
+    ]
+
+
+def capacity_sweep(capacities_bytes: List[int],
+                   base: DeviceConfig,
+                   cache_bytes: int = DEFAULT_CACHE_BYTES,
+                   ftl: str = "LazyFTL") -> List[Dict[str, float]]:
+    """RAM requirement as a function of device capacity (Figure 1, top).
+
+    ``capacities_bytes`` are physical capacities; the geometry scales by
+    adding blocks (page size and block size stay at the base configuration),
+    which is how devices actually grow.
+    """
+    builders = {
+        "DFTL": dftl_ram,
+        "LazyFTL": lazyftl_ram,
+        "uFTL": mu_ftl_ram,
+        "IB-FTL": ib_ftl_ram,
+        "GeckoFTL": gecko_ftl_ram,
+    }
+    builder = builders[ftl]
+    rows = []
+    for capacity in capacities_bytes:
+        blocks = capacity // (base.pages_per_block * base.page_size)
+        config = base.scaled(num_blocks=blocks)
+        breakdown = builder(config, cache_bytes)
+        rows.append({
+            "capacity_bytes": capacity,
+            "capacity_gb": capacity / 2**30,
+            "ram_bytes": breakdown.total,
+            "ram_mb": breakdown.total / 2**20,
+        })
+    return rows

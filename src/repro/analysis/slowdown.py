@@ -1,0 +1,56 @@
+"""Read/write mix slowdown model (paper Section 5, "Metrics").
+
+The paper's experiments use write-only workloads because the compared FTLs
+serve application reads identically; for a mixed workload the impact of
+write-amplification on overall throughput is captured by a simple closed-form
+slowdown factor that combines read-amplification (extra translation-page
+reads), write-amplification, and the read/write ratio of the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..flash.config import DeviceConfig
+
+
+@dataclass(frozen=True)
+class MixedWorkloadModel:
+    """Parameters of a mixed read/write workload.
+
+    Attributes:
+        read_amplification: Average internal flash reads per application read
+            (1.0 means every read also fetches its mapping entry from a
+            translation page; values near 0 mean the cache absorbs almost all
+            lookups).
+        write_amplification: Internal write cost per application write, as
+            measured by the simulator or predicted by the cost model.
+        reads_per_write: Ratio of application reads to application writes.
+    """
+
+    read_amplification: float
+    write_amplification: float
+    reads_per_write: float
+
+    def slowdown_factor(self, config: DeviceConfig) -> float:
+        """Relative read throughput of the mixed workload.
+
+        Following the paper: ``1 / (RA * RW + WA * delta)``, where reads are
+        the unit of cost and a write costs ``delta`` reads.
+        """
+        denominator = (self.read_amplification * self.reads_per_write
+                       + self.write_amplification * config.delta)
+        if denominator <= 0:
+            raise ValueError("slowdown denominator must be positive")
+        return 1.0 / denominator
+
+
+def compare_slowdown(config: DeviceConfig, write_amplifications: dict,
+                     read_amplification: float = 1.0,
+                     reads_per_write: float = 1.0) -> dict:
+    """Slowdown factors for several FTLs' measured write-amplifications."""
+    return {
+        name: MixedWorkloadModel(read_amplification, wa,
+                                 reads_per_write).slowdown_factor(config)
+        for name, wa in write_amplifications.items()
+    }

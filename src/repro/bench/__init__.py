@@ -1,0 +1,26 @@
+"""Experiment harness and reporting used by the benchmark suite."""
+
+from .harness import (
+    FTL_FACTORIES,
+    ExperimentConfig,
+    ExperimentResult,
+    build_ftl,
+    compare_ftls,
+    run_experiment,
+    write_amplification_breakdown,
+)
+from .reporting import format_bytes, format_seconds, format_table, print_report
+
+__all__ = [
+    "FTL_FACTORIES",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "build_ftl",
+    "compare_ftls",
+    "format_bytes",
+    "format_seconds",
+    "format_table",
+    "print_report",
+    "run_experiment",
+    "write_amplification_breakdown",
+]

@@ -1,0 +1,143 @@
+"""Experiment harness used by the benchmark suite and the examples.
+
+The harness knows how to build each FTL on a fresh simulated device, warm it
+up (fill the logical space), drive it with a workload, and report the
+write-amplification breakdown by purpose — the exact quantities the paper's
+evaluation figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.gecko_ftl import GeckoFTL
+from ..flash.config import DeviceConfig, simulation_configuration
+from ..flash.device import FlashDevice
+from ..flash.stats import IOKind, IOPurpose, IOStats
+from ..ftl.base import PageMappedFTL
+from ..ftl.dftl import DFTL
+from ..ftl.garbage_collector import VictimPolicy
+from ..ftl.ib_ftl import IBFTL
+from ..ftl.lazyftl import LazyFTL
+from ..ftl.mu_ftl import MuFTL
+from ..workloads.base import RunResult, Workload, WorkloadRunner, fill_device
+from ..workloads.generators import UniformRandomWrites
+
+#: Factory table for building FTLs by name (used by benchmarks and examples).
+FTL_FACTORIES: Dict[str, Callable[..., PageMappedFTL]] = {
+    "DFTL": DFTL,
+    "LazyFTL": LazyFTL,
+    "uFTL": MuFTL,
+    "IB-FTL": IBFTL,
+    "GeckoFTL": GeckoFTL,
+}
+
+
+@dataclass
+class ExperimentConfig:
+    """One simulated experiment: device geometry, FTL, and workload volume."""
+
+    ftl_name: str = "GeckoFTL"
+    device: DeviceConfig = field(default_factory=simulation_configuration)
+    cache_capacity: int = 2048
+    fill_fraction: float = 1.0
+    write_operations: int = 20_000
+    interval_writes: int = 2_000
+    seed: int = 42
+    ftl_kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentResult:
+    """Measured outcome of one experiment."""
+
+    config: ExperimentConfig
+    ftl_description: Dict[str, object]
+    run: RunResult
+    wa_total: float
+    wa_breakdown: Dict[str, float]
+    ram_breakdown: Dict[str, int]
+
+    def row(self) -> Dict[str, object]:
+        """Flat dictionary for tabular reporting."""
+        row: Dict[str, object] = {
+            "ftl": self.config.ftl_name,
+            "wa_total": round(self.wa_total, 4),
+            "ram_bytes": sum(self.ram_breakdown.values()),
+        }
+        for purpose, value in sorted(self.wa_breakdown.items()):
+            row[f"wa_{purpose}"] = round(value, 4)
+        return row
+
+
+def build_ftl(name: str, device: FlashDevice, cache_capacity: int,
+              **ftl_kwargs) -> PageMappedFTL:
+    """Instantiate an FTL by its paper name on ``device``."""
+    try:
+        factory = FTL_FACTORIES[name]
+    except KeyError:
+        raise ValueError(f"unknown FTL {name!r}; choose from "
+                         f"{sorted(FTL_FACTORIES)}") from None
+    return factory(device, cache_capacity=cache_capacity, **ftl_kwargs)
+
+
+def write_amplification_breakdown(stats: IOStats, delta: float,
+                                  host_writes: Optional[int] = None
+                                  ) -> Dict[str, float]:
+    """Write-amplification attributed to each IO purpose (Figure 13 bottom)."""
+    breakdown: Dict[str, float] = {}
+    for purpose in IOPurpose:
+        value = stats.write_amplification(delta, include_purposes=[purpose],
+                                          host_writes=host_writes)
+        if value:
+            breakdown[purpose.value] = value
+    return breakdown
+
+
+def run_experiment(config: ExperimentConfig,
+                   workload: Optional[Workload] = None) -> ExperimentResult:
+    """Build, warm up, and drive one FTL, returning its measurements.
+
+    The warm-up (sequentially filling the logical space) is excluded from the
+    measured interval, matching how the paper reports steady-state behaviour.
+    """
+    device = FlashDevice(config.device)
+    ftl = build_ftl(config.ftl_name, device,
+                    cache_capacity=config.cache_capacity,
+                    **config.ftl_kwargs)
+    fill_device(ftl, fraction=config.fill_fraction)
+    device.stats.reset()
+
+    if workload is None:
+        workload = UniformRandomWrites(config.device.logical_pages,
+                                       seed=config.seed)
+    runner = WorkloadRunner(ftl, interval_writes=config.interval_writes)
+    run = runner.run(workload, config.write_operations)
+
+    delta = config.device.delta
+    wa_total = run.final_stats.write_amplification(delta)
+    breakdown = write_amplification_breakdown(run.final_stats, delta)
+    return ExperimentResult(config=config,
+                            ftl_description=ftl.describe(),
+                            run=run,
+                            wa_total=wa_total,
+                            wa_breakdown=breakdown,
+                            ram_breakdown=ftl.ram_breakdown())
+
+
+def compare_ftls(ftl_names: List[str], device: DeviceConfig,
+                 cache_capacity: int = 2048, write_operations: int = 20_000,
+                 seed: int = 42,
+                 ftl_kwargs: Optional[Dict[str, Dict[str, object]]] = None
+                 ) -> List[ExperimentResult]:
+    """Run the same workload volume against several FTLs (Figure 13/14 style)."""
+    results = []
+    for name in ftl_names:
+        kwargs = dict((ftl_kwargs or {}).get(name, {}))
+        config = ExperimentConfig(ftl_name=name, device=device,
+                                  cache_capacity=cache_capacity,
+                                  write_operations=write_operations,
+                                  seed=seed, ftl_kwargs=kwargs)
+        results.append(run_experiment(config))
+    return results

@@ -1,0 +1,150 @@
+"""Command-line interface for quick experiments.
+
+Lets a user run the library's main experiment shapes without writing code::
+
+    python -m repro.cli compare --ftls GeckoFTL uFTL --writes 5000
+    python -m repro.cli ram --capacity-gb 2048
+    python -m repro.cli recovery --capacity-gb 2048
+    python -m repro.cli replay trace.txt --ftl GeckoFTL
+
+Output is plain text, matching the benchmark suite's reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import all_ftl_ram, all_ftl_recovery
+from .bench.harness import FTL_FACTORIES, ExperimentConfig, compare_ftls, run_experiment
+from .bench.reporting import format_bytes, format_seconds, print_report
+from .flash.config import paper_configuration, simulation_configuration
+from .flash.device import FlashDevice
+from .workloads import TraceWorkload, WorkloadRunner, fill_device
+
+
+def _device_from_args(arguments) -> "simulation_configuration":
+    return simulation_configuration(num_blocks=arguments.blocks,
+                                    pages_per_block=arguments.pages_per_block,
+                                    page_size=arguments.page_size,
+                                    logical_ratio=arguments.logical_ratio)
+
+
+def _paper_config_scaled(capacity_gb: float):
+    base = paper_configuration()
+    blocks = int(capacity_gb * 2**30 /
+                 (base.pages_per_block * base.page_size))
+    return base.scaled(num_blocks=max(1, blocks))
+
+
+def cmd_compare(arguments) -> int:
+    device = _device_from_args(arguments)
+    results = compare_ftls(arguments.ftls, device,
+                           cache_capacity=arguments.cache_entries,
+                           write_operations=arguments.writes,
+                           seed=arguments.seed)
+    print_report(
+        f"Write-amplification after {arguments.writes} random updates",
+        [result.row() for result in results])
+    return 0
+
+
+def cmd_ram(arguments) -> int:
+    config = _paper_config_scaled(arguments.capacity_gb)
+    print_report(
+        f"Integrated-RAM breakdown at {arguments.capacity_gb} GB (analytical)",
+        [{"ftl": breakdown.ftl, "total": format_bytes(breakdown.total),
+          **{name: format_bytes(size)
+             for name, size in sorted(breakdown.components.items())}}
+         for breakdown in all_ftl_ram(config)])
+    return 0
+
+
+def cmd_recovery(arguments) -> int:
+    config = _paper_config_scaled(arguments.capacity_gb)
+    print_report(
+        f"Recovery-time breakdown at {arguments.capacity_gb} GB (analytical)",
+        [{"ftl": breakdown.ftl,
+          "battery": "yes" if breakdown.requires_battery else "no",
+          "total": format_seconds(breakdown.total_seconds(config)),
+          **{name: format_seconds(seconds) for name, seconds
+             in sorted(breakdown.phase_seconds(config).items())}}
+         for breakdown in all_ftl_recovery(config)])
+    return 0
+
+
+def cmd_replay(arguments) -> int:
+    device_config = _device_from_args(arguments)
+    device = FlashDevice(device_config)
+    ftl = FTL_FACTORIES[arguments.ftl](device,
+                                       cache_capacity=arguments.cache_entries)
+    fill_device(ftl)
+    device.stats.reset()
+    workload = TraceWorkload.from_file(arguments.trace,
+                                       device_config.logical_pages,
+                                       wrap=arguments.wrap)
+    runner = WorkloadRunner(ftl, interval_writes=max(1, arguments.writes // 10))
+    result = runner.run(workload, arguments.writes)
+    print_report(f"Replay of {arguments.trace} against {arguments.ftl}", [{
+        "host_writes": result.host_writes,
+        "host_reads": result.host_reads,
+        "write_amplification": round(
+            result.write_amplification(device_config.delta), 4),
+        "ram_bytes": ftl.ram_bytes(),
+    }])
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description="GeckoFTL reproduction CLI")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_device_arguments(sub):
+        sub.add_argument("--blocks", type=int, default=128)
+        sub.add_argument("--pages-per-block", type=int, default=16)
+        sub.add_argument("--page-size", type=int, default=256)
+        sub.add_argument("--logical-ratio", type=float, default=0.7)
+        sub.add_argument("--cache-entries", type=int, default=128)
+
+    compare = subparsers.add_parser(
+        "compare", help="simulate several FTLs under random updates")
+    add_device_arguments(compare)
+    compare.add_argument("--ftls", nargs="+", default=["GeckoFTL", "uFTL"],
+                         choices=sorted(FTL_FACTORIES))
+    compare.add_argument("--writes", type=int, default=4000)
+    compare.add_argument("--seed", type=int, default=42)
+    compare.set_defaults(handler=cmd_compare)
+
+    ram = subparsers.add_parser(
+        "ram", help="analytical integrated-RAM breakdown per FTL")
+    ram.add_argument("--capacity-gb", type=float, default=2048.0)
+    ram.set_defaults(handler=cmd_ram)
+
+    recovery = subparsers.add_parser(
+        "recovery", help="analytical recovery-time breakdown per FTL")
+    recovery.add_argument("--capacity-gb", type=float, default=2048.0)
+    recovery.set_defaults(handler=cmd_recovery)
+
+    replay = subparsers.add_parser(
+        "replay", help="replay a trace file against one FTL")
+    add_device_arguments(replay)
+    replay.add_argument("trace", help="trace file (W/R/T <logical> per line)")
+    replay.add_argument("--ftl", default="GeckoFTL",
+                        choices=sorted(FTL_FACTORIES))
+    replay.add_argument("--writes", type=int, default=4000)
+    replay.add_argument("--wrap", action="store_true",
+                        help="wrap around when the trace is exhausted")
+    replay.set_defaults(handler=cmd_replay)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

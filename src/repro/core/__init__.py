@@ -1,0 +1,40 @@
+"""The paper's core contribution: Logarithmic Gecko and GeckoFTL."""
+
+from .buffer import GeckoBuffer
+from .gecko_entry import (
+    KEY_BITS,
+    EntryLayout,
+    GeckoEntry,
+    merge_collision,
+    merge_entry_lists,
+    strip_obsolete_in_largest_run,
+)
+from .gecko_ftl import GeckoFTL, GeckoValidityStore
+from .logarithmic_gecko import GeckoConfig, LogarithmicGecko
+from .recovery import GeckoRecovery, RecoveryReport, RecoveryStep
+from .run import GeckoPagePayload, Run, RunDirectorySet, RunPageInfo
+from .storage import FlashGeckoStorage, GeckoStorage, InMemoryGeckoStorage
+
+__all__ = [
+    "KEY_BITS",
+    "EntryLayout",
+    "FlashGeckoStorage",
+    "GeckoBuffer",
+    "GeckoConfig",
+    "GeckoEntry",
+    "GeckoFTL",
+    "GeckoPagePayload",
+    "GeckoRecovery",
+    "GeckoStorage",
+    "GeckoValidityStore",
+    "InMemoryGeckoStorage",
+    "LogarithmicGecko",
+    "RecoveryReport",
+    "RecoveryStep",
+    "Run",
+    "RunDirectorySet",
+    "RunPageInfo",
+    "merge_collision",
+    "merge_entry_lists",
+    "strip_obsolete_in_largest_run",
+]

@@ -1,0 +1,91 @@
+"""Logarithmic Gecko's RAM-resident insert buffer (paper Section 3, Algorithms 1-2).
+
+The buffer is one flash page worth of Gecko entries held in integrated RAM.
+Invalidations and erases are absorbed here; when ``V`` entries accumulate the
+buffer is flushed to flash as a new level-0 run. Buffering is what turns the
+flash-resident PVB's one-write-per-invalidation into roughly one write per
+``V`` invalidations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .gecko_entry import EntryLayout, GeckoEntry
+
+
+class GeckoBuffer:
+    """One-page write buffer of Gecko entries, keyed by (block id, sub-key)."""
+
+    def __init__(self, layout: EntryLayout) -> None:
+        self.layout = layout
+        self._entries: Dict[Tuple[int, int], GeckoEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """``V``: the number of entries that fit into one flash page."""
+        return self.layout.entries_per_page
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def ram_bytes(self) -> int:
+        """The buffer occupies one flash page of integrated RAM."""
+        return self.layout.page_size
+
+    # ------------------------------------------------------------------
+    # Updates (Algorithm 1) and erases (Algorithm 2)
+    # ------------------------------------------------------------------
+    def insert_invalid(self, block_id: int, page_offset: int) -> None:
+        """Record that page ``page_offset`` of ``block_id`` became invalid."""
+        if not 0 <= page_offset < self.layout.pages_per_block:
+            raise ValueError(
+                f"page offset {page_offset} outside block of "
+                f"{self.layout.pages_per_block} pages")
+        sub_key, bit = divmod(page_offset, self.layout.bits_per_slice)
+        key = (block_id, sub_key)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = GeckoEntry(block_id=block_id, sub_key=sub_key)
+            self._entries[key] = entry
+        entry.bitmap |= 1 << bit
+
+    def insert_erase(self, block_id: int) -> None:
+        """Record that ``block_id`` was erased.
+
+        A single block-level entry with the erase flag set (and sub-key 0)
+        makes every older record for the block obsolete; any per-slice records
+        already buffered for the block are dropped because they too predate
+        nothing — they describe pages that were just erased.
+        """
+        stale_keys = [key for key in self._entries if key[0] == block_id]
+        for key in stale_keys:
+            del self._entries[key]
+        self._entries[(block_id, 0)] = GeckoEntry(
+            block_id=block_id, sub_key=0, bitmap=0, erase_flag=True)
+
+    # ------------------------------------------------------------------
+    # Queries and flushing
+    # ------------------------------------------------------------------
+    def entries_for_block(self, block_id: int) -> List[GeckoEntry]:
+        """Buffered entries for one block (consulted first by a GC query)."""
+        return [entry for (bid, _sub), entry in sorted(self._entries.items())
+                if bid == block_id]
+
+    def drain(self) -> List[GeckoEntry]:
+        """Remove and return all buffered entries, sorted by (key, sub-key)."""
+        entries = [entry for _key, entry in sorted(self._entries.items())]
+        self._entries.clear()
+        return entries
+
+    def clear(self) -> None:
+        """Drop the buffer's contents (power failure)."""
+        self._entries.clear()

@@ -1,0 +1,188 @@
+"""Gecko entries and entry-partitioning (paper Section 3, Figure 3, Section 3.3).
+
+A Gecko entry is the key-value pair Logarithmic Gecko stores in its buffer and
+runs. The key is a flash-block id, the value is a bitmap with one bit per page
+of that block (bit set means the page is invalid), plus an *erase flag*: a
+flag that, when set, tells a GC query that every older entry for the same
+block was created before the block's last erase and is therefore obsolete.
+
+Entry-partitioning (Section 3.3) splits one entry into ``S`` sub-entries,
+each covering a ``B/S``-page slice of the block and carrying a small sub-key
+identifying the slice. Partitioning decouples the number of entries that fit
+into the buffer (``V``) from the block size ``B``: without it, growing blocks
+would shrink the buffer and drive update cost up (Figure 10).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+#: Size of a Gecko-entry key in bits (a 4-byte block id, per the paper).
+KEY_BITS = 32
+
+
+@dataclass(frozen=True)
+class EntryLayout:
+    """Geometry of Gecko entries for one device configuration.
+
+    Attributes:
+        pages_per_block: ``B`` — bits a full (unpartitioned) bitmap needs.
+        page_size: ``P`` — flash page size in bytes, bounding the buffer.
+        partition_factor: ``S`` — how many sub-entries one block's bitmap is
+            split into. ``S = 1`` disables partitioning.
+    """
+
+    pages_per_block: int
+    page_size: int
+    partition_factor: int = 1
+
+    def __post_init__(self) -> None:
+        if self.partition_factor < 1:
+            raise ValueError("partition factor S must be >= 1")
+        if self.partition_factor > self.pages_per_block:
+            raise ValueError("partition factor S cannot exceed the block size B")
+        if self.pages_per_block % self.partition_factor != 0:
+            raise ValueError("partition factor S must divide the block size B")
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def bits_per_slice(self) -> int:
+        """Validity bits carried by one (sub-)entry: ``B / S``."""
+        return self.pages_per_block // self.partition_factor
+
+    @property
+    def subkey_bits(self) -> int:
+        """Bits needed to identify a slice within its block."""
+        if self.partition_factor == 1:
+            return 0
+        return max(1, math.ceil(math.log2(self.partition_factor)))
+
+    @property
+    def entry_bits(self) -> int:
+        """Total size of one (sub-)entry in bits: key + sub-key + bitmap + erase flag."""
+        return KEY_BITS + self.subkey_bits + self.bits_per_slice + 1
+
+    @property
+    def entries_per_page(self) -> int:
+        """``V``: how many (sub-)entries fit into one flash page / the buffer."""
+        return max(1, (self.page_size * 8) // self.entry_bits)
+
+    @classmethod
+    def recommended(cls, pages_per_block: int, page_size: int) -> "EntryLayout":
+        """The paper's tuning ``S = B / key``: balances buffer density and
+        space-amplification so neither the bitmap nor the keys dominate."""
+        factor = max(1, pages_per_block // KEY_BITS)
+        while pages_per_block % factor != 0:
+            factor -= 1
+        return cls(pages_per_block=pages_per_block, page_size=page_size,
+                   partition_factor=factor)
+
+
+@dataclass
+class GeckoEntry:
+    """One (sub-)entry: which pages of one block slice are invalid.
+
+    ``bitmap`` is an int whose bit ``i`` corresponds to page offset
+    ``sub_key * bits_per_slice + i`` of block ``block_id``. ``erase_flag``
+    set means the block was erased at the moment this entry was created;
+    entries in older runs are obsolete for this block.
+    """
+
+    block_id: int
+    sub_key: int = 0
+    bitmap: int = 0
+    erase_flag: bool = False
+
+    @property
+    def sort_key(self) -> Tuple[int, int]:
+        """Entries within a run are sorted by (block id, sub-key)."""
+        return (self.block_id, self.sub_key)
+
+    def copy(self) -> "GeckoEntry":
+        return GeckoEntry(self.block_id, self.sub_key, self.bitmap,
+                          self.erase_flag)
+
+    def offsets(self, layout: EntryLayout) -> List[int]:
+        """Page offsets within the block that this entry marks invalid."""
+        base = self.sub_key * layout.bits_per_slice
+        return [base + bit for bit in range(layout.bits_per_slice)
+                if self.bitmap >> bit & 1]
+
+
+def merge_collision(newer: GeckoEntry, older: GeckoEntry) -> GeckoEntry:
+    """Resolve a collision between two entries with the same (key, sub-key).
+
+    This is the paper's Algorithm 3: if the newer entry carries the erase
+    flag, the older entry predates the block's last erase and is discarded;
+    otherwise the bitmaps are OR-ed and the older entry's erase flag is kept
+    (it still shadows yet-older runs).
+    """
+    if newer.block_id != older.block_id or newer.sub_key != older.sub_key:
+        raise ValueError("merge_collision requires entries with the same key")
+    if newer.erase_flag:
+        return newer.copy()
+    return GeckoEntry(block_id=newer.block_id,
+                      sub_key=newer.sub_key,
+                      bitmap=newer.bitmap | older.bitmap,
+                      erase_flag=older.erase_flag)
+
+
+def merge_entry_lists(newer: Iterable[GeckoEntry],
+                      older: Iterable[GeckoEntry],
+                      drop_block_erase_shadows: bool = True
+                      ) -> List[GeckoEntry]:
+    """Merge two sorted entry lists, newer entries taking precedence.
+
+    ``newer``/``older`` must each be sorted by ``sort_key``. Collisions are
+    resolved with :func:`merge_collision`. Additionally, a *block-level* erase
+    entry (an entry with ``erase_flag`` and sub-key 0 representing the whole
+    block) shadows every older entry of that block regardless of sub-key when
+    ``drop_block_erase_shadows`` is set; this is how a single buffered erase
+    record makes all older per-slice records obsolete.
+    """
+    newer = list(newer)
+    older = list(older)
+    erased_blocks = {entry.block_id for entry in newer if entry.erase_flag}
+    if drop_block_erase_shadows and erased_blocks:
+        older = [entry for entry in older
+                 if entry.block_id not in erased_blocks]
+
+    result: List[GeckoEntry] = []
+    i = j = 0
+    while i < len(newer) and j < len(older):
+        a, b = newer[i], older[j]
+        if a.sort_key == b.sort_key:
+            result.append(merge_collision(a, b))
+            i += 1
+            j += 1
+        elif a.sort_key < b.sort_key:
+            result.append(a.copy())
+            i += 1
+        else:
+            result.append(b.copy())
+            j += 1
+    result.extend(entry.copy() for entry in newer[i:])
+    result.extend(entry.copy() for entry in older[j:])
+    return result
+
+
+def strip_obsolete_in_largest_run(entries: Iterable[GeckoEntry]
+                                  ) -> List[GeckoEntry]:
+    """Drop records that carry no information once no older run exists.
+
+    When a merge produces the largest (oldest-level) run, erase flags no
+    longer shadow anything, so they can be cleared; entries whose bitmap is
+    then empty carry no information at all and are dropped. This is the
+    space reclamation that bounds Logarithmic Gecko's space-amplification.
+    """
+    result = []
+    for entry in entries:
+        stripped = GeckoEntry(entry.block_id, entry.sub_key, entry.bitmap,
+                              erase_flag=False)
+        if stripped.bitmap:
+            result.append(stripped)
+    return result

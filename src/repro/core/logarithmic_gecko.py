@@ -1,0 +1,403 @@
+"""Logarithmic Gecko: the paper's write-optimized page-validity index (Section 3).
+
+Logarithmic Gecko replaces the Page Validity Bitmap with an LSM-style
+structure kept in flash:
+
+* Updates (page invalidations) and erases are absorbed by a one-page RAM
+  buffer; ``V`` updates amount to one flash write instead of ``V``
+  read-modify-writes of a flash-resident PVB.
+* When the buffer fills, it is flushed to flash as a new sorted *run* at
+  level 0. Whenever a level holds two runs they are merged; the merged run is
+  placed at the level matching its size (a run of ``n`` pages sits at level
+  ``floor(log_T n)``), so merges may cascade. The optional multi-way merge
+  (Appendix A) folds the soon-to-cascade smaller runs into a single pass.
+* A GC query probes the buffer and then each run from newest to oldest, using
+  the RAM-resident run directories to read at most the one or two pages per
+  run that can contain the victim block's entries, and stops early when it
+  meets an entry whose erase flag is set.
+
+The structure is generic enough to be reused outside the FTL as a
+write-optimized aggregation index keyed by small integers; the FTL-facing
+adapter lives in :mod:`repro.core.gecko_ftl`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..flash.address import PhysicalAddress
+from .buffer import GeckoBuffer
+from .gecko_entry import (
+    EntryLayout,
+    GeckoEntry,
+    merge_entry_lists,
+    strip_obsolete_in_largest_run,
+)
+from .run import GeckoPagePayload, Run, RunDirectorySet, RunPageInfo
+from .storage import GeckoStorage, InMemoryGeckoStorage
+
+
+@dataclass(frozen=True)
+class GeckoConfig:
+    """Tuning parameters of a Logarithmic Gecko instance.
+
+    Attributes:
+        size_ratio: ``T``, the size ratio between adjacent levels. ``T = 2``
+            (the minimum) optimizes updates as far as possible and is the
+            paper's empirically best setting (Figure 9).
+        layout: Gecko-entry geometry, including the entry-partitioning
+            factor ``S`` (Section 3.3).
+        multiway_merge: Use the Appendix A multi-way merge, which avoids
+            rewriting entries once per cascading level at the cost of more
+            RAM-resident merge buffers.
+    """
+
+    size_ratio: int
+    layout: EntryLayout
+    multiway_merge: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_ratio < 2:
+            raise ValueError("size ratio T must be at least 2")
+
+
+class LogarithmicGecko:
+    """Write-optimized index of invalid flash pages."""
+
+    def __init__(self, config: GeckoConfig,
+                 storage: Optional[GeckoStorage] = None) -> None:
+        self.config = config
+        self.layout = config.layout
+        self.storage: GeckoStorage = (storage if storage is not None
+                                      else InMemoryGeckoStorage())
+        self.buffer = GeckoBuffer(self.layout)
+        self.runs = RunDirectorySet()
+        self._next_run_id = 0
+        self._clock = 0
+        #: Counters for analysis: how many merge operations ran and how many
+        #: entries they rewrote.
+        self.merge_operations = 0
+        self.entries_rewritten = 0
+        self.gc_queries = 0
+        self.updates = 0
+        self.erase_records = 0
+
+    # ------------------------------------------------------------------
+    # Public interface: updates, erases, GC queries
+    # ------------------------------------------------------------------
+    def record_invalid(self, block_id: int, page_offset: int) -> None:
+        """Report that one flash page became invalid (Algorithm 1)."""
+        self.updates += 1
+        self.buffer.insert_invalid(block_id, page_offset)
+        if self.buffer.is_full:
+            self.flush_buffer()
+
+    def record_invalid_address(self, address: PhysicalAddress) -> None:
+        """Convenience wrapper taking a :class:`PhysicalAddress`."""
+        self.record_invalid(address.block, address.page)
+
+    def record_erase(self, block_id: int) -> None:
+        """Report that a block was erased (Algorithm 2).
+
+        One buffered entry with the erase flag set replaces what would
+        otherwise be O(L) flash reads and writes to expunge the block's stale
+        records from every run.
+        """
+        self.erase_records += 1
+        self.buffer.insert_erase(block_id)
+        if self.buffer.is_full:
+            self.flush_buffer()
+
+    def gc_query(self, block_id: int) -> Set[int]:
+        """Return the page offsets of ``block_id`` known to be invalid.
+
+        Probes the buffer, then each run from newest to oldest (one or two
+        page reads per run, located via the run directories), OR-ing bitmaps
+        and stopping at the first entry whose erase flag is set.
+        """
+        self.gc_queries += 1
+        invalid: Set[int] = set()
+        buffered = self.buffer.entries_for_block(block_id)
+        stop = False
+        for entry in buffered:
+            invalid.update(entry.offsets(self.layout))
+            if entry.erase_flag:
+                stop = True
+        if stop:
+            return invalid
+        for run in self.runs.all_runs():
+            entries = self._entries_for_block_in_run(run, block_id)
+            for entry in entries:
+                invalid.update(entry.offsets(self.layout))
+                if entry.erase_flag:
+                    stop = True
+            if stop:
+                break
+        return invalid
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        """Number of distinct levels currently populated."""
+        return len(self.runs.levels())
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.runs)
+
+    def total_flash_pages(self) -> int:
+        """Flash pages occupied by the currently valid runs."""
+        return self.runs.total_pages()
+
+    def ram_bytes(self) -> int:
+        """RAM footprint: the insert buffer plus the run directories."""
+        return self.buffer.ram_bytes + self.runs.ram_bytes()
+
+    def reconstruct_bitmaps(self) -> Dict[int, Set[int]]:
+        """Full invalid-page map: block id -> invalid offsets.
+
+        Used by recovery (GeckoRec step 5) to rebuild the Block Validity
+        Counter, and by tests as a ground-truth comparison. Scans every valid
+        run once.
+        """
+        result: Dict[int, Set[int]] = {}
+        erased: Set[int] = set()
+        sources: List[List[GeckoEntry]] = [self.buffer.drain()]
+        # drain() empties the buffer, so re-insert what we took out.
+        for entry in sources[0]:
+            self.buffer._entries[(entry.block_id, entry.sub_key)] = entry
+        for run in self.runs.all_runs():
+            sources.append(self._read_all_entries(run))
+        for entries in sources:  # newest first
+            for entry in entries:
+                if entry.block_id in erased:
+                    continue
+                result.setdefault(entry.block_id, set()).update(
+                    entry.offsets(self.layout))
+                if entry.erase_flag:
+                    erased.add(entry.block_id)
+        return result
+
+    # ------------------------------------------------------------------
+    # Flushing and merging
+    # ------------------------------------------------------------------
+    def flush_buffer(self) -> Optional[Run]:
+        """Write the buffer out as a new level-0 run and merge as needed."""
+        entries = self.buffer.drain()
+        if not entries:
+            return None
+        run = self._write_run(entries)
+        self._merge_until_stable()
+        return run
+
+    def _merge_until_stable(self) -> None:
+        while True:
+            level = self._find_overfull_level()
+            if level is None:
+                return
+            if self.config.multiway_merge:
+                self._merge_multiway(level)
+            else:
+                self._merge_level(level)
+
+    def _find_overfull_level(self) -> Optional[int]:
+        for level in self.runs.levels():
+            if len(self.runs.runs_at_level(level)) >= 2:
+                return level
+        return None
+
+    def _merge_level(self, level: int) -> None:
+        """Two-way merge of the two oldest runs at ``level``."""
+        candidates = self.runs.runs_at_level(level)[:2]
+        self._merge_runs(candidates)
+
+    def _merge_multiway(self, level: int) -> None:
+        """Appendix A: fold in runs from higher levels that would cascade.
+
+        A run at level ``i`` joins the merge if at least one run from level
+        ``i - 1`` is already participating, i.e. when the merge output would
+        likely reach its level and trigger another merge anyway.
+        """
+        participating = list(self.runs.runs_at_level(level))
+        current_level = level
+        while True:
+            next_level = current_level + 1
+            next_runs = self.runs.runs_at_level(next_level)
+            if not next_runs:
+                break
+            # The merged size so far, in pages, decides whether the result
+            # would land on the next level and collide with its runs.
+            merged_pages = sum(run.num_pages for run in participating)
+            if merged_pages < self.config.size_ratio ** next_level:
+                break
+            participating.extend(next_runs)
+            current_level = next_level
+        self._merge_runs(participating)
+
+    def _merge_runs(self, runs: Sequence[Run]) -> None:
+        """Merge ``runs`` into one new run, newest entries taking precedence."""
+        if len(runs) < 2:
+            return
+        self.merge_operations += 1
+        ordered = sorted(runs, key=lambda run: run.creation_timestamp,
+                         reverse=True)
+        merged: List[GeckoEntry] = []
+        for run in ordered:
+            entries = self._read_all_entries(run)
+            merged = merge_entry_lists(merged, entries) if merged else entries
+        is_largest = self._is_largest_result(runs)
+        if is_largest:
+            merged = strip_obsolete_in_largest_run(merged)
+        self.entries_rewritten += len(merged)
+        for run in runs:
+            self._discard_run(run)
+        if merged:
+            self._write_run(merged)
+
+    def _is_largest_result(self, merging: Sequence[Run]) -> bool:
+        """True when no valid run outside ``merging`` is older/larger."""
+        merging_ids = {run.run_id for run in merging}
+        max_level_merging = max(run.level for run in merging)
+        for run in self.runs.all_runs():
+            if run.run_id in merging_ids:
+                continue
+            if run.level >= max_level_merging:
+                return False
+        return True
+
+    def _discard_run(self, run: Run) -> None:
+        self.runs.remove(run.run_id)
+        for page in run.pages:
+            self.storage.invalidate(page.location)
+
+    # ------------------------------------------------------------------
+    # Run IO
+    # ------------------------------------------------------------------
+    def _level_for_pages(self, num_pages: int) -> int:
+        """A run of ``n`` pages sits at level ``floor(log_T n)``."""
+        level = 0
+        threshold = self.config.size_ratio
+        while num_pages >= threshold:
+            level += 1
+            threshold *= self.config.size_ratio
+        return level
+
+    def _write_run(self, entries: List[GeckoEntry]) -> Run:
+        """Serialize ``entries`` into Gecko pages and register the new run."""
+        self._clock += 1
+        run_id = self._next_run_id
+        self._next_run_id += 1
+        per_page = self.layout.entries_per_page
+        chunks = [entries[i:i + per_page]
+                  for i in range(0, len(entries), per_page)] or [[]]
+        level = self._level_for_pages(len(chunks))
+        run = Run(run_id=run_id, level=level, num_entries=len(entries),
+                  creation_timestamp=self._clock)
+        manifest = tuple(sorted(set(self.runs.run_ids()) | {run_id}))
+        for sequence, chunk in enumerate(chunks):
+            is_last = sequence == len(chunks) - 1
+            payload = GeckoPagePayload(
+                run_id=run_id, level=level, sequence=sequence,
+                is_last=is_last,
+                entries=tuple(entry.copy() for entry in chunk),
+                manifest=manifest if is_last else None)
+            address = self.storage.allocate()
+            spare_payload = {
+                "gecko_run_id": run_id,
+                "gecko_level": level,
+                "gecko_sequence": sequence,
+                "gecko_is_last": is_last,
+                "gecko_creation": self._clock,
+                "gecko_min_key": chunk[0].sort_key if chunk else (0, 0),
+                "gecko_max_key": chunk[-1].sort_key if chunk else (0, 0),
+            }
+            self.storage.write(address, payload, spare_payload)
+            run.pages.append(RunPageInfo(
+                location=address,
+                min_key=chunk[0].sort_key if chunk else (0, 0),
+                max_key=chunk[-1].sort_key if chunk else (0, 0)))
+        self.runs.add(run)
+        return run
+
+    def _entries_for_block_in_run(self, run: Run,
+                                  block_id: int) -> List[GeckoEntry]:
+        entries: List[GeckoEntry] = []
+        for page_info in run.pages_overlapping(block_id):
+            payload = self.storage.read(page_info.location)
+            entries.extend(entry for entry in payload.entries
+                           if entry.block_id == block_id)
+        return entries
+
+    def _read_all_entries(self, run: Run) -> List[GeckoEntry]:
+        entries: List[GeckoEntry] = []
+        for page_info in run.pages:
+            payload = self.storage.read(page_info.location)
+            entries.extend(entry.copy() for entry in payload.entries)
+        return entries
+
+    def migrate_run_page(self, old_address: PhysicalAddress) -> Optional[PhysicalAddress]:
+        """Relocate one still-valid Gecko page to a fresh location.
+
+        GeckoFTL's own garbage-collection policy never migrates Gecko pages
+        (it waits for Gecko blocks to become fully invalid), but the greedy
+        baseline policy used in the ablation experiments may pick a Gecko
+        block as a victim; this method keeps the run directories consistent
+        when that happens. Returns the new location, or ``None`` when
+        ``old_address`` does not belong to any valid run (nothing to do).
+        """
+        for run in self.runs.all_runs():
+            for index, page_info in enumerate(run.pages):
+                if page_info.location != old_address:
+                    continue
+                payload = self.storage.read(old_address)
+                new_address = self.storage.allocate()
+                spare_payload = {
+                    "gecko_run_id": payload.run_id,
+                    "gecko_level": payload.level,
+                    "gecko_sequence": payload.sequence,
+                    "gecko_is_last": payload.is_last,
+                    "gecko_creation": run.creation_timestamp,
+                    "gecko_min_key": page_info.min_key,
+                    "gecko_max_key": page_info.max_key,
+                }
+                self.storage.write(new_address, payload, spare_payload)
+                self.storage.invalidate(old_address)
+                run.pages[index] = RunPageInfo(location=new_address,
+                                               min_key=page_info.min_key,
+                                               max_key=page_info.max_key)
+                return new_address
+        return None
+
+    # ------------------------------------------------------------------
+    # Power failure / recovery support
+    # ------------------------------------------------------------------
+    def reset_ram_state(self) -> None:
+        """Drop RAM state (buffer and run directories), as a power failure would."""
+        self.buffer.clear()
+        self.runs.clear()
+
+    def restore_runs(self, runs: Iterable[Run]) -> None:
+        """Install recovered run directories (GeckoRec step 3)."""
+        self.runs.clear()
+        highest = self._next_run_id
+        latest_clock = self._clock
+        for run in runs:
+            self.runs.add(run)
+            highest = max(highest, run.run_id + 1)
+            latest_clock = max(latest_clock, run.creation_timestamp)
+        self._next_run_id = highest
+        self._clock = latest_clock
+
+    def smallest_run_creation(self) -> Optional[int]:
+        """Creation timestamp of the most recently created run, if any.
+
+        This is the moment of the last buffer flush, which recovery uses to
+        bound its search for invalidations and erases lost from the buffer.
+        """
+        runs = self.runs.all_runs()
+        if not runs:
+            return None
+        return runs[0].creation_timestamp

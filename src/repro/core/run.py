@@ -1,0 +1,147 @@
+"""Flash-resident runs and their RAM-resident run directories.
+
+A *run* is a sorted, immutable sequence of Gecko entries stored across one or
+more flash pages ("Gecko pages"). Runs are organized into levels by size: a
+run of ``n`` pages sits at level ``floor(log_T(n))``, so the largest run has
+about ``K/V`` pages and there are ``ceil(log_T(K/V))`` levels in total.
+
+For each run, a *run directory* is kept in integrated RAM recording, for every
+page of the run, its flash location and the range of block ids it covers. A
+GC query uses the directory to read at most one page per run.
+
+Each Gecko page's spare area carries enough metadata (run id, level, sequence
+number within the run, key range, whether it is the run's last page) for the
+run directories to be rebuilt after a power failure by scanning spare areas
+(Appendix C.1). The run's final page additionally stores a *manifest* — the
+ids of all runs that were valid when this run was committed — which plays the
+role of the paper's postamble: recovery finds the newest complete run and its
+manifest identifies the whole valid run set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..flash.address import PhysicalAddress
+from .gecko_entry import GeckoEntry
+
+
+@dataclass
+class RunPageInfo:
+    """Run-directory record for one Gecko page: where it is and what it covers."""
+
+    location: PhysicalAddress
+    min_key: Tuple[int, int]
+    max_key: Tuple[int, int]
+
+
+@dataclass
+class GeckoPagePayload:
+    """Data stored in one flash Gecko page."""
+
+    run_id: int
+    level: int
+    sequence: int
+    is_last: bool
+    entries: Tuple[GeckoEntry, ...]
+    #: Only present on the run's last page: ids of all valid runs at commit
+    #: time (including this run), i.e. the paper's postamble/manifest.
+    manifest: Optional[Tuple[int, ...]] = None
+
+    def copy(self) -> "GeckoPagePayload":
+        return GeckoPagePayload(
+            run_id=self.run_id, level=self.level, sequence=self.sequence,
+            is_last=self.is_last,
+            entries=tuple(entry.copy() for entry in self.entries),
+            manifest=self.manifest)
+
+
+@dataclass
+class Run:
+    """RAM-resident description of one flash-resident run."""
+
+    run_id: int
+    level: int
+    pages: List[RunPageInfo] = field(default_factory=list)
+    num_entries: int = 0
+    creation_timestamp: int = 0
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.pages)
+
+    def pages_overlapping(self, block_id: int) -> List[RunPageInfo]:
+        """Pages of this run whose key range may contain ``block_id``.
+
+        Because entries are sorted by (block id, sub-key), all of a block's
+        sub-entries are contiguous; they span at most two adjacent pages.
+        """
+        low = (block_id, -1)
+        high = (block_id, 1 << 62)
+        return [page for page in self.pages
+                if not (page.max_key < low or page.min_key > high)]
+
+    def directory_ram_bytes(self, bytes_per_entry: int = 8) -> int:
+        """RAM footprint of this run's directory (8 bytes per Gecko page)."""
+        return bytes_per_entry * self.num_pages
+
+
+class RunDirectorySet:
+    """The collection of run directories Logarithmic Gecko keeps in RAM."""
+
+    def __init__(self) -> None:
+        self._runs: Dict[int, Run] = {}
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def add(self, run: Run) -> None:
+        self._runs[run.run_id] = run
+
+    def remove(self, run_id: int) -> Run:
+        return self._runs.pop(run_id)
+
+    def clear(self) -> None:
+        """Drop all directories (power failure)."""
+        self._runs.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._runs)
+
+    def __contains__(self, run_id: int) -> bool:
+        return run_id in self._runs
+
+    def get(self, run_id: int) -> Run:
+        return self._runs[run_id]
+
+    def all_runs(self) -> List[Run]:
+        """All valid runs, newest first (the order GC queries traverse)."""
+        return sorted(self._runs.values(),
+                      key=lambda run: run.creation_timestamp, reverse=True)
+
+    def runs_at_level(self, level: int) -> List[Run]:
+        """Valid runs currently sitting at ``level``, oldest first."""
+        runs = [run for run in self._runs.values() if run.level == level]
+        return sorted(runs, key=lambda run: run.creation_timestamp)
+
+    def levels(self) -> List[int]:
+        return sorted({run.level for run in self._runs.values()})
+
+    def run_ids(self) -> List[int]:
+        return sorted(self._runs)
+
+    def total_pages(self) -> int:
+        """Total flash pages occupied by valid runs."""
+        return sum(run.num_pages for run in self._runs.values())
+
+    def total_entries(self) -> int:
+        return sum(run.num_entries for run in self._runs.values())
+
+    def ram_bytes(self, bytes_per_entry: int = 8) -> int:
+        """Total RAM footprint of all run directories."""
+        return sum(run.directory_ram_bytes(bytes_per_entry)
+                   for run in self._runs.values())

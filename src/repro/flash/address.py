@@ -1,0 +1,44 @@
+"""Physical and logical addressing for the simulated flash device.
+
+A *logical* page number (LPN) is what the host application sees through the
+block-device interface. A *physical* address identifies a concrete flash page
+as a ``(block, page)`` pair. The FTL owns the mapping between the two.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class PhysicalAddress(NamedTuple):
+    """Location of one flash page inside the device.
+
+    Attributes:
+        block: Index of the flash block, ``0 <= block < K``.
+        page: Offset of the page within its block, ``0 <= page < B``.
+    """
+
+    block: int
+    page: int
+
+    def to_linear(self, pages_per_block: int) -> int:
+        """Return the flat page number of this address.
+
+        The flat numbering orders pages block by block, which is convenient
+        as a dictionary key and for bitmap indexing.
+        """
+        return self.block * pages_per_block + self.page
+
+    @classmethod
+    def from_linear(cls, linear: int, pages_per_block: int) -> "PhysicalAddress":
+        """Inverse of :meth:`to_linear`."""
+        block, page = divmod(linear, pages_per_block)
+        return cls(block, page)
+
+    def __str__(self) -> str:
+        return f"P({self.block},{self.page})"
+
+
+# A logical page number is a plain int; the alias documents intent in
+# signatures throughout the code base.
+LogicalAddress = int

@@ -1,0 +1,103 @@
+"""Flash block model.
+
+A block is the erase unit of NAND flash: an array of pages that must be
+programmed sequentially and can only be reused after the whole block is
+erased. The block tracks its own program/erase cycle count, which bounds its
+lifetime, and the offset of the next programmable page, which enforces the
+sequential-programming constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .errors import (
+    BlockWornOutError,
+    NonSequentialWriteError,
+    WriteToNonFreePageError,
+)
+from .page import FlashPage, SpareArea
+
+
+@dataclass
+class FlashBlock:
+    """One erase unit of the simulated device."""
+
+    block_id: int
+    pages_per_block: int
+    max_erase_count: int
+    pages: List[FlashPage] = field(default_factory=list)
+    erase_count: int = 0
+    next_free_offset: int = 0
+    last_erase_timestamp: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.pages:
+            self.pages = [FlashPage() for _ in range(self.pages_per_block)]
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    @property
+    def is_full(self) -> bool:
+        """True when every page has been programmed since the last erase."""
+        return self.next_free_offset >= self.pages_per_block
+
+    @property
+    def is_erased(self) -> bool:
+        """True when no page has been programmed since the last erase."""
+        return self.next_free_offset == 0
+
+    @property
+    def free_pages(self) -> int:
+        """Number of pages still programmable in this block."""
+        return self.pages_per_block - self.next_free_offset
+
+    @property
+    def written_pages(self) -> int:
+        """Number of pages programmed since the last erase."""
+        return self.next_free_offset
+
+    @property
+    def remaining_lifetime(self) -> int:
+        """Program/erase cycles left before the block wears out."""
+        return max(0, self.max_erase_count - self.erase_count)
+
+    # ------------------------------------------------------------------
+    # Operations (invoked by FlashDevice, which does the IO accounting)
+    # ------------------------------------------------------------------
+    def program_page(self, offset: int, data, spare: SpareArea) -> None:
+        """Program the page at ``offset``.
+
+        Raises:
+            WriteToNonFreePageError: The page was already programmed.
+            NonSequentialWriteError: ``offset`` is not the next free page.
+        """
+        page = self.pages[offset]
+        if not page.is_free:
+            raise WriteToNonFreePageError(
+                f"block {self.block_id} page {offset} is already programmed")
+        if offset != self.next_free_offset:
+            raise NonSequentialWriteError(
+                f"block {self.block_id}: attempted to program page {offset} "
+                f"but the next programmable page is {self.next_free_offset}")
+        spare.erase_count = self.erase_count
+        page.program(data, spare)
+        self.next_free_offset += 1
+
+    def erase(self, timestamp: Optional[int] = None) -> None:
+        """Erase the whole block, freeing all of its pages.
+
+        Raises:
+            BlockWornOutError: The block exceeded its cycle budget.
+        """
+        if self.erase_count >= self.max_erase_count:
+            raise BlockWornOutError(
+                f"block {self.block_id} has reached its lifetime of "
+                f"{self.max_erase_count} erases")
+        self.erase_count += 1
+        self.next_free_offset = 0
+        self.last_erase_timestamp = timestamp
+        for page in self.pages:
+            page.wipe(self.erase_count)

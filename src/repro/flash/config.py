@@ -1,0 +1,192 @@
+"""Device geometry and timing configuration.
+
+The terms mirror the paper's notation (Figure 2):
+
+=========  ==================================================================
+``K``      number of flash blocks in the device (``num_blocks``)
+``B``      pages per block (``pages_per_block``)
+``P``      page size in bytes (``page_size``)
+``R``      ratio of logical to physical capacity, i.e. over-provisioning
+``delta``  latency ratio of a page write to a page read
+=========  ==================================================================
+
+Two preset configurations are provided: :func:`paper_configuration` (the 2 TB
+device used in the paper's analytical figures) and
+:func:`simulation_configuration` (a scaled-down device that keeps simulation
+times reasonable while preserving the ratios that drive the paper's results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from .errors import ConfigurationError
+
+#: Size in bytes of one mapping entry (a 4-byte physical address), per paper.
+MAPPING_ENTRY_BYTES = 4
+
+#: Size in bytes of a Gecko-entry key (a 4-byte block id), per paper.
+BLOCK_KEY_BYTES = 4
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Latency constants for flash operations, in microseconds.
+
+    Defaults follow the paper's cost models (Section 2 and 5): a page read
+    takes ~100 us, a page write ~1 ms, a spare-area read ~3 us (a spare area
+    is 32x smaller than a page), and an erase ~2 ms.
+    """
+
+    page_read_us: float = 100.0
+    page_write_us: float = 1000.0
+    block_erase_us: float = 2000.0
+    spare_read_us: float = 3.0
+    spare_write_us: float = 30.0
+
+    @property
+    def delta(self) -> float:
+        """Write/read latency ratio (the paper's delta, default 10)."""
+        return self.page_write_us / self.page_read_us
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Geometry and policy parameters of a simulated flash device."""
+
+    num_blocks: int = 1024
+    pages_per_block: int = 64
+    page_size: int = 2048
+    logical_ratio: float = 0.7
+    spare_area_divisor: int = 32
+    max_erase_count: int = 10_000
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_blocks <= 0:
+            raise ConfigurationError("num_blocks must be positive")
+        if self.pages_per_block <= 0:
+            raise ConfigurationError("pages_per_block must be positive")
+        if self.page_size <= 0:
+            raise ConfigurationError("page_size must be positive")
+        if not 0.0 < self.logical_ratio < 1.0:
+            raise ConfigurationError(
+                "logical_ratio must be in (0, 1); the device needs "
+                "over-provisioned space for out-of-place updates"
+            )
+        if self.spare_area_divisor <= 0:
+            raise ConfigurationError("spare_area_divisor must be positive")
+        if self.max_erase_count <= 0:
+            raise ConfigurationError("max_erase_count must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def physical_pages(self) -> int:
+        """Total number of physical flash pages (``K * B``)."""
+        return self.num_blocks * self.pages_per_block
+
+    @property
+    def physical_capacity_bytes(self) -> int:
+        """Raw capacity of the device in bytes (``K * B * P``)."""
+        return self.physical_pages * self.page_size
+
+    @property
+    def logical_pages(self) -> int:
+        """Number of logical pages exposed to the host (``K * B * R``)."""
+        return int(self.physical_pages * self.logical_ratio)
+
+    @property
+    def logical_capacity_bytes(self) -> int:
+        """Capacity advertised to the host in bytes."""
+        return self.logical_pages * self.page_size
+
+    @property
+    def spare_area_bytes(self) -> int:
+        """Size of one page's spare area (``P / 32`` by default)."""
+        return self.page_size // self.spare_area_divisor
+
+    @property
+    def delta(self) -> float:
+        """Write/read latency ratio used in write-amplification formulas."""
+        return self.latency.delta
+
+    # ------------------------------------------------------------------
+    # Derived FTL sizing (used by the analytical models and the FTLs)
+    # ------------------------------------------------------------------
+    @property
+    def mapping_entries_per_page(self) -> int:
+        """How many 4-byte mapping entries fit into one translation page."""
+        return self.page_size // MAPPING_ENTRY_BYTES
+
+    @property
+    def num_translation_pages(self) -> int:
+        """Number of translation pages needed to map all logical pages."""
+        entries = self.mapping_entries_per_page
+        return (self.logical_pages + entries - 1) // entries
+
+    @property
+    def translation_table_bytes(self) -> int:
+        """Size of the full logical-to-physical table (the paper's ``TT``)."""
+        return self.logical_pages * MAPPING_ENTRY_BYTES
+
+    @property
+    def pvb_bytes(self) -> int:
+        """Size of a Page Validity Bitmap covering every physical page."""
+        return (self.physical_pages + 7) // 8
+
+    def scaled(self, **overrides) -> "DeviceConfig":
+        """Return a copy of this configuration with some fields replaced."""
+        return replace(self, **overrides)
+
+    def describe(self) -> Dict[str, object]:
+        """Return a dictionary summary used by benchmark reports."""
+        return {
+            "num_blocks (K)": self.num_blocks,
+            "pages_per_block (B)": self.pages_per_block,
+            "page_size (P)": self.page_size,
+            "logical_ratio (R)": self.logical_ratio,
+            "physical_capacity_bytes": self.physical_capacity_bytes,
+            "logical_pages": self.logical_pages,
+            "delta": self.delta,
+        }
+
+
+def paper_configuration() -> DeviceConfig:
+    """The paper's 2 TB reference device (Figure 2 example values).
+
+    K = 2^22 blocks, B = 128 pages/block, P = 4 KB pages, R = 0.7.  Only the
+    analytical models instantiate this configuration; simulating it page by
+    page would be prohibitively slow in any simulator, Python or C++.
+    """
+    return DeviceConfig(
+        num_blocks=2**22,
+        pages_per_block=2**7,
+        page_size=2**12,
+        logical_ratio=0.7,
+    )
+
+
+def simulation_configuration(
+    num_blocks: int = 512,
+    pages_per_block: int = 32,
+    page_size: int = 512,
+    logical_ratio: float = 0.7,
+) -> DeviceConfig:
+    """A scaled-down device suitable for trace-driven simulation.
+
+    The defaults give a device of 512 blocks x 32 pages: small enough that a
+    multi-pass random-update workload finishes in seconds, large enough that
+    Logarithmic Gecko builds several levels and garbage-collection runs
+    steadily.  Write-amplification depends on ratios (over-provisioning,
+    cache size relative to the working set, T, V), not on absolute capacity,
+    so the shapes of the paper's figures are preserved.
+    """
+    return DeviceConfig(
+        num_blocks=num_blocks,
+        pages_per_block=pages_per_block,
+        page_size=page_size,
+        logical_ratio=logical_ratio,
+    )

@@ -1,0 +1,138 @@
+"""The simulated NAND flash device.
+
+``FlashDevice`` is the substrate every FTL in this repository runs against.
+It enforces the NAND idiosyncrasies the paper lists in Section 2 — page-
+granularity access, erase-before-write, sequential programming within a
+block, bounded block lifetime — and it charges every operation to the
+:class:`~repro.flash.stats.IOStats` ledger so experiments can measure
+write-amplification and recovery cost exactly as the paper does.
+
+The device knows nothing about logical addresses, validity, or garbage
+collection; those are FTL concerns. It exposes raw page reads/writes,
+spare-area reads, and block erases.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional
+
+from .address import PhysicalAddress
+from .block import FlashBlock
+from .config import DeviceConfig
+from .errors import InvalidAddressError, ReadFreePageError
+from .page import FlashPage, SpareArea
+from .stats import IOKind, IOPurpose, IOStats
+
+
+class FlashDevice:
+    """A raw NAND flash device with ``K`` blocks of ``B`` pages each."""
+
+    def __init__(self, config: DeviceConfig,
+                 stats: Optional[IOStats] = None) -> None:
+        self.config = config
+        self.stats = stats if stats is not None else IOStats()
+        self.blocks: List[FlashBlock] = [
+            FlashBlock(block_id=i,
+                       pages_per_block=config.pages_per_block,
+                       max_erase_count=config.max_erase_count)
+            for i in range(config.num_blocks)
+        ]
+        #: Monotonic sequence number stamped into every programmed page's
+        #: spare area; recovery uses it to order writes.
+        self._write_clock = 0
+
+    # ------------------------------------------------------------------
+    # Address validation
+    # ------------------------------------------------------------------
+    def _check(self, address: PhysicalAddress) -> None:
+        if not (0 <= address.block < self.config.num_blocks):
+            raise InvalidAddressError(f"block {address.block} out of range")
+        if not (0 <= address.page < self.config.pages_per_block):
+            raise InvalidAddressError(f"page {address.page} out of range")
+
+    def block(self, block_id: int) -> FlashBlock:
+        """Return the block object for ``block_id``."""
+        if not (0 <= block_id < self.config.num_blocks):
+            raise InvalidAddressError(f"block {block_id} out of range")
+        return self.blocks[block_id]
+
+    # ------------------------------------------------------------------
+    # Page operations
+    # ------------------------------------------------------------------
+    def read_page(self, address: PhysicalAddress,
+                  purpose: IOPurpose = IOPurpose.OTHER) -> FlashPage:
+        """Read one flash page (charged as a page read)."""
+        self._check(address)
+        page = self.blocks[address.block].pages[address.page]
+        if page.is_free:
+            raise ReadFreePageError(f"{address} has not been programmed")
+        self.stats.record(IOKind.PAGE_READ, purpose)
+        return page
+
+    def write_page(self, address: PhysicalAddress, data: Any,
+                   spare: Optional[SpareArea] = None,
+                   purpose: IOPurpose = IOPurpose.OTHER) -> SpareArea:
+        """Program one flash page (charged as a page write).
+
+        The device stamps the spare area with the global write clock before
+        programming. Returns the spare area actually stored.
+        """
+        self._check(address)
+        spare = spare.copy() if spare is not None else SpareArea()
+        self._write_clock += 1
+        spare.write_timestamp = self._write_clock
+        self.blocks[address.block].program_page(address.page, data, spare)
+        self.stats.record(IOKind.PAGE_WRITE, purpose)
+        return spare
+
+    def read_spare(self, address: PhysicalAddress,
+                   purpose: IOPurpose = IOPurpose.OTHER) -> SpareArea:
+        """Read only a page's spare area (much cheaper than a page read)."""
+        self._check(address)
+        self.stats.record(IOKind.SPARE_READ, purpose)
+        return self.blocks[address.block].pages[address.page].spare
+
+    def peek(self, address: PhysicalAddress) -> FlashPage:
+        """Inspect a page without charging any IO (for tests/assertions only)."""
+        self._check(address)
+        return self.blocks[address.block].pages[address.page]
+
+    # ------------------------------------------------------------------
+    # Block operations
+    # ------------------------------------------------------------------
+    def erase_block(self, block_id: int,
+                    purpose: IOPurpose = IOPurpose.OTHER) -> None:
+        """Erase a block, freeing all of its pages (charged as an erase)."""
+        block = self.block(block_id)
+        self._write_clock += 1
+        block.erase(timestamp=self._write_clock)
+        self.stats.record(IOKind.BLOCK_ERASE, purpose)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def write_clock(self) -> int:
+        """Current value of the global write sequence counter."""
+        return self._write_clock
+
+    def iter_blocks(self) -> Iterator[FlashBlock]:
+        return iter(self.blocks)
+
+    def free_page_count(self) -> int:
+        """Total number of programmable pages across the device."""
+        return sum(block.free_pages for block in self.blocks)
+
+    def written_page_count(self) -> int:
+        """Total number of programmed pages across the device."""
+        return sum(block.written_pages for block in self.blocks)
+
+    def simulate_power_failure(self) -> "FlashDevice":
+        """Model a power failure.
+
+        Flash contents survive a power failure; only RAM-resident FTL state is
+        lost. The device object itself therefore survives unchanged — this
+        method exists to make the intent explicit at call sites and returns
+        ``self`` for chaining. FTLs implement the actual loss of RAM state.
+        """
+        return self

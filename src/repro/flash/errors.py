@@ -1,0 +1,67 @@
+"""Exception hierarchy for the flash device simulator.
+
+Every constraint of NAND flash that the simulator enforces (erase-before-write,
+sequential programming within a block, page-granularity access, block lifetime)
+raises a dedicated exception so that FTL bugs surface as loud, specific errors
+rather than silent data corruption.
+"""
+
+from __future__ import annotations
+
+
+class FlashError(Exception):
+    """Base class for all flash-simulator errors."""
+
+
+class InvalidAddressError(FlashError):
+    """A physical or logical address is outside the device's address space."""
+
+
+class WriteToNonFreePageError(FlashError):
+    """A page was programmed without first erasing the block that contains it.
+
+    NAND flash cannot overwrite a programmed page in place; the FTL must write
+    the new version elsewhere and garbage-collect the old one.
+    """
+
+
+class NonSequentialWriteError(FlashError):
+    """Pages within a block were programmed out of order.
+
+    Modern NAND requires pages within a block to be programmed sequentially to
+    limit program-disturb bit shifts (paper, Section 2, idiosyncrasy 4).
+    """
+
+
+class EraseActiveBlockError(FlashError):
+    """A block was erased while the FTL still considers it in use."""
+
+
+class BlockWornOutError(FlashError):
+    """A block exceeded its maximum program/erase cycle count."""
+
+
+class SpareAreaImmutableError(FlashError):
+    """A spare area was rewritten without erasing the underlying block.
+
+    The spare area shares the erase-before-write constraint with its page
+    (paper, Section 2): it can only be written together with the page, or
+    once per block life-cycle for block-level metadata.
+    """
+
+
+class ReadFreePageError(FlashError):
+    """A page that has never been programmed since the last erase was read."""
+
+
+class DeviceFullError(FlashError):
+    """No free block is available for allocation.
+
+    An FTL that triggers garbage-collection too late (or not at all) will run
+    the free-block pool dry; surfacing this explicitly makes such bugs obvious
+    in tests.
+    """
+
+
+class ConfigurationError(FlashError):
+    """A :class:`~repro.flash.config.DeviceConfig` is internally inconsistent."""

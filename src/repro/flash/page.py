@@ -1,0 +1,89 @@
+"""Flash page and spare area model.
+
+A page stores an opaque payload (the FTL decides what that payload is: user
+data, a translation page, or a serialized Logarithmic Gecko run page). Each
+page has an adjacent *spare area* holding small per-page metadata that the FTL
+relies on during recovery: the logical address last written to the page, a
+monotonically increasing write timestamp, and the type of the block it lives
+in. The spare area is written together with the page and cannot be modified
+until the block is erased (paper, Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+
+class PageState(str, Enum):
+    """Physical state of a flash page as the device sees it.
+
+    The device only distinguishes *free* (erased, never programmed since) and
+    *written*. Logical validity (live vs. invalid data) is the FTL's business
+    and is tracked by the validity store under test (PVB, PVL, or Logarithmic
+    Gecko), not by the device.
+    """
+
+    FREE = "free"
+    WRITTEN = "written"
+
+
+@dataclass
+class SpareArea:
+    """Out-of-band metadata stored next to a flash page.
+
+    Attributes:
+        logical_address: The logical page last written here (user pages), or a
+            structure-specific identifier (translation-page index, Gecko run
+            id) for metadata pages.
+        write_timestamp: Global sequence number of the write that programmed
+            this page; used to order pages during recovery.
+        block_type: Type tag of the containing block, stored in the first
+            page's spare area of every block so recovery can classify blocks
+            with one spare read each (GeckoRec step 1).
+        erase_count: Program/erase cycles of the containing block; persisted
+            so wear-leveling needs no per-block RAM (Appendix D).
+        payload: Small structure-specific extras (e.g. a run id and level for
+            Gecko pages, a translation-page id for translation pages).
+    """
+
+    logical_address: Optional[int] = None
+    write_timestamp: Optional[int] = None
+    block_type: Optional[str] = None
+    erase_count: int = 0
+    payload: dict = field(default_factory=dict)
+
+    def copy(self) -> "SpareArea":
+        return SpareArea(
+            logical_address=self.logical_address,
+            write_timestamp=self.write_timestamp,
+            block_type=self.block_type,
+            erase_count=self.erase_count,
+            payload=dict(self.payload),
+        )
+
+
+@dataclass
+class FlashPage:
+    """One programmable unit of flash storage."""
+
+    state: PageState = PageState.FREE
+    data: Any = None
+    spare: SpareArea = field(default_factory=SpareArea)
+
+    @property
+    def is_free(self) -> bool:
+        return self.state is PageState.FREE
+
+    def program(self, data: Any, spare: SpareArea) -> None:
+        """Program the page; the device validates state before calling this."""
+        self.state = PageState.WRITTEN
+        self.data = data
+        self.spare = spare
+
+    def wipe(self, erase_count: int) -> None:
+        """Reset the page to the free state after a block erase."""
+        self.state = PageState.FREE
+        self.data = None
+        self.spare = SpareArea(erase_count=erase_count)

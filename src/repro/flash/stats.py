@@ -1,0 +1,170 @@
+"""IO accounting for the flash simulator.
+
+Every internal flash operation is attributed to a *purpose* so that the
+benchmark harness can reproduce the paper's stacked write-amplification bars
+(Figure 13 bottom, Figure 14): user writes, garbage-collection migrations,
+translation-table synchronization, page-validity metadata, wear-leveling and
+recovery are all counted separately.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Optional
+
+
+class IOPurpose(str, Enum):
+    """Why an internal flash operation happened."""
+
+    USER = "user"
+    GC = "gc"
+    TRANSLATION = "translation"
+    VALIDITY = "validity"
+    WEAR = "wear"
+    RECOVERY = "recovery"
+    OTHER = "other"
+
+
+class IOKind(str, Enum):
+    """What kind of flash operation happened."""
+
+    PAGE_READ = "page_read"
+    PAGE_WRITE = "page_write"
+    BLOCK_ERASE = "block_erase"
+    SPARE_READ = "spare_read"
+    SPARE_WRITE = "spare_write"
+
+
+@dataclass
+class IOStats:
+    """Mutable counter of flash operations grouped by kind and purpose.
+
+    The device owns one instance and records every operation into it; FTLs
+    additionally record host-level writes/reads so write-amplification can be
+    computed. ``snapshot``/``diff`` support measuring a single experiment
+    interval (the paper reports per-10000-write intervals in Figure 9).
+    """
+
+    counts: Counter = field(default_factory=Counter)
+    host_writes: int = 0
+    host_reads: int = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, kind: IOKind, purpose: IOPurpose = IOPurpose.OTHER,
+               amount: int = 1) -> None:
+        """Record ``amount`` operations of ``kind`` attributed to ``purpose``."""
+        self.counts[(kind, purpose)] += amount
+
+    def record_host_write(self, amount: int = 1) -> None:
+        """Record a logical write issued by the application."""
+        self.host_writes += amount
+
+    def record_host_read(self, amount: int = 1) -> None:
+        """Record a logical read issued by the application."""
+        self.host_reads += amount
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def total(self, kind: IOKind,
+              purpose: Optional[IOPurpose] = None) -> int:
+        """Total count of ``kind`` operations, optionally for one purpose."""
+        if purpose is not None:
+            return self.counts[(kind, purpose)]
+        return sum(count for (k, _p), count in self.counts.items() if k is kind)
+
+    @property
+    def page_reads(self) -> int:
+        return self.total(IOKind.PAGE_READ)
+
+    @property
+    def page_writes(self) -> int:
+        return self.total(IOKind.PAGE_WRITE)
+
+    @property
+    def block_erases(self) -> int:
+        return self.total(IOKind.BLOCK_ERASE)
+
+    @property
+    def spare_reads(self) -> int:
+        return self.total(IOKind.SPARE_READ)
+
+    def purposes(self) -> Iterable[IOPurpose]:
+        """Purposes that have at least one recorded operation."""
+        return sorted({p for (_k, p) in self.counts}, key=lambda p: p.value)
+
+    def breakdown(self) -> Dict[str, Dict[str, int]]:
+        """Nested ``{purpose: {kind: count}}`` dictionary for reporting."""
+        result: Dict[str, Dict[str, int]] = {}
+        for (kind, purpose), count in sorted(self.counts.items()):
+            result.setdefault(purpose.value, {})[kind.value] = count
+        return result
+
+    # ------------------------------------------------------------------
+    # Write amplification
+    # ------------------------------------------------------------------
+    def write_amplification(self, delta: float,
+                            include_purposes: Optional[Iterable[IOPurpose]] = None,
+                            host_writes: Optional[int] = None) -> float:
+        """Write amplification per the paper: ``(i_writes + i_reads/delta) / host_writes``.
+
+        Internal writes include garbage-collection migrations and metadata
+        writes but exclude nothing else; ``include_purposes`` restricts the
+        computation to a subset of purposes (used when comparing only the
+        page-validity component, as in Figure 9).
+        """
+        writes_denominator = self.host_writes if host_writes is None else host_writes
+        if writes_denominator == 0:
+            return 0.0
+        purposes = (set(include_purposes) if include_purposes is not None
+                    else set(IOPurpose))
+        internal_writes = sum(
+            count for (kind, purpose), count in self.counts.items()
+            if kind is IOKind.PAGE_WRITE and purpose in purposes)
+        internal_reads = sum(
+            count for (kind, purpose), count in self.counts.items()
+            if kind is IOKind.PAGE_READ and purpose in purposes)
+        return (internal_writes + internal_reads / delta) / writes_denominator
+
+    def latency_us(self, latency) -> float:
+        """Total simulated time of all recorded operations, in microseconds."""
+        kind_cost = {
+            IOKind.PAGE_READ: latency.page_read_us,
+            IOKind.PAGE_WRITE: latency.page_write_us,
+            IOKind.BLOCK_ERASE: latency.block_erase_us,
+            IOKind.SPARE_READ: latency.spare_read_us,
+            IOKind.SPARE_WRITE: latency.spare_write_us,
+        }
+        return sum(kind_cost[kind] * count
+                   for (kind, _purpose), count in self.counts.items())
+
+    # ------------------------------------------------------------------
+    # Interval measurement
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "IOStats":
+        """Return an independent copy of the current counters."""
+        copy = IOStats()
+        copy.counts = Counter(self.counts)
+        copy.host_writes = self.host_writes
+        copy.host_reads = self.host_reads
+        return copy
+
+    def diff(self, earlier: "IOStats") -> "IOStats":
+        """Return the operations recorded since ``earlier`` was snapshotted."""
+        result = IOStats()
+        result.counts = Counter(self.counts)
+        result.counts.subtract(earlier.counts)
+        result.counts = +result.counts  # drop zero/negative entries
+        result.host_writes = self.host_writes - earlier.host_writes
+        result.host_reads = self.host_reads - earlier.host_reads
+        return result
+
+    def reset(self) -> None:
+        """Clear all counters."""
+        self.counts.clear()
+        self.host_writes = 0
+        self.host_reads = 0

@@ -1,0 +1,59 @@
+"""FTL substrates: the machinery shared by GeckoFTL and the competitor FTLs.
+
+This subpackage contains the DFTL-style page-mapped FTL skeleton (flash-
+resident translation table, Global Mapping Directory, LRU mapping cache,
+Block Validity Counter, block manager, garbage collector, wear-leveling) plus
+the four competitor FTLs the paper compares against: DFTL, LazyFTL, µ-FTL and
+IB-FTL. GeckoFTL itself lives in :mod:`repro.core`.
+"""
+
+from .base import PageMappedFTL
+from .block_manager import METADATA_TYPES, BlockInfo, BlockManager, BlockType
+from .bvc import BlockValidityCounter
+from .dftl import DFTL
+from .garbage_collector import GarbageCollector, GCResult, VictimPolicy
+from .ib_ftl import IBFTL
+from .lazyftl import DEFAULT_DIRTY_FRACTION, LazyFTL
+from .mapping_cache import CachedMapping, MappingCache
+from .mu_ftl import MuFTL
+from .translation_table import TranslationPageContent, TranslationTable
+from .validity import (
+    FlashPVB,
+    LogEntry,
+    LogPageContent,
+    PageValidityLog,
+    PVBPageContent,
+    RamPVB,
+    ValidityStore,
+)
+from .wear_leveling import WearLeveler, WearStatistics
+
+__all__ = [
+    "DEFAULT_DIRTY_FRACTION",
+    "METADATA_TYPES",
+    "BlockInfo",
+    "BlockManager",
+    "BlockType",
+    "BlockValidityCounter",
+    "CachedMapping",
+    "DFTL",
+    "FlashPVB",
+    "GarbageCollector",
+    "GCResult",
+    "IBFTL",
+    "LazyFTL",
+    "LogEntry",
+    "LogPageContent",
+    "MappingCache",
+    "MuFTL",
+    "PageMappedFTL",
+    "PageValidityLog",
+    "PVBPageContent",
+    "RamPVB",
+    "TranslationPageContent",
+    "TranslationTable",
+    "ValidityStore",
+    "VictimPolicy",
+    "WearLeveler",
+    "WearStatistics",
+]

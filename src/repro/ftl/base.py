@@ -1,0 +1,360 @@
+"""Shared skeleton of a page-associative FTL.
+
+Every FTL the paper evaluates (DFTL, LazyFTL, µ-FTL, IB-FTL, GeckoFTL) uses
+the same DFTL-style translation scheme: the full logical-to-physical table is
+stored in flash across translation pages, a Global Mapping Directory in RAM
+tracks where each translation page currently lives, and an LRU cache holds
+recently used mapping entries. The FTLs differ in
+
+1. how they store page-validity metadata (the validity store),
+2. how they bound/recover dirty cached mapping entries, and
+3. how garbage collection selects victims.
+
+:class:`PageMappedFTL` implements everything that is common and exposes the
+three variation points to subclasses. The default behaviour matches the
+baseline FTLs: invalid pages are identified *eagerly* — a write that misses
+the cache fetches the old mapping entry from flash so the superseded page can
+be reported to the validity store immediately. GeckoFTL overrides this with
+its lazy UIP-flag scheme (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Any, Dict, Optional
+
+from ..flash.address import LogicalAddress, PhysicalAddress
+from ..flash.config import DeviceConfig
+from ..flash.device import FlashDevice
+from ..flash.page import SpareArea
+from ..flash.stats import IOPurpose, IOStats
+from .block_manager import BlockManager, BlockType
+from .bvc import BlockValidityCounter
+from .garbage_collector import GarbageCollector, VictimPolicy
+from .mapping_cache import CachedMapping, MappingCache
+from .translation_table import TranslationTable
+from .validity.base import ValidityStore
+from .wear_leveling import WearLeveler
+
+
+class PageMappedFTL:
+    """Base class for all page-associative FTLs in this repository."""
+
+    #: Human-readable name used in benchmark reports.
+    name = "page-mapped-ftl"
+    #: Whether the device ships a battery/supercapacitor large enough to flush
+    #: dirty mapping entries on power failure (DFTL and µ-FTL assume one).
+    uses_battery = False
+
+    def __init__(self,
+                 device: FlashDevice,
+                 cache_capacity: int = 1024,
+                 victim_policy: VictimPolicy = VictimPolicy.GREEDY,
+                 dirty_fraction_limit: Optional[float] = None,
+                 free_block_threshold: int = 6,
+                 gc_reserve_blocks: int = 4,
+                 enable_wear_leveling: bool = False) -> None:
+        self.device = device
+        self.config: DeviceConfig = device.config
+        self.stats: IOStats = device.stats
+
+        self.block_manager = BlockManager(device,
+                                          gc_reserve_blocks=gc_reserve_blocks)
+        self.translation_table = TranslationTable(device, self.block_manager)
+        self.cache = MappingCache(
+            capacity=cache_capacity,
+            entries_per_translation_page=self.config.mapping_entries_per_page)
+        self.bvc = BlockValidityCounter(self.config.num_blocks,
+                                        self.config.pages_per_block)
+        self.validity_store: ValidityStore = self._create_validity_store()
+        self.dirty_fraction_limit = dirty_fraction_limit
+        self.garbage_collector = GarbageCollector(
+            device=device,
+            block_manager=self.block_manager,
+            bvc=self.bvc,
+            validity_store=self.validity_store,
+            migrate_user_page=self._migrate_user_page,
+            migrate_metadata_page=self._migrate_metadata_page,
+            policy=victim_policy,
+            free_block_threshold=free_block_threshold)
+        self.wear_leveler: Optional[WearLeveler] = (
+            WearLeveler(device) if enable_wear_leveling else None)
+        self._in_gc = False
+
+    # ------------------------------------------------------------------
+    # Variation points
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _create_validity_store(self) -> ValidityStore:
+        """Build this FTL's page-validity structure."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Host interface
+    # ------------------------------------------------------------------
+    def write(self, logical: LogicalAddress, data: Any = None) -> PhysicalAddress:
+        """Serve an application write to ``logical``.
+
+        The new version is written out of place to the active user block, the
+        cached mapping entry is updated (creating one if needed), and garbage
+        collection runs if the free-block pool has become too small.
+        """
+        self._check_logical(logical)
+        self.stats.record_host_write()
+        self._maybe_collect()
+        new_address = self._program_user_page(logical, data, IOPurpose.USER)
+        self._update_mapping_on_write(logical, new_address)
+        if self.wear_leveler is not None:
+            self.wear_leveler.on_flash_write()
+        self._after_write(logical)
+        self._enforce_dirty_limit()
+        return new_address
+
+    def read(self, logical: LogicalAddress) -> Any:
+        """Serve an application read, returning the stored payload.
+
+        Returns ``None`` for a logical page that has never been written.
+        """
+        self._check_logical(logical)
+        self.stats.record_host_read()
+        entry = self.cache.get(logical)
+        if entry is None:
+            physical = self.translation_table.lookup(
+                logical, purpose=IOPurpose.TRANSLATION)
+            if physical is None:
+                return None
+            entry = CachedMapping(logical, physical, dirty=False, uip=False)
+            self.cache.put(entry)
+            self._evict_if_over_capacity()
+        page = self.device.read_page(entry.physical, purpose=IOPurpose.USER)
+        return page.data
+
+    def trim(self, logical: LogicalAddress) -> None:
+        """Discard a logical page (TRIM): its flash copy becomes invalid."""
+        self._check_logical(logical)
+        entry = self.cache.remove(logical)
+        physical = entry.physical if entry is not None else None
+        if physical is None:
+            physical = self.translation_table.lookup(
+                logical, purpose=IOPurpose.TRANSLATION)
+        if physical is not None:
+            self.validity_store.mark_invalid(physical)
+            self.bvc.decrement(physical.block)
+            translation_page = self.translation_table.translation_page_of(logical)
+            content = self.translation_table.read_translation_page(
+                translation_page, purpose=IOPurpose.TRANSLATION)
+            if logical in content.entries:
+                updated = content.copy()
+                del updated.entries[logical]
+                self.translation_table.write_translation_page(
+                    updated, purpose=IOPurpose.TRANSLATION)
+
+    def flush(self) -> None:
+        """Synchronize every dirty cached mapping entry with flash.
+
+        Models a clean shutdown (or, for battery-backed FTLs, what the battery
+        pays for on power failure).
+        """
+        while True:
+            dirty = [entry for entry in self.cache.entries() if entry.dirty]
+            if not dirty:
+                break
+            translation_page = self.cache.translation_page_of(dirty[0].logical)
+            self._synchronize_translation_page(translation_page)
+        self.validity_store.flush()
+
+    # ------------------------------------------------------------------
+    # Write path internals
+    # ------------------------------------------------------------------
+    def _check_logical(self, logical: LogicalAddress) -> None:
+        if not 0 <= logical < self.config.logical_pages:
+            raise ValueError(
+                f"logical page {logical} outside the device's logical space "
+                f"of {self.config.logical_pages} pages")
+
+    def _program_user_page(self, logical: LogicalAddress, data: Any,
+                           purpose: IOPurpose) -> PhysicalAddress:
+        address = self.block_manager.allocate_page(BlockType.USER)
+        spare = SpareArea(logical_address=logical,
+                          block_type=BlockType.USER.value)
+        self.device.write_page(address, data, spare=spare, purpose=purpose)
+        self.bvc.increment(address.block)
+        return address
+
+    def _update_mapping_on_write(self, logical: LogicalAddress,
+                                 new_address: PhysicalAddress) -> None:
+        """Baseline (eager) mapping update.
+
+        On a cache hit the superseded physical page is known and reported to
+        the validity store immediately. On a miss the baseline FTLs fetch the
+        mapping entry from the flash-resident translation table so they can
+        invalidate the before-image right away.
+        """
+        entry = self.cache.get(logical)
+        if entry is not None:
+            self._invalidate_user_page(entry.physical)
+            entry.physical = new_address
+            self.cache.mark_dirty(logical, True)
+            return
+        old_physical = self.translation_table.lookup(
+            logical, purpose=IOPurpose.TRANSLATION)
+        if old_physical is not None:
+            self._invalidate_user_page(old_physical)
+        self.cache.put(CachedMapping(logical, new_address, dirty=True))
+        self._evict_if_over_capacity()
+
+    def _invalidate_user_page(self, address: PhysicalAddress) -> None:
+        """Report a superseded user page to the validity store and the BVC."""
+        self.validity_store.mark_invalid(address)
+        self.bvc.decrement(address.block)
+
+    def _after_write(self, logical: LogicalAddress) -> None:
+        """Hook for subclasses (GeckoFTL's checkpoints)."""
+
+    # ------------------------------------------------------------------
+    # Cache eviction and synchronization
+    # ------------------------------------------------------------------
+    def _evict_if_over_capacity(self) -> None:
+        # While a garbage-collection operation is migrating pages, evictions
+        # are deferred: an eviction-driven synchronization could invalidate
+        # further pages of the very block being collected after its live set
+        # was computed. The cache temporarily exceeds its capacity by at most
+        # one block's worth of migrated entries and is trimmed right after
+        # the collection finishes (see _maybe_collect).
+        if self._in_gc:
+            return
+        while len(self.cache) > self.cache.capacity:
+            victim = self.cache.pop_lru()
+            if victim is None:
+                break
+            if victim.dirty:
+                translation_page = self.cache.translation_page_of(victim.logical)
+                self._synchronize_translation_page(translation_page,
+                                                   extra_entry=victim)
+
+    def _enforce_dirty_limit(self) -> None:
+        """LazyFTL / IB-FTL: bound dirty entries to a fraction of the cache.
+
+        Keeping few dirty entries bounds recovery time but also limits how
+        much each translation-page rewrite can be amortized, which is exactly
+        the contention GeckoFTL's recovery scheme removes.
+        """
+        if self.dirty_fraction_limit is None:
+            return
+        limit = max(1, int(self.cache.capacity * self.dirty_fraction_limit))
+        while self.cache.dirty_count > limit:
+            oldest_dirty = next(
+                (entry for entry in self.cache.entries() if entry.dirty), None)
+            if oldest_dirty is None:
+                break
+            translation_page = self.cache.translation_page_of(
+                oldest_dirty.logical)
+            self._synchronize_translation_page(translation_page)
+
+    def _synchronize_translation_page(
+            self, translation_page: int,
+            extra_entry: Optional[CachedMapping] = None) -> None:
+        """Fold all dirty cached entries of one translation page into flash.
+
+        ``extra_entry`` is an entry that was just evicted from the cache (and
+        therefore is no longer visible through it) but still must be written.
+        """
+        dirty_entries = self.cache.dirty_entries_on_translation_page(
+            translation_page)
+        if extra_entry is not None:
+            dirty_entries = [extra_entry] + dirty_entries
+        if not dirty_entries:
+            return
+        updates = {entry.logical: entry.physical for entry in dirty_entries}
+        self.translation_table.apply_updates(translation_page, updates,
+                                             purpose=IOPurpose.TRANSLATION)
+        for entry in dirty_entries:
+            if entry.logical in self.cache:
+                self.cache.mark_dirty(entry.logical, False)
+            else:
+                entry.dirty = False
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def _maybe_collect(self) -> None:
+        if self._in_gc:
+            return
+        if not self.garbage_collector.needs_collection():
+            return
+        self._in_gc = True
+        try:
+            self.garbage_collector.collect_until_safe()
+        finally:
+            self._in_gc = False
+        self._evict_if_over_capacity()
+
+    def _migrate_user_page(self, old_address: PhysicalAddress) -> None:
+        """Move a live user page off a victim block.
+
+        Migrations are treated like application writes: the new location is
+        recorded as a dirty cached mapping entry and synchronized lazily.
+        """
+        page = self.device.read_page(old_address, purpose=IOPurpose.GC)
+        logical = page.spare.logical_address
+        new_address = self.block_manager.allocate_page(BlockType.USER,
+                                                       use_reserve=True)
+        spare = SpareArea(logical_address=logical,
+                          block_type=BlockType.USER.value)
+        self.device.write_page(new_address, page.data, spare=spare,
+                               purpose=IOPurpose.GC)
+        self.bvc.increment(new_address.block)
+        entry = self.cache.get(logical)
+        if entry is not None:
+            entry.physical = new_address
+            self.cache.mark_dirty(logical, True)
+        else:
+            self.cache.put(CachedMapping(logical, new_address, dirty=True))
+            self._evict_if_over_capacity()
+
+    def _migrate_metadata_page(self, address: PhysicalAddress,
+                               block_type: BlockType) -> None:
+        """Move a live metadata page off a victim block."""
+        if block_type is BlockType.TRANSLATION:
+            self.translation_table.migrate_translation_page(address)
+            return
+        migrate = getattr(self.validity_store, "migrate_page", None)
+        if migrate is None:
+            raise RuntimeError(
+                f"{type(self.validity_store).__name__} owns validity blocks "
+                "but does not support migrating them")
+        migrate(address)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def ram_breakdown(self) -> Dict[str, int]:
+        """Integrated-RAM footprint of this FTL's resident structures, in bytes."""
+        breakdown = {
+            "gmd": self.translation_table.gmd_ram_bytes,
+            "lru_cache": self.cache.ram_bytes,
+            "validity": self.validity_store.ram_bytes(),
+            "bvc": self.bvc.ram_bytes,
+        }
+        if self.wear_leveler is not None:
+            breakdown["wear_leveling"] = self.wear_leveler.stats.ram_bytes
+        return breakdown
+
+    def ram_bytes(self) -> int:
+        """Total integrated-RAM requirement in bytes."""
+        return sum(self.ram_breakdown().values())
+
+    def write_amplification(self) -> float:
+        """Write amplification accumulated so far, per the paper's definition."""
+        return self.stats.write_amplification(self.config.delta)
+
+    def describe(self) -> Dict[str, Any]:
+        """Summary dictionary used by the benchmark harness."""
+        return {
+            "ftl": self.name,
+            "cache_capacity": self.cache.capacity,
+            "victim_policy": self.garbage_collector.policy.value,
+            "dirty_fraction_limit": self.dirty_fraction_limit,
+            "uses_battery": self.uses_battery,
+            "ram_bytes": self.ram_bytes(),
+        }

@@ -1,0 +1,194 @@
+"""Block allocation and physical layout management.
+
+GeckoFTL (Section 4, "Physical Layout") separates flash pages into groups of
+blocks by type: user blocks, translation blocks, and Gecko blocks (or, for the
+competitor FTLs, PVB / page-validity-log blocks). Each group has one *active*
+block that is programmed append-only; when it fills up, a fresh block is taken
+from the free pool.
+
+The :class:`BlockManager` owns this layout. It also tracks the validity of
+*metadata* pages (translation pages, Gecko pages, PVB pages, PVL pages): when
+a flash-resident metadata structure performs an out-of-place update, the old
+version of the page is reported here so that garbage collection can later
+reclaim it. Validity of *user* pages is deliberately not tracked here — that
+is exactly the job of the page-validity store under evaluation (RAM PVB,
+flash PVB, PVL, or Logarithmic Gecko).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set
+
+from ..flash.address import PhysicalAddress
+from ..flash.device import FlashDevice
+from ..flash.errors import DeviceFullError
+from ..flash.stats import IOPurpose
+
+
+class BlockType(str, Enum):
+    """Role of a flash block in the FTL's physical layout."""
+
+    FREE = "free"
+    USER = "user"
+    TRANSLATION = "translation"
+    VALIDITY = "validity"   # Gecko blocks, flash-PVB blocks, or PVL blocks
+
+
+#: Block types that hold FTL metadata rather than user data.
+METADATA_TYPES = (BlockType.TRANSLATION, BlockType.VALIDITY)
+
+
+@dataclass
+class BlockInfo:
+    """RAM-resident bookkeeping for one block."""
+
+    block_type: BlockType = BlockType.FREE
+    #: Offsets of metadata pages that have been superseded (out-of-place
+    #: updated) and are therefore invalid. Only used for metadata blocks.
+    invalid_metadata_offsets: Set[int] = field(default_factory=set)
+
+
+class BlockManager:
+    """Allocates pages append-only from per-type active blocks."""
+
+    def __init__(self, device: FlashDevice, gc_reserve_blocks: int = 4) -> None:
+        self.device = device
+        self.config = device.config
+        #: Blocks the allocator refuses to hand out so that garbage collection
+        #: always has somewhere to migrate valid pages to.
+        self.gc_reserve_blocks = gc_reserve_blocks
+        self.info: List[BlockInfo] = [BlockInfo()
+                                      for _ in range(self.config.num_blocks)]
+        self.free_blocks: List[int] = list(range(self.config.num_blocks - 1, -1, -1))
+        self.active_blocks: Dict[BlockType, Optional[int]] = {
+            BlockType.USER: None,
+            BlockType.TRANSLATION: None,
+            BlockType.VALIDITY: None,
+        }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def block_type(self, block_id: int) -> BlockType:
+        """Current role of ``block_id``."""
+        return self.info[block_id].block_type
+
+    def blocks_of_type(self, block_type: BlockType) -> List[int]:
+        """All block ids currently assigned to ``block_type``."""
+        return [i for i, info in enumerate(self.info)
+                if info.block_type is block_type]
+
+    @property
+    def free_block_count(self) -> int:
+        return len(self.free_blocks)
+
+    def is_active(self, block_id: int) -> bool:
+        """True if ``block_id`` is the append point of some group."""
+        return block_id in self.active_blocks.values()
+
+    def metadata_invalid_count(self, block_id: int) -> int:
+        """Number of superseded metadata pages in ``block_id``."""
+        return len(self.info[block_id].invalid_metadata_offsets)
+
+    def metadata_valid_offsets(self, block_id: int) -> List[int]:
+        """Offsets of still-live metadata pages in a metadata block."""
+        block = self.device.block(block_id)
+        invalid = self.info[block_id].invalid_metadata_offsets
+        return [offset for offset in range(block.written_pages)
+                if offset not in invalid]
+
+    def is_fully_invalid_metadata_block(self, block_id: int) -> bool:
+        """True when every written page of a metadata block is superseded."""
+        info = self.info[block_id]
+        if info.block_type not in METADATA_TYPES:
+            return False
+        block = self.device.block(block_id)
+        if self.is_active(block_id) and not block.is_full:
+            return False
+        return (block.written_pages > 0
+                and len(info.invalid_metadata_offsets) >= block.written_pages)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate_page(self, block_type: BlockType,
+                      use_reserve: bool = False) -> PhysicalAddress:
+        """Return the next programmable page for ``block_type``.
+
+        A new active block is pulled from the free pool when the current one
+        is full. Host-driven user allocations refuse to eat into the
+        garbage-collection reserve and raise :class:`DeviceFullError` instead
+        (the FTL should have collected earlier); garbage-collection
+        migrations and metadata structures pass ``use_reserve=True`` because
+        they are exactly what the reserve exists for.
+        """
+        if block_type is BlockType.FREE:
+            raise ValueError("cannot allocate pages on the free pool itself")
+        active_id = self.active_blocks[block_type]
+        if active_id is None or self.device.block(active_id).is_full:
+            active_id = self._open_new_active_block(block_type, use_reserve)
+        block = self.device.block(active_id)
+        return PhysicalAddress(active_id, block.next_free_offset)
+
+    def _open_new_active_block(self, block_type: BlockType,
+                               use_reserve: bool) -> int:
+        if not self.free_blocks:
+            raise DeviceFullError("the free-block pool is completely empty")
+        if len(self.free_blocks) <= self.gc_reserve_blocks:
+            # Metadata structures and GC migrations are allowed to dip into
+            # the reserve: metadata is tiny (<0.2% of the device) and garbage
+            # collection itself must be able to relocate live pages.
+            if block_type is BlockType.USER and not use_reserve:
+                raise DeviceFullError(
+                    "no free blocks available outside the GC reserve; "
+                    "garbage collection is falling behind")
+        block_id = self.free_blocks.pop()
+        self.info[block_id] = BlockInfo(block_type=block_type)
+        self.active_blocks[block_type] = block_id
+        return block_id
+
+    # ------------------------------------------------------------------
+    # Invalidation and reclamation
+    # ------------------------------------------------------------------
+    def invalidate_metadata_page(self, address: PhysicalAddress) -> None:
+        """Record that a metadata page has been superseded."""
+        self.info[address.block].invalid_metadata_offsets.add(address.page)
+
+    def release_block(self, block_id: int,
+                      purpose: IOPurpose = IOPurpose.GC) -> None:
+        """Erase ``block_id`` and return it to the free pool."""
+        self.device.erase_block(block_id, purpose=purpose)
+        self.info[block_id] = BlockInfo(block_type=BlockType.FREE)
+        for block_type, active in self.active_blocks.items():
+            if active == block_id:
+                self.active_blocks[block_type] = None
+        self.free_blocks.append(block_id)
+
+    # ------------------------------------------------------------------
+    # Recovery support
+    # ------------------------------------------------------------------
+    def rebuild_from_types(self, block_types: Dict[int, BlockType]) -> None:
+        """Reset the RAM-resident layout from recovered block types.
+
+        Used by recovery: ``block_types`` maps block id to its recovered type
+        (free blocks may simply be absent). Invalid-metadata bookkeeping is
+        rebuilt separately by the owning metadata structures.
+        """
+        self.info = [BlockInfo() for _ in range(self.config.num_blocks)]
+        self.free_blocks = []
+        self.active_blocks = {BlockType.USER: None,
+                              BlockType.TRANSLATION: None,
+                              BlockType.VALIDITY: None}
+        for block_id in range(self.config.num_blocks):
+            block_type = block_types.get(block_id, BlockType.FREE)
+            block = self.device.block(block_id)
+            if block.is_erased:
+                block_type = BlockType.FREE
+            self.info[block_id].block_type = block_type
+            if block_type is BlockType.FREE:
+                self.free_blocks.append(block_id)
+            elif not block.is_full and self.active_blocks.get(block_type) is None:
+                self.active_blocks[block_type] = block_id
+        self.free_blocks.sort(reverse=True)

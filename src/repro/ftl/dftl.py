@@ -1,0 +1,36 @@
+"""DFTL (Gupta et al., ASPLOS 2009; journal version Kim et al. 2013).
+
+DFTL introduced the demand-based translation scheme every FTL in this
+repository shares: the translation table lives in flash, a Global Mapping
+Directory in RAM tracks translation pages, and recently used mapping entries
+are cached. In the paper's taxonomy DFTL
+
+* keeps its Page Validity Bitmap in integrated RAM (fast, but the dominant
+  RAM cost and volatile), and
+* relies on a battery to flush dirty cached mapping entries and the PVB to
+  flash when power fails, so it needs no dirty-entry bound during runtime.
+"""
+
+from __future__ import annotations
+
+from .base import PageMappedFTL
+from .garbage_collector import VictimPolicy
+from .validity.base import ValidityStore
+from .validity.pvb_ram import RamPVB
+
+
+class DFTL(PageMappedFTL):
+    """DFTL: RAM-resident PVB, battery-backed recovery, greedy GC."""
+
+    name = "DFTL"
+    uses_battery = True
+
+    def __init__(self, device, cache_capacity: int = 1024,
+                 victim_policy: VictimPolicy = VictimPolicy.GREEDY,
+                 **kwargs) -> None:
+        super().__init__(device, cache_capacity=cache_capacity,
+                         victim_policy=victim_policy,
+                         dirty_fraction_limit=None, **kwargs)
+
+    def _create_validity_store(self) -> ValidityStore:
+        return RamPVB(self.config)

@@ -1,0 +1,192 @@
+"""Garbage collection: victim selection and block reclamation.
+
+Two victim-selection policies are implemented:
+
+``GREEDY``
+    The policy used by existing page-associative FTLs: always pick the block
+    with the fewest valid pages anywhere in the device, including blocks that
+    hold flash-resident metadata (translation pages, PVB pages, log pages).
+
+``METADATA_AWARE``
+    GeckoFTL's policy (Section 4.2): never pick a metadata block as a greedy
+    victim. Metadata is updated 2-3 orders of magnitude more often than user
+    data, so its blocks become fully invalid on their own; GeckoFTL simply
+    waits and erases them for free once every page is superseded.
+
+The collector itself is shared: it determines the victim's live pages (via the
+validity store for user blocks, via the owning metadata structure for metadata
+blocks), migrates them, and erases the victim. The FTL supplies callbacks for
+migrating pages because migration must create dirty cached mapping entries
+exactly like an application write would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List, Optional, Set
+
+from ..flash.address import PhysicalAddress
+from ..flash.device import FlashDevice
+from ..flash.stats import IOPurpose
+from .block_manager import METADATA_TYPES, BlockManager, BlockType
+from .bvc import BlockValidityCounter
+from .validity.base import ValidityStore
+
+
+class VictimPolicy(str, Enum):
+    """How garbage collection chooses which block to reclaim."""
+
+    GREEDY = "greedy"
+    METADATA_AWARE = "metadata_aware"
+
+
+@dataclass
+class GCResult:
+    """Outcome of one garbage-collection operation, for tests and reporting."""
+
+    victim_block: int
+    victim_type: BlockType
+    migrated_pages: int
+    reclaimed_pages: int
+
+
+class GarbageCollector:
+    """Reclaims invalid flash space on behalf of a page-mapped FTL."""
+
+    def __init__(self,
+                 device: FlashDevice,
+                 block_manager: BlockManager,
+                 bvc: BlockValidityCounter,
+                 validity_store: ValidityStore,
+                 migrate_user_page: Callable[[PhysicalAddress], None],
+                 migrate_metadata_page: Callable[[PhysicalAddress, BlockType], None],
+                 policy: VictimPolicy = VictimPolicy.GREEDY,
+                 free_block_threshold: int = 6) -> None:
+        self.device = device
+        self.block_manager = block_manager
+        self.bvc = bvc
+        self.validity_store = validity_store
+        self.migrate_user_page = migrate_user_page
+        self.migrate_metadata_page = migrate_metadata_page
+        self.policy = policy
+        self.free_block_threshold = free_block_threshold
+        self.collections = 0
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+    def needs_collection(self) -> bool:
+        """True when the free-block pool has shrunk below the threshold."""
+        return self.block_manager.free_block_count < self.free_block_threshold
+
+    def collect_until_safe(self, max_operations: int = 64) -> List[GCResult]:
+        """Run garbage-collection operations until the free pool recovers."""
+        results: List[GCResult] = []
+        operations = 0
+        while self.needs_collection() and operations < max_operations:
+            result = self.collect_once()
+            operations += 1
+            if result is None:
+                break
+            results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+    # Victim selection
+    # ------------------------------------------------------------------
+    def _candidate_blocks(self) -> List[int]:
+        candidates = []
+        for block_id in range(self.device.config.num_blocks):
+            block_type = self.block_manager.block_type(block_id)
+            if block_type is BlockType.FREE:
+                continue
+            if self.block_manager.is_active(block_id):
+                continue
+            if (self.policy is VictimPolicy.METADATA_AWARE
+                    and block_type in METADATA_TYPES):
+                continue
+            candidates.append(block_id)
+        return candidates
+
+    def _victim_cost(self, block_id: int) -> int:
+        """Number of live pages the collector would need to migrate."""
+        block_type = self.block_manager.block_type(block_id)
+        if block_type in METADATA_TYPES:
+            return len(self.block_manager.metadata_valid_offsets(block_id))
+        return self.bvc.valid_count(block_id)
+
+    def choose_victim(self) -> Optional[int]:
+        """Pick the cheapest victim under the configured policy.
+
+        GeckoFTL's metadata-aware policy first looks for a *free* victim — a
+        metadata block whose pages are all superseded — and only then falls
+        back to a greedy choice among user blocks.
+        """
+        if self.policy is VictimPolicy.METADATA_AWARE:
+            fully_invalid = self._fully_invalid_metadata_block()
+            if fully_invalid is not None:
+                return fully_invalid
+        candidates = self._candidate_blocks()
+        if not candidates:
+            return None
+        return min(candidates, key=self._victim_cost)
+
+    def _fully_invalid_metadata_block(self) -> Optional[int]:
+        for block_id in range(self.device.config.num_blocks):
+            if self.block_manager.is_fully_invalid_metadata_block(block_id):
+                return block_id
+        return None
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def collect_once(self) -> Optional[GCResult]:
+        """Run a single garbage-collection operation."""
+        victim = self.choose_victim()
+        if victim is None:
+            return None
+        return self.collect_block(victim)
+
+    def collect_block(self, victim: int) -> GCResult:
+        """Reclaim one specific block (victim selection already done)."""
+        self.collections += 1
+        victim_type = self.block_manager.block_type(victim)
+        block = self.device.block(victim)
+        written = block.written_pages
+
+        if victim_type in METADATA_TYPES:
+            migrated = self._collect_metadata_block(victim, victim_type)
+        else:
+            migrated = self._collect_user_block(victim)
+
+        self.block_manager.release_block(victim, purpose=IOPurpose.GC)
+        self.bvc.set_count(victim, 0)
+        return GCResult(victim_block=victim, victim_type=victim_type,
+                        migrated_pages=migrated,
+                        reclaimed_pages=written - migrated)
+
+    def _collect_user_block(self, victim: int) -> int:
+        """Migrate live user pages (identified by a GC query), then erase."""
+        block = self.device.block(victim)
+        invalid = self.validity_store.invalid_offsets(victim)
+        migrated = 0
+        for offset in range(block.written_pages):
+            if offset in invalid:
+                continue
+            self.migrate_user_page(PhysicalAddress(victim, offset))
+            migrated += 1
+        # A garbage-collection operation reports the erase to the validity
+        # store (for Logarithmic Gecko this is the erase-flag insertion).
+        self.validity_store.note_erase(victim)
+        return migrated
+
+    def _collect_metadata_block(self, victim: int,
+                                victim_type: BlockType) -> int:
+        """Migrate live metadata pages via the owning structure, then erase."""
+        migrated = 0
+        for offset in self.block_manager.metadata_valid_offsets(victim):
+            self.migrate_metadata_page(PhysicalAddress(victim, offset),
+                                       victim_type)
+            migrated += 1
+        return migrated

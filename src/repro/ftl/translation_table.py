@@ -1,0 +1,173 @@
+"""Flash-resident translation table and Global Mapping Directory (GMD).
+
+The translation table maps every logical page to its current physical
+location. It is far too large for integrated RAM on a multi-terabyte device,
+so it is stored in flash across *translation pages*, each holding a contiguous
+range of mapping entries. Because translation pages are themselves updated
+out of place, a small RAM-resident directory — the GMD — records the current
+physical location of every translation page.
+
+Updates to the flash-resident table are applied lazily and in bulk by
+*synchronization operations* (driven by the FTL), which read a translation
+page, fold in all dirty cached entries that belong to it, and write the new
+version to a fresh flash page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..flash.address import LogicalAddress, PhysicalAddress
+from ..flash.config import MAPPING_ENTRY_BYTES
+from ..flash.device import FlashDevice
+from ..flash.page import SpareArea
+from ..flash.stats import IOPurpose
+from .block_manager import BlockManager, BlockType
+
+
+@dataclass
+class TranslationPageContent:
+    """Payload stored in one flash translation page.
+
+    ``entries`` maps logical page number to physical address for the logical
+    range covered by this translation page. Missing keys mean the logical
+    page has never been written.
+    """
+
+    translation_page_id: int
+    entries: Dict[LogicalAddress, PhysicalAddress]
+
+    def copy(self) -> "TranslationPageContent":
+        return TranslationPageContent(self.translation_page_id,
+                                       dict(self.entries))
+
+
+class TranslationTable:
+    """DFTL-style flash-resident translation table with a RAM-resident GMD."""
+
+    def __init__(self, device: FlashDevice, block_manager: BlockManager) -> None:
+        self.device = device
+        self.block_manager = block_manager
+        self.config = device.config
+        self.entries_per_page = self.config.mapping_entries_per_page
+        self.num_translation_pages = self.config.num_translation_pages
+        #: The Global Mapping Directory: translation-page id -> flash location.
+        #: ``None`` means the translation page has never been written.
+        self.gmd: List[Optional[PhysicalAddress]] = (
+            [None] * self.num_translation_pages)
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    def translation_page_of(self, logical: LogicalAddress) -> int:
+        """Translation-page id that covers ``logical``."""
+        return logical // self.entries_per_page
+
+    def location_of(self, translation_page_id: int) -> Optional[PhysicalAddress]:
+        """Current flash location of a translation page (from the GMD)."""
+        return self.gmd[translation_page_id]
+
+    @property
+    def gmd_ram_bytes(self) -> int:
+        """RAM footprint of the GMD (4 bytes per translation page)."""
+        return MAPPING_ENTRY_BYTES * self.num_translation_pages
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read_translation_page(
+            self, translation_page_id: int,
+            purpose: IOPurpose = IOPurpose.TRANSLATION
+    ) -> TranslationPageContent:
+        """Read a translation page from flash (one page read).
+
+        If the translation page has never been written, an empty content
+        object is returned without any IO: there is nothing to read.
+        """
+        location = self.gmd[translation_page_id]
+        if location is None:
+            return TranslationPageContent(translation_page_id, {})
+        page = self.device.read_page(location, purpose=purpose)
+        return page.data.copy()
+
+    def lookup(self, logical: LogicalAddress,
+               purpose: IOPurpose = IOPurpose.TRANSLATION
+               ) -> Optional[PhysicalAddress]:
+        """Fetch the flash-resident mapping entry for one logical page."""
+        content = self.read_translation_page(
+            self.translation_page_of(logical), purpose=purpose)
+        return content.entries.get(logical)
+
+    # ------------------------------------------------------------------
+    # Writes (synchronization)
+    # ------------------------------------------------------------------
+    def write_translation_page(
+            self, content: TranslationPageContent,
+            purpose: IOPurpose = IOPurpose.TRANSLATION
+    ) -> Tuple[PhysicalAddress, Optional[PhysicalAddress]]:
+        """Write a new version of a translation page out of place.
+
+        Returns ``(new_location, old_location)``. The old location (if any)
+        is reported to the block manager as an invalid metadata page; the GMD
+        is updated to point at the new location.
+        """
+        old_location = self.gmd[content.translation_page_id]
+        new_location = self.block_manager.allocate_page(BlockType.TRANSLATION)
+        spare = SpareArea(
+            logical_address=None,
+            block_type=BlockType.TRANSLATION.value,
+            payload={"translation_page_id": content.translation_page_id},
+        )
+        self.device.write_page(new_location, content, spare=spare,
+                               purpose=purpose)
+        self.gmd[content.translation_page_id] = new_location
+        if old_location is not None:
+            self.block_manager.invalidate_metadata_page(old_location)
+        return new_location, old_location
+
+    def apply_updates(
+            self, translation_page_id: int,
+            updates: Dict[LogicalAddress, PhysicalAddress],
+            purpose: IOPurpose = IOPurpose.TRANSLATION
+    ) -> Tuple[TranslationPageContent, TranslationPageContent]:
+        """Fold ``updates`` into a translation page (read-modify-write).
+
+        Returns ``(old_content, new_content)`` so the caller can identify
+        which previously mapped physical pages have just become invalid.
+        """
+        old_content = self.read_translation_page(translation_page_id,
+                                                 purpose=purpose)
+        new_content = old_content.copy()
+        new_content.entries.update(updates)
+        self.write_translation_page(new_content, purpose=purpose)
+        return old_content, new_content
+
+    # ------------------------------------------------------------------
+    # Garbage-collection and recovery support
+    # ------------------------------------------------------------------
+    def migrate_translation_page(self, old_location: PhysicalAddress,
+                                 purpose: IOPurpose = IOPurpose.GC) -> PhysicalAddress:
+        """Copy a still-valid translation page to a fresh location.
+
+        Used when a greedy garbage collector picks a translation block that
+        still contains live translation pages.
+        """
+        page = self.device.read_page(old_location, purpose=purpose)
+        content: TranslationPageContent = page.data
+        new_location = self.block_manager.allocate_page(BlockType.TRANSLATION)
+        self.device.write_page(new_location, content.copy(),
+                               spare=page.spare.copy(), purpose=purpose)
+        self.gmd[content.translation_page_id] = new_location
+        self.block_manager.invalidate_metadata_page(old_location)
+        return new_location
+
+    def reset_ram_state(self) -> None:
+        """Drop the GMD (models power failure)."""
+        self.gmd = [None] * self.num_translation_pages
+
+    def restore_gmd(self, gmd: List[Optional[PhysicalAddress]]) -> None:
+        """Install a recovered GMD."""
+        if len(gmd) != self.num_translation_pages:
+            raise ValueError("recovered GMD has the wrong length")
+        self.gmd = list(gmd)

@@ -1,0 +1,21 @@
+"""Page-validity stores: RAM PVB, flash PVB, and the page validity log.
+
+Logarithmic Gecko (the paper's contribution) also implements the
+:class:`~repro.ftl.validity.base.ValidityStore` interface; it lives in
+:mod:`repro.core` because it is the core of the paper rather than a baseline.
+"""
+
+from .base import ValidityStore
+from .pvb_flash import FlashPVB, PVBPageContent
+from .pvb_ram import RamPVB
+from .pvl import LogEntry, LogPageContent, PageValidityLog
+
+__all__ = [
+    "FlashPVB",
+    "LogEntry",
+    "LogPageContent",
+    "PageValidityLog",
+    "PVBPageContent",
+    "RamPVB",
+    "ValidityStore",
+]

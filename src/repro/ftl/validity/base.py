@@ -1,0 +1,50 @@
+"""Common interface for page-validity stores.
+
+A page-validity store answers the question the garbage collector asks —
+"which pages of this victim block are invalid?" — and accepts the two kinds
+of updates the FTL produces: a flash page became invalid, or a whole block
+was erased. The paper compares four implementations of this interface:
+
+* a RAM-resident Page Validity Bitmap (:class:`~repro.ftl.validity.pvb_ram.RamPVB`),
+* a flash-resident Page Validity Bitmap (:class:`~repro.ftl.validity.pvb_flash.FlashPVB`),
+* IB-FTL's page validity log (:class:`~repro.ftl.validity.pvl.PageValidityLog`),
+* Logarithmic Gecko (:class:`~repro.core.logarithmic_gecko.LogarithmicGecko`),
+  adapted through :class:`~repro.core.gecko_ftl.GeckoValidityStore`.
+
+The store only tracks *user* pages; validity of flash-resident metadata pages
+is tracked by the block manager, because metadata structures know exactly when
+they supersede one of their own pages.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Set
+
+from ...flash.address import PhysicalAddress
+
+
+class ValidityStore(ABC):
+    """Interface every page-validity structure implements."""
+
+    @abstractmethod
+    def mark_invalid(self, address: PhysicalAddress) -> None:
+        """Record that the flash page at ``address`` no longer holds live data."""
+
+    @abstractmethod
+    def note_erase(self, block_id: int) -> None:
+        """Record that ``block_id`` was erased, clearing all of its records."""
+
+    @abstractmethod
+    def invalid_offsets(self, block_id: int) -> Set[int]:
+        """Answer a GC query: page offsets of ``block_id`` known to be invalid."""
+
+    @abstractmethod
+    def ram_bytes(self) -> int:
+        """Integrated-RAM footprint of this store's resident structures."""
+
+    def reset_ram_state(self) -> None:
+        """Drop RAM-resident state (power failure). Default: nothing to drop."""
+
+    def flush(self) -> None:
+        """Force any buffered updates out to flash. Default: nothing buffered."""

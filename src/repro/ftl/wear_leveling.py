@@ -1,0 +1,125 @@
+"""Wear-leveling (paper Appendix D).
+
+GeckoFTL's wear-leveling design stores almost nothing in integrated RAM: each
+block's erase count and erase timestamp live in its spare areas, and the FTL
+only keeps a handful of global statistics (a global erase counter and running
+min/max/average of erase counts and ages — a few tens of bytes).
+
+Victim discovery happens through a *gradual scan*: for every flash write, the
+spare area of one further block is read; when the scan wraps around it starts
+again. Because spare-area reads are three orders of magnitude cheaper than
+flash writes, the scan never contributes meaningfully to write-amplification,
+yet it revisits every block ``B`` times per device-overwrite, which is more
+than enough to catch erase-count discrepancies as they develop (Appendix D's
+scan-cost analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..flash.address import PhysicalAddress
+from ..flash.device import FlashDevice
+from ..flash.stats import IOPurpose
+
+
+@dataclass
+class WearStatistics:
+    """The global statistics GeckoFTL keeps in integrated RAM (30-40 bytes)."""
+
+    global_erase_counter: int = 0
+    min_erase_count: int = 0
+    max_erase_count: int = 0
+    total_erase_count: int = 0
+    blocks_observed: int = 0
+
+    @property
+    def average_erase_count(self) -> float:
+        if self.blocks_observed == 0:
+            return 0.0
+        return self.total_erase_count / self.blocks_observed
+
+    @property
+    def ram_bytes(self) -> int:
+        """Four 4-byte counters plus the 4-byte global erase counter, padded."""
+        return 40
+
+
+class WearLeveler:
+    """Gradual-scan wear-leveling with RAM-resident global statistics only."""
+
+    def __init__(self, device: FlashDevice,
+                 spare_reads_per_write: int = 1,
+                 discrepancy_threshold: float = 2.0) -> None:
+        self.device = device
+        self.config = device.config
+        self.spare_reads_per_write = spare_reads_per_write
+        #: A block whose erase count falls behind the average by more than
+        #: this factor (while holding static data) becomes a leveling victim.
+        self.discrepancy_threshold = discrepancy_threshold
+        self.stats = WearStatistics()
+        self._scan_cursor = 0
+        self._victims: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Hooks called by the FTL
+    # ------------------------------------------------------------------
+    def on_block_erase(self, block_id: int) -> None:
+        """Advance the global erase counter when any block is erased."""
+        self.stats.global_erase_counter += 1
+
+    def on_flash_write(self) -> None:
+        """Advance the gradual scan by ``spare_reads_per_write`` blocks."""
+        for _ in range(self.spare_reads_per_write):
+            self._inspect_next_block()
+
+    # ------------------------------------------------------------------
+    # Scanning
+    # ------------------------------------------------------------------
+    def _inspect_next_block(self) -> None:
+        block_id = self._scan_cursor
+        self._scan_cursor = (self._scan_cursor + 1) % self.config.num_blocks
+        if self._scan_cursor == 0:
+            # Starting a fresh scan: reset the aggregates it recomputes.
+            self.stats.min_erase_count = 0
+            self.stats.max_erase_count = 0
+            self.stats.total_erase_count = 0
+            self.stats.blocks_observed = 0
+        # One spare-area read per inspected block; erase counts are persisted
+        # in spare areas so no per-block RAM is needed.
+        self.device.read_spare(PhysicalAddress(block_id, 0),
+                               purpose=IOPurpose.WEAR)
+        erase_count = self.device.block(block_id).erase_count
+        stats = self.stats
+        if stats.blocks_observed == 0:
+            stats.min_erase_count = erase_count
+            stats.max_erase_count = erase_count
+        else:
+            stats.min_erase_count = min(stats.min_erase_count, erase_count)
+            stats.max_erase_count = max(stats.max_erase_count, erase_count)
+        stats.total_erase_count += erase_count
+        stats.blocks_observed += 1
+        average = stats.average_erase_count
+        if (average >= 1.0
+                and erase_count * self.discrepancy_threshold < average
+                and block_id not in self._victims):
+            self._victims.append(block_id)
+
+    # ------------------------------------------------------------------
+    # Victim reporting
+    # ------------------------------------------------------------------
+    def pop_leveling_victim(self) -> Optional[int]:
+        """Return a block holding static data on an unworn block, if any.
+
+        The FTL folds leveling victims into its garbage-collection schedule:
+        migrating the victim's live pages moves the static data onto a more
+        worn block and releases the unworn block for hot data.
+        """
+        if self._victims:
+            return self._victims.pop(0)
+        return None
+
+    @property
+    def pending_victims(self) -> List[int]:
+        return list(self._victims)

@@ -1,0 +1,38 @@
+"""Workload generators, trace replay, and the workload runner."""
+
+from .base import (
+    IntervalMeasurement,
+    Operation,
+    OpKind,
+    RunResult,
+    Workload,
+    WorkloadRunner,
+    fill_device,
+)
+from .generators import (
+    HotColdWrites,
+    MixedReadWrite,
+    SequentialWrites,
+    UniformRandomWrites,
+    ZipfianWrites,
+)
+from .trace import TraceWorkload, load_trace, parse_trace_line, record_trace
+
+__all__ = [
+    "HotColdWrites",
+    "IntervalMeasurement",
+    "MixedReadWrite",
+    "Operation",
+    "OpKind",
+    "RunResult",
+    "SequentialWrites",
+    "TraceWorkload",
+    "UniformRandomWrites",
+    "Workload",
+    "WorkloadRunner",
+    "ZipfianWrites",
+    "fill_device",
+    "load_trace",
+    "parse_trace_line",
+    "record_trace",
+]

@@ -1,0 +1,174 @@
+"""Workload generators.
+
+The paper's simulation experiments use uniformly random page updates — the
+adversarial case for Logarithmic Gecko because the buffer absorbs as few
+repeat updates as possible — but real database workloads are skewed, so the
+library also ships Zipfian, sequential, hot/cold, and mixed read/write
+generators for the example applications and the wider test suite.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from .base import Operation, OpKind, Workload
+
+
+def _payload(logical: int, version: int):
+    """Small self-describing payload so tests can verify data integrity."""
+    return ("v", logical, version)
+
+
+class UniformRandomWrites(Workload):
+    """Uniformly random page updates over the whole logical space.
+
+    This is the paper's experimental workload (Section 5): every logical page
+    is equally likely to be updated next, which maximizes the pressure on the
+    validity store and the translation table.
+    """
+
+    def __init__(self, logical_pages: int, seed: int = 42) -> None:
+        super().__init__(logical_pages, seed)
+        self._versions = 0
+
+    def operations(self, count: int) -> Iterator[Operation]:
+        for _ in range(count):
+            logical = self._rng.randrange(self.logical_pages)
+            self._versions += 1
+            yield Operation(OpKind.WRITE, logical,
+                            _payload(logical, self._versions))
+
+
+class SequentialWrites(Workload):
+    """Cyclic sequential updates (log-structured application behaviour)."""
+
+    def __init__(self, logical_pages: int, seed: int = 42,
+                 start: int = 0) -> None:
+        super().__init__(logical_pages, seed)
+        self._cursor = start % logical_pages
+        self._versions = 0
+
+    def operations(self, count: int) -> Iterator[Operation]:
+        for _ in range(count):
+            logical = self._cursor
+            self._cursor = (self._cursor + 1) % self.logical_pages
+            self._versions += 1
+            yield Operation(OpKind.WRITE, logical,
+                            _payload(logical, self._versions))
+
+
+class ZipfianWrites(Workload):
+    """Skewed updates following a Zipf distribution over logical pages.
+
+    Models OLTP-like behaviour where a small set of hot pages receives most
+    updates. ``theta`` close to 0 approaches uniform; ~0.99 is the YCSB
+    default skew.
+    """
+
+    def __init__(self, logical_pages: int, seed: int = 42,
+                 theta: float = 0.99, max_distinct: int = 4096) -> None:
+        super().__init__(logical_pages, seed)
+        if not 0.0 < theta < 2.0:
+            raise ValueError("theta must be in (0, 2)")
+        self.theta = theta
+        #: The Zipf CDF is precomputed over a bounded number of ranks and
+        #: ranks are scattered over the logical space with a fixed permutation
+        #: seed, keeping setup cost independent of device size.
+        self.ranks = min(max_distinct, logical_pages)
+        weights = [1.0 / (rank ** theta) for rank in range(1, self.ranks + 1)]
+        total = sum(weights)
+        cumulative = 0.0
+        self._cdf: List[float] = []
+        for weight in weights:
+            cumulative += weight / total
+            self._cdf.append(cumulative)
+        scatter = random.Random(seed ^ 0x5EED)
+        self._rank_to_page = scatter.sample(range(logical_pages), self.ranks)
+        self._versions = 0
+
+    def _sample_page(self) -> int:
+        point = self._rng.random()
+        low, high = 0, self.ranks - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self._cdf[mid] < point:
+                low = mid + 1
+            else:
+                high = mid
+        return self._rank_to_page[low]
+
+    def operations(self, count: int) -> Iterator[Operation]:
+        for _ in range(count):
+            logical = self._sample_page()
+            self._versions += 1
+            yield Operation(OpKind.WRITE, logical,
+                            _payload(logical, self._versions))
+
+
+class HotColdWrites(Workload):
+    """Two-temperature workload: a hot fraction receives most updates.
+
+    The classic skewed model used in FTL papers (e.g. 90% of updates hit 10%
+    of the pages). Useful for exercising GeckoFTL's claim that data type is a
+    better hotness signal than temperature detectors.
+    """
+
+    def __init__(self, logical_pages: int, seed: int = 42,
+                 hot_fraction: float = 0.1,
+                 hot_probability: float = 0.9) -> None:
+        super().__init__(logical_pages, seed)
+        if not 0.0 < hot_fraction < 1.0:
+            raise ValueError("hot_fraction must be in (0, 1)")
+        if not 0.0 < hot_probability < 1.0:
+            raise ValueError("hot_probability must be in (0, 1)")
+        self.hot_fraction = hot_fraction
+        self.hot_probability = hot_probability
+        self._hot_pages = max(1, int(logical_pages * hot_fraction))
+        self._versions = 0
+
+    def operations(self, count: int) -> Iterator[Operation]:
+        for _ in range(count):
+            if self._rng.random() < self.hot_probability:
+                logical = self._rng.randrange(self._hot_pages)
+            else:
+                logical = self._hot_pages + self._rng.randrange(
+                    max(1, self.logical_pages - self._hot_pages))
+                logical = min(logical, self.logical_pages - 1)
+            self._versions += 1
+            yield Operation(OpKind.WRITE, logical,
+                            _payload(logical, self._versions))
+
+
+class MixedReadWrite(Workload):
+    """A read/write mix layered over any write workload.
+
+    The paper's experiments are write-only (reads behave identically across
+    the compared FTLs); the mixed generator supports the slowdown-factor
+    analysis of Section 5 and the example applications.
+    """
+
+    def __init__(self, write_workload: Workload, read_fraction: float = 0.5,
+                 seed: int = 42) -> None:
+        super().__init__(write_workload.logical_pages, seed)
+        if not 0.0 <= read_fraction < 1.0:
+            raise ValueError("read_fraction must be in [0, 1)")
+        self.write_workload = write_workload
+        self.read_fraction = read_fraction
+        self._written: List[int] = []
+
+    def operations(self, count: int) -> Iterator[Operation]:
+        write_source = self.write_workload.operations(count)
+        for _ in range(count):
+            if self._written and self._rng.random() < self.read_fraction:
+                yield Operation(OpKind.READ,
+                                self._rng.choice(self._written))
+            else:
+                operation = next(write_source, None)
+                if operation is None:
+                    break
+                self._written.append(operation.logical)
+                if len(self._written) > 65536:
+                    self._written = self._written[-32768:]
+                yield operation

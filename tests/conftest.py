@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite.
+
+All simulation fixtures use deliberately tiny devices so that garbage
+collection, Logarithmic Gecko merges, checkpoints, and recovery are all
+exercised within a few thousand operations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.gecko_ftl import GeckoFTL
+from repro.flash.config import DeviceConfig, simulation_configuration
+from repro.flash.device import FlashDevice
+from repro.ftl.dftl import DFTL
+from repro.ftl.ib_ftl import IBFTL
+from repro.ftl.lazyftl import LazyFTL
+from repro.ftl.mu_ftl import MuFTL
+from repro.workloads.base import fill_device
+
+
+@pytest.fixture
+def tiny_config() -> DeviceConfig:
+    """A very small device: 64 blocks x 8 pages of 256 bytes."""
+    return simulation_configuration(num_blocks=64, pages_per_block=8,
+                                    page_size=256)
+
+
+@pytest.fixture
+def small_config() -> DeviceConfig:
+    """A small device large enough for multi-level Gecko structures."""
+    return simulation_configuration(num_blocks=128, pages_per_block=16,
+                                    page_size=256)
+
+
+@pytest.fixture
+def tiny_device(tiny_config) -> FlashDevice:
+    return FlashDevice(tiny_config)
+
+
+@pytest.fixture
+def small_device(small_config) -> FlashDevice:
+    return FlashDevice(small_config)
+
+
+@pytest.fixture
+def gecko_ftl(small_device) -> GeckoFTL:
+    return GeckoFTL(small_device, cache_capacity=128)
+
+
+@pytest.fixture
+def filled_gecko_ftl(gecko_ftl) -> GeckoFTL:
+    fill_device(gecko_ftl)
+    return gecko_ftl
+
+
+FTL_CLASSES = {
+    "GeckoFTL": GeckoFTL,
+    "DFTL": DFTL,
+    "LazyFTL": LazyFTL,
+    "uFTL": MuFTL,
+    "IB-FTL": IBFTL,
+}
+
+
+@pytest.fixture(params=sorted(FTL_CLASSES))
+def any_ftl(request, small_config):
+    """Parameterized fixture instantiating every FTL on a fresh device."""
+    device = FlashDevice(small_config)
+    return FTL_CLASSES[request.param](device, cache_capacity=128)
+
+
+def random_update_mix(ftl, shadow, count, seed, allow_reads=True):
+    """Apply ``count`` random writes (and occasional reads) tracking a shadow map."""
+    rng = random.Random(seed)
+    logical_pages = ftl.config.logical_pages
+    for i in range(count):
+        logical = rng.randrange(logical_pages)
+        payload = ("payload", logical, i, seed)
+        ftl.write(logical, payload)
+        shadow[logical] = payload
+        if allow_reads and shadow and rng.random() < 0.05:
+            probe = rng.choice(list(shadow))
+            assert ftl.read(probe) == shadow[probe]
+    return shadow

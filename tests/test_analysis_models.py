@@ -1,0 +1,203 @@
+"""Tests for the analytical RAM, recovery-time, cost, and slowdown models.
+
+These tests pin the models to the paper's headline numbers: the 2 TB device's
+64 MB PVB and ~1.4 MB GMD, the ~36 s PVB rebuild, the 95% RAM reduction and
+the >=51% recovery-time reduction claimed for GeckoFTL.
+"""
+
+import pytest
+
+from repro.analysis import cost_model, ram_model, recovery_model
+from repro.analysis.slowdown import MixedWorkloadModel, compare_slowdown
+from repro.flash.config import paper_configuration, simulation_configuration
+
+
+@pytest.fixture(scope="module")
+def paper():
+    return paper_configuration()
+
+
+class TestRamModel:
+    def test_pvb_is_64_mb_at_paper_scale(self, paper):
+        assert ram_model.pvb_bytes(paper) == 64 * 2**20
+
+    def test_gmd_is_about_1_4_mb_at_paper_scale(self, paper):
+        gmd_mb = ram_model.gmd_bytes(paper) / 2**20
+        assert 1.2 <= gmd_mb <= 1.6
+
+    def test_translation_table_is_about_1_4_gb(self, paper):
+        tt_gb = ram_model.translation_table_bytes(paper) / 2**30
+        assert 1.3 <= tt_gb <= 1.5
+
+    def test_pvb_dominates_dftl_ram(self, paper):
+        breakdown = ram_model.dftl_ram(paper)
+        assert breakdown.components["pvb"] / breakdown.total > 0.9
+
+    def test_gecko_ftl_reduces_ram_by_about_95_percent(self, paper):
+        dftl = ram_model.dftl_ram(paper).total
+        gecko = ram_model.gecko_ftl_ram(paper).total
+        # Excluding the (identical) LRU cache budget, the reduction in
+        # validity-related RAM should be ~95%.
+        cache = ram_model.DEFAULT_CACHE_BYTES
+        reduction = 1 - (gecko - cache) / (dftl - cache)
+        assert reduction >= 0.85
+
+    def test_mu_ftl_is_slightly_smaller_than_gecko_ftl(self, paper):
+        mu = ram_model.mu_ftl_ram(paper).total
+        gecko = ram_model.gecko_ftl_ram(paper).total
+        assert mu <= gecko
+
+    def test_ib_ftl_ram_exceeds_gecko_ftl(self, paper):
+        ib = ram_model.ib_ftl_ram(paper).total
+        gecko = ram_model.gecko_ftl_ram(paper).total
+        assert ib > gecko
+
+    def test_all_ftl_ram_returns_five_breakdowns(self, paper):
+        breakdowns = ram_model.all_ftl_ram(paper)
+        assert [b.ftl for b in breakdowns] == ["DFTL", "LazyFTL", "uFTL",
+                                               "IB-FTL", "GeckoFTL"]
+
+    def test_capacity_sweep_is_monotonic_for_lazyftl(self, paper):
+        capacities = [2**34, 2**36, 2**38, 2**40, 2**41]
+        rows = ram_model.capacity_sweep(capacities, paper, ftl="LazyFTL")
+        ram = [row["ram_bytes"] for row in rows]
+        assert ram == sorted(ram)
+
+    def test_lazyftl_needs_about_4mb_at_128_gb(self, paper):
+        # Figure 1: the integrated-RAM requirement at ~128 GB (excluding the
+        # DRAM cache budget) reaches ~4 MB, the practical SRAM ceiling.
+        rows = ram_model.capacity_sweep([2**37], paper, cache_bytes=0,
+                                        ftl="LazyFTL")
+        ram_mb = rows[0]["ram_mb"]
+        assert 3.0 <= ram_mb <= 6.0
+
+    def test_gecko_levels_positive(self, paper):
+        assert ram_model.gecko_levels(paper) >= 1
+
+
+class TestRecoveryModel:
+    def test_lazyftl_pvb_rebuild_is_about_36_seconds(self, paper):
+        breakdown = recovery_model.lazyftl_recovery(paper)
+        seconds = breakdown.phases["pvb"].seconds(paper)
+        assert 30 <= seconds <= 42
+
+    def test_lazyftl_total_recovery_is_tens_of_seconds(self, paper):
+        total = recovery_model.lazyftl_recovery(paper).total_seconds(paper)
+        assert 40 <= total <= 120
+
+    def test_gecko_ftl_reduces_recovery_by_at_least_51_percent(self, paper):
+        lazy = recovery_model.lazyftl_recovery(paper).total_seconds(paper)
+        gecko = recovery_model.gecko_ftl_recovery(paper).total_seconds(paper)
+        assert gecko <= lazy * 0.49
+
+    def test_gecko_ftl_has_no_pre_resume_synchronization(self, paper):
+        breakdown = recovery_model.gecko_ftl_recovery(paper)
+        assert breakdown.phases["lru_cache"].page_writes == 0
+        assert breakdown.phases["lru_cache"].page_reads == 0
+
+    def test_battery_ftls_skip_dirty_entry_recovery(self, paper):
+        for builder in (recovery_model.dftl_recovery,
+                        recovery_model.mu_ftl_recovery):
+            breakdown = builder(paper)
+            assert breakdown.requires_battery
+            assert breakdown.phases["lru_cache"].seconds(paper) == 0
+
+    def test_gecko_ftl_needs_no_battery(self, paper):
+        assert not recovery_model.gecko_ftl_recovery(paper).requires_battery
+
+    def test_ib_ftl_log_scan_is_significant(self, paper):
+        breakdown = recovery_model.ib_ftl_recovery(paper)
+        assert breakdown.phases["validity_log"].seconds(paper) > 1.0
+
+    def test_block_type_scan_is_shared_by_all(self, paper):
+        for breakdown in recovery_model.all_ftl_recovery(paper):
+            assert breakdown.phases["block_type_scan"].spare_reads == \
+                paper.num_blocks
+
+    def test_capacity_sweep_is_monotonic(self, paper):
+        capacities = [2**36, 2**38, 2**40, 2**41]
+        rows = recovery_model.capacity_sweep(capacities, paper, ftl="LazyFTL")
+        seconds = [row["recovery_seconds"] for row in rows]
+        assert seconds == sorted(seconds)
+
+    def test_recovery_at_2tb_exceeds_ten_seconds_for_lazyftl(self, paper):
+        rows = recovery_model.capacity_sweep([2**41], paper, ftl="LazyFTL")
+        assert rows[0]["recovery_seconds"] > 10
+
+
+class TestCostModel:
+    def test_table1_has_three_rows(self, paper):
+        rows = cost_model.table1(paper)
+        assert [row.technique for row in rows] == [
+            "ram_pvb", "flash_pvb", "logarithmic_gecko"]
+
+    def test_ram_pvb_has_no_io_but_large_ram(self, paper):
+        row = cost_model.ram_pvb_costs(paper)
+        assert row.update_writes == 0
+        assert row.ram_bytes == paper.pvb_bytes
+
+    def test_flash_pvb_update_is_read_modify_write(self, paper):
+        row = cost_model.flash_pvb_costs(paper)
+        assert row.update_reads == 1
+        assert row.update_writes == 1
+        assert row.gc_query_reads == 1
+
+    def test_gecko_update_cost_is_subconstant(self, paper):
+        row = cost_model.logarithmic_gecko_costs(paper)
+        assert row.update_writes < 0.1
+
+    def test_gecko_query_cost_is_logarithmic_levels(self, paper):
+        row = cost_model.logarithmic_gecko_costs(paper)
+        assert 1 <= row.gc_query_reads <= 40
+
+    def test_gecko_wa_contribution_is_much_lower_than_flash_pvb(self, paper):
+        ratio = cost_model.updates_per_gc_query(paper)
+        gecko = cost_model.logarithmic_gecko_costs(paper)
+        pvb = cost_model.flash_pvb_costs(paper)
+        gecko_wa = gecko.write_amplification_contribution(paper, ratio)
+        pvb_wa = pvb.write_amplification_contribution(paper, ratio)
+        # The paper reports a ~98% reduction in validity write-amplification.
+        assert gecko_wa <= 0.1 * pvb_wa
+
+    def test_crossover_is_astronomically_far_away(self, paper):
+        exponent = cost_model.crossover_block_count(paper, max_exponent=150)
+        assert exponent >= 60
+
+    def test_capacity_sweep_gecko_grows_slowly(self, paper):
+        rows = cost_model.capacity_crossover_sweep(
+            [2**18, 2**22, 2**26], paper)
+        gecko = [row["gecko_wa"] for row in rows]
+        pvb = [row["flash_pvb_wa"] for row in rows]
+        assert gecko == sorted(gecko)                   # grows with capacity
+        assert all(g < p for g, p in zip(gecko, pvb))   # but stays below PVB
+        assert pvb[0] == pytest.approx(pvb[-1])         # PVB is flat
+
+    def test_as_row_is_serializable(self, paper):
+        row = cost_model.flash_pvb_costs(paper).as_row()
+        assert row["technique"] == "flash_pvb"
+
+
+class TestSlowdownModel:
+    def test_slowdown_factor_formula(self):
+        config = simulation_configuration()
+        model = MixedWorkloadModel(read_amplification=1.0,
+                                   write_amplification=2.0,
+                                   reads_per_write=1.0)
+        assert model.slowdown_factor(config) == pytest.approx(1 / 21.0)
+
+    def test_lower_wa_means_higher_throughput(self):
+        config = simulation_configuration()
+        slow = MixedWorkloadModel(1.0, 3.0, 1.0).slowdown_factor(config)
+        fast = MixedWorkloadModel(1.0, 1.5, 1.0).slowdown_factor(config)
+        assert fast > slow
+
+    def test_compare_slowdown_keys_match(self):
+        config = simulation_configuration()
+        factors = compare_slowdown(config, {"GeckoFTL": 1.5, "uFTL": 3.0})
+        assert set(factors) == {"GeckoFTL", "uFTL"}
+        assert factors["GeckoFTL"] > factors["uFTL"]
+
+    def test_zero_denominator_rejected(self):
+        config = simulation_configuration()
+        with pytest.raises(ValueError):
+            MixedWorkloadModel(0.0, 0.0, 0.0).slowdown_factor(config)

@@ -1,0 +1,108 @@
+"""Tests for the experiment harness and the reporting helpers."""
+
+import pytest
+
+from repro.bench.harness import (
+    FTL_FACTORIES,
+    ExperimentConfig,
+    build_ftl,
+    compare_ftls,
+    run_experiment,
+    write_amplification_breakdown,
+)
+from repro.bench.reporting import (
+    format_bytes,
+    format_seconds,
+    format_table,
+    print_report,
+)
+from repro.flash.config import simulation_configuration
+from repro.flash.device import FlashDevice
+from repro.flash.stats import IOKind, IOPurpose, IOStats
+
+
+def small_config():
+    return simulation_configuration(num_blocks=64, pages_per_block=8,
+                                    page_size=256)
+
+
+class TestHarness:
+    def test_build_ftl_knows_all_paper_ftls(self):
+        device = FlashDevice(small_config())
+        for name in ("DFTL", "LazyFTL", "uFTL", "IB-FTL", "GeckoFTL"):
+            ftl = build_ftl(name, device=FlashDevice(small_config()),
+                            cache_capacity=64)
+            assert ftl.describe()["ftl"] == name
+        assert set(FTL_FACTORIES) == {"DFTL", "LazyFTL", "uFTL", "IB-FTL",
+                                      "GeckoFTL"}
+
+    def test_build_ftl_rejects_unknown_names(self):
+        with pytest.raises(ValueError):
+            build_ftl("NopeFTL", FlashDevice(small_config()), 64)
+
+    def test_run_experiment_produces_all_measurements(self):
+        config = ExperimentConfig(ftl_name="GeckoFTL", device=small_config(),
+                                  cache_capacity=64, write_operations=1500,
+                                  interval_writes=500)
+        result = run_experiment(config)
+        assert result.wa_total > 0
+        assert result.run.host_writes == 1500
+        assert "user" in result.wa_breakdown
+        assert result.ram_breakdown
+        assert result.row()["ftl"] == "GeckoFTL"
+
+    def test_warmup_is_excluded_from_measurements(self):
+        config = ExperimentConfig(ftl_name="DFTL", device=small_config(),
+                                  cache_capacity=64, write_operations=500,
+                                  interval_writes=250)
+        result = run_experiment(config)
+        assert result.run.host_writes == 500  # fill writes not counted
+
+    def test_compare_ftls_runs_every_requested_ftl(self):
+        results = compare_ftls(["DFTL", "GeckoFTL"], small_config(),
+                               cache_capacity=64, write_operations=1000)
+        assert [r.config.ftl_name for r in results] == ["DFTL", "GeckoFTL"]
+
+    def test_wa_breakdown_sums_to_total(self):
+        stats = IOStats()
+        stats.record_host_write(100)
+        stats.record(IOKind.PAGE_WRITE, IOPurpose.USER, amount=100)
+        stats.record(IOKind.PAGE_WRITE, IOPurpose.VALIDITY, amount=20)
+        stats.record(IOKind.PAGE_READ, IOPurpose.GC, amount=10)
+        breakdown = write_amplification_breakdown(stats, delta=10)
+        assert sum(breakdown.values()) == pytest.approx(
+            stats.write_amplification(10))
+
+
+class TestReporting:
+    def test_format_table_aligns_columns(self):
+        rows = [{"ftl": "GeckoFTL", "wa": 1.5}, {"ftl": "DFTL", "wa": 2.25}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "GeckoFTL" in text and "2.25" in text
+
+    def test_format_table_handles_empty_rows(self):
+        assert "(no data)" in format_table([], title="empty")
+
+    def test_format_table_respects_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_bytes_scales_units(self):
+        assert format_bytes(512) == "512.00 B"
+        assert format_bytes(64 * 2**20) == "64.00 MB"
+        assert format_bytes(3 * 2**30) == "3.00 GB"
+
+    def test_format_seconds_scales_units(self):
+        assert format_seconds(0.00002).endswith("us")
+        assert format_seconds(0.5).endswith("ms")
+        assert format_seconds(36).endswith("s")
+        assert format_seconds(600).endswith("min")
+
+    def test_print_report_writes_to_stdout(self, capsys):
+        print_report("title", [{"x": 1}])
+        captured = capsys.readouterr().out
+        assert "title" in captured
+        assert "x" in captured

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads import Operation, OpKind, record_trace
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        arguments = build_parser().parse_args(["compare"])
+        assert arguments.ftls == ["GeckoFTL", "uFTL"]
+        assert arguments.writes == 4000
+
+    def test_unknown_ftl_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--ftls", "NopeFTL"])
+
+
+class TestCommands:
+    def test_ram_command_prints_all_ftls(self, capsys):
+        assert main(["ram", "--capacity-gb", "2048"]) == 0
+        output = capsys.readouterr().out
+        for name in ("DFTL", "LazyFTL", "uFTL", "IB-FTL", "GeckoFTL"):
+            assert name in output
+
+    def test_recovery_command_prints_battery_column(self, capsys):
+        assert main(["recovery", "--capacity-gb", "512"]) == 0
+        output = capsys.readouterr().out
+        assert "battery" in output
+        assert "GeckoFTL" in output
+
+    def test_compare_command_small_run(self, capsys):
+        code = main(["compare", "--ftls", "GeckoFTL", "--writes", "500",
+                     "--blocks", "64", "--pages-per-block", "8",
+                     "--page-size", "256", "--cache-entries", "64"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "GeckoFTL" in output
+        assert "wa_total" in output
+
+    def test_replay_command(self, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        operations = [Operation(OpKind.WRITE, i % 50) for i in range(300)]
+        record_trace(operations, trace)
+        code = main(["replay", str(trace), "--ftl", "GeckoFTL",
+                     "--writes", "300", "--blocks", "64",
+                     "--pages-per-block", "8", "--page-size", "256",
+                     "--cache-entries", "64"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "write_amplification" in output

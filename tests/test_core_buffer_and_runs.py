@@ -1,0 +1,142 @@
+"""Unit tests for the Gecko buffer and run directories."""
+
+import pytest
+
+from repro.core.buffer import GeckoBuffer
+from repro.core.gecko_entry import EntryLayout, GeckoEntry
+from repro.core.run import GeckoPagePayload, Run, RunDirectorySet, RunPageInfo
+from repro.flash.address import PhysicalAddress
+
+
+@pytest.fixture
+def layout():
+    return EntryLayout(pages_per_block=8, page_size=128, partition_factor=2)
+
+
+class TestGeckoBuffer:
+    def test_insert_invalid_sets_the_right_bit(self, layout):
+        buffer = GeckoBuffer(layout)
+        buffer.insert_invalid(3, 5)
+        entries = buffer.entries_for_block(3)
+        assert len(entries) == 1
+        assert entries[0].sub_key == 1      # offset 5 is in the second slice
+        assert entries[0].bitmap == 0b10    # bit 1 within that slice
+
+    def test_repeated_inserts_reuse_the_entry(self, layout):
+        buffer = GeckoBuffer(layout)
+        buffer.insert_invalid(3, 0)
+        buffer.insert_invalid(3, 1)
+        assert len(buffer) == 1
+        assert buffer.entries_for_block(3)[0].bitmap == 0b11
+
+    def test_offset_out_of_range_rejected(self, layout):
+        buffer = GeckoBuffer(layout)
+        with pytest.raises(ValueError):
+            buffer.insert_invalid(3, 99)
+
+    def test_insert_erase_replaces_block_records(self, layout):
+        buffer = GeckoBuffer(layout)
+        buffer.insert_invalid(3, 0)
+        buffer.insert_invalid(3, 5)
+        buffer.insert_erase(3)
+        entries = buffer.entries_for_block(3)
+        assert len(entries) == 1
+        assert entries[0].erase_flag
+        assert entries[0].bitmap == 0
+
+    def test_capacity_matches_layout(self, layout):
+        assert GeckoBuffer(layout).capacity == layout.entries_per_page
+
+    def test_is_full(self, layout):
+        buffer = GeckoBuffer(layout)
+        block = 0
+        while not buffer.is_full:
+            buffer.insert_invalid(block, 0)
+            block += 1
+        assert len(buffer) == buffer.capacity
+
+    def test_drain_returns_sorted_entries_and_empties(self, layout):
+        buffer = GeckoBuffer(layout)
+        buffer.insert_invalid(5, 0)
+        buffer.insert_invalid(2, 7)
+        drained = buffer.drain()
+        assert [entry.block_id for entry in drained] == [2, 5]
+        assert len(buffer) == 0
+
+    def test_clear(self, layout):
+        buffer = GeckoBuffer(layout)
+        buffer.insert_invalid(1, 1)
+        buffer.clear()
+        assert len(buffer) == 0
+
+    def test_ram_bytes_is_one_page(self, layout):
+        assert GeckoBuffer(layout).ram_bytes == layout.page_size
+
+
+class TestRunDirectories:
+    def make_run(self, run_id, level, timestamp, keys=((0, 0), (5, 1))):
+        run = Run(run_id=run_id, level=level, creation_timestamp=timestamp)
+        run.pages.append(RunPageInfo(location=PhysicalAddress(0, run_id),
+                                     min_key=keys[0], max_key=keys[1]))
+        return run
+
+    def test_add_and_get(self):
+        directory = RunDirectorySet()
+        run = self.make_run(1, 0, 10)
+        directory.add(run)
+        assert directory.get(1) is run
+        assert 1 in directory
+
+    def test_all_runs_is_newest_first(self):
+        directory = RunDirectorySet()
+        directory.add(self.make_run(1, 0, 10))
+        directory.add(self.make_run(2, 0, 20))
+        assert [run.run_id for run in directory.all_runs()] == [2, 1]
+
+    def test_runs_at_level_is_oldest_first(self):
+        directory = RunDirectorySet()
+        directory.add(self.make_run(1, 1, 30))
+        directory.add(self.make_run(2, 1, 20))
+        assert [run.run_id for run in directory.runs_at_level(1)] == [2, 1]
+
+    def test_levels_and_totals(self):
+        directory = RunDirectorySet()
+        directory.add(self.make_run(1, 0, 10))
+        directory.add(self.make_run(2, 2, 20))
+        assert directory.levels() == [0, 2]
+        assert directory.total_pages() == 2
+
+    def test_remove(self):
+        directory = RunDirectorySet()
+        directory.add(self.make_run(1, 0, 10))
+        directory.remove(1)
+        assert len(directory) == 0
+
+    def test_ram_bytes_counts_pages(self):
+        directory = RunDirectorySet()
+        directory.add(self.make_run(1, 0, 10))
+        assert directory.ram_bytes() == 8
+
+    def test_pages_overlapping_uses_key_ranges(self):
+        run = Run(run_id=1, level=0, creation_timestamp=1)
+        run.pages.append(RunPageInfo(PhysicalAddress(0, 0), (0, 0), (4, 9)))
+        run.pages.append(RunPageInfo(PhysicalAddress(0, 1), (5, 0), (9, 9)))
+        assert len(run.pages_overlapping(3)) == 1
+        assert len(run.pages_overlapping(5)) == 1
+        assert len(run.pages_overlapping(12)) == 0
+
+    def test_clear_drops_everything(self):
+        directory = RunDirectorySet()
+        directory.add(self.make_run(1, 0, 10))
+        directory.clear()
+        assert len(directory) == 0
+
+
+class TestGeckoPagePayload:
+    def test_copy_is_deep_for_entries(self):
+        payload = GeckoPagePayload(run_id=1, level=0, sequence=0, is_last=True,
+                                   entries=(GeckoEntry(1, bitmap=1),),
+                                   manifest=(1,))
+        copy = payload.copy()
+        copy.entries[0].bitmap = 0b10
+        assert payload.entries[0].bitmap == 0b1

@@ -1,0 +1,157 @@
+"""Unit tests for Gecko entries, entry-partitioning, and collision merging."""
+
+import pytest
+
+from repro.core.gecko_entry import (
+    KEY_BITS,
+    EntryLayout,
+    GeckoEntry,
+    merge_collision,
+    merge_entry_lists,
+    strip_obsolete_in_largest_run,
+)
+
+
+class TestEntryLayout:
+    def test_unpartitioned_entry_covers_the_whole_block(self):
+        layout = EntryLayout(pages_per_block=128, page_size=4096)
+        assert layout.bits_per_slice == 128
+        assert layout.subkey_bits == 0
+
+    def test_partitioned_entry_covers_a_slice(self):
+        layout = EntryLayout(pages_per_block=128, page_size=4096,
+                             partition_factor=4)
+        assert layout.bits_per_slice == 32
+        assert layout.subkey_bits == 2
+
+    def test_entries_per_page_grows_with_partitioning(self):
+        whole = EntryLayout(pages_per_block=512, page_size=4096)
+        partitioned = EntryLayout(pages_per_block=512, page_size=4096,
+                                  partition_factor=16)
+        assert partitioned.entries_per_page > whole.entries_per_page
+
+    def test_recommended_factor_is_b_over_key(self):
+        layout = EntryLayout.recommended(pages_per_block=128, page_size=4096)
+        assert layout.partition_factor == 128 // KEY_BITS
+
+    def test_recommended_factor_divides_block_size(self):
+        layout = EntryLayout.recommended(pages_per_block=48, page_size=4096)
+        assert 48 % layout.partition_factor == 0
+
+    def test_recommended_never_exceeds_block_size(self):
+        layout = EntryLayout.recommended(pages_per_block=16, page_size=4096)
+        assert 1 <= layout.partition_factor <= 16
+
+    def test_factor_must_divide_block_size(self):
+        with pytest.raises(ValueError):
+            EntryLayout(pages_per_block=10, page_size=512, partition_factor=3)
+
+    def test_factor_must_be_at_least_one(self):
+        with pytest.raises(ValueError):
+            EntryLayout(pages_per_block=8, page_size=512, partition_factor=0)
+
+    def test_factor_cannot_exceed_block_size(self):
+        with pytest.raises(ValueError):
+            EntryLayout(pages_per_block=8, page_size=512, partition_factor=16)
+
+    def test_entries_per_page_is_at_least_one(self):
+        layout = EntryLayout(pages_per_block=4096, page_size=64)
+        assert layout.entries_per_page >= 1
+
+
+class TestGeckoEntry:
+    def test_offsets_unpartitioned(self):
+        layout = EntryLayout(pages_per_block=8, page_size=512)
+        entry = GeckoEntry(block_id=1, bitmap=0b1010)
+        assert entry.offsets(layout) == [1, 3]
+
+    def test_offsets_with_subkey(self):
+        layout = EntryLayout(pages_per_block=8, page_size=512,
+                             partition_factor=2)
+        entry = GeckoEntry(block_id=1, sub_key=1, bitmap=0b0011)
+        assert entry.offsets(layout) == [4, 5]
+
+    def test_sort_key_orders_by_block_then_subkey(self):
+        a = GeckoEntry(block_id=1, sub_key=1)
+        b = GeckoEntry(block_id=2, sub_key=0)
+        assert a.sort_key < b.sort_key
+
+    def test_copy_is_independent(self):
+        entry = GeckoEntry(block_id=1, bitmap=0b1)
+        copy = entry.copy()
+        copy.bitmap = 0b10
+        assert entry.bitmap == 0b1
+
+
+class TestMergeCollision:
+    def test_newer_erase_flag_discards_older(self):
+        newer = GeckoEntry(1, bitmap=0, erase_flag=True)
+        older = GeckoEntry(1, bitmap=0b111)
+        merged = merge_collision(newer, older)
+        assert merged.erase_flag
+        assert merged.bitmap == 0
+
+    def test_bitmaps_are_ored(self):
+        newer = GeckoEntry(1, bitmap=0b001)
+        older = GeckoEntry(1, bitmap=0b100)
+        assert merge_collision(newer, older).bitmap == 0b101
+
+    def test_older_erase_flag_is_preserved(self):
+        newer = GeckoEntry(1, bitmap=0b1)
+        older = GeckoEntry(1, bitmap=0b10, erase_flag=True)
+        merged = merge_collision(newer, older)
+        assert merged.erase_flag
+        assert merged.bitmap == 0b11
+
+    def test_mismatched_keys_are_rejected(self):
+        with pytest.raises(ValueError):
+            merge_collision(GeckoEntry(1), GeckoEntry(2))
+
+
+class TestMergeEntryLists:
+    def test_merge_preserves_sort_order(self):
+        newer = [GeckoEntry(1, bitmap=1), GeckoEntry(5, bitmap=1)]
+        older = [GeckoEntry(2, bitmap=1), GeckoEntry(4, bitmap=1)]
+        merged = merge_entry_lists(newer, older)
+        keys = [entry.block_id for entry in merged]
+        assert keys == sorted(keys)
+
+    def test_collisions_are_resolved(self):
+        newer = [GeckoEntry(3, bitmap=0b01)]
+        older = [GeckoEntry(3, bitmap=0b10)]
+        merged = merge_entry_lists(newer, older)
+        assert len(merged) == 1
+        assert merged[0].bitmap == 0b11
+
+    def test_block_level_erase_shadows_all_subkeys(self):
+        newer = [GeckoEntry(3, sub_key=0, erase_flag=True)]
+        older = [GeckoEntry(3, sub_key=0, bitmap=0b1),
+                 GeckoEntry(3, sub_key=2, bitmap=0b1)]
+        merged = merge_entry_lists(newer, older)
+        assert len(merged) == 1
+        assert merged[0].erase_flag
+
+    def test_non_colliding_entries_survive(self):
+        newer = [GeckoEntry(1, bitmap=0b1)]
+        older = [GeckoEntry(9, bitmap=0b1)]
+        merged = merge_entry_lists(newer, older)
+        assert {entry.block_id for entry in merged} == {1, 9}
+
+    def test_empty_inputs(self):
+        assert merge_entry_lists([], []) == []
+        only = merge_entry_lists([GeckoEntry(1, bitmap=1)], [])
+        assert len(only) == 1
+
+
+class TestStripObsolete:
+    def test_erase_flags_are_cleared(self):
+        entries = [GeckoEntry(1, bitmap=0b1, erase_flag=True)]
+        stripped = strip_obsolete_in_largest_run(entries)
+        assert len(stripped) == 1
+        assert not stripped[0].erase_flag
+
+    def test_empty_entries_are_dropped(self):
+        entries = [GeckoEntry(1, bitmap=0, erase_flag=True),
+                   GeckoEntry(2, bitmap=0b1)]
+        stripped = strip_obsolete_in_largest_run(entries)
+        assert [entry.block_id for entry in stripped] == [2]

@@ -1,0 +1,134 @@
+"""Additional coverage for Logarithmic Gecko internals and storage backends."""
+
+import pytest
+
+from repro.core.gecko_entry import EntryLayout
+from repro.core.logarithmic_gecko import GeckoConfig, LogarithmicGecko
+from repro.core.storage import FlashGeckoStorage, InMemoryGeckoStorage
+from repro.core.run import GeckoPagePayload
+from repro.core.gecko_entry import GeckoEntry
+from repro.flash.config import simulation_configuration
+from repro.flash.device import FlashDevice
+from repro.flash.stats import IOKind, IOPurpose
+from repro.ftl.block_manager import BlockManager, BlockType
+
+
+def make_gecko(storage=None, size_ratio=2):
+    layout = EntryLayout(pages_per_block=8, page_size=128)
+    return LogarithmicGecko(GeckoConfig(size_ratio=size_ratio, layout=layout),
+                            storage=storage or InMemoryGeckoStorage())
+
+
+class TestInMemoryStorage:
+    def test_allocate_returns_distinct_addresses(self):
+        storage = InMemoryGeckoStorage()
+        assert storage.allocate() != storage.allocate()
+
+    def test_write_read_roundtrip(self):
+        storage = InMemoryGeckoStorage()
+        address = storage.allocate()
+        payload = GeckoPagePayload(run_id=1, level=0, sequence=0, is_last=True,
+                                   entries=(GeckoEntry(3, bitmap=1),),
+                                   manifest=(1,))
+        storage.write(address, payload)
+        read_back = storage.read(address)
+        assert read_back.entries[0].block_id == 3
+        assert storage.reads == 1 and storage.writes == 1
+
+    def test_invalidate_reduces_live_pages(self):
+        storage = InMemoryGeckoStorage()
+        address = storage.allocate()
+        storage.write(address, GeckoPagePayload(1, 0, 0, True, ()))
+        assert storage.live_pages == 1
+        storage.invalidate(address)
+        assert storage.live_pages == 0
+
+
+class TestFlashStorage:
+    @pytest.fixture
+    def setup(self):
+        device = FlashDevice(simulation_configuration(num_blocks=32,
+                                                      pages_per_block=8,
+                                                      page_size=256))
+        manager = BlockManager(device)
+        return device, manager, FlashGeckoStorage(device, manager)
+
+    def test_pages_land_on_validity_blocks(self, setup):
+        device, manager, storage = setup
+        address = storage.allocate()
+        storage.write(address, GeckoPagePayload(1, 0, 0, True, ()),
+                      {"gecko_run_id": 1})
+        assert manager.block_type(address.block) is BlockType.VALIDITY
+
+    def test_io_charged_to_validity_purpose(self, setup):
+        device, _manager, storage = setup
+        address = storage.allocate()
+        storage.write(address, GeckoPagePayload(1, 0, 0, True, ()))
+        storage.read(address)
+        assert device.stats.total(IOKind.PAGE_WRITE, IOPurpose.VALIDITY) == 1
+        assert device.stats.total(IOKind.PAGE_READ, IOPurpose.VALIDITY) == 1
+
+    def test_invalidate_marks_metadata_page(self, setup):
+        _device, manager, storage = setup
+        address = storage.allocate()
+        storage.write(address, GeckoPagePayload(1, 0, 0, True, ()))
+        storage.invalidate(address)
+        assert manager.metadata_invalid_count(address.block) == 1
+
+    def test_spare_payload_is_persisted(self, setup):
+        device, _manager, storage = setup
+        address = storage.allocate()
+        storage.write(address, GeckoPagePayload(7, 2, 0, True, ()),
+                      {"gecko_run_id": 7, "gecko_level": 2})
+        spare = device.peek(address).spare
+        assert spare.payload["gecko_run_id"] == 7
+        assert spare.payload["gecko_level"] == 2
+
+
+class TestRunPageMigration:
+    def test_migrate_run_page_keeps_answers_identical(self):
+        gecko = make_gecko()
+        for block in range(120):
+            gecko.record_invalid(block, block % 8)
+        run = gecko.runs.all_runs()[-1]
+        old_location = run.pages[0].location
+        expected = {block: gecko.gc_query(block) for block in range(0, 120, 7)}
+        new_location = gecko.migrate_run_page(old_location)
+        assert new_location is not None and new_location != old_location
+        for block, offsets in expected.items():
+            assert gecko.gc_query(block) == offsets
+
+    def test_migrating_unknown_page_is_a_noop(self):
+        gecko = make_gecko()
+        gecko.record_invalid(1, 1)
+        gecko.flush_buffer()
+        from repro.flash.address import PhysicalAddress
+        assert gecko.migrate_run_page(PhysicalAddress(99, 99)) is None
+
+
+class TestRestoreRuns:
+    def test_restore_runs_resumes_run_id_allocation(self):
+        source = make_gecko()
+        for block in range(200):
+            source.record_invalid(block, 0)
+        runs = source.runs.all_runs()
+        target = make_gecko(storage=source.storage)
+        target.restore_runs(runs)
+        assert target.num_runs == len(runs)
+        assert target._next_run_id > max(run.run_id for run in runs)
+        # New flushes must not clash with recovered run ids.
+        for block in range(50):
+            target.record_invalid(block, 1)
+        target.flush_buffer()
+        ids = target.runs.run_ids()
+        assert len(ids) == len(set(ids))
+
+    def test_smallest_run_creation_tracks_latest_flush(self):
+        gecko = make_gecko()
+        assert gecko.smallest_run_creation() is None
+        gecko.record_invalid(1, 1)
+        gecko.flush_buffer()
+        first = gecko.smallest_run_creation()
+        gecko.record_invalid(2, 2)
+        gecko.flush_buffer()
+        assert gecko.smallest_run_creation() >= first

@@ -1,0 +1,238 @@
+"""Unit tests for the Logarithmic Gecko data structure (standalone)."""
+
+import pytest
+
+from repro.core.gecko_entry import EntryLayout
+from repro.core.logarithmic_gecko import GeckoConfig, LogarithmicGecko
+from repro.core.storage import InMemoryGeckoStorage
+
+
+def make_gecko(size_ratio=2, pages_per_block=8, page_size=128,
+               partition_factor=1, multiway=False):
+    layout = EntryLayout(pages_per_block=pages_per_block, page_size=page_size,
+                         partition_factor=partition_factor)
+    config = GeckoConfig(size_ratio=size_ratio, layout=layout,
+                         multiway_merge=multiway)
+    return LogarithmicGecko(config, storage=InMemoryGeckoStorage())
+
+
+class TestConfiguration:
+    def test_size_ratio_below_two_is_rejected(self):
+        layout = EntryLayout(pages_per_block=8, page_size=128)
+        with pytest.raises(ValueError):
+            GeckoConfig(size_ratio=1, layout=layout)
+
+    def test_default_storage_is_in_memory(self):
+        layout = EntryLayout(pages_per_block=8, page_size=128)
+        gecko = LogarithmicGecko(GeckoConfig(size_ratio=2, layout=layout))
+        assert isinstance(gecko.storage, InMemoryGeckoStorage)
+
+
+class TestUpdatesAndQueries:
+    def test_buffered_update_is_visible_to_queries(self):
+        gecko = make_gecko()
+        gecko.record_invalid(7, 3)
+        assert gecko.gc_query(7) == {3}
+
+    def test_query_of_unknown_block_is_empty(self):
+        assert make_gecko().gc_query(42) == set()
+
+    def test_updates_accumulate_per_block(self):
+        gecko = make_gecko()
+        gecko.record_invalid(7, 3)
+        gecko.record_invalid(7, 5)
+        assert gecko.gc_query(7) == {3, 5}
+
+    def test_flushed_updates_remain_visible(self):
+        gecko = make_gecko()
+        gecko.record_invalid(7, 3)
+        gecko.flush_buffer()
+        assert gecko.gc_query(7) == {3}
+
+    def test_updates_survive_many_flushes_and_merges(self):
+        gecko = make_gecko()
+        for block in range(200):
+            gecko.record_invalid(block, block % 8)
+        for block in range(200):
+            assert block % 8 in gecko.gc_query(block)
+
+    def test_erase_obsoletes_older_records(self):
+        gecko = make_gecko()
+        gecko.record_invalid(7, 3)
+        gecko.flush_buffer()
+        gecko.record_erase(7)
+        assert gecko.gc_query(7) == set()
+
+    def test_records_after_erase_are_reported(self):
+        gecko = make_gecko()
+        gecko.record_erase(7)
+        gecko.record_invalid(7, 2)
+        assert gecko.gc_query(7) == {2}
+
+    def test_erase_shadow_survives_merges(self):
+        gecko = make_gecko()
+        for block in range(60):
+            gecko.record_invalid(block, 1)
+        gecko.record_erase(5)
+        for block in range(60, 120):
+            gecko.record_invalid(block, 1)
+        assert gecko.gc_query(5) == set()
+        assert gecko.gc_query(50) == {1}
+
+    def test_counters_track_operations(self):
+        gecko = make_gecko()
+        gecko.record_invalid(1, 1)
+        gecko.record_erase(2)
+        gecko.gc_query(1)
+        assert gecko.updates == 1
+        assert gecko.erase_records == 1
+        assert gecko.gc_queries == 1
+
+
+class TestPartitionedEntries:
+    def test_partitioned_queries_cover_all_slices(self):
+        gecko = make_gecko(partition_factor=4)
+        gecko.record_invalid(3, 0)
+        gecko.record_invalid(3, 7)
+        assert gecko.gc_query(3) == {0, 7}
+
+    def test_partitioned_flush_and_merge(self):
+        gecko = make_gecko(partition_factor=4)
+        for block in range(100):
+            gecko.record_invalid(block, block % 8)
+        for block in range(100):
+            assert block % 8 in gecko.gc_query(block)
+
+    def test_partitioned_erase(self):
+        gecko = make_gecko(partition_factor=2)
+        gecko.record_invalid(9, 0)
+        gecko.record_invalid(9, 7)
+        gecko.flush_buffer()
+        gecko.record_erase(9)
+        assert gecko.gc_query(9) == set()
+
+
+class TestMergeBehaviour:
+    def test_buffer_flush_creates_runs(self):
+        gecko = make_gecko()
+        capacity = gecko.buffer.capacity
+        for block in range(capacity):
+            gecko.record_invalid(block, 0)
+        assert gecko.num_runs >= 1
+
+    def test_two_runs_at_a_level_are_merged(self):
+        gecko = make_gecko()
+        capacity = gecko.buffer.capacity
+        # Two buffer flushes with identical key sets collapse into one run.
+        for _round in range(2):
+            for block in range(capacity):
+                gecko.record_invalid(block, _round)
+            gecko.flush_buffer()
+        assert gecko.merge_operations >= 1
+        levels = gecko.runs.levels()
+        for level in levels:
+            assert len(gecko.runs.runs_at_level(level)) <= 1
+
+    def test_level_grows_logarithmically(self):
+        gecko = make_gecko()
+        for block in range(400):
+            gecko.record_invalid(block % 300, 0)
+        assert gecko.num_levels <= 6
+
+    def test_obsolete_runs_are_invalidated_in_storage(self):
+        gecko = make_gecko()
+        for block in range(200):
+            gecko.record_invalid(block, 0)
+        storage = gecko.storage
+        assert storage.live_pages == gecko.total_flash_pages()
+
+    def test_space_amplification_is_bounded(self):
+        gecko = make_gecko()
+        for round_number in range(6):
+            for block in range(150):
+                gecko.record_invalid(block, round_number % 8)
+        gecko.flush_buffer()
+        minimal_pages = -(-150 // gecko.layout.entries_per_page)
+        assert gecko.total_flash_pages() <= 3 * minimal_pages
+
+    def test_multiway_merge_produces_same_answers(self):
+        two_way = make_gecko(multiway=False)
+        multi = make_gecko(multiway=True)
+        for block in range(300):
+            two_way.record_invalid(block % 200, block % 8)
+            multi.record_invalid(block % 200, block % 8)
+        for block in range(200):
+            assert two_way.gc_query(block) == multi.gc_query(block)
+
+    def test_multiway_merge_writes_no_more_than_two_way(self):
+        two_way = make_gecko(multiway=False)
+        multi = make_gecko(multiway=True)
+        for block in range(500):
+            two_way.record_invalid(block % 300, block % 8)
+            multi.record_invalid(block % 300, block % 8)
+        assert multi.storage.writes <= two_way.storage.writes
+
+    def test_higher_size_ratio_reduces_levels(self):
+        small_t = make_gecko(size_ratio=2)
+        large_t = make_gecko(size_ratio=8)
+        for block in range(600):
+            small_t.record_invalid(block % 400, 0)
+            large_t.record_invalid(block % 400, 0)
+        assert large_t.num_levels <= small_t.num_levels
+
+
+class TestCostBehaviour:
+    def test_updates_are_cheaper_than_flash_pvb(self):
+        """V buffered updates must cost far fewer than V writes (Table 1)."""
+        gecko = make_gecko()
+        updates = 2000
+        for i in range(updates):
+            gecko.record_invalid(i % 500, i % 8)
+        assert gecko.storage.writes < updates / 2
+
+    def test_gc_query_reads_at_most_one_page_per_run(self):
+        gecko = make_gecko()
+        for block in range(300):
+            gecko.record_invalid(block, 0)
+        reads_before = gecko.storage.reads
+        gecko.gc_query(150)
+        reads = gecko.storage.reads - reads_before
+        assert reads <= 2 * gecko.num_runs
+
+    def test_ram_bytes_counts_buffer_and_directories(self):
+        gecko = make_gecko()
+        for block in range(200):
+            gecko.record_invalid(block, 0)
+        assert gecko.ram_bytes() >= gecko.buffer.ram_bytes
+        assert gecko.ram_bytes() == (gecko.buffer.ram_bytes
+                                     + gecko.runs.ram_bytes())
+
+
+class TestReconstruction:
+    def test_reconstruct_bitmaps_matches_queries(self):
+        gecko = make_gecko()
+        import random
+        rng = random.Random(3)
+        expected = {}
+        for _ in range(500):
+            block = rng.randrange(100)
+            offset = rng.randrange(8)
+            gecko.record_invalid(block, offset)
+            expected.setdefault(block, set()).add(offset)
+        bitmaps = gecko.reconstruct_bitmaps()
+        for block, offsets in expected.items():
+            assert bitmaps.get(block, set()) == offsets
+            assert gecko.gc_query(block) == offsets
+
+    def test_reconstruct_respects_erases(self):
+        gecko = make_gecko()
+        gecko.record_invalid(4, 2)
+        gecko.flush_buffer()
+        gecko.record_erase(4)
+        assert gecko.reconstruct_bitmaps().get(4, set()) == set()
+
+    def test_reconstruct_does_not_consume_the_buffer(self):
+        gecko = make_gecko()
+        gecko.record_invalid(4, 2)
+        gecko.reconstruct_bitmaps()
+        assert gecko.gc_query(4) == {2}

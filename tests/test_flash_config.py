@@ -1,0 +1,114 @@
+"""Unit tests for device configuration and derived geometry."""
+
+import pytest
+
+from repro.flash.config import (
+    DeviceConfig,
+    LatencyConfig,
+    paper_configuration,
+    simulation_configuration,
+)
+from repro.flash.errors import ConfigurationError
+
+
+class TestDeviceConfigValidation:
+    def test_rejects_zero_blocks(self):
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(num_blocks=0)
+
+    def test_rejects_zero_pages_per_block(self):
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(pages_per_block=0)
+
+    def test_rejects_zero_page_size(self):
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(page_size=0)
+
+    def test_rejects_logical_ratio_of_one(self):
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(logical_ratio=1.0)
+
+    def test_rejects_negative_logical_ratio(self):
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(logical_ratio=-0.1)
+
+    def test_rejects_zero_max_erase_count(self):
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(max_erase_count=0)
+
+
+class TestDerivedGeometry:
+    def test_physical_pages(self):
+        config = DeviceConfig(num_blocks=10, pages_per_block=4, page_size=512)
+        assert config.physical_pages == 40
+
+    def test_physical_capacity_bytes(self):
+        config = DeviceConfig(num_blocks=10, pages_per_block=4, page_size=512)
+        assert config.physical_capacity_bytes == 40 * 512
+
+    def test_logical_pages_respects_ratio(self):
+        config = DeviceConfig(num_blocks=10, pages_per_block=10,
+                              page_size=512, logical_ratio=0.7)
+        assert config.logical_pages == 70
+
+    def test_spare_area_is_a_32th_of_a_page(self):
+        config = DeviceConfig(page_size=4096)
+        assert config.spare_area_bytes == 128
+
+    def test_mapping_entries_per_page(self):
+        config = DeviceConfig(page_size=4096)
+        assert config.mapping_entries_per_page == 1024
+
+    def test_translation_table_bytes(self):
+        config = DeviceConfig(num_blocks=16, pages_per_block=8,
+                              page_size=512, logical_ratio=0.5)
+        assert config.translation_table_bytes == config.logical_pages * 4
+
+    def test_num_translation_pages_covers_all_logical_pages(self):
+        config = simulation_configuration()
+        covered = config.num_translation_pages * config.mapping_entries_per_page
+        assert covered >= config.logical_pages
+
+    def test_pvb_bytes_is_one_bit_per_physical_page(self):
+        config = DeviceConfig(num_blocks=16, pages_per_block=16)
+        assert config.pvb_bytes == 16 * 16 // 8
+
+    def test_scaled_overrides_fields(self):
+        config = simulation_configuration()
+        bigger = config.scaled(num_blocks=config.num_blocks * 2)
+        assert bigger.num_blocks == config.num_blocks * 2
+        assert bigger.page_size == config.page_size
+
+    def test_describe_contains_key_terms(self):
+        summary = simulation_configuration().describe()
+        assert "num_blocks (K)" in summary
+        assert "delta" in summary
+
+
+class TestLatency:
+    def test_default_delta_is_ten(self):
+        assert LatencyConfig().delta == pytest.approx(10.0)
+
+    def test_custom_delta(self):
+        latency = LatencyConfig(page_read_us=50, page_write_us=500)
+        assert latency.delta == pytest.approx(10.0)
+
+    def test_config_exposes_delta(self):
+        assert simulation_configuration().delta == pytest.approx(10.0)
+
+
+class TestPresets:
+    def test_paper_configuration_is_two_terabytes(self):
+        config = paper_configuration()
+        assert config.physical_capacity_bytes == 2**41  # 2 TB
+
+    def test_paper_configuration_matches_figure2_terms(self):
+        config = paper_configuration()
+        assert config.num_blocks == 2**22
+        assert config.pages_per_block == 2**7
+        assert config.page_size == 2**12
+        assert config.logical_ratio == pytest.approx(0.7)
+
+    def test_simulation_configuration_is_small(self):
+        config = simulation_configuration()
+        assert config.physical_capacity_bytes < 2**25

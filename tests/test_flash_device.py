@@ -1,0 +1,151 @@
+"""Unit tests for the flash device, blocks, pages, and NAND constraints."""
+
+import pytest
+
+from repro.flash.address import PhysicalAddress
+from repro.flash.block import FlashBlock
+from repro.flash.config import simulation_configuration
+from repro.flash.device import FlashDevice
+from repro.flash.errors import (
+    BlockWornOutError,
+    InvalidAddressError,
+    NonSequentialWriteError,
+    ReadFreePageError,
+    WriteToNonFreePageError,
+)
+from repro.flash.page import PageState, SpareArea
+from repro.flash.stats import IOKind, IOPurpose
+
+
+@pytest.fixture
+def device():
+    return FlashDevice(simulation_configuration(num_blocks=8,
+                                                pages_per_block=4,
+                                                page_size=256))
+
+
+class TestAddressing:
+    def test_linear_roundtrip(self):
+        address = PhysicalAddress(3, 5)
+        assert PhysicalAddress.from_linear(address.to_linear(16), 16) == address
+
+    def test_linear_is_block_major(self):
+        assert PhysicalAddress(2, 1).to_linear(8) == 17
+
+    def test_str_is_compact(self):
+        assert str(PhysicalAddress(1, 2)) == "P(1,2)"
+
+    def test_out_of_range_block_rejected(self, device):
+        with pytest.raises(InvalidAddressError):
+            device.read_page(PhysicalAddress(100, 0))
+
+    def test_out_of_range_page_rejected(self, device):
+        with pytest.raises(InvalidAddressError):
+            device.write_page(PhysicalAddress(0, 100), "x")
+
+
+class TestWriteReadErase:
+    def test_write_then_read_returns_data(self, device):
+        address = PhysicalAddress(0, 0)
+        device.write_page(address, "hello",
+                          spare=SpareArea(logical_address=7))
+        page = device.read_page(address)
+        assert page.data == "hello"
+        assert page.spare.logical_address == 7
+
+    def test_read_of_free_page_is_an_error(self, device):
+        with pytest.raises(ReadFreePageError):
+            device.read_page(PhysicalAddress(0, 0))
+
+    def test_overwrite_without_erase_is_an_error(self, device):
+        address = PhysicalAddress(0, 0)
+        device.write_page(address, "a")
+        with pytest.raises(WriteToNonFreePageError):
+            device.write_page(address, "b")
+
+    def test_writes_must_be_sequential_within_block(self, device):
+        with pytest.raises(NonSequentialWriteError):
+            device.write_page(PhysicalAddress(0, 2), "skip")
+
+    def test_erase_frees_all_pages(self, device):
+        for offset in range(4):
+            device.write_page(PhysicalAddress(1, offset), offset)
+        device.erase_block(1)
+        block = device.block(1)
+        assert block.is_erased
+        assert all(page.is_free for page in block.pages)
+
+    def test_write_after_erase_is_allowed(self, device):
+        address = PhysicalAddress(2, 0)
+        device.write_page(address, "first")
+        device.erase_block(2)
+        device.write_page(address, "second")
+        assert device.read_page(address).data == "second"
+
+    def test_write_clock_monotonic_in_spare(self, device):
+        spare_a = device.write_page(PhysicalAddress(0, 0), "a")
+        spare_b = device.write_page(PhysicalAddress(0, 1), "b")
+        assert spare_b.write_timestamp > spare_a.write_timestamp
+
+    def test_spare_read_does_not_require_data_read(self, device):
+        device.write_page(PhysicalAddress(0, 0), "a",
+                          spare=SpareArea(logical_address=99))
+        assert device.read_spare(PhysicalAddress(0, 0)).logical_address == 99
+
+    def test_peek_charges_no_io(self, device):
+        device.write_page(PhysicalAddress(0, 0), "a")
+        before = device.stats.page_reads
+        device.peek(PhysicalAddress(0, 0))
+        assert device.stats.page_reads == before
+
+
+class TestBlockLifetime:
+    def test_block_wears_out(self):
+        block = FlashBlock(block_id=0, pages_per_block=2, max_erase_count=3)
+        for _ in range(3):
+            block.erase()
+        with pytest.raises(BlockWornOutError):
+            block.erase()
+
+    def test_remaining_lifetime_counts_down(self):
+        block = FlashBlock(block_id=0, pages_per_block=2, max_erase_count=5)
+        block.erase()
+        block.erase()
+        assert block.remaining_lifetime == 3
+
+    def test_free_and_written_page_counts(self, device):
+        device.write_page(PhysicalAddress(0, 0), "a")
+        device.write_page(PhysicalAddress(0, 1), "b")
+        block = device.block(0)
+        assert block.written_pages == 2
+        assert block.free_pages == 2
+
+    def test_page_state_transitions(self, device):
+        page = device.block(0).pages[0]
+        assert page.state is PageState.FREE
+        device.write_page(PhysicalAddress(0, 0), "a")
+        assert page.state is PageState.WRITTEN
+
+
+class TestAccounting:
+    def test_reads_and_writes_are_counted(self, device):
+        device.write_page(PhysicalAddress(0, 0), "a", purpose=IOPurpose.USER)
+        device.read_page(PhysicalAddress(0, 0), purpose=IOPurpose.GC)
+        device.read_spare(PhysicalAddress(0, 0), purpose=IOPurpose.RECOVERY)
+        device.erase_block(0, purpose=IOPurpose.GC)
+        stats = device.stats
+        assert stats.total(IOKind.PAGE_WRITE, IOPurpose.USER) == 1
+        assert stats.total(IOKind.PAGE_READ, IOPurpose.GC) == 1
+        assert stats.total(IOKind.SPARE_READ, IOPurpose.RECOVERY) == 1
+        assert stats.total(IOKind.BLOCK_ERASE, IOPurpose.GC) == 1
+
+    def test_free_and_written_page_totals(self, device):
+        device.write_page(PhysicalAddress(0, 0), "a")
+        total = device.config.physical_pages
+        assert device.written_page_count() == 1
+        assert device.free_page_count() == total - 1
+
+    def test_power_failure_preserves_flash_contents(self, device):
+        device.write_page(PhysicalAddress(0, 0), "survives")
+        device.simulate_power_failure()
+        assert device.read_page(PhysicalAddress(0, 0)).data == "survives"

@@ -1,0 +1,100 @@
+"""Unit tests for IO accounting and write-amplification computation."""
+
+import pytest
+
+from repro.flash.config import LatencyConfig
+from repro.flash.stats import IOKind, IOPurpose, IOStats
+
+
+class TestCounting:
+    def test_record_and_total(self):
+        stats = IOStats()
+        stats.record(IOKind.PAGE_WRITE, IOPurpose.USER, amount=3)
+        stats.record(IOKind.PAGE_WRITE, IOPurpose.GC)
+        assert stats.total(IOKind.PAGE_WRITE) == 4
+        assert stats.total(IOKind.PAGE_WRITE, IOPurpose.GC) == 1
+
+    def test_property_shortcuts(self):
+        stats = IOStats()
+        stats.record(IOKind.PAGE_READ)
+        stats.record(IOKind.SPARE_READ)
+        stats.record(IOKind.BLOCK_ERASE)
+        assert stats.page_reads == 1
+        assert stats.spare_reads == 1
+        assert stats.block_erases == 1
+
+    def test_breakdown_nests_purpose_then_kind(self):
+        stats = IOStats()
+        stats.record(IOKind.PAGE_WRITE, IOPurpose.VALIDITY, amount=2)
+        breakdown = stats.breakdown()
+        assert breakdown["validity"]["page_write"] == 2
+
+    def test_purposes_lists_only_recorded(self):
+        stats = IOStats()
+        stats.record(IOKind.PAGE_WRITE, IOPurpose.USER)
+        assert list(stats.purposes()) == [IOPurpose.USER]
+
+
+class TestWriteAmplification:
+    def test_zero_host_writes_gives_zero(self):
+        assert IOStats().write_amplification(delta=10) == 0.0
+
+    def test_formula_counts_reads_at_one_over_delta(self):
+        stats = IOStats()
+        stats.record_host_write(100)
+        stats.record(IOKind.PAGE_WRITE, IOPurpose.USER, amount=100)
+        stats.record(IOKind.PAGE_READ, IOPurpose.GC, amount=50)
+        assert stats.write_amplification(delta=10) == pytest.approx(
+            (100 + 50 / 10) / 100)
+
+    def test_purpose_filter(self):
+        stats = IOStats()
+        stats.record_host_write(10)
+        stats.record(IOKind.PAGE_WRITE, IOPurpose.USER, amount=10)
+        stats.record(IOKind.PAGE_WRITE, IOPurpose.VALIDITY, amount=5)
+        validity_only = stats.write_amplification(
+            delta=10, include_purposes=[IOPurpose.VALIDITY])
+        assert validity_only == pytest.approx(0.5)
+
+    def test_explicit_host_writes_override(self):
+        stats = IOStats()
+        stats.record(IOKind.PAGE_WRITE, IOPurpose.USER, amount=20)
+        assert stats.write_amplification(delta=10, host_writes=10) == 2.0
+
+
+class TestSnapshots:
+    def test_diff_isolates_an_interval(self):
+        stats = IOStats()
+        stats.record(IOKind.PAGE_WRITE, IOPurpose.USER, amount=5)
+        stats.record_host_write(5)
+        snapshot = stats.snapshot()
+        stats.record(IOKind.PAGE_WRITE, IOPurpose.USER, amount=3)
+        stats.record_host_write(3)
+        interval = stats.diff(snapshot)
+        assert interval.total(IOKind.PAGE_WRITE) == 3
+        assert interval.host_writes == 3
+
+    def test_snapshot_is_independent(self):
+        stats = IOStats()
+        snapshot = stats.snapshot()
+        stats.record(IOKind.PAGE_READ)
+        assert snapshot.page_reads == 0
+
+    def test_reset_clears_everything(self):
+        stats = IOStats()
+        stats.record(IOKind.PAGE_READ)
+        stats.record_host_write()
+        stats.reset()
+        assert stats.page_reads == 0
+        assert stats.host_writes == 0
+
+
+class TestLatencyAccounting:
+    def test_latency_us_sums_operation_costs(self):
+        stats = IOStats()
+        stats.record(IOKind.PAGE_READ, amount=2)
+        stats.record(IOKind.PAGE_WRITE, amount=1)
+        stats.record(IOKind.SPARE_READ, amount=10)
+        latency = LatencyConfig()
+        expected = 2 * 100.0 + 1 * 1000.0 + 10 * 3.0
+        assert stats.latency_us(latency) == pytest.approx(expected)

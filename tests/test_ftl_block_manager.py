@@ -1,0 +1,152 @@
+"""Unit tests for the block manager (layout, allocation, reclamation)."""
+
+import pytest
+
+from repro.flash.address import PhysicalAddress
+from repro.flash.config import simulation_configuration
+from repro.flash.device import FlashDevice
+from repro.flash.errors import DeviceFullError
+from repro.ftl.block_manager import BlockManager, BlockType
+
+
+@pytest.fixture
+def device():
+    return FlashDevice(simulation_configuration(num_blocks=16,
+                                                pages_per_block=4,
+                                                page_size=256))
+
+
+@pytest.fixture
+def manager(device):
+    return BlockManager(device, gc_reserve_blocks=2)
+
+
+class TestAllocation:
+    def test_first_allocation_opens_an_active_block(self, manager):
+        address = manager.allocate_page(BlockType.USER)
+        assert address.page == 0
+        assert manager.block_type(address.block) is BlockType.USER
+
+    def test_allocation_is_append_only(self, manager, device):
+        first = manager.allocate_page(BlockType.USER)
+        device.write_page(first, "a")
+        second = manager.allocate_page(BlockType.USER)
+        assert second.block == first.block
+        assert second.page == first.page + 1
+
+    def test_full_block_rolls_to_a_new_one(self, manager, device):
+        addresses = []
+        for i in range(5):
+            address = manager.allocate_page(BlockType.USER)
+            device.write_page(address, i)
+            addresses.append(address)
+        assert addresses[4].block != addresses[0].block
+
+    def test_types_use_distinct_active_blocks(self, manager, device):
+        user = manager.allocate_page(BlockType.USER)
+        translation = manager.allocate_page(BlockType.TRANSLATION)
+        validity = manager.allocate_page(BlockType.VALIDITY)
+        assert len({user.block, translation.block, validity.block}) == 3
+
+    def test_cannot_allocate_on_free_pool(self, manager):
+        with pytest.raises(ValueError):
+            manager.allocate_page(BlockType.FREE)
+
+    def test_reserve_blocks_host_user_allocations(self, manager, device):
+        # Exhaust the pool down to the reserve with user blocks.
+        while manager.free_block_count > manager.gc_reserve_blocks:
+            for _ in range(device.config.pages_per_block):
+                address = manager.allocate_page(BlockType.USER)
+                device.write_page(address, "x")
+        with pytest.raises(DeviceFullError):
+            for _ in range(device.config.pages_per_block + 1):
+                address = manager.allocate_page(BlockType.USER)
+                device.write_page(address, "x")
+
+    def test_reserve_is_available_to_gc_migrations(self, manager, device):
+        while manager.free_block_count > manager.gc_reserve_blocks:
+            for _ in range(device.config.pages_per_block):
+                address = manager.allocate_page(BlockType.USER)
+                device.write_page(address, "x")
+        address = manager.allocate_page(BlockType.USER, use_reserve=True)
+        assert manager.block_type(address.block) is BlockType.USER
+
+    def test_reserve_is_available_to_metadata(self, manager, device):
+        while manager.free_block_count > manager.gc_reserve_blocks:
+            for _ in range(device.config.pages_per_block):
+                address = manager.allocate_page(BlockType.USER)
+                device.write_page(address, "x")
+        address = manager.allocate_page(BlockType.TRANSLATION)
+        assert manager.block_type(address.block) is BlockType.TRANSLATION
+
+
+class TestMetadataValidity:
+    def test_invalidate_metadata_page_is_tracked(self, manager, device):
+        address = manager.allocate_page(BlockType.TRANSLATION)
+        device.write_page(address, "t0")
+        manager.invalidate_metadata_page(address)
+        assert manager.metadata_invalid_count(address.block) == 1
+        assert address.page not in manager.metadata_valid_offsets(address.block)
+
+    def test_fully_invalid_metadata_block_detection(self, manager, device):
+        addresses = []
+        for i in range(device.config.pages_per_block):
+            address = manager.allocate_page(BlockType.VALIDITY)
+            device.write_page(address, i)
+            addresses.append(address)
+        block_id = addresses[0].block
+        assert not manager.is_fully_invalid_metadata_block(block_id)
+        for address in addresses:
+            manager.invalidate_metadata_page(address)
+        assert manager.is_fully_invalid_metadata_block(block_id)
+
+    def test_user_blocks_are_never_fully_invalid_metadata(self, manager, device):
+        address = manager.allocate_page(BlockType.USER)
+        device.write_page(address, "u")
+        assert not manager.is_fully_invalid_metadata_block(address.block)
+
+
+class TestReclamation:
+    def test_release_block_returns_it_to_the_pool(self, manager, device):
+        address = manager.allocate_page(BlockType.USER)
+        device.write_page(address, "x")
+        before = manager.free_block_count
+        manager.release_block(address.block)
+        assert manager.free_block_count == before + 1
+        assert manager.block_type(address.block) is BlockType.FREE
+
+    def test_release_clears_active_pointer(self, manager, device):
+        address = manager.allocate_page(BlockType.USER)
+        device.write_page(address, "x")
+        manager.release_block(address.block)
+        assert not manager.is_active(address.block)
+
+    def test_blocks_of_type(self, manager, device):
+        address = manager.allocate_page(BlockType.TRANSLATION)
+        device.write_page(address, "t")
+        assert address.block in manager.blocks_of_type(BlockType.TRANSLATION)
+
+
+class TestRecoveryRebuild:
+    def test_rebuild_assigns_types_and_free_pool(self, manager, device):
+        user = manager.allocate_page(BlockType.USER)
+        device.write_page(user, "u")
+        manager.rebuild_from_types({user.block: BlockType.USER})
+        assert manager.block_type(user.block) is BlockType.USER
+        assert manager.free_block_count == device.config.num_blocks - 1
+
+    def test_rebuild_treats_erased_blocks_as_free(self, manager, device):
+        user = manager.allocate_page(BlockType.USER)
+        device.write_page(user, "u")
+        device.erase_block(user.block)
+        manager.rebuild_from_types({user.block: BlockType.USER})
+        assert manager.block_type(user.block) is BlockType.FREE
+
+    def test_rebuild_reopens_partially_written_block_as_active(self, manager,
+                                                               device):
+        user = manager.allocate_page(BlockType.USER)
+        device.write_page(user, "u")
+        manager.rebuild_from_types({user.block: BlockType.USER})
+        next_address = manager.allocate_page(BlockType.USER)
+        assert next_address.block == user.block
+        assert next_address.page == 1

@@ -1,0 +1,136 @@
+"""Behavioural tests for the competitor FTLs (DFTL, LazyFTL, µ-FTL, IB-FTL)."""
+
+import pytest
+
+from repro.flash.config import simulation_configuration
+from repro.flash.device import FlashDevice
+from repro.flash.stats import IOKind, IOPurpose
+from repro.ftl.dftl import DFTL
+from repro.ftl.ib_ftl import IBFTL
+from repro.ftl.lazyftl import DEFAULT_DIRTY_FRACTION, LazyFTL
+from repro.ftl.mu_ftl import MuFTL
+from repro.ftl.validity.pvb_flash import FlashPVB
+from repro.ftl.validity.pvb_ram import RamPVB
+from repro.ftl.validity.pvl import PageValidityLog
+from repro.workloads.base import fill_device
+from repro.workloads.generators import UniformRandomWrites
+
+
+def small_device():
+    return FlashDevice(simulation_configuration(num_blocks=96,
+                                                pages_per_block=16,
+                                                page_size=256))
+
+
+class TestConfigurationsMatchThePaper:
+    def test_dftl_uses_ram_pvb_and_battery(self):
+        ftl = DFTL(small_device(), cache_capacity=64)
+        assert isinstance(ftl.validity_store, RamPVB)
+        assert ftl.uses_battery
+        assert ftl.dirty_fraction_limit is None
+
+    def test_lazyftl_uses_ram_pvb_and_bounded_dirty_entries(self):
+        ftl = LazyFTL(small_device(), cache_capacity=64)
+        assert isinstance(ftl.validity_store, RamPVB)
+        assert not ftl.uses_battery
+        assert ftl.dirty_fraction_limit == DEFAULT_DIRTY_FRACTION
+
+    def test_mu_ftl_uses_flash_pvb_and_battery(self):
+        ftl = MuFTL(small_device(), cache_capacity=64)
+        assert isinstance(ftl.validity_store, FlashPVB)
+        assert ftl.uses_battery
+
+    def test_ib_ftl_uses_pvl_and_bounded_dirty_entries(self):
+        ftl = IBFTL(small_device(), cache_capacity=64)
+        assert isinstance(ftl.validity_store, PageValidityLog)
+        assert not ftl.uses_battery
+        assert ftl.dirty_fraction_limit == DEFAULT_DIRTY_FRACTION
+
+
+class TestDataIntegrity:
+    @pytest.mark.parametrize("ftl_class", [DFTL, LazyFTL, MuFTL, IBFTL])
+    def test_random_updates_preserve_data(self, ftl_class):
+        ftl = ftl_class(small_device(), cache_capacity=96)
+        fill_device(ftl)
+        shadow = {logical: ("init", logical)
+                  for logical in range(ftl.config.logical_pages)}
+        workload = UniformRandomWrites(ftl.config.logical_pages, seed=13)
+        for operation in workload.operations(4000):
+            ftl.write(operation.logical, operation.payload)
+            shadow[operation.logical] = operation.payload
+        mismatches = [logical for logical, payload in shadow.items()
+                      if ftl.read(logical) != payload]
+        assert mismatches == []
+
+    @pytest.mark.parametrize("ftl_class", [DFTL, LazyFTL, MuFTL, IBFTL])
+    def test_flush_then_cold_reads(self, ftl_class):
+        ftl = ftl_class(small_device(), cache_capacity=96)
+        for logical in range(0, 200, 7):
+            ftl.write(logical, ("cold", logical))
+        ftl.flush()
+        ftl.cache.clear()
+        for logical in range(0, 200, 7):
+            assert ftl.read(logical) == ("cold", logical)
+
+
+class TestDirtyEntryBound:
+    def test_lazyftl_respects_the_bound(self):
+        ftl = LazyFTL(small_device(), cache_capacity=100,
+                      dirty_fraction_limit=0.1)
+        fill_device(ftl, fraction=0.5)
+        workload = UniformRandomWrites(ftl.config.logical_pages, seed=19)
+        for operation in workload.operations(1000):
+            ftl.write(operation.logical, operation.payload)
+        assert ftl.cache.dirty_count <= max(1, int(100 * 0.1))
+
+    def test_dftl_accumulates_dirty_entries_freely(self):
+        ftl = DFTL(small_device(), cache_capacity=100)
+        fill_device(ftl, fraction=0.5)
+        workload = UniformRandomWrites(ftl.config.logical_pages, seed=19)
+        for operation in workload.operations(500):
+            ftl.write(operation.logical, operation.payload)
+        assert ftl.cache.dirty_count > 10
+
+    def test_bounded_dirty_entries_increase_translation_writes(self):
+        """The paper's contention: a tighter dirty bound means less amortization."""
+        results = {}
+        for name, ftl_class in (("DFTL", DFTL), ("LazyFTL", LazyFTL)):
+            ftl = ftl_class(small_device(), cache_capacity=96)
+            fill_device(ftl)
+            workload = UniformRandomWrites(ftl.config.logical_pages, seed=23)
+            for operation in workload.operations(3000):
+                ftl.write(operation.logical, operation.payload)
+            results[name] = ftl.stats.total(IOKind.PAGE_WRITE,
+                                            IOPurpose.TRANSLATION)
+        assert results["LazyFTL"] > results["DFTL"]
+
+
+class TestValidityCostDifferences:
+    def test_flash_pvb_generates_validity_writes_ram_pvb_does_not(self):
+        totals = {}
+        for name, ftl_class in (("DFTL", DFTL), ("uFTL", MuFTL)):
+            ftl = ftl_class(small_device(), cache_capacity=96)
+            fill_device(ftl)
+            workload = UniformRandomWrites(ftl.config.logical_pages, seed=29)
+            for operation in workload.operations(2000):
+                ftl.write(operation.logical, operation.payload)
+            totals[name] = ftl.stats.total(IOKind.PAGE_WRITE,
+                                           IOPurpose.VALIDITY)
+        assert totals["DFTL"] == 0
+        assert totals["uFTL"] > 1000
+
+    def test_ram_footprint_ordering_matches_the_paper(self):
+        """DFTL/LazyFTL (RAM PVB) need more integrated RAM than the rest."""
+        footprints = {}
+        for name, ftl_class in (("DFTL", DFTL), ("LazyFTL", LazyFTL),
+                                ("uFTL", MuFTL), ("IB-FTL", IBFTL)):
+            ftl = ftl_class(small_device(), cache_capacity=64)
+            footprints[name] = ftl.ram_breakdown()["validity"]
+        assert footprints["DFTL"] == footprints["LazyFTL"]
+        assert footprints["uFTL"] < footprints["DFTL"]
+
+    def test_describe_reports_policy_and_battery(self):
+        ftl = MuFTL(small_device(), cache_capacity=64)
+        summary = ftl.describe()
+        assert summary["ftl"] == "uFTL"
+        assert summary["uses_battery"] is True

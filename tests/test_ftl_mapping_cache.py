@@ -1,0 +1,159 @@
+"""Unit tests for the LRU mapping cache, its flags, and checkpoint symbols."""
+
+import pytest
+
+from repro.flash.address import PhysicalAddress
+from repro.ftl.mapping_cache import CachedMapping, MappingCache
+
+
+@pytest.fixture
+def cache():
+    return MappingCache(capacity=4, entries_per_translation_page=8)
+
+
+def entry(logical, block=0, page=0, **flags):
+    return CachedMapping(logical, PhysicalAddress(block, page), **flags)
+
+
+class TestBasicOperations:
+    def test_put_and_get(self, cache):
+        cache.put(entry(1, 2, 3))
+        assert cache.get(1).physical == PhysicalAddress(2, 3)
+
+    def test_get_missing_returns_none(self, cache):
+        assert cache.get(99) is None
+
+    def test_contains(self, cache):
+        cache.put(entry(5))
+        assert 5 in cache
+        assert 6 not in cache
+
+    def test_len_counts_real_entries_only(self, cache):
+        cache.put(entry(1))
+        cache.insert_checkpoint_symbol()
+        assert len(cache) == 1
+
+    def test_remove_returns_entry(self, cache):
+        cache.put(entry(1))
+        removed = cache.remove(1)
+        assert removed.logical == 1
+        assert 1 not in cache
+
+    def test_clear_empties_cache(self, cache):
+        cache.put(entry(1, dirty=True))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.dirty_count == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MappingCache(capacity=0, entries_per_translation_page=8)
+
+    def test_ram_bytes_is_capacity_times_entry_size(self, cache):
+        assert cache.ram_bytes == 4 * 8
+
+
+class TestLRUOrder:
+    def test_pop_lru_returns_oldest(self, cache):
+        cache.put(entry(1))
+        cache.put(entry(2))
+        assert cache.pop_lru().logical == 1
+
+    def test_get_refreshes_recency(self, cache):
+        cache.put(entry(1))
+        cache.put(entry(2))
+        cache.get(1)
+        assert cache.pop_lru().logical == 2
+
+    def test_peek_does_not_refresh_recency(self, cache):
+        cache.put(entry(1))
+        cache.put(entry(2))
+        cache.peek(1)
+        assert cache.pop_lru().logical == 1
+
+    def test_pop_lru_skips_checkpoint_symbols(self, cache):
+        cache.insert_checkpoint_symbol()
+        cache.put(entry(1))
+        assert cache.pop_lru().logical == 1
+
+    def test_pop_lru_on_empty_cache(self, cache):
+        assert cache.pop_lru() is None
+
+
+class TestDirtyTracking:
+    def test_dirty_count_tracks_puts(self, cache):
+        cache.put(entry(1, dirty=True))
+        cache.put(entry(2, dirty=False))
+        assert cache.dirty_count == 1
+
+    def test_mark_dirty_and_clean(self, cache):
+        cache.put(entry(1, dirty=False))
+        cache.mark_dirty(1, True)
+        assert cache.dirty_count == 1
+        cache.mark_dirty(1, False)
+        assert cache.dirty_count == 0
+
+    def test_mark_dirty_unknown_logical_raises(self, cache):
+        with pytest.raises(KeyError):
+            cache.mark_dirty(7, True)
+
+    def test_replacing_dirty_entry_keeps_count_exact(self, cache):
+        cache.put(entry(1, dirty=True))
+        cache.put(entry(1, dirty=False))
+        assert cache.dirty_count == 0
+
+    def test_remove_dirty_entry_decrements_count(self, cache):
+        cache.put(entry(1, dirty=True))
+        cache.remove(1)
+        assert cache.dirty_count == 0
+
+
+class TestTranslationPageIndex:
+    def test_translation_page_of(self, cache):
+        assert cache.translation_page_of(0) == 0
+        assert cache.translation_page_of(7) == 0
+        assert cache.translation_page_of(8) == 1
+
+    def test_cached_logicals_on_translation_page(self, cache):
+        cache.put(entry(1))
+        cache.put(entry(9))
+        cache.put(entry(2))
+        assert cache.cached_logicals_on_translation_page(0) == [1, 2]
+        assert cache.cached_logicals_on_translation_page(1) == [9]
+
+    def test_dirty_entries_on_translation_page(self, cache):
+        cache.put(entry(1, dirty=True))
+        cache.put(entry(2, dirty=False))
+        cache.put(entry(3, dirty=True))
+        dirty = cache.dirty_entries_on_translation_page(0)
+        assert sorted(item.logical for item in dirty) == [1, 3]
+
+    def test_index_cleaned_on_remove(self, cache):
+        cache.put(entry(1))
+        cache.remove(1)
+        assert cache.cached_logicals_on_translation_page(0) == []
+
+
+class TestCheckpointSymbols:
+    def test_entries_older_than_symbol(self, cache):
+        cache.put(entry(1))
+        cache.put(entry(2))
+        symbol = cache.insert_checkpoint_symbol()
+        cache.put(entry(3))
+        older = cache.entries_older_than_symbol(symbol)
+        assert sorted(item.logical for item in older) == [1, 2]
+
+    def test_touched_entries_move_past_the_symbol(self, cache):
+        cache.put(entry(1))
+        symbol = cache.insert_checkpoint_symbol()
+        cache.get(1)  # refresh: no longer older than the symbol
+        assert cache.entries_older_than_symbol(symbol) == []
+
+    def test_remove_checkpoint_symbol(self, cache):
+        symbol = cache.insert_checkpoint_symbol()
+        cache.remove_checkpoint_symbol(symbol)
+        assert cache.entries_older_than_symbol(symbol) == []
+
+    def test_symbols_do_not_collide_with_logicals(self, cache):
+        symbol = cache.insert_checkpoint_symbol()
+        assert symbol < 0

@@ -1,0 +1,111 @@
+"""Unit tests for the flash-resident translation table and the GMD."""
+
+import pytest
+
+from repro.flash.address import PhysicalAddress
+from repro.flash.config import simulation_configuration
+from repro.flash.device import FlashDevice
+from repro.flash.stats import IOKind, IOPurpose
+from repro.ftl.block_manager import BlockManager, BlockType
+from repro.ftl.translation_table import TranslationTable
+
+
+@pytest.fixture
+def setup():
+    device = FlashDevice(simulation_configuration(num_blocks=32,
+                                                  pages_per_block=8,
+                                                  page_size=256))
+    manager = BlockManager(device)
+    table = TranslationTable(device, manager)
+    return device, manager, table
+
+
+class TestGeometry:
+    def test_translation_page_of_follows_entries_per_page(self, setup):
+        _device, _manager, table = setup
+        entries = table.entries_per_page
+        assert table.translation_page_of(0) == 0
+        assert table.translation_page_of(entries - 1) == 0
+        assert table.translation_page_of(entries) == 1
+
+    def test_gmd_ram_bytes(self, setup):
+        _device, _manager, table = setup
+        assert table.gmd_ram_bytes == 4 * table.num_translation_pages
+
+
+class TestReadsAndWrites:
+    def test_lookup_before_any_write_is_none_and_free(self, setup):
+        device, _manager, table = setup
+        before = device.stats.page_reads
+        assert table.lookup(5) is None
+        assert device.stats.page_reads == before  # nothing to read yet
+
+    def test_apply_updates_then_lookup(self, setup):
+        _device, _manager, table = setup
+        table.apply_updates(0, {3: PhysicalAddress(7, 2)})
+        assert table.lookup(3) == PhysicalAddress(7, 2)
+
+    def test_apply_updates_returns_old_and_new_content(self, setup):
+        _device, _manager, table = setup
+        table.apply_updates(0, {1: PhysicalAddress(1, 1)})
+        old, new = table.apply_updates(0, {1: PhysicalAddress(2, 2)})
+        assert old.entries[1] == PhysicalAddress(1, 1)
+        assert new.entries[1] == PhysicalAddress(2, 2)
+
+    def test_updates_are_out_of_place(self, setup):
+        _device, manager, table = setup
+        table.apply_updates(0, {1: PhysicalAddress(1, 1)})
+        first_location = table.location_of(0)
+        table.apply_updates(0, {2: PhysicalAddress(2, 2)})
+        second_location = table.location_of(0)
+        assert first_location != second_location
+        assert manager.metadata_invalid_count(first_location.block) >= 1
+
+    def test_old_entries_survive_partial_update(self, setup):
+        _device, _manager, table = setup
+        table.apply_updates(0, {1: PhysicalAddress(1, 1)})
+        table.apply_updates(0, {2: PhysicalAddress(2, 2)})
+        assert table.lookup(1) == PhysicalAddress(1, 1)
+
+    def test_translation_pages_live_on_translation_blocks(self, setup):
+        _device, manager, table = setup
+        table.apply_updates(0, {1: PhysicalAddress(1, 1)})
+        location = table.location_of(0)
+        assert manager.block_type(location.block) is BlockType.TRANSLATION
+
+    def test_io_is_charged_to_translation_purpose(self, setup):
+        device, _manager, table = setup
+        table.apply_updates(0, {1: PhysicalAddress(1, 1)})
+        table.lookup(1)
+        assert device.stats.total(IOKind.PAGE_WRITE, IOPurpose.TRANSLATION) == 1
+        assert device.stats.total(IOKind.PAGE_READ, IOPurpose.TRANSLATION) >= 1
+
+
+class TestMigrationAndRecovery:
+    def test_migrate_translation_page_updates_gmd(self, setup):
+        _device, manager, table = setup
+        table.apply_updates(0, {1: PhysicalAddress(1, 1)})
+        old_location = table.location_of(0)
+        new_location = table.migrate_translation_page(old_location)
+        assert table.location_of(0) == new_location
+        assert new_location != old_location
+        assert table.lookup(1) == PhysicalAddress(1, 1)
+
+    def test_reset_ram_state_drops_gmd(self, setup):
+        _device, _manager, table = setup
+        table.apply_updates(0, {1: PhysicalAddress(1, 1)})
+        table.reset_ram_state()
+        assert table.location_of(0) is None
+
+    def test_restore_gmd_roundtrip(self, setup):
+        _device, _manager, table = setup
+        table.apply_updates(0, {1: PhysicalAddress(1, 1)})
+        saved = list(table.gmd)
+        table.reset_ram_state()
+        table.restore_gmd(saved)
+        assert table.lookup(1) == PhysicalAddress(1, 1)
+
+    def test_restore_gmd_rejects_wrong_length(self, setup):
+        _device, _manager, table = setup
+        with pytest.raises(ValueError):
+            table.restore_gmd([None])

@@ -1,0 +1,170 @@
+"""Unit tests for the baseline page-validity stores (RAM PVB, flash PVB, PVL)."""
+
+import pytest
+
+from repro.flash.address import PhysicalAddress
+from repro.flash.config import simulation_configuration
+from repro.flash.device import FlashDevice
+from repro.flash.stats import IOKind, IOPurpose
+from repro.ftl.block_manager import BlockManager
+from repro.ftl.validity.pvb_flash import FlashPVB
+from repro.ftl.validity.pvb_ram import RamPVB
+from repro.ftl.validity.pvl import PageValidityLog
+
+
+@pytest.fixture
+def config():
+    return simulation_configuration(num_blocks=32, pages_per_block=8,
+                                    page_size=256)
+
+
+@pytest.fixture
+def device(config):
+    return FlashDevice(config)
+
+
+@pytest.fixture
+def manager(device):
+    return BlockManager(device)
+
+
+class TestRamPVB:
+    def test_mark_and_query(self, config):
+        pvb = RamPVB(config)
+        pvb.mark_invalid(PhysicalAddress(3, 5))
+        pvb.mark_invalid(PhysicalAddress(3, 1))
+        assert pvb.invalid_offsets(3) == {1, 5}
+
+    def test_unmarked_block_has_no_invalid_pages(self, config):
+        assert RamPVB(config).invalid_offsets(7) == set()
+
+    def test_erase_clears_block(self, config):
+        pvb = RamPVB(config)
+        pvb.mark_invalid(PhysicalAddress(2, 0))
+        pvb.note_erase(2)
+        assert pvb.invalid_offsets(2) == set()
+
+    def test_no_flash_io(self, config, device):
+        pvb = RamPVB(config)
+        pvb.mark_invalid(PhysicalAddress(0, 0))
+        pvb.invalid_offsets(0)
+        assert device.stats.page_reads == 0
+        assert device.stats.page_writes == 0
+
+    def test_ram_bytes_is_one_bit_per_page(self, config):
+        assert RamPVB(config).ram_bytes() == config.pvb_bytes
+
+    def test_power_failure_loses_everything(self, config):
+        pvb = RamPVB(config)
+        pvb.mark_invalid(PhysicalAddress(1, 1))
+        pvb.reset_ram_state()
+        assert pvb.invalid_offsets(1) == set()
+
+    def test_rebuild_restores_bitmap(self, config):
+        pvb = RamPVB(config)
+        pvb.rebuild({4: {1, 2}})
+        assert pvb.invalid_offsets(4) == {1, 2}
+
+
+class TestFlashPVB:
+    def test_mark_and_query(self, device, manager):
+        pvb = FlashPVB(device, manager)
+        pvb.mark_invalid(PhysicalAddress(3, 5))
+        assert pvb.invalid_offsets(3) == {5}
+
+    def test_update_costs_a_read_modify_write(self, device, manager):
+        pvb = FlashPVB(device, manager)
+        pvb.mark_invalid(PhysicalAddress(0, 0))  # first write: no prior read
+        reads_before = device.stats.total(IOKind.PAGE_READ, IOPurpose.VALIDITY)
+        writes_before = device.stats.total(IOKind.PAGE_WRITE, IOPurpose.VALIDITY)
+        pvb.mark_invalid(PhysicalAddress(0, 1))
+        assert device.stats.total(IOKind.PAGE_READ,
+                                  IOPurpose.VALIDITY) == reads_before + 1
+        assert device.stats.total(IOKind.PAGE_WRITE,
+                                  IOPurpose.VALIDITY) == writes_before + 1
+
+    def test_gc_query_costs_one_read(self, device, manager):
+        pvb = FlashPVB(device, manager)
+        pvb.mark_invalid(PhysicalAddress(0, 0))
+        reads_before = device.stats.total(IOKind.PAGE_READ, IOPurpose.VALIDITY)
+        pvb.invalid_offsets(0)
+        assert device.stats.total(IOKind.PAGE_READ,
+                                  IOPurpose.VALIDITY) == reads_before + 1
+
+    def test_erase_clears_only_that_block(self, device, manager):
+        pvb = FlashPVB(device, manager)
+        pvb.mark_invalid(PhysicalAddress(2, 3))
+        pvb.mark_invalid(PhysicalAddress(3, 4))
+        pvb.note_erase(2)
+        assert pvb.invalid_offsets(2) == set()
+        assert pvb.invalid_offsets(3) == {4}
+
+    def test_old_versions_become_invalid_metadata(self, device, manager):
+        pvb = FlashPVB(device, manager)
+        pvb.mark_invalid(PhysicalAddress(0, 0))
+        pvb.mark_invalid(PhysicalAddress(0, 1))
+        invalidated = sum(manager.metadata_invalid_count(block)
+                          for block in range(device.config.num_blocks))
+        assert invalidated >= 1
+
+    def test_ram_footprint_is_directory_only(self, device, manager, config):
+        pvb = FlashPVB(device, manager)
+        assert pvb.ram_bytes() == 4 * pvb.num_pvb_pages
+        assert pvb.ram_bytes() < config.pvb_bytes
+
+    def test_migrate_page_preserves_contents(self, device, manager):
+        pvb = FlashPVB(device, manager)
+        pvb.mark_invalid(PhysicalAddress(1, 2))
+        location = pvb._directory[pvb._pvb_page_of_block(1)]
+        pvb.migrate_page(location)
+        assert pvb.invalid_offsets(1) == {2}
+
+
+class TestPageValidityLog:
+    def test_mark_and_query_through_buffer(self, device, manager):
+        pvl = PageValidityLog(device, manager)
+        pvl.mark_invalid(PhysicalAddress(4, 2))
+        assert pvl.invalid_offsets(4) == {2}
+
+    def test_query_after_flush_reads_log_pages(self, device, manager):
+        pvl = PageValidityLog(device, manager)
+        pvl.mark_invalid(PhysicalAddress(4, 2))
+        pvl.flush()
+        reads_before = device.stats.total(IOKind.PAGE_READ, IOPurpose.VALIDITY)
+        assert pvl.invalid_offsets(4) == {2}
+        assert device.stats.total(IOKind.PAGE_READ,
+                                  IOPurpose.VALIDITY) > reads_before
+
+    def test_buffer_flushes_automatically_when_full(self, device, manager):
+        pvl = PageValidityLog(device, manager)
+        for offset in range(pvl.entries_per_page):
+            pvl.mark_invalid(PhysicalAddress(offset % 8, offset % 4))
+        assert device.stats.total(IOKind.PAGE_WRITE, IOPurpose.VALIDITY) >= 1
+
+    def test_erase_obsoletes_older_entries(self, device, manager):
+        pvl = PageValidityLog(device, manager)
+        pvl.mark_invalid(PhysicalAddress(5, 1))
+        pvl.flush()
+        pvl.note_erase(5)
+        assert pvl.invalid_offsets(5) == set()
+
+    def test_entries_after_erase_are_still_reported(self, device, manager):
+        pvl = PageValidityLog(device, manager)
+        pvl.note_erase(5)
+        pvl.mark_invalid(PhysicalAddress(5, 3))
+        assert pvl.invalid_offsets(5) == {3}
+
+    def test_cleaning_bounds_log_size(self, device, manager):
+        pvl = PageValidityLog(device, manager, log_size_pages=2)
+        # Insert entries for blocks that are then erased, so cleaning drops them.
+        for round_number in range(6):
+            block = round_number % 4
+            for offset in range(pvl.entries_per_page):
+                pvl.mark_invalid(PhysicalAddress(block, offset % 8))
+            pvl.note_erase(block)
+        pvl.flush()
+        assert len(pvl._log_pages) <= 4  # bound plus the bounded-cleaning slack
+
+    def test_ram_bytes_scales_with_blocks(self, device, manager, config):
+        pvl = PageValidityLog(device, manager)
+        assert pvl.ram_bytes() >= 8 * config.num_blocks

@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants.
+
+These tests check the invariants the paper's correctness rests on:
+
+* Logarithmic Gecko answers GC queries exactly like an oracle bitmap would,
+  for any interleaving of invalidations and erases, under any tuning.
+* Gecko entry merging is lossless and order-respecting.
+* The mapping cache never exceeds capacity and its dirty count is exact.
+* The flash device never accepts writes that violate NAND constraints.
+* An FTL driven by an arbitrary write sequence always reads back the latest
+  version of every logical page.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.gecko_entry import EntryLayout, GeckoEntry, merge_entry_lists
+from repro.core.logarithmic_gecko import GeckoConfig, LogarithmicGecko
+from repro.core.storage import InMemoryGeckoStorage
+from repro.flash.address import PhysicalAddress
+from repro.flash.config import simulation_configuration
+from repro.flash.device import FlashDevice
+from repro.flash.errors import FlashError
+from repro.ftl.mapping_cache import CachedMapping, MappingCache
+from repro.core.gecko_ftl import GeckoFTL
+from repro.ftl.dftl import DFTL
+
+
+# ----------------------------------------------------------------------
+# Logarithmic Gecko vs an oracle bitmap
+# ----------------------------------------------------------------------
+gecko_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("invalid"), st.integers(0, 63), st.integers(0, 7)),
+        st.tuples(st.just("erase"), st.integers(0, 63), st.just(0)),
+    ),
+    min_size=1, max_size=300)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(operations=gecko_ops,
+       size_ratio=st.sampled_from([2, 3, 4]),
+       partition_factor=st.sampled_from([1, 2, 4]))
+def test_gecko_matches_oracle_bitmap(operations, size_ratio, partition_factor):
+    layout = EntryLayout(pages_per_block=8, page_size=64,
+                         partition_factor=partition_factor)
+    gecko = LogarithmicGecko(GeckoConfig(size_ratio=size_ratio, layout=layout),
+                             storage=InMemoryGeckoStorage())
+    oracle = {}
+    for kind, block, offset in operations:
+        if kind == "invalid":
+            gecko.record_invalid(block, offset)
+            oracle.setdefault(block, set()).add(offset)
+        else:
+            gecko.record_erase(block)
+            oracle[block] = set()
+    for block in {block for _kind, block, _offset in operations}:
+        assert gecko.gc_query(block) == oracle.get(block, set())
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations=gecko_ops)
+def test_gecko_space_is_bounded(operations):
+    """Valid runs never occupy more than ~2x the minimal space (Section 3.2)."""
+    layout = EntryLayout(pages_per_block=8, page_size=64)
+    gecko = LogarithmicGecko(GeckoConfig(size_ratio=2, layout=layout),
+                             storage=InMemoryGeckoStorage())
+    distinct = set()
+    for kind, block, offset in operations:
+        if kind == "invalid":
+            gecko.record_invalid(block, offset)
+        else:
+            gecko.record_erase(block)
+        distinct.add(block)
+    minimal_pages = -(-len(distinct) // layout.entries_per_page)
+    assert gecko.total_flash_pages() <= 2 * minimal_pages + 2
+
+
+# ----------------------------------------------------------------------
+# Entry merging
+# ----------------------------------------------------------------------
+entries_strategy = st.lists(
+    st.builds(GeckoEntry,
+              block_id=st.integers(0, 20),
+              sub_key=st.just(0),
+              bitmap=st.integers(0, 255),
+              erase_flag=st.booleans()),
+    max_size=30)
+
+
+@settings(max_examples=100, deadline=None)
+@given(newer=entries_strategy, older=entries_strategy)
+def test_merge_entry_lists_is_sorted_and_deduplicated(newer, older):
+    def dedupe(entries):
+        by_key = {}
+        for entry in sorted(entries, key=lambda e: e.sort_key):
+            if entry.sort_key not in by_key:
+                by_key[entry.sort_key] = entry
+        return sorted(by_key.values(), key=lambda e: e.sort_key)
+
+    merged = merge_entry_lists(dedupe(newer), dedupe(older))
+    keys = [entry.sort_key for entry in merged]
+    assert keys == sorted(keys)
+    assert len(keys) == len(set(keys))
+
+
+@settings(max_examples=100, deadline=None)
+@given(newer=entries_strategy, older=entries_strategy)
+def test_merge_preserves_newer_information(newer, older):
+    """Every bit set in a newer entry survives the merge."""
+    def dedupe(entries):
+        by_key = {}
+        for entry in sorted(entries, key=lambda e: e.sort_key):
+            by_key.setdefault(entry.sort_key, entry)
+        return sorted(by_key.values(), key=lambda e: e.sort_key)
+
+    newer, older = dedupe(newer), dedupe(older)
+    merged = {entry.sort_key: entry for entry in merge_entry_lists(newer, older)}
+    for entry in newer:
+        surviving = merged[entry.sort_key]
+        assert entry.bitmap & surviving.bitmap == entry.bitmap or entry.erase_flag
+
+
+# ----------------------------------------------------------------------
+# Mapping cache
+# ----------------------------------------------------------------------
+cache_ops = st.lists(
+    st.tuples(st.sampled_from(["put", "put_dirty", "get", "remove", "pop"]),
+              st.integers(0, 30)),
+    max_size=200)
+
+
+@settings(max_examples=100, deadline=None)
+@given(operations=cache_ops)
+def test_cache_dirty_count_is_always_exact(operations):
+    cache = MappingCache(capacity=8, entries_per_translation_page=4)
+    for kind, logical in operations:
+        if kind == "put":
+            cache.put(CachedMapping(logical, PhysicalAddress(0, 0)))
+        elif kind == "put_dirty":
+            cache.put(CachedMapping(logical, PhysicalAddress(0, 0), dirty=True))
+        elif kind == "get":
+            cache.get(logical)
+        elif kind == "remove":
+            cache.remove(logical)
+        elif kind == "pop":
+            cache.pop_lru()
+        actual_dirty = sum(1 for entry in cache.entries() if entry.dirty)
+        assert cache.dirty_count == actual_dirty
+
+
+@settings(max_examples=50, deadline=None)
+@given(logicals=st.lists(st.integers(0, 100), min_size=1, max_size=200))
+def test_cache_eviction_keeps_most_recent_entries(logicals):
+    cache = MappingCache(capacity=8, entries_per_translation_page=4)
+    for logical in logicals:
+        cache.put(CachedMapping(logical, PhysicalAddress(0, 0)))
+        while len(cache) > cache.capacity:
+            cache.pop_lru()
+    distinct_recent = []
+    for logical in reversed(logicals):
+        if logical not in distinct_recent:
+            distinct_recent.append(logical)
+        if len(distinct_recent) == cache.capacity:
+            break
+    for logical in distinct_recent:
+        assert logical in cache
+
+
+# ----------------------------------------------------------------------
+# Flash device constraints
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(operations=st.lists(
+    st.tuples(st.sampled_from(["write", "erase"]), st.integers(0, 7),
+              st.integers(0, 7)),
+    max_size=100))
+def test_device_never_silently_corrupts_state(operations):
+    """Whatever sequence of raw operations is attempted, the device either
+    performs it or raises; written pages always read back what was written."""
+    device = FlashDevice(simulation_configuration(num_blocks=8,
+                                                  pages_per_block=8,
+                                                  page_size=64))
+    contents = {}
+    for kind, block, page in operations:
+        if kind == "write":
+            address = PhysicalAddress(block, page)
+            try:
+                device.write_page(address, (block, page, len(contents)))
+                contents[address] = (block, page, len(contents) - 1)
+            except FlashError:
+                pass
+        else:
+            try:
+                device.erase_block(block)
+                contents = {address: value for address, value in contents.items()
+                            if address.block != block}
+            except FlashError:
+                pass
+    for address, value in contents.items():
+        stored = device.peek(address).data
+        assert stored[0] == address.block and stored[1] == address.page
+
+
+# ----------------------------------------------------------------------
+# End-to-end FTL integrity
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000),
+       ftl_class=st.sampled_from([GeckoFTL, DFTL]))
+def test_ftl_reads_return_latest_writes(seed, ftl_class):
+    config = simulation_configuration(num_blocks=48, pages_per_block=8,
+                                      page_size=256)
+    ftl = ftl_class(FlashDevice(config), cache_capacity=48)
+    rng = random.Random(seed)
+    shadow = {}
+    for i in range(600):
+        logical = rng.randrange(config.logical_pages)
+        payload = (seed, logical, i)
+        ftl.write(logical, payload)
+        shadow[logical] = payload
+    sample = rng.sample(sorted(shadow), min(60, len(shadow)))
+    for logical in sample:
+        assert ftl.read(logical) == shadow[logical]
