@@ -22,9 +22,9 @@ from __future__ import annotations
 
 import random
 
-from repro import FlashDevice, GeckoFTL, GeckoRecovery, simulation_configuration
+from repro import Operation, OpKind, SimulationSession, simulation_configuration
 from repro.bench.reporting import format_seconds, print_report
-from repro.workloads import ZipfianWrites, fill_device
+from repro.workloads import ZipfianWrites
 
 
 TRANSACTIONS = 6_000
@@ -35,14 +35,13 @@ CHECKPOINT_PAGES = 200
 def main() -> None:
     config = simulation_configuration(num_blocks=256, pages_per_block=32,
                                       page_size=512)
-    device = FlashDevice(config)
-    ftl = GeckoFTL(device, cache_capacity=1024)
+    session = SimulationSession("GeckoFTL(cache_capacity=1024)", device=config)
+    ftl = session.ftl
 
     # The "database": the first CHECKPOINT_PAGES logical pages act as the
     # checkpoint/log region; the rest hold table and index pages.
     table_pages = config.logical_pages - CHECKPOINT_PAGES
-    fill_device(ftl)
-    device.stats.reset()
+    session.warmup()
 
     rng = random.Random(99)
     oltp = ZipfianWrites(table_pages, seed=7, theta=0.9)
@@ -51,18 +50,24 @@ def main() -> None:
 
     def run_transactions(count: int) -> None:
         nonlocal transactions_done
+        batch = []
         for operation in oltp.operations(count):
             logical = CHECKPOINT_PAGES + operation.logical
             payload = ("row-version", logical, transactions_done)
-            ftl.write(logical, payload)
+            batch.append(Operation(OpKind.WRITE, logical, payload))
             database_state[logical] = payload
             transactions_done += 1
+        session.submit(batch)
 
     def run_checkpoint(sequence: int) -> None:
+        # Checkpoint flushes are bursts of sequential writes: submit the
+        # whole burst as one batch through the submission queue.
+        batch = []
         for offset in range(CHECKPOINT_PAGES):
             payload = ("checkpoint", sequence, offset)
-            ftl.write(offset, payload)
+            batch.append(Operation(OpKind.WRITE, offset, payload))
             database_state[offset] = payload
+        session.submit(batch)
 
     checkpoints = 0
     while transactions_done < TRANSACTIONS:
@@ -78,9 +83,8 @@ def main() -> None:
     # Power fails mid-flight; a very large database cares how fast the device
     # is back. GeckoRec does not scan the translation table and defers
     # synchronization, so recovery stays bounded.
-    recovery = GeckoRecovery(ftl)
-    recovery.simulate_power_failure()
-    report = recovery.recover()
+    session.crash()
+    report = session.recover()
     print_report("Recovery after the crash", [{
         "step": name, "spare_reads": spare, "page_reads": reads,
         "time": format_seconds(duration / 1e6)}

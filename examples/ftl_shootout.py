@@ -40,6 +40,7 @@ def show_analytical_comparison() -> None:
 def show_simulated_comparison(writes: int) -> None:
     device = simulation_configuration(num_blocks=128, pages_per_block=16,
                                       page_size=256)
+    # compare_ftls accepts registry names or FTLSpec strings with arguments.
     results = compare_ftls(["DFTL", "LazyFTL", "uFTL", "IB-FTL", "GeckoFTL"],
                            device, cache_capacity=128,
                            write_operations=writes)

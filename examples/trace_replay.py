@@ -5,7 +5,8 @@ Real FTL evaluations are trace-driven. This example shows the full loop with
 the library's portable text trace format:
 
 1. generate a mixed hot/cold workload and record it to a trace file,
-2. replay the identical trace against GeckoFTL and against µ-FTL, and
+2. replay the identical trace against GeckoFTL and against µ-FTL through one
+   :class:`SimulationSession` each, and
 3. compare the resulting write-amplification breakdowns.
 
 To replay your own block trace, convert it to one ``W <logical page>`` /
@@ -22,16 +23,9 @@ import argparse
 import tempfile
 from pathlib import Path
 
-from repro import FlashDevice, GeckoFTL, MuFTL, simulation_configuration
-from repro.bench.harness import write_amplification_breakdown
+from repro import SimulationSession, simulation_configuration
 from repro.bench.reporting import print_report
-from repro.workloads import (
-    HotColdWrites,
-    TraceWorkload,
-    WorkloadRunner,
-    fill_device,
-    record_trace,
-)
+from repro.workloads import HotColdWrites, TraceWorkload, record_trace
 
 OPERATIONS = 8_000
 
@@ -43,21 +37,18 @@ def make_trace(path: Path, logical_pages: int) -> None:
     print(f"Recorded {count} operations to {path}")
 
 
-def replay(ftl_class, config, trace_path: Path) -> dict:
-    device = FlashDevice(config)
-    ftl = ftl_class(device, cache_capacity=512)
-    fill_device(ftl)
-    device.stats.reset()
-    workload = TraceWorkload.from_file(trace_path, config.logical_pages)
-    runner = WorkloadRunner(ftl, interval_writes=2_000)
-    result = runner.run(workload, OPERATIONS)
-    breakdown = write_amplification_breakdown(result.final_stats, config.delta)
-    return {
-        "ftl": ftl.name,
-        "wa_total": round(result.write_amplification(config.delta), 3),
-        **{f"wa_{purpose}": round(value, 3)
-           for purpose, value in sorted(breakdown.items())},
-    }
+def replay(ftl_spec: str, config, trace_path: Path) -> dict:
+    with SimulationSession(ftl_spec, device=config,
+                           interval_writes=2_000) as session:
+        session.warmup()
+        workload = TraceWorkload.from_file(trace_path, config.logical_pages)
+        result = session.run(workload, OPERATIONS)
+        return {
+            "ftl": session.ftl.name,
+            "wa_total": round(result.write_amplification(config.delta), 3),
+            **{f"wa_{purpose}": round(value, 3)
+               for purpose, value in sorted(session.wa_breakdown().items())},
+        }
 
 
 def main() -> None:
@@ -74,8 +65,8 @@ def main() -> None:
         trace_path = Path(tempfile.gettempdir()) / "repro_example_trace.txt"
         make_trace(trace_path, config.logical_pages)
 
-    rows = [replay(GeckoFTL, config, trace_path),
-            replay(MuFTL, config, trace_path)]
+    rows = [replay("GeckoFTL(cache_capacity=512)", config, trace_path),
+            replay("uFTL(cache_capacity=512)", config, trace_path)]
     print_report("Identical trace, two FTLs", rows)
     print("\nGeckoFTL's advantage is concentrated in the 'validity' column: "
           "µ-FTL pays a flash read-modify-write per invalidation, Logarithmic "

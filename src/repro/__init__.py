@@ -2,26 +2,44 @@
 
 The package provides:
 
+* :mod:`repro.api` — the public experiment API: the FTL registry
+  (:func:`register_ftl`, :class:`FTLSpec`) and :class:`SimulationSession`,
+  the single front door that owns device, FTL and runner;
 * :mod:`repro.flash` — a simulated NAND flash device with IO accounting;
-* :mod:`repro.ftl` — the shared page-mapped FTL machinery and the competitor
-  FTLs (DFTL, LazyFTL, µ-FTL, IB-FTL);
+* :mod:`repro.ftl` — the shared page-mapped FTL machinery, the batched
+  submission queue (:meth:`PageMappedFTL.submit`), and the competitor FTLs
+  (DFTL, LazyFTL, µ-FTL, IB-FTL);
 * :mod:`repro.core` — Logarithmic Gecko and GeckoFTL, the paper's contribution;
 * :mod:`repro.workloads` — workload generators and trace replay;
 * :mod:`repro.analysis` — the paper's analytical RAM, recovery-time and IO
   cost models (Figures 1 and 13, Table 1);
-* :mod:`repro.bench` — the experiment harness used by the benchmark suite.
+* :mod:`repro.bench` — the experiment harness used by the benchmark suite
+  (now a thin layer over :mod:`repro.api`).
 
 Quickstart::
 
-    from repro import GeckoFTL, simulation_configuration, FlashDevice
+    from repro import SimulationSession, UniformRandomWrites
 
-    device = FlashDevice(simulation_configuration())
-    ftl = GeckoFTL(device, cache_capacity=2048)
-    ftl.write(42, data="hello")
-    assert ftl.read(42) == "hello"
-    print(ftl.write_amplification())
+    with SimulationSession("GeckoFTL(cache_capacity=2048)") as session:
+        session.write(42, data="hello")
+        assert session.read(42) == "hello"
+
+        session.warmup()          # fill the logical space, reset the stats
+        result = session.run(
+            UniformRandomWrites(session.config.logical_pages, seed=7), 20_000)
+        print(session.snapshot().row())   # WA breakdown + RAM footprint
+
+        session.crash()           # pull the plug (GeckoFTL survives it)
+        report = session.recover()
 """
 
+from .api import (
+    FTLSpec,
+    SessionSnapshot,
+    SimulationSession,
+    ftl_names,
+    register_ftl,
+)
 from .core import (
     EntryLayout,
     GeckoConfig,
@@ -42,17 +60,32 @@ from .flash import (
     simulation_configuration,
 )
 from .ftl import DFTL, IBFTL, LazyFTL, MuFTL, PageMappedFTL, VictimPolicy
+from .ftl.operations import BatchResult, Operation, OpKind
+from .workloads import (
+    HotColdWrites,
+    MixedReadWrite,
+    SequentialWrites,
+    TraceWorkload,
+    UniformRandomWrites,
+    Workload,
+    WorkloadRunner,
+    ZipfianWrites,
+    fill_device,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchResult",
     "DFTL",
     "DeviceConfig",
     "EntryLayout",
+    "FTLSpec",
     "FlashDevice",
     "GeckoConfig",
     "GeckoFTL",
     "GeckoRecovery",
+    "HotColdWrites",
     "IBFTL",
     "IOPurpose",
     "IOStats",
@@ -60,12 +93,26 @@ __all__ = [
     "LatencyConfig",
     "LazyFTL",
     "LogarithmicGecko",
+    "MixedReadWrite",
     "MuFTL",
+    "OpKind",
+    "Operation",
     "PageMappedFTL",
     "PhysicalAddress",
     "RecoveryReport",
+    "SequentialWrites",
+    "SessionSnapshot",
+    "SimulationSession",
+    "TraceWorkload",
+    "UniformRandomWrites",
     "VictimPolicy",
+    "Workload",
+    "WorkloadRunner",
+    "ZipfianWrites",
+    "fill_device",
+    "ftl_names",
     "paper_configuration",
+    "register_ftl",
     "simulation_configuration",
     "__version__",
 ]

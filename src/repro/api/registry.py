@@ -1,0 +1,208 @@
+"""FTL registry: self-registering FTL factories and parseable FTL specs.
+
+New FTL variants register themselves with the :func:`register_ftl` class
+decorator instead of being hard-wired into a factory table::
+
+    from repro.api import register_ftl
+    from repro.ftl.base import PageMappedFTL
+
+    @register_ftl("MyFTL", "my-ftl")
+    class MyFTL(PageMappedFTL):
+        ...
+
+Consumers name an FTL with an :class:`FTLSpec` — either programmatically
+(``FTLSpec("GeckoFTL", {"cache_capacity": 2048})``) or from a string as it
+would appear on a command line (``FTLSpec.parse("GeckoFTL(cache_capacity=
+2048)")``). Spec arguments are Python literals only; nothing is evaluated.
+
+This module deliberately imports nothing from the rest of the package so the
+FTL modules can import the decorator without creating a cycle; the built-in
+FTLs are pulled in lazily the first time a name is resolved.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Union
+
+#: Primary (paper) name -> factory callable.
+_FACTORIES: Dict[str, Callable[..., Any]] = {}
+#: Lower-cased name or alias -> primary name.
+_ALIASES: Dict[str, str] = {}
+_builtins_loaded = False
+
+
+def register_ftl(name: str, *aliases: str) -> Callable:
+    """Class decorator that registers an FTL factory under ``name``.
+
+    ``aliases`` are additional accepted spellings; lookups are
+    case-insensitive. Registering a different factory under an existing name
+    is an error (re-registering the same class, e.g. on module reload, is
+    allowed).
+    """
+    def decorator(factory: Callable) -> Callable:
+        existing = _FACTORIES.get(name)
+        if existing is not None and existing is not factory:
+            raise ValueError(f"FTL name {name!r} is already registered "
+                             f"by {existing!r}")
+        _FACTORIES[name] = factory
+        for alias in (name, *aliases):
+            key = alias.lower()
+            primary = _ALIASES.get(key)
+            if primary is not None and primary != name:
+                raise ValueError(f"FTL alias {alias!r} already refers "
+                                 f"to {primary!r}")
+            _ALIASES[key] = name
+        return factory
+    return decorator
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in FTL modules so their decorators have run."""
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    from ..core import gecko_ftl     # noqa: F401
+    from ..ftl import dftl, ib_ftl, lazyftl, mu_ftl  # noqa: F401
+
+
+def resolve_ftl_name(name: str) -> str:
+    """Return the primary registered name for ``name`` (or raise ValueError)."""
+    _ensure_builtins()
+    primary = _ALIASES.get(name.lower())
+    if primary is None:
+        raise ValueError(f"unknown FTL {name!r}; choose from "
+                         f"{sorted(_FACTORIES)}")
+    return primary
+
+
+def get_ftl_factory(name: str) -> Callable[..., Any]:
+    """Return the factory registered under ``name`` (or raise ValueError)."""
+    return _FACTORIES[resolve_ftl_name(name)]
+
+
+def ftl_names() -> List[str]:
+    """Sorted primary names of every registered FTL."""
+    _ensure_builtins()
+    return sorted(_FACTORIES)
+
+
+class RegistryView(Mapping):
+    """Read-only, live dict-like view of the registry.
+
+    Exists so the legacy ``FTL_FACTORIES`` table in :mod:`repro.bench.harness`
+    keeps its dict semantics (``in``, ``[]``, ``sorted(...)``) while new
+    registrations show up automatically.
+    """
+
+    def __getitem__(self, key: str) -> Callable[..., Any]:
+        try:
+            return get_ftl_factory(key)
+        except ValueError:
+            raise KeyError(key) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(ftl_names())
+
+    def __len__(self) -> int:
+        return len(ftl_names())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegistryView({ftl_names()!r})"
+
+
+def _parse_spec_kwargs(arg_text: str) -> Dict[str, Any]:
+    """Parse ``"cache_capacity=2048, multiway_merge=True"`` into a dict."""
+    arg_text = arg_text.strip()
+    if not arg_text:
+        return {}
+    try:
+        call = ast.parse(f"_({arg_text})", mode="eval").body
+    except SyntaxError as exc:
+        raise ValueError(f"malformed FTL argument list {arg_text!r}") from exc
+    if call.args:
+        raise ValueError(
+            "FTL specifications take keyword arguments only, "
+            "e.g. 'GeckoFTL(cache_capacity=2048)'")
+    kwargs: Dict[str, Any] = {}
+    for keyword in call.keywords:
+        if keyword.arg is None:
+            raise ValueError("'**' is not supported in FTL specifications")
+        try:
+            kwargs[keyword.arg] = ast.literal_eval(keyword.value)
+        except ValueError:
+            raise ValueError(
+                f"argument {keyword.arg!r} in FTL specification must be a "
+                f"Python literal") from None
+    return kwargs
+
+
+@dataclass(frozen=True)
+class FTLSpec:
+    """A named FTL plus constructor keyword arguments.
+
+    The name is resolved (and validated) against the registry at construction
+    time, so an ``FTLSpec`` always refers to a real FTL under its primary
+    name.
+    """
+
+    name: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", resolve_ftl_name(self.name))
+        object.__setattr__(self, "kwargs", dict(self.kwargs))
+
+    def __hash__(self) -> int:
+        # The generated hash would choke on the dict field; specs with
+        # hashable kwarg values can live in sets / as dict keys.
+        return hash((self.name, tuple(sorted(self.kwargs.items()))))
+
+    @classmethod
+    def parse(cls, text: str) -> "FTLSpec":
+        """Parse ``"Name"`` or ``"Name(key=literal, ...)"`` into a spec."""
+        text = text.strip()
+        if "(" in text:
+            name, _, rest = text.partition("(")
+            if not rest.endswith(")"):
+                raise ValueError(f"malformed FTL specification {text!r}: "
+                                 "missing closing parenthesis")
+            kwargs = _parse_spec_kwargs(rest[:-1])
+        else:
+            name, kwargs = text, {}
+        name = name.strip()
+        if not name:
+            raise ValueError(f"malformed FTL specification {text!r}: "
+                             "missing FTL name")
+        return cls(name, kwargs)
+
+    @classmethod
+    def of(cls, value: Union["FTLSpec", str]) -> "FTLSpec":
+        """Coerce a spec, a bare name, or a spec string into an FTLSpec."""
+        if isinstance(value, FTLSpec):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        raise TypeError(f"cannot interpret {value!r} as an FTL specification")
+
+    def with_defaults(self, **defaults: Any) -> "FTLSpec":
+        """A copy whose kwargs fall back to ``defaults`` where unset."""
+        return FTLSpec(self.name, {**defaults, **self.kwargs})
+
+    def build(self, device, **defaults: Any):
+        """Instantiate the FTL on ``device``.
+
+        ``defaults`` are keyword arguments the spec's own kwargs override —
+        the session uses this for shared settings like ``cache_capacity``.
+        """
+        factory = get_ftl_factory(self.name)
+        return factory(device, **{**defaults, **self.kwargs})
+
+    def __str__(self) -> str:
+        if not self.kwargs:
+            return self.name
+        args = ", ".join(f"{key}={value!r}"
+                         for key, value in sorted(self.kwargs.items()))
+        return f"{self.name}({args})"

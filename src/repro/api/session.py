@@ -1,0 +1,247 @@
+"""SimulationSession: the single front door for running FTL experiments.
+
+Every consumer of the library — the benchmark harness, the CLI, the examples
+and ad-hoc scripts — used to hand-wire the same plumbing: build a
+``FlashDevice``, instantiate an FTL on it, fill the logical space, reset the
+stats, construct a ``WorkloadRunner`` and finally dispatch operations one call
+at a time. :class:`SimulationSession` owns that whole lifecycle::
+
+    from repro import SimulationSession, UniformRandomWrites
+
+    with SimulationSession("GeckoFTL(cache_capacity=2048)") as session:
+        session.warmup()
+        result = session.run(
+            UniformRandomWrites(session.config.logical_pages, seed=7), 20_000)
+        print(session.snapshot().write_amplification)
+
+Operations flow through the FTL's batched submission queue
+(:meth:`~repro.ftl.base.PageMappedFTL.submit`), and the session exposes the
+crash/recovery cycle of the paper's Appendix C for GeckoFTL (battery-backed
+FTLs model their battery-powered flush instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..flash.config import DeviceConfig, simulation_configuration
+from ..flash.device import FlashDevice
+from ..flash.stats import IOPurpose, IOStats
+from ..ftl.base import PageMappedFTL
+from ..ftl.operations import BatchResult, Operation
+from ..workloads.base import RunResult, Workload, WorkloadRunner, fill_device
+from .registry import FTLSpec
+
+
+def write_amplification_breakdown(stats: IOStats, delta: float,
+                                  host_writes: Optional[int] = None
+                                  ) -> Dict[str, float]:
+    """Write-amplification attributed to each IO purpose (Figure 13 bottom)."""
+    breakdown: Dict[str, float] = {}
+    for purpose in IOPurpose:
+        value = stats.write_amplification(delta, include_purposes=[purpose],
+                                          host_writes=host_writes)
+        if value:
+            breakdown[purpose.value] = value
+    return breakdown
+
+
+@dataclass
+class SessionSnapshot:
+    """Point-in-time measurements of a session (cheap, pure-RAM)."""
+
+    ftl_description: Dict[str, Any]
+    stats: IOStats
+    write_amplification: float
+    wa_breakdown: Dict[str, float]
+    ram_breakdown: Dict[str, int]
+
+    @property
+    def ram_bytes(self) -> int:
+        return sum(self.ram_breakdown.values())
+
+    def row(self) -> Dict[str, Any]:
+        """Flat dictionary for tabular reporting."""
+        row: Dict[str, Any] = {
+            "ftl": self.ftl_description.get("ftl"),
+            "wa_total": round(self.write_amplification, 4),
+            "ram_bytes": self.ram_bytes,
+        }
+        for purpose, value in sorted(self.wa_breakdown.items()):
+            row[f"wa_{purpose}"] = round(value, 4)
+        return row
+
+
+class SimulationSession:
+    """Owns a device, an FTL and a runner, with a full experiment lifecycle.
+
+    Parameters
+    ----------
+    ftl:
+        What to simulate: an :class:`FTLSpec`, a spec string such as
+        ``"GeckoFTL(cache_capacity=2048)"``, a bare registered name, or an
+        already-built :class:`PageMappedFTL` (which must sit on ``device``).
+    device:
+        A :class:`DeviceConfig`, a ready :class:`FlashDevice`, or ``None``
+        for the default scaled-down simulation geometry.
+    interval_writes:
+        Measurement-interval length used by :meth:`run`.
+    ftl_kwargs:
+        Defaults passed to the FTL factory; the spec's own kwargs win.
+    """
+
+    def __init__(self,
+                 ftl: Union[FTLSpec, str, PageMappedFTL] = "GeckoFTL",
+                 device: Union[DeviceConfig, FlashDevice, None] = None,
+                 *,
+                 interval_writes: int = 10_000,
+                 ftl_kwargs: Optional[Dict[str, Any]] = None) -> None:
+        if device is None:
+            self.device = FlashDevice(simulation_configuration())
+        elif isinstance(device, FlashDevice):
+            self.device = device
+        elif isinstance(device, DeviceConfig):
+            self.device = FlashDevice(device)
+        else:
+            raise TypeError(f"device must be a DeviceConfig or FlashDevice, "
+                            f"not {type(device).__name__}")
+        self.config: DeviceConfig = self.device.config
+
+        if isinstance(ftl, PageMappedFTL):
+            if ftl.device is not self.device:
+                raise ValueError(
+                    "the provided FTL instance sits on a different device "
+                    "than the session's")
+            self.spec: Optional[FTLSpec] = None
+            self.ftl = ftl
+        else:
+            self.spec = FTLSpec.of(ftl)
+            self.ftl = self.spec.build(self.device, **(ftl_kwargs or {}))
+        self.interval_writes = interval_writes
+        self.runner = WorkloadRunner(self.ftl,
+                                     interval_writes=interval_writes)
+        self._recovery = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def warmup(self, fraction: float = 1.0,
+               payload_factory: Optional[Callable[[int], Any]] = None,
+               reset_stats: bool = True) -> int:
+        """Fill the logical space through the batched path (steady state).
+
+        Returns the number of pages written. By default the warm-up IO is
+        excluded from subsequent measurements, matching how the paper reports
+        steady-state behaviour.
+        """
+        pages = fill_device(self.ftl, fraction=fraction,
+                            payload_factory=payload_factory)
+        if reset_stats:
+            self.stats.reset()
+        return pages
+
+    def run(self, workload: Workload, operation_count: int,
+            on_interval: Optional[Callable[..., None]] = None) -> RunResult:
+        """Drive the FTL with ``operation_count`` ops of ``workload``."""
+        return self.runner.run(workload, operation_count,
+                               on_interval=on_interval)
+
+    def snapshot(self) -> SessionSnapshot:
+        """Measurements accumulated since the last stats reset."""
+        stats = self.stats.snapshot()
+        delta = self.config.delta
+        return SessionSnapshot(
+            ftl_description=self.ftl.describe(),
+            stats=stats,
+            write_amplification=stats.write_amplification(delta),
+            wa_breakdown=write_amplification_breakdown(stats, delta),
+            ram_breakdown=self.ftl.ram_breakdown())
+
+    def crash(self) -> None:
+        """Simulate a power failure (integrated RAM is lost, flash survives).
+
+        For GeckoFTL this wipes the RAM-resident structures; call
+        :meth:`recover` to run GeckoRec. Battery-backed FTLs (DFTL, µ-FTL)
+        instead perform the flush their battery pays for, after which
+        :meth:`recover` has nothing left to do. FTLs that are neither
+        (LazyFTL, IB-FTL rebuild state by scanning structures this simulator
+        models only analytically) raise ``NotImplementedError``.
+        """
+        from ..core.gecko_ftl import GeckoFTL
+        from ..core.recovery import GeckoRecovery
+        if isinstance(self.ftl, GeckoFTL):
+            self._recovery = GeckoRecovery(self.ftl)
+            self._recovery.simulate_power_failure()
+            return
+        if self.ftl.uses_battery:
+            self.ftl.flush()
+            self._recovery = None
+            return
+        raise NotImplementedError(
+            f"crash simulation is not implemented for {self.ftl.name}; its "
+            "recovery path is modelled analytically (see repro.analysis)")
+
+    def recover(self):
+        """Run the recovery algorithm after :meth:`crash`.
+
+        Returns a :class:`~repro.core.recovery.RecoveryReport` for GeckoFTL,
+        ``None`` for battery-backed FTLs (their flush already ran).
+        """
+        if self._recovery is None:
+            return None
+        recovery, self._recovery = self._recovery, None
+        return recovery.recover()
+
+    def close(self) -> None:
+        """Clean shutdown: synchronize all dirty state with flash."""
+        if not self._closed:
+            self._closed = True
+            self.ftl.flush()
+
+    def __enter__(self) -> "SimulationSession":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Host IO (all routed through the batched submission queue or the FTL)
+    # ------------------------------------------------------------------
+    def submit(self, batch: Sequence[Operation],
+               collect_payloads: bool = False) -> BatchResult:
+        """Submit a batch of operations to the FTL's submission queue."""
+        return self.ftl.submit(batch, collect_payloads=collect_payloads)
+
+    def write(self, logical: int, data: Any = None):
+        return self.ftl.write(logical, data)
+
+    def read(self, logical: int) -> Any:
+        return self.ftl.read(logical)
+
+    def trim(self, logical: int) -> None:
+        self.ftl.trim(logical)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> IOStats:
+        return self.device.stats
+
+    def write_amplification(self) -> float:
+        return self.stats.write_amplification(self.config.delta)
+
+    def wa_breakdown(self) -> Dict[str, float]:
+        return write_amplification_breakdown(self.stats, self.config.delta)
+
+    def ram_breakdown(self) -> Dict[str, int]:
+        return self.ftl.ram_breakdown()
+
+    def describe(self) -> Dict[str, Any]:
+        description = dict(self.ftl.describe())
+        if self.spec is not None:
+            description["spec"] = str(self.spec)
+        description["device"] = self.config.describe()
+        return description

@@ -7,6 +7,7 @@ from .harness import (
     build_ftl,
     compare_ftls,
     run_experiment,
+    session_for,
     write_amplification_breakdown,
 )
 from .reporting import format_bytes, format_seconds, format_table, print_report
@@ -22,5 +23,6 @@ __all__ = [
     "format_table",
     "print_report",
     "run_experiment",
+    "session_for",
     "write_amplification_breakdown",
 ]

@@ -1,42 +1,39 @@
 """Experiment harness used by the benchmark suite and the examples.
 
-The harness knows how to build each FTL on a fresh simulated device, warm it
-up (fill the logical space), drive it with a workload, and report the
-write-amplification breakdown by purpose — the exact quantities the paper's
-evaluation figures plot.
+Since the :mod:`repro.api` redesign, all experiment plumbing lives in
+:class:`repro.api.SimulationSession` and the FTL registry; this module keeps
+the benchmark-facing vocabulary (``ExperimentConfig``/``ExperimentResult``)
+plus thin legacy shims — ``FTL_FACTORIES``, ``build_ftl``, ``run_experiment``
+and ``compare_ftls`` — so existing benchmark and user code keeps working
+unchanged. New code should prefer the session API directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
-from ..core.gecko_ftl import GeckoFTL
+from ..api.registry import FTLSpec, RegistryView
+from ..api.session import SimulationSession, write_amplification_breakdown
 from ..flash.config import DeviceConfig, simulation_configuration
 from ..flash.device import FlashDevice
-from ..flash.stats import IOKind, IOPurpose, IOStats
 from ..ftl.base import PageMappedFTL
-from ..ftl.dftl import DFTL
-from ..ftl.garbage_collector import VictimPolicy
-from ..ftl.ib_ftl import IBFTL
-from ..ftl.lazyftl import LazyFTL
-from ..ftl.mu_ftl import MuFTL
-from ..workloads.base import RunResult, Workload, WorkloadRunner, fill_device
+from ..workloads.base import RunResult, Workload
 from ..workloads.generators import UniformRandomWrites
 
-#: Factory table for building FTLs by name (used by benchmarks and examples).
-FTL_FACTORIES: Dict[str, Callable[..., PageMappedFTL]] = {
-    "DFTL": DFTL,
-    "LazyFTL": LazyFTL,
-    "uFTL": MuFTL,
-    "IB-FTL": IBFTL,
-    "GeckoFTL": GeckoFTL,
-}
+#: Legacy factory table (deprecated): a live, read-only view of the FTL
+#: registry. Use :func:`repro.api.register_ftl` / :class:`repro.api.FTLSpec`
+#: instead of mutating or indexing this.
+FTL_FACTORIES = RegistryView()
 
 
 @dataclass
 class ExperimentConfig:
-    """One simulated experiment: device geometry, FTL, and workload volume."""
+    """One simulated experiment: device geometry, FTL, and workload volume.
+
+    ``ftl_name`` may be a bare registered name or a full spec string such as
+    ``"GeckoFTL(cache_capacity=4096)"``; spec kwargs override ``ftl_kwargs``.
+    """
 
     ftl_name: str = "GeckoFTL"
     device: DeviceConfig = field(default_factory=simulation_configuration)
@@ -60,9 +57,16 @@ class ExperimentResult:
     ram_breakdown: Dict[str, int]
 
     def row(self) -> Dict[str, object]:
-        """Flat dictionary for tabular reporting."""
+        """Flat dictionary for tabular reporting.
+
+        The FTL label carries any explicit constructor kwargs so that two
+        variants of the same FTL stay distinguishable in a report.
+        """
+        spec = FTLSpec.of(self.config.ftl_name)
+        label = str(FTLSpec(spec.name,
+                            {**self.config.ftl_kwargs, **spec.kwargs}))
         row: Dict[str, object] = {
-            "ftl": self.config.ftl_name,
+            "ftl": label,
             "wa_total": round(self.wa_total, 4),
             "ram_bytes": sum(self.ram_breakdown.values()),
         }
@@ -73,26 +77,19 @@ class ExperimentResult:
 
 def build_ftl(name: str, device: FlashDevice, cache_capacity: int,
               **ftl_kwargs) -> PageMappedFTL:
-    """Instantiate an FTL by its paper name on ``device``."""
-    try:
-        factory = FTL_FACTORIES[name]
-    except KeyError:
-        raise ValueError(f"unknown FTL {name!r}; choose from "
-                         f"{sorted(FTL_FACTORIES)}") from None
-    return factory(device, cache_capacity=cache_capacity, **ftl_kwargs)
+    """Instantiate an FTL by its paper name on ``device`` (legacy shim)."""
+    return FTLSpec.of(name).build(device, cache_capacity=cache_capacity,
+                                  **ftl_kwargs)
 
 
-def write_amplification_breakdown(stats: IOStats, delta: float,
-                                  host_writes: Optional[int] = None
-                                  ) -> Dict[str, float]:
-    """Write-amplification attributed to each IO purpose (Figure 13 bottom)."""
-    breakdown: Dict[str, float] = {}
-    for purpose in IOPurpose:
-        value = stats.write_amplification(delta, include_purposes=[purpose],
-                                          host_writes=host_writes)
-        if value:
-            breakdown[purpose.value] = value
-    return breakdown
+def session_for(config: ExperimentConfig) -> SimulationSession:
+    """Build the :class:`SimulationSession` an ``ExperimentConfig`` describes."""
+    spec = FTLSpec.of(config.ftl_name)
+    defaults = {"cache_capacity": config.cache_capacity,
+                **config.ftl_kwargs}
+    return SimulationSession(spec, device=config.device,
+                             interval_writes=config.interval_writes,
+                             ftl_kwargs=defaults)
 
 
 def run_experiment(config: ExperimentConfig,
@@ -102,42 +99,48 @@ def run_experiment(config: ExperimentConfig,
     The warm-up (sequentially filling the logical space) is excluded from the
     measured interval, matching how the paper reports steady-state behaviour.
     """
-    device = FlashDevice(config.device)
-    ftl = build_ftl(config.ftl_name, device,
-                    cache_capacity=config.cache_capacity,
-                    **config.ftl_kwargs)
-    fill_device(ftl, fraction=config.fill_fraction)
-    device.stats.reset()
+    session = session_for(config)
+    session.warmup(config.fill_fraction)
 
     if workload is None:
         workload = UniformRandomWrites(config.device.logical_pages,
                                        seed=config.seed)
-    runner = WorkloadRunner(ftl, interval_writes=config.interval_writes)
-    run = runner.run(workload, config.write_operations)
+    run = session.run(workload, config.write_operations)
 
     delta = config.device.delta
     wa_total = run.final_stats.write_amplification(delta)
     breakdown = write_amplification_breakdown(run.final_stats, delta)
     return ExperimentResult(config=config,
-                            ftl_description=ftl.describe(),
+                            ftl_description=session.ftl.describe(),
                             run=run,
                             wa_total=wa_total,
                             wa_breakdown=breakdown,
-                            ram_breakdown=ftl.ram_breakdown())
+                            ram_breakdown=session.ftl.ram_breakdown())
 
 
-def compare_ftls(ftl_names: List[str], device: DeviceConfig,
+def compare_ftls(ftl_names: Sequence[Union[str, FTLSpec]],
+                 device: DeviceConfig,
                  cache_capacity: int = 2048, write_operations: int = 20_000,
                  seed: int = 42,
                  ftl_kwargs: Optional[Dict[str, Dict[str, object]]] = None
                  ) -> List[ExperimentResult]:
-    """Run the same workload volume against several FTLs (Figure 13/14 style)."""
+    """Run the same workload volume against several FTLs (Figure 13/14 style).
+
+    Each element of ``ftl_names`` may be a registered name, a spec string, or
+    an :class:`FTLSpec`.
+    """
     results = []
     for name in ftl_names:
-        kwargs = dict((ftl_kwargs or {}).get(name, {}))
-        config = ExperimentConfig(ftl_name=name, device=device,
+        spec = FTLSpec.of(name)
+        extra = dict((ftl_kwargs or {}).get(spec.name, {}))
+        if isinstance(name, str):
+            extra.update((ftl_kwargs or {}).get(name, {}))
+        # Carry the spec's kwargs as a dict (never through a string round
+        # trip) so non-literal values like enums survive.
+        config = ExperimentConfig(ftl_name=spec.name, device=device,
                                   cache_capacity=cache_capacity,
                                   write_operations=write_operations,
-                                  seed=seed, ftl_kwargs=kwargs)
+                                  seed=seed,
+                                  ftl_kwargs={**extra, **spec.kwargs})
         results.append(run_experiment(config))
     return results

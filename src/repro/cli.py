@@ -3,11 +3,14 @@
 Lets a user run the library's main experiment shapes without writing code::
 
     python -m repro.cli compare --ftls GeckoFTL uFTL --writes 5000
+    python -m repro.cli compare --ftls "GeckoFTL(cache_capacity=4096)"
     python -m repro.cli ram --capacity-gb 2048
     python -m repro.cli recovery --capacity-gb 2048
     python -m repro.cli replay trace.txt --ftl GeckoFTL
 
-Output is plain text, matching the benchmark suite's reports.
+FTLs are named through the registry (:mod:`repro.api`): any registered name
+is accepted, optionally with constructor arguments in parentheses. Output is
+plain text, matching the benchmark suite's reports.
 """
 
 from __future__ import annotations
@@ -17,11 +20,19 @@ import sys
 from typing import List, Optional
 
 from .analysis import all_ftl_ram, all_ftl_recovery
-from .bench.harness import FTL_FACTORIES, ExperimentConfig, compare_ftls, run_experiment
+from .api import FTLSpec, SimulationSession, ftl_names
+from .bench.harness import compare_ftls
 from .bench.reporting import format_bytes, format_seconds, print_report
 from .flash.config import paper_configuration, simulation_configuration
-from .flash.device import FlashDevice
-from .workloads import TraceWorkload, WorkloadRunner, fill_device
+from .workloads import TraceWorkload
+
+
+def _ftl_spec(text: str) -> FTLSpec:
+    """argparse type: validate an FTL name/spec against the registry."""
+    try:
+        return FTLSpec.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _device_from_args(arguments) -> "simulation_configuration":
@@ -40,7 +51,8 @@ def _paper_config_scaled(capacity_gb: float):
 
 def cmd_compare(arguments) -> int:
     device = _device_from_args(arguments)
-    results = compare_ftls(arguments.ftls, device,
+    specs = [FTLSpec.of(ftl) for ftl in arguments.ftls]
+    results = compare_ftls(specs, device,
                            cache_capacity=arguments.cache_entries,
                            write_operations=arguments.writes,
                            seed=arguments.seed)
@@ -76,23 +88,23 @@ def cmd_recovery(arguments) -> int:
 
 def cmd_replay(arguments) -> int:
     device_config = _device_from_args(arguments)
-    device = FlashDevice(device_config)
-    ftl = FTL_FACTORIES[arguments.ftl](device,
-                                       cache_capacity=arguments.cache_entries)
-    fill_device(ftl)
-    device.stats.reset()
-    workload = TraceWorkload.from_file(arguments.trace,
-                                       device_config.logical_pages,
-                                       wrap=arguments.wrap)
-    runner = WorkloadRunner(ftl, interval_writes=max(1, arguments.writes // 10))
-    result = runner.run(workload, arguments.writes)
-    print_report(f"Replay of {arguments.trace} against {arguments.ftl}", [{
-        "host_writes": result.host_writes,
-        "host_reads": result.host_reads,
-        "write_amplification": round(
-            result.write_amplification(device_config.delta), 4),
-        "ram_bytes": ftl.ram_bytes(),
-    }])
+    spec = FTLSpec.of(arguments.ftl)
+    with SimulationSession(
+            spec, device=device_config,
+            interval_writes=max(1, arguments.writes // 10),
+            ftl_kwargs={"cache_capacity": arguments.cache_entries}) as session:
+        session.warmup()
+        workload = TraceWorkload.from_file(arguments.trace,
+                                           device_config.logical_pages,
+                                           wrap=arguments.wrap)
+        result = session.run(workload, arguments.writes)
+        print_report(f"Replay of {arguments.trace} against {spec}", [{
+            "host_writes": result.host_writes,
+            "host_reads": result.host_reads,
+            "write_amplification": round(
+                result.write_amplification(device_config.delta), 4),
+            "ram_bytes": session.ftl.ram_bytes(),
+        }])
     return 0
 
 
@@ -100,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description="GeckoFTL reproduction CLI")
     subparsers = parser.add_subparsers(dest="command", required=True)
+    known = ", ".join(ftl_names())
 
     def add_device_arguments(sub):
         sub.add_argument("--blocks", type=int, default=128)
@@ -112,7 +125,10 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="simulate several FTLs under random updates")
     add_device_arguments(compare)
     compare.add_argument("--ftls", nargs="+", default=["GeckoFTL", "uFTL"],
-                         choices=sorted(FTL_FACTORIES))
+                         type=_ftl_spec, metavar="FTL",
+                         help=f"FTL names or specs like "
+                              f"'GeckoFTL(cache_capacity=4096)' "
+                              f"(known: {known})")
     compare.add_argument("--writes", type=int, default=4000)
     compare.add_argument("--seed", type=int, default=42)
     compare.set_defaults(handler=cmd_compare)
@@ -131,8 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="replay a trace file against one FTL")
     add_device_arguments(replay)
     replay.add_argument("trace", help="trace file (W/R/T <logical> per line)")
-    replay.add_argument("--ftl", default="GeckoFTL",
-                        choices=sorted(FTL_FACTORIES))
+    replay.add_argument("--ftl", default="GeckoFTL", type=_ftl_spec,
+                        metavar="FTL",
+                        help=f"FTL name or spec (known: {known})")
     replay.add_argument("--writes", type=int, default=4000)
     replay.add_argument("--wrap", action="store_true",
                         help="wrap around when the trace is exhausted")

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Set
 
+from ..api.registry import register_ftl
 from ..flash.address import LogicalAddress, PhysicalAddress
 from ..flash.device import FlashDevice
 from ..flash.stats import IOPurpose
@@ -68,6 +69,7 @@ class GeckoValidityStore(ValidityStore):
         self.gecko.migrate_run_page(address)
 
 
+@register_ftl("GeckoFTL", "Gecko")
 class GeckoFTL(PageMappedFTL):
     """The paper's FTL: Logarithmic Gecko, lazy UIPs, checkpointed recovery."""
 
@@ -187,6 +189,7 @@ class GeckoFTL(PageMappedFTL):
             new_content, purpose=IOPurpose.TRANSLATION)
         for entry in dirty_entries:
             if entry.logical in updates:
+                entry.in_flash = True
                 if entry.logical in self.cache:
                     self.cache.mark_dirty(entry.logical, False)
                 else:
@@ -206,6 +209,7 @@ class GeckoFTL(PageMappedFTL):
         entry.uncertain = False
         if old_physical == entry.physical:
             entry.uip = False
+            entry.in_flash = True
             if entry.logical in self.cache:
                 self.cache.mark_dirty(entry.logical, False)
             else:

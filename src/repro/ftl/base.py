@@ -21,7 +21,7 @@ its lazy UIP-flag scheme (Section 4.1).
 from __future__ import annotations
 
 from abc import abstractmethod
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..flash.address import LogicalAddress, PhysicalAddress
 from ..flash.config import DeviceConfig
@@ -32,6 +32,7 @@ from .block_manager import BlockManager, BlockType
 from .bvc import BlockValidityCounter
 from .garbage_collector import GarbageCollector, VictimPolicy
 from .mapping_cache import CachedMapping, MappingCache
+from .operations import BatchResult, Operation, OpKind
 from .translation_table import TranslationTable
 from .validity.base import ValidityStore
 from .wear_leveling import WearLeveler
@@ -98,6 +99,10 @@ class PageMappedFTL:
         The new version is written out of place to the active user block, the
         cached mapping entry is updated (creating one if needed), and garbage
         collection runs if the free-block pool has become too small.
+
+        The write sequence here is mirrored by the inlined loop in
+        :meth:`submit`; any change to it must be reflected there
+        (``tests/test_submit_equivalence.py`` locks the equivalence).
         """
         self._check_logical(logical)
         self.stats.record_host_write()
@@ -123,7 +128,8 @@ class PageMappedFTL:
                 logical, purpose=IOPurpose.TRANSLATION)
             if physical is None:
                 return None
-            entry = CachedMapping(logical, physical, dirty=False, uip=False)
+            entry = CachedMapping(logical, physical, dirty=False, uip=False,
+                                  in_flash=True)
             self.cache.put(entry)
             self._evict_if_over_capacity()
         page = self.device.read_page(entry.physical, purpose=IOPurpose.USER)
@@ -140,6 +146,11 @@ class PageMappedFTL:
         if physical is not None:
             self.validity_store.mark_invalid(physical)
             self.bvc.decrement(physical.block)
+            if entry is not None and entry.in_flash is False:
+                # The mapping only ever existed as a cached entry that was
+                # never synchronized: the flash-resident translation page
+                # holds nothing to remove, so charge no translation IO.
+                return
             translation_page = self.translation_table.translation_page_of(logical)
             content = self.translation_table.read_translation_page(
                 translation_page, purpose=IOPurpose.TRANSLATION)
@@ -162,6 +173,77 @@ class PageMappedFTL:
             translation_page = self.cache.translation_page_of(dirty[0].logical)
             self._synchronize_translation_page(translation_page)
         self.validity_store.flush()
+
+    def submit(self, batch: Sequence[Operation],
+               collect_payloads: bool = False) -> BatchResult:
+        """Execute a batch of host operations through the submission queue.
+
+        This is the batched host interface used by :class:`SimulationSession`,
+        :class:`~repro.workloads.base.WorkloadRunner` and ``fill_device``. It
+        executes the batch under one dispatch loop with the per-operation
+        bookkeeping hoisted out of the hot path: the operation-kind dispatch
+        happens once per op instead of once per host call, and the wear-level
+        and dirty-limit hooks are resolved once per batch (they cannot change
+        mid-batch) instead of being re-checked on every write.
+
+        The batched path is IO-trace *equivalent* to issuing the same
+        operations one at a time through :meth:`write`/:meth:`read`/
+        :meth:`trim`: garbage collection and dirty-limit enforcement still
+        observe exactly the state they would have seen per-op, so the
+        resulting :class:`IOStats` (including the per-purpose
+        write-amplification breakdown) are identical. The batch boundary is
+        the seam where future relaxations (async completion, sharded
+        submission queues) can plug in without touching the callers.
+        """
+        stats = self.stats
+        before = stats.snapshot()
+        writes = reads = trims = submitted = 0
+        payloads: Optional[List[Any]] = [] if collect_payloads else None
+        logical_pages = self.config.logical_pages
+        record_host_write = stats.record_host_write
+        needs_collection = self.garbage_collector.needs_collection
+        program_user_page = self._program_user_page
+        update_mapping = self._update_mapping_on_write
+        after_write = self._after_write
+        wear_leveler = self.wear_leveler
+        enforce_dirty = (self._enforce_dirty_limit
+                         if self.dirty_fraction_limit is not None else None)
+        user_purpose = IOPurpose.USER
+        write_kind, read_kind, trim_kind = OpKind.WRITE, OpKind.READ, OpKind.TRIM
+        for operation in batch:
+            submitted += 1
+            kind = operation.kind
+            if kind is write_kind:
+                logical = operation.logical
+                if not 0 <= logical < logical_pages:
+                    raise ValueError(
+                        f"logical page {logical} outside the device's logical "
+                        f"space of {logical_pages} pages")
+                writes += 1
+                record_host_write()
+                if not self._in_gc and needs_collection():
+                    self._maybe_collect()
+                new_address = program_user_page(logical, operation.payload,
+                                                user_purpose)
+                update_mapping(logical, new_address)
+                if wear_leveler is not None:
+                    wear_leveler.on_flash_write()
+                after_write(logical)
+                if enforce_dirty is not None:
+                    enforce_dirty()
+            elif kind is read_kind:
+                reads += 1
+                value = self.read(operation.logical)
+                if payloads is not None:
+                    payloads.append(value)
+            elif kind is trim_kind:
+                trims += 1
+                self.trim(operation.logical)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown operation kind {kind}")
+        return BatchResult(submitted=submitted, host_writes=writes,
+                           host_reads=reads, host_trims=trims,
+                           stats_delta=stats.diff(before), payloads=payloads)
 
     # ------------------------------------------------------------------
     # Write path internals
@@ -200,7 +282,8 @@ class PageMappedFTL:
             logical, purpose=IOPurpose.TRANSLATION)
         if old_physical is not None:
             self._invalidate_user_page(old_physical)
-        self.cache.put(CachedMapping(logical, new_address, dirty=True))
+        self.cache.put(CachedMapping(logical, new_address, dirty=True,
+                                     in_flash=old_physical is not None))
         self._evict_if_over_capacity()
 
     def _invalidate_user_page(self, address: PhysicalAddress) -> None:
@@ -269,6 +352,7 @@ class PageMappedFTL:
         self.translation_table.apply_updates(translation_page, updates,
                                              purpose=IOPurpose.TRANSLATION)
         for entry in dirty_entries:
+            entry.in_flash = True
             if entry.logical in self.cache:
                 self.cache.mark_dirty(entry.logical, False)
             else:

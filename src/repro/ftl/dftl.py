@@ -13,12 +13,14 @@ are cached. In the paper's taxonomy DFTL
 
 from __future__ import annotations
 
+from ..api.registry import register_ftl
 from .base import PageMappedFTL
 from .garbage_collector import VictimPolicy
 from .validity.base import ValidityStore
 from .validity.pvb_ram import RamPVB
 
 
+@register_ftl("DFTL")
 class DFTL(PageMappedFTL):
     """DFTL: RAM-resident PVB, battery-backed recovery, greedy GC."""
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..api.registry import register_ftl
 from .base import PageMappedFTL
 from .garbage_collector import VictimPolicy
 from .lazyftl import DEFAULT_DIRTY_FRACTION
@@ -23,6 +24,7 @@ from .validity.base import ValidityStore
 from .validity.pvl import PageValidityLog
 
 
+@register_ftl("IB-FTL", "IBFTL")
 class IBFTL(PageMappedFTL):
     """IB-FTL: page-validity log, bounded dirty entries, greedy GC."""
 

@@ -11,6 +11,7 @@ updates, so translation-metadata write-amplification rises (Figure 13).
 
 from __future__ import annotations
 
+from ..api.registry import register_ftl
 from .base import PageMappedFTL
 from .garbage_collector import VictimPolicy
 from .validity.base import ValidityStore
@@ -20,6 +21,7 @@ from .validity.pvb_ram import RamPVB
 DEFAULT_DIRTY_FRACTION = 0.1
 
 
+@register_ftl("LazyFTL")
 class LazyFTL(PageMappedFTL):
     """LazyFTL: RAM-resident PVB, bounded dirty entries, greedy GC."""
 

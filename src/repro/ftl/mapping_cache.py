@@ -15,6 +15,12 @@ scheme, which GeckoFTL adopts unchanged). Each cached entry carries flags:
     The entry was recreated after a power failure, so its dirty/UIP flags are
     pessimistic guesses that must be verified during the next synchronization
     operation (Appendix C.3).
+``in_flash``
+    Whether the flash-resident translation page currently holds an entry for
+    this logical page: ``True``/``False`` when known, ``None`` when unknown
+    (GeckoFTL's lazy write path never looks). A ``False`` lets TRIM skip the
+    translation-page read-modify-write for mappings that only ever lived in
+    the cache.
 
 The cache is keyed by logical page number and ordered by recency. The paper
 notes the cache is "implemented as a tree to enable efficient range queries
@@ -46,6 +52,7 @@ class CachedMapping:
     dirty: bool = False
     uip: bool = False
     uncertain: bool = False
+    in_flash: Optional[bool] = None
 
 
 class MappingCache:

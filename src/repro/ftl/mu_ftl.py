@@ -17,12 +17,14 @@ its root resident rather than the whole GMD (see
 
 from __future__ import annotations
 
+from ..api.registry import register_ftl
 from .base import PageMappedFTL
 from .garbage_collector import VictimPolicy
 from .validity.base import ValidityStore
 from .validity.pvb_flash import FlashPVB
 
 
+@register_ftl("uFTL", "MuFTL", "µ-FTL")
 class MuFTL(PageMappedFTL):
     """µ-FTL: flash-resident PVB, battery-backed recovery, greedy GC."""
 

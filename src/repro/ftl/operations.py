@@ -1,0 +1,55 @@
+"""Host-level operation types and the batched submission-queue result.
+
+These types form the FTL's *host interface*: a workload (or any other
+consumer) describes what it wants as a sequence of :class:`Operation` objects
+and hands them to :meth:`repro.ftl.base.PageMappedFTL.submit`, which executes
+the whole batch and returns a :class:`BatchResult`.
+
+They live here — below :mod:`repro.workloads` — so that the FTL layer can
+type its submission queue without importing the workload machinery (which
+itself imports the FTL layer). :mod:`repro.workloads.base` re-exports them
+under their historical names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, List, Optional
+
+from ..flash.stats import IOStats
+
+
+class OpKind(str, Enum):
+    """Kind of host operation a workload emits."""
+
+    WRITE = "write"
+    READ = "read"
+    TRIM = "trim"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One host operation against the FTL's logical address space."""
+
+    kind: OpKind
+    logical: int
+    payload: Any = None
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one :meth:`PageMappedFTL.submit` call.
+
+    ``stats_delta`` holds exactly the flash IO recorded while the batch ran,
+    so callers can account per-batch without snapshotting around the call.
+    ``payloads`` carries the values returned by read operations, in submission
+    order, and only when the batch was submitted with ``collect_payloads``.
+    """
+
+    submitted: int
+    host_writes: int
+    host_reads: int
+    host_trims: int
+    stats_delta: IOStats
+    payloads: Optional[List[Any]] = field(default=None, repr=False)

@@ -1,6 +1,7 @@
 """Workload generators, trace replay, and the workload runner."""
 
 from .base import (
+    BatchResult,
     IntervalMeasurement,
     Operation,
     OpKind,
@@ -19,6 +20,7 @@ from .generators import (
 from .trace import TraceWorkload, load_trace, parse_trace_line, record_trace
 
 __all__ = [
+    "BatchResult",
     "HotColdWrites",
     "IntervalMeasurement",
     "MixedReadWrite",

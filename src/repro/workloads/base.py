@@ -5,6 +5,12 @@ trims) over the device's logical address space. Generators are deterministic
 given a seed so experiments are repeatable; the runner drives an FTL with a
 workload and measures IO over configurable intervals (the paper reports
 averages over intervals of 10,000 application writes).
+
+The operation types themselves live in :mod:`repro.ftl.operations` (they are
+the FTL's host interface); they are re-exported here under their historical
+names. Execution is batched: the runner and ``fill_device`` group operations
+and push them through :meth:`~repro.ftl.base.PageMappedFTL.submit`, which is
+IO-trace equivalent to per-op dispatch but cheaper per operation.
 """
 
 from __future__ import annotations
@@ -12,28 +18,22 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from enum import Enum
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Callable, List, Optional
 
 from ..flash.stats import IOStats
 from ..ftl.base import PageMappedFTL
+from ..ftl.operations import BatchResult, Operation, OpKind
 
-
-class OpKind(str, Enum):
-    """Kind of host operation a workload emits."""
-
-    WRITE = "write"
-    READ = "read"
-    TRIM = "trim"
-
-
-@dataclass(frozen=True)
-class Operation:
-    """One host operation against the FTL's logical address space."""
-
-    kind: OpKind
-    logical: int
-    payload: Any = None
+__all__ = [
+    "BatchResult",
+    "IntervalMeasurement",
+    "Operation",
+    "OpKind",
+    "RunResult",
+    "Workload",
+    "WorkloadRunner",
+    "fill_device",
+]
 
 
 class Workload(ABC):
@@ -47,11 +47,17 @@ class Workload(ABC):
         self._rng = random.Random(seed)
 
     @abstractmethod
-    def operations(self, count: int) -> Iterator[Operation]:
+    def operations(self, count: int):
         """Yield ``count`` operations."""
 
     def reset(self) -> None:
-        """Restart the generator from its seed (for repeated runs)."""
+        """Restart the generator from its seed (for repeated runs).
+
+        Restores the *full* generator state, not just the RNG: subclasses
+        with extra state (cursors, version counters, trace positions, read
+        histories) override this and call ``super().reset()``, so that two
+        consecutive runs of the same workload emit identical streams.
+        """
         self._rng = random.Random(self.seed)
 
 
@@ -102,29 +108,52 @@ class RunResult:
 
 
 class WorkloadRunner:
-    """Drives an FTL with a workload while measuring per-interval IO."""
+    """Drives an FTL with a workload while measuring per-interval IO.
+
+    Operations are grouped into batches and pushed through the FTL's
+    submission queue. Batches are cut exactly at measurement-interval
+    boundaries (and at ``max_batch_ops`` in between), so interval
+    measurements are identical to those of per-op dispatch.
+    """
 
     def __init__(self, ftl: PageMappedFTL,
-                 interval_writes: int = 10_000) -> None:
+                 interval_writes: int = 10_000,
+                 max_batch_ops: int = 4096) -> None:
+        if max_batch_ops <= 0:
+            raise ValueError("max_batch_ops must be positive")
         self.ftl = ftl
         self.interval_writes = interval_writes
+        self.max_batch_ops = max_batch_ops
 
     def run(self, workload: Workload, operation_count: int,
             on_interval: Optional[Callable[[IntervalMeasurement], None]] = None
             ) -> RunResult:
         """Execute ``operation_count`` operations of ``workload``."""
         stats = self.ftl.stats
+        submit = self.ftl.submit
         run_start = stats.snapshot()
         interval_start = stats.snapshot()
         intervals: List[IntervalMeasurement] = []
         executed = 0
         writes_in_interval = 0
+        batch: List[Operation] = []
+        append = batch.append
+        interval_writes = self.interval_writes
+        max_batch_ops = self.max_batch_ops
+        write_kind = OpKind.WRITE
+
+        def flush_batch() -> None:
+            nonlocal executed
+            if batch:
+                executed += submit(batch).submitted
+                batch.clear()
+
         for operation in workload.operations(operation_count):
-            self._apply(operation)
-            executed += 1
-            if operation.kind is OpKind.WRITE:
+            append(operation)
+            if operation.kind is write_kind:
                 writes_in_interval += 1
-                if writes_in_interval >= self.interval_writes:
+                if writes_in_interval >= interval_writes:
+                    flush_batch()
                     measurement = IntervalMeasurement(
                         interval_index=len(intervals),
                         host_writes=writes_in_interval,
@@ -134,6 +163,10 @@ class WorkloadRunner:
                         on_interval(measurement)
                     interval_start = stats.snapshot()
                     writes_in_interval = 0
+                    continue
+            if len(batch) >= max_batch_ops:
+                flush_batch()
+        flush_batch()
         if writes_in_interval:
             intervals.append(IntervalMeasurement(
                 interval_index=len(intervals),
@@ -146,27 +179,24 @@ class WorkloadRunner:
                          intervals=intervals,
                          final_stats=total)
 
-    def _apply(self, operation: Operation) -> None:
-        if operation.kind is OpKind.WRITE:
-            self.ftl.write(operation.logical, operation.payload)
-        elif operation.kind is OpKind.READ:
-            self.ftl.read(operation.logical)
-        elif operation.kind is OpKind.TRIM:
-            self.ftl.trim(operation.logical)
-        else:  # pragma: no cover - defensive
-            raise ValueError(f"unknown operation kind {operation.kind}")
-
 
 def fill_device(ftl: PageMappedFTL, fraction: float = 1.0,
-                payload_factory: Optional[Callable[[int], Any]] = None) -> int:
+                payload_factory: Optional[Callable[[int], Any]] = None,
+                batch_pages: int = 2048) -> int:
     """Sequentially write a fraction of the logical space (warm-up).
 
     Steady-state write-amplification only emerges once the device holds data
     and garbage collection must run; every experiment in the paper implicitly
-    starts from a full device.
+    starts from a full device. The fill is routed through the batched
+    submission queue.
     """
     pages = int(ftl.config.logical_pages * fraction)
-    for logical in range(pages):
-        payload = payload_factory(logical) if payload_factory else ("init", logical)
-        ftl.write(logical, payload)
+    factory = payload_factory
+    write_kind = OpKind.WRITE
+    for start in range(0, pages, batch_pages):
+        stop = min(start + batch_pages, pages)
+        ftl.submit([
+            Operation(write_kind, logical,
+                      factory(logical) if factory else ("init", logical))
+            for logical in range(start, stop)])
     return pages

@@ -33,6 +33,10 @@ class UniformRandomWrites(Workload):
         super().__init__(logical_pages, seed)
         self._versions = 0
 
+    def reset(self) -> None:
+        super().reset()
+        self._versions = 0
+
     def operations(self, count: int) -> Iterator[Operation]:
         for _ in range(count):
             logical = self._rng.randrange(self.logical_pages)
@@ -47,7 +51,13 @@ class SequentialWrites(Workload):
     def __init__(self, logical_pages: int, seed: int = 42,
                  start: int = 0) -> None:
         super().__init__(logical_pages, seed)
-        self._cursor = start % logical_pages
+        self._start = start % logical_pages
+        self._cursor = self._start
+        self._versions = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._cursor = self._start
         self._versions = 0
 
     def operations(self, count: int) -> Iterator[Operation]:
@@ -86,6 +96,10 @@ class ZipfianWrites(Workload):
             self._cdf.append(cumulative)
         scatter = random.Random(seed ^ 0x5EED)
         self._rank_to_page = scatter.sample(range(logical_pages), self.ranks)
+        self._versions = 0
+
+    def reset(self) -> None:
+        super().reset()
         self._versions = 0
 
     def _sample_page(self) -> int:
@@ -128,6 +142,10 @@ class HotColdWrites(Workload):
         self._hot_pages = max(1, int(logical_pages * hot_fraction))
         self._versions = 0
 
+    def reset(self) -> None:
+        super().reset()
+        self._versions = 0
+
     def operations(self, count: int) -> Iterator[Operation]:
         for _ in range(count):
             if self._rng.random() < self.hot_probability:
@@ -157,6 +175,11 @@ class MixedReadWrite(Workload):
         self.write_workload = write_workload
         self.read_fraction = read_fraction
         self._written: List[int] = []
+
+    def reset(self) -> None:
+        super().reset()
+        self.write_workload.reset()
+        self._written = []
 
     def operations(self, count: int) -> Iterator[Operation]:
         write_source = self.write_workload.operations(count)

@@ -1,0 +1,161 @@
+"""Tests for the SimulationSession facade."""
+
+import pytest
+
+from repro import (
+    DFTL,
+    GeckoFTL,
+    Operation,
+    OpKind,
+    SimulationSession,
+    UniformRandomWrites,
+    simulation_configuration,
+)
+from repro.api import FTLSpec
+from repro.core.recovery import RecoveryReport
+from repro.flash.device import FlashDevice
+
+
+def tiny_config():
+    return simulation_configuration(num_blocks=64, pages_per_block=8,
+                                    page_size=256)
+
+
+class TestConstruction:
+    def test_defaults_build_geckoftl_on_a_default_device(self):
+        session = SimulationSession()
+        assert isinstance(session.ftl, GeckoFTL)
+        assert session.config.logical_pages > 0
+
+    def test_accepts_spec_string_with_kwargs(self):
+        session = SimulationSession("DFTL(cache_capacity=32)",
+                                    device=tiny_config())
+        assert isinstance(session.ftl, DFTL)
+        assert session.ftl.cache.capacity == 32
+
+    def test_ftl_kwargs_are_defaults_spec_wins(self):
+        session = SimulationSession("DFTL(cache_capacity=32)",
+                                    device=tiny_config(),
+                                    ftl_kwargs={"cache_capacity": 512})
+        assert session.ftl.cache.capacity == 32
+
+    def test_accepts_prebuilt_ftl_and_device(self):
+        device = FlashDevice(tiny_config())
+        ftl = DFTL(device, cache_capacity=64)
+        session = SimulationSession(ftl, device=device)
+        assert session.ftl is ftl
+        assert session.spec is None
+
+    def test_rejects_ftl_on_a_foreign_device(self):
+        ftl = DFTL(FlashDevice(tiny_config()), cache_capacity=64)
+        with pytest.raises(ValueError, match="different device"):
+            SimulationSession(ftl, device=FlashDevice(tiny_config()))
+
+    def test_rejects_bogus_device(self):
+        with pytest.raises(TypeError):
+            SimulationSession("DFTL", device="not-a-device")
+
+    def test_unknown_ftl_name_raises(self):
+        with pytest.raises(ValueError, match="unknown FTL"):
+            SimulationSession("NopeFTL", device=tiny_config())
+
+
+class TestLifecycle:
+    def test_warmup_fills_and_resets_stats(self):
+        session = SimulationSession("GeckoFTL(cache_capacity=64)",
+                                    device=tiny_config())
+        pages = session.warmup()
+        assert pages == session.config.logical_pages
+        assert session.stats.host_writes == 0
+        assert session.read(pages - 1) is not None
+
+    def test_warmup_can_keep_stats(self):
+        session = SimulationSession("DFTL(cache_capacity=64)",
+                                    device=tiny_config())
+        pages = session.warmup(reset_stats=False)
+        assert session.stats.host_writes == pages
+
+    def test_run_measures_intervals(self):
+        session = SimulationSession("GeckoFTL(cache_capacity=64)",
+                                    device=tiny_config(),
+                                    interval_writes=100)
+        session.warmup()
+        workload = UniformRandomWrites(session.config.logical_pages, seed=1)
+        result = session.run(workload, 450)
+        assert result.host_writes == 450
+        assert len(result.intervals) == 5
+
+    def test_snapshot_reports_wa_and_ram(self):
+        session = SimulationSession("GeckoFTL(cache_capacity=64)",
+                                    device=tiny_config())
+        session.warmup()
+        session.run(UniformRandomWrites(session.config.logical_pages, seed=1),
+                    300)
+        snapshot = session.snapshot()
+        assert snapshot.write_amplification > 0
+        assert "user" in snapshot.wa_breakdown
+        assert snapshot.ram_bytes == sum(snapshot.ram_breakdown.values())
+        assert snapshot.row()["ftl"] == "GeckoFTL"
+        # The snapshot is frozen in time: more IO must not change it.
+        session.run(UniformRandomWrites(session.config.logical_pages, seed=2),
+                    100)
+        assert snapshot.stats.host_writes == 300
+
+    def test_submit_and_host_passthrough(self):
+        session = SimulationSession("DFTL(cache_capacity=64)",
+                                    device=tiny_config())
+        result = session.submit([Operation(OpKind.WRITE, 3, "three")])
+        assert result.host_writes == 1
+        assert session.read(3) == "three"
+        session.write(4, "four")
+        session.trim(3)
+        assert session.read(3) is None
+
+    def test_context_manager_flushes_on_exit(self):
+        with SimulationSession("GeckoFTL(cache_capacity=64)",
+                               device=tiny_config()) as session:
+            session.warmup()
+            session.run(
+                UniformRandomWrites(session.config.logical_pages, seed=1), 200)
+        assert session.ftl.cache.dirty_count == 0
+
+    def test_describe_includes_spec_and_device(self):
+        session = SimulationSession("GeckoFTL(cache_capacity=64)",
+                                    device=tiny_config())
+        description = session.describe()
+        assert description["spec"] == "GeckoFTL(cache_capacity=64)"
+        assert "device" in description
+
+
+class TestCrashRecovery:
+    def test_gecko_crash_and_recover_round_trip(self):
+        session = SimulationSession("GeckoFTL(cache_capacity=64)",
+                                    device=tiny_config())
+        session.warmup()
+        session.write(7, "precious")
+        session.crash()
+        report = session.recover()
+        assert isinstance(report, RecoveryReport)
+        assert session.read(7) == "precious"
+
+    def test_battery_ftl_crash_is_a_flush(self):
+        session = SimulationSession("DFTL(cache_capacity=64)",
+                                    device=tiny_config())
+        session.warmup()
+        session.write(7, "precious")
+        session.crash()
+        assert session.ftl.cache.dirty_count == 0
+        assert session.recover() is None
+        assert session.read(7) == "precious"
+
+    def test_unbatteried_competitors_refuse_crash(self):
+        session = SimulationSession("LazyFTL(cache_capacity=64)",
+                                    device=tiny_config())
+        session.warmup()
+        with pytest.raises(NotImplementedError):
+            session.crash()
+
+    def test_recover_without_crash_is_a_noop(self):
+        session = SimulationSession("GeckoFTL(cache_capacity=64)",
+                                    device=tiny_config())
+        assert session.recover() is None

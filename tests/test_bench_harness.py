@@ -63,6 +63,22 @@ class TestHarness:
                                cache_capacity=64, write_operations=1000)
         assert [r.config.ftl_name for r in results] == ["DFTL", "GeckoFTL"]
 
+    def test_compare_ftls_accepts_specs_with_non_literal_kwargs(self):
+        from repro.api import FTLSpec
+        from repro.ftl.garbage_collector import VictimPolicy
+        spec = FTLSpec("GeckoFTL", {"victim_policy": VictimPolicy.GREEDY})
+        results = compare_ftls([spec], small_config(), cache_capacity=64,
+                               write_operations=500)
+        assert results[0].ftl_description["victim_policy"] == "greedy"
+
+    def test_variants_of_one_ftl_stay_distinguishable_in_rows(self):
+        results = compare_ftls(["GeckoFTL(cache_capacity=32)",
+                                "GeckoFTL(cache_capacity=96)"],
+                               small_config(), write_operations=500)
+        labels = [result.row()["ftl"] for result in results]
+        assert labels == ["GeckoFTL(cache_capacity=32)",
+                          "GeckoFTL(cache_capacity=96)"]
+
     def test_wa_breakdown_sums_to_total(self):
         stats = IOStats()
         stats.record_host_write(100)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import FTLSpec
 from repro.cli import build_parser, main
 from repro.workloads import Operation, OpKind, record_trace
 
@@ -20,17 +21,37 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "--ftls", "NopeFTL"])
 
+    def test_ftl_arguments_parse_into_specs(self):
+        arguments = build_parser().parse_args(
+            ["compare", "--ftls", "GeckoFTL(cache_capacity=64)", "uftl"])
+        assert arguments.ftls == [
+            FTLSpec("GeckoFTL", {"cache_capacity": 64}), FTLSpec("uFTL")]
+
+    def test_malformed_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compare", "--ftls", "GeckoFTL(cache_capacity="])
+
+    def test_replay_unknown_ftl_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "trace.txt", "--ftl",
+                                       "NopeFTL"])
+
 
 class TestCommands:
+    """Drive main() for every subcommand: exit code 0 + expected headers."""
+
     def test_ram_command_prints_all_ftls(self, capsys):
         assert main(["ram", "--capacity-gb", "2048"]) == 0
         output = capsys.readouterr().out
+        assert "Integrated-RAM breakdown at 2048.0 GB (analytical)" in output
         for name in ("DFTL", "LazyFTL", "uFTL", "IB-FTL", "GeckoFTL"):
             assert name in output
 
     def test_recovery_command_prints_battery_column(self, capsys):
         assert main(["recovery", "--capacity-gb", "512"]) == 0
         output = capsys.readouterr().out
+        assert "Recovery-time breakdown at 512.0 GB (analytical)" in output
         assert "battery" in output
         assert "GeckoFTL" in output
 
@@ -40,8 +61,19 @@ class TestCommands:
                      "--page-size", "256", "--cache-entries", "64"])
         assert code == 0
         output = capsys.readouterr().out
+        assert "Write-amplification after 500 random updates" in output
         assert "GeckoFTL" in output
         assert "wa_total" in output
+
+    def test_compare_command_accepts_spec_strings(self, capsys):
+        code = main(["compare", "--ftls", "GeckoFTL(cache_capacity=32)",
+                     "DFTL", "--writes", "400", "--blocks", "64",
+                     "--pages-per-block", "8", "--page-size", "256",
+                     "--cache-entries", "64"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "GeckoFTL" in output
+        assert "DFTL" in output
 
     def test_replay_command(self, tmp_path, capsys):
         trace = tmp_path / "trace.txt"
@@ -53,4 +85,6 @@ class TestCommands:
                      "--cache-entries", "64"])
         assert code == 0
         output = capsys.readouterr().out
+        assert f"Replay of {trace} against GeckoFTL" in output
         assert "write_amplification" in output
+        assert "host_writes" in output

@@ -1,0 +1,85 @@
+"""TRIM must not charge translation IO for never-synchronized mappings."""
+
+import pytest
+
+from repro.core.gecko_ftl import GeckoFTL
+from repro.flash.config import simulation_configuration
+from repro.flash.device import FlashDevice
+from repro.flash.stats import IOKind, IOPurpose
+from repro.ftl.dftl import DFTL
+
+
+def build(ftl_class):
+    config = simulation_configuration(num_blocks=64, pages_per_block=8,
+                                      page_size=256)
+    return ftl_class(FlashDevice(config), cache_capacity=256)
+
+
+def translation_io(stats):
+    return (stats.total(IOKind.PAGE_READ, IOPurpose.TRANSLATION),
+            stats.total(IOKind.PAGE_WRITE, IOPurpose.TRANSLATION))
+
+
+class TestTrimTranslationIO:
+    def test_trim_of_cached_only_mapping_charges_no_translation_io(self):
+        ftl = build(DFTL)
+        # Make translation page 0 exist in flash (it will hold logical 0)...
+        ftl.write(0, "zero")
+        ftl.flush()
+        # ...then create a mapping that only ever lives in the cache.
+        ftl.write(1, "one")
+        before = ftl.stats.snapshot()
+        ftl.trim(1)
+        reads, writes = translation_io(ftl.stats.diff(before))
+        assert (reads, writes) == (0, 0)
+        assert ftl.read(1) is None
+
+    def test_trim_of_synchronized_mapping_rewrites_the_stored_page(self):
+        ftl = build(DFTL)
+        ftl.write(0, "zero")
+        ftl.flush()
+        before = ftl.stats.snapshot()
+        ftl.trim(0)
+        reads, writes = translation_io(ftl.stats.diff(before))
+        assert reads == 1
+        assert writes == 1
+        assert ftl.read(0) is None
+
+    def test_trim_of_stale_stored_mapping_still_removes_it(self):
+        ftl = build(DFTL)
+        ftl.write(0, "v1")
+        ftl.flush()
+        ftl.write(0, "v2")  # cached dirty; the stored entry is now stale
+        before = ftl.stats.snapshot()
+        ftl.trim(0)
+        reads, writes = translation_io(ftl.stats.diff(before))
+        assert (reads, writes) == (1, 1)
+        assert ftl.read(0) is None
+
+    def test_trim_of_never_written_page_charges_nothing(self):
+        ftl = build(DFTL)
+        before = ftl.stats.snapshot()
+        ftl.trim(5)
+        assert not ftl.stats.diff(before).counts
+
+    def test_gecko_trim_still_consults_the_stored_page(self):
+        # GeckoFTL's lazy write path never learns whether a stored entry
+        # exists, so its trims stay conservative: the stored page is read and
+        # a stale mapping is removed.
+        ftl = build(GeckoFTL)
+        ftl.write(0, "v1")
+        ftl.flush()
+        ftl.write(0, "v2")
+        ftl.trim(0)
+        assert ftl.read(0) is None
+
+    def test_trim_equivalence_between_read_loaded_and_synced_entries(self):
+        ftl = build(DFTL)
+        ftl.write(0, "zero")
+        ftl.flush()
+        ftl.cache.clear()
+        assert ftl.read(0) == "zero"  # reloads the entry with in_flash=True
+        before = ftl.stats.snapshot()
+        ftl.trim(0)
+        reads, writes = translation_io(ftl.stats.diff(before))
+        assert (reads, writes) == (1, 1)

@@ -158,6 +158,66 @@ class TestRunner:
         assert fresh.read(written - 1) is not None
 
 
+def _materialize(workload, count):
+    return [(op.kind, op.logical, op.payload)
+            for op in workload.operations(count)]
+
+
+class TestReset:
+    """reset() must restore *full* generator state, not just the RNG."""
+
+    @pytest.fixture(params=["uniform", "sequential", "zipfian", "hotcold",
+                            "mixed", "trace"])
+    def workload(self, request):
+        if request.param == "uniform":
+            return UniformRandomWrites(LOGICAL_PAGES, seed=9)
+        if request.param == "sequential":
+            return SequentialWrites(LOGICAL_PAGES, seed=9, start=17)
+        if request.param == "zipfian":
+            return ZipfianWrites(LOGICAL_PAGES, seed=9, theta=0.9)
+        if request.param == "hotcold":
+            return HotColdWrites(LOGICAL_PAGES, seed=9, hot_fraction=0.2,
+                                 hot_probability=0.8)
+        if request.param == "mixed":
+            return MixedReadWrite(UniformRandomWrites(LOGICAL_PAGES, seed=9),
+                                  read_fraction=0.4, seed=9)
+        operations = [Operation(OpKind.WRITE, i % 40, ("t", i % 40))
+                      for i in range(120)]
+        return TraceWorkload(operations, LOGICAL_PAGES, wrap=True)
+
+    def test_two_consecutive_runs_are_identical(self, workload):
+        first = _materialize(workload, 200)
+        workload.reset()
+        second = _materialize(workload, 200)
+        assert first == second
+
+    def test_reset_mid_stream_restarts_from_the_beginning(self, workload):
+        reference = _materialize(workload, 200)
+        workload.reset()
+        _materialize(workload, 37)  # leave the generator mid-stream
+        workload.reset()
+        assert _materialize(workload, 200) == reference
+
+    def test_runner_reruns_of_one_workload_match(self, workload):
+        """Two FTL runs of the same (reset) workload see identical streams."""
+        config = simulation_configuration(num_blocks=64, pages_per_block=8,
+                                          page_size=256)
+        results = []
+        for _ in range(2):
+            ftl = DFTL(FlashDevice(config), cache_capacity=64)
+            fill_device(ftl)
+            ftl.stats.reset()
+            workload.reset()
+            # Cap the logical space: the shared workloads address
+            # LOGICAL_PAGES pages, the tiny device fewer — remap by modulo.
+            ops = [Operation(op.kind, op.logical % ftl.config.logical_pages,
+                             op.payload)
+                   for op in workload.operations(300)]
+            ftl.submit(ops)
+            results.append(dict(ftl.stats.counts))
+        assert results[0] == results[1]
+
+
 class TestTrace:
     def test_parse_valid_lines(self):
         assert parse_trace_line("W 12").kind is OpKind.WRITE
