@@ -6,41 +6,50 @@ number of GC queries Logarithmic Gecko must answer. Because GC queries cost
 flash *reads* (an order of magnitude cheaper than writes), the overall
 write-amplification contributed by page-validity maintenance rises only
 mildly across the whole practical range of R.
+
+The figure's grid is declared as a :class:`repro.engine.SweepPlan` — one
+device geometry per over-provisioning ratio — rather than a loop of one-off
+``run_experiment`` calls; the sweep engine owns execution and row layout.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.bench.harness import ExperimentConfig, run_experiment
 from repro.bench.reporting import print_report
-from repro.flash.config import simulation_configuration
+from repro.engine import SweepExecutor, SweepPlan, device_dict
 
 RATIOS = [0.5, 0.6, 0.7, 0.8]
 MEASURED_WRITES = 4000
 
+#: Figure 12 as data: GeckoFTL x one device geometry per ratio R.
+PLAN = SweepPlan(
+    ftls=["GeckoFTL"],
+    workloads=["UniformRandomWrites"],
+    devices=[device_dict(num_blocks=96, pages_per_block=16, page_size=256,
+                         logical_ratio=ratio) for ratio in RATIOS],
+    cache_capacities=[128],
+    seeds=[42],
+    write_operations=MEASURED_WRITES,
+    interval_writes=1000,
+)
+
 
 def figure12_rows():
-    rows = []
-    for ratio in RATIOS:
-        device = simulation_configuration(num_blocks=96, pages_per_block=16,
-                                          page_size=256, logical_ratio=ratio)
-        result = run_experiment(ExperimentConfig(
-            ftl_name="GeckoFTL", device=device, cache_capacity=128,
-            write_operations=MEASURED_WRITES, interval_writes=1000))
-        rows.append({
-            "logical_ratio_R": ratio,
-            "wa_total": round(result.wa_total, 4),
-            "wa_validity": round(result.wa_breakdown.get("validity", 0.0), 4),
-            "wa_gc": round(result.wa_breakdown.get("gc", 0.0), 4),
-        })
-    return rows
+    report = SweepExecutor(workers=1).run(PLAN)
+    return [{
+        "logical_ratio_R": row["device"]["logical_ratio"],
+        "wa_total": round(row["wa_total"], 4),
+        "wa_validity": round(row["wa_breakdown"].get("validity", 0.0), 4),
+        "wa_gc": round(row["wa_breakdown"].get("gc", 0.0), 4),
+    } for row in report.rows]
 
 
 def test_fig12_series(benchmark):
     rows = benchmark.pedantic(figure12_rows, iterations=1, rounds=1)
     print_report("Figure 12: GeckoFTL write-amplification vs over-provisioning "
                  "(R = logical/physical ratio)", rows)
+    assert [row["logical_ratio_R"] for row in rows] == RATIOS
     validity = [row["wa_validity"] for row in rows]
     totals = [row["wa_total"] for row in rows]
     # The page-validity component stays small across the whole range of R...

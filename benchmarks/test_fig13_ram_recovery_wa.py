@@ -17,12 +17,26 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import ram_model, recovery_model
-from repro.bench.harness import compare_ftls
 from repro.bench.reporting import format_bytes, format_seconds, print_report
-from repro.flash.config import paper_configuration, simulation_configuration
+from repro.engine import SweepExecutor, SweepPlan, device_dict
+from repro.flash.config import paper_configuration
 
 FTLS = ["DFTL", "LazyFTL", "uFTL", "IB-FTL", "GeckoFTL"]
 MEASURED_WRITES = 4000
+
+#: The simulated (bottom) panel as data: every FTL under the same uniformly
+#: random update stream on the same scaled-down device. The sweep engine
+#: guarantees the stream is identical across FTLs (derived seeds exclude the
+#: FTL axis), which is exactly the figure's methodology.
+WA_PLAN = SweepPlan(
+    ftls=FTLS,
+    workloads=["UniformRandomWrites"],
+    devices=[device_dict(num_blocks=96, pages_per_block=16, page_size=256)],
+    cache_capacities=[128],
+    seeds=[42],
+    write_operations=MEASURED_WRITES,
+    interval_writes=2000,
+)
 
 
 def ram_rows():
@@ -52,16 +66,14 @@ def recovery_rows():
 
 
 def wa_rows():
-    device = simulation_configuration(num_blocks=96, pages_per_block=16,
-                                      page_size=256)
-    results = compare_ftls(FTLS, device, cache_capacity=128,
-                           write_operations=MEASURED_WRITES)
+    report = SweepExecutor(workers=1).run(WA_PLAN)
     rows = []
-    for result in results:
-        row = {"ftl": result.config.ftl_name,
-               "wa_total": round(result.wa_total, 3)}
+    for result in report.rows:
+        row = {"ftl": result["ftl"],
+               "wa_total": round(result["wa_total"], 3)}
         for purpose in ("user", "gc", "translation", "validity"):
-            row[f"wa_{purpose}"] = round(result.wa_breakdown.get(purpose, 0.0), 3)
+            row[f"wa_{purpose}"] = round(
+                result["wa_breakdown"].get(purpose, 0.0), 3)
         rows.append(row)
     return rows
 

@@ -11,48 +11,64 @@ On the scaled-down device the paper's budget *split* is reproduced rather than
 its absolute size: at 2 TB the PVB consumes 64 MB of the ~70 MB budget, leaving
 DFTL a cache ~17x smaller than the one µ-FTL and GeckoFTL can afford, so here
 DFTL's cache is set to 1/17th of the full cache the other two receive.
+
+The three scenarios are not a cartesian grid (each pairs one FTL with its own
+cache size and GC policy), so they are declared directly as serializable
+:class:`repro.engine.SweepTask` cells and handed to the sweep engine — the
+GC-policy override travels inside the FTL spec string
+(``"uFTL(victim_policy='metadata_aware')"``).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.bench.harness import ExperimentConfig, run_experiment
 from repro.bench.reporting import print_report
-from repro.flash.config import simulation_configuration
-from repro.ftl.garbage_collector import VictimPolicy
+from repro.engine import SweepExecutor, SweepTask, device_dict
 
 MEASURED_WRITES = 4000
 
+DEVICE = device_dict(num_blocks=96, pages_per_block=16, page_size=256)
+# Full cache for the FTLs that keep validity metadata in flash; DFTL gets
+# the paper's proportional share (4 MB out of 68 MB, i.e. ~1/17th).
+TOTAL_ENTRIES = 768
+DFTL_ENTRIES = max(32, TOTAL_ENTRIES // 17)
+
+#: (label, task) pairs — Figure 14 as data. The paper gives the non-Gecko
+#: FTLs GeckoFTL's metadata-aware GC scheme, selected via the spec string.
+SCENARIOS = [
+    ("DFTL (RAM PVB, small cache)",
+     SweepTask(ftl="DFTL(victim_policy='metadata_aware')",
+               workload="UniformRandomWrites", device=DEVICE,
+               cache_capacity=DFTL_ENTRIES, seed=42,
+               write_operations=MEASURED_WRITES, interval_writes=1000,
+               index=0)),
+    ("uFTL (flash PVB, big cache)",
+     SweepTask(ftl="uFTL(victim_policy='metadata_aware')",
+               workload="UniformRandomWrites", device=DEVICE,
+               cache_capacity=TOTAL_ENTRIES, seed=42,
+               write_operations=MEASURED_WRITES, interval_writes=1000,
+               index=1)),
+    ("GeckoFTL (Gecko, big cache)",
+     SweepTask(ftl="GeckoFTL", workload="UniformRandomWrites", device=DEVICE,
+               cache_capacity=TOTAL_ENTRIES, seed=42,
+               write_operations=MEASURED_WRITES, interval_writes=1000,
+               index=2)),
+]
+
 
 def figure14_rows():
-    device = simulation_configuration(num_blocks=96, pages_per_block=16,
-                                      page_size=256)
-    # Full cache for the FTLs that keep validity metadata in flash; DFTL gets
-    # the paper's proportional share (4 MB out of 68 MB, i.e. ~1/17th).
-    total_entries = 768
-    dftl_entries = max(32, total_entries // 17)
-    scenarios = [
-        ("DFTL (RAM PVB, small cache)", "DFTL", dftl_entries, {}),
-        ("uFTL (flash PVB, big cache)", "uFTL", total_entries, {}),
-        ("GeckoFTL (Gecko, big cache)", "GeckoFTL", total_entries, {}),
-    ]
+    report = SweepExecutor(workers=1).run([task for _, task in SCENARIOS])
     rows = []
-    for label, ftl_name, cache_entries, extra in scenarios:
-        kwargs = dict(extra)
-        if ftl_name != "GeckoFTL":
-            # The paper gives all three the same (metadata-aware) GC scheme.
-            kwargs["victim_policy"] = VictimPolicy.METADATA_AWARE
-        result = run_experiment(ExperimentConfig(
-            ftl_name=ftl_name, device=device, cache_capacity=cache_entries,
-            write_operations=MEASURED_WRITES, interval_writes=1000,
-            ftl_kwargs=kwargs))
+    for (label, task), result in zip(SCENARIOS, report.rows):
         rows.append({
             "configuration": label,
-            "cache_entries": cache_entries,
-            "wa_total": round(result.wa_total, 3),
-            "wa_translation": round(result.wa_breakdown.get("translation", 0.0), 3),
-            "wa_validity": round(result.wa_breakdown.get("validity", 0.0), 3),
+            "cache_entries": task.cache_capacity,
+            "wa_total": round(result["wa_total"], 3),
+            "wa_translation": round(
+                result["wa_breakdown"].get("translation", 0.0), 3),
+            "wa_validity": round(
+                result["wa_breakdown"].get("validity", 0.0), 3),
         })
     return rows
 

@@ -6,9 +6,12 @@ integrated RAM, recovery time, and write-amplification, using the analytical
 models for the first two (at the paper's 2 TB scale) and trace-driven
 simulation for the third.
 
-Run with::
+The simulated comparison is declared as a :class:`repro.engine.SweepPlan` and
+executed by the sweep engine, so it can fan out over worker processes and
+persist/resume its rows::
 
-    python examples/ftl_shootout.py [--writes N]
+    python examples/ftl_shootout.py [--writes N] [--workers W]
+    python examples/ftl_shootout.py --sink shootout.jsonl --resume
 """
 
 from __future__ import annotations
@@ -16,12 +19,14 @@ from __future__ import annotations
 import argparse
 
 from repro.analysis import all_ftl_ram, all_ftl_recovery
-from repro.bench.harness import compare_ftls
 from repro.bench.reporting import format_bytes, format_seconds, print_report
-from repro.flash.config import paper_configuration, simulation_configuration
+from repro.engine import SweepPlan, device_dict, run_sweep, wa_breakdown_table
+
+FTLS = ["DFTL", "LazyFTL", "uFTL", "IB-FTL", "GeckoFTL"]
 
 
 def show_analytical_comparison() -> None:
+    from repro.flash.config import paper_configuration
     config = paper_configuration()
     print_report("Integrated RAM at 2 TB (analytical, Figure 13 top)", [{
         "ftl": breakdown.ftl,
@@ -37,26 +42,45 @@ def show_analytical_comparison() -> None:
     } for breakdown in all_ftl_recovery(config)])
 
 
-def show_simulated_comparison(writes: int) -> None:
-    device = simulation_configuration(num_blocks=128, pages_per_block=16,
-                                      page_size=256)
-    # compare_ftls accepts registry names or FTLSpec strings with arguments.
-    results = compare_ftls(["DFTL", "LazyFTL", "uFTL", "IB-FTL", "GeckoFTL"],
-                           device, cache_capacity=128,
-                           write_operations=writes)
+def show_simulated_comparison(writes: int, workers: int,
+                              sink: str = None, resume: bool = False) -> None:
+    # The comparison grid as data: all five FTLs, one device, one stream.
+    # Every FTL replays the identical operation sequence (the engine derives
+    # workload seeds independently of the FTL axis).
+    plan = SweepPlan(
+        ftls=FTLS,
+        workloads=["UniformRandomWrites"],
+        devices=[device_dict(num_blocks=128, pages_per_block=16,
+                             page_size=256)],
+        cache_capacities=[128],
+        seeds=[42],
+        write_operations=writes,
+        interval_writes=max(1, writes // 10),
+    )
+    report = run_sweep(plan, workers=workers, sink=sink, resume=resume)
     print_report(
         f"Write-amplification after {writes} random updates "
         "(simulated, Figure 13 bottom)",
-        [result.row() for result in results])
+        wa_breakdown_table(report.rows))
+    print(f"\nsweep: {report.summary()}")
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--writes", type=int, default=5000,
                         help="measured application writes per FTL")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes for the simulated comparison")
+    parser.add_argument("--sink", default=None,
+                        help="optional JSONL result sink")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip FTLs already present in the sink")
     arguments = parser.parse_args()
+    if arguments.resume and not arguments.sink:
+        parser.error("--resume needs --sink to resume from")
     show_analytical_comparison()
-    show_simulated_comparison(arguments.writes)
+    show_simulated_comparison(arguments.writes, arguments.workers,
+                              sink=arguments.sink, resume=arguments.resume)
 
 
 if __name__ == "__main__":

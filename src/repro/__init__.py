@@ -10,7 +10,11 @@ The package provides:
   submission queue (:meth:`PageMappedFTL.submit`), and the competitor FTLs
   (DFTL, LazyFTL, µ-FTL, IB-FTL);
 * :mod:`repro.core` — Logarithmic Gecko and GeckoFTL, the paper's contribution;
-* :mod:`repro.workloads` — workload generators and trace replay;
+* :mod:`repro.workloads` — workload generators, the workload registry
+  (:func:`register_workload`, :class:`WorkloadSpec`) and trace replay;
+* :mod:`repro.engine` — declarative experiment sweeps: :class:`SweepPlan`
+  grids, :class:`SweepExecutor` multiprocessing execution, and resumable
+  JSONL :class:`ResultSink` persistence;
 * :mod:`repro.analysis` — the paper's analytical RAM, recovery-time and IO
   cost models (Figures 1 and 13, Table 1);
 * :mod:`repro.bench` — the experiment harness used by the benchmark suite
@@ -40,6 +44,13 @@ from .api import (
     ftl_names,
     register_ftl,
 )
+from .engine import (
+    ResultSink,
+    SweepExecutor,
+    SweepPlan,
+    SweepTask,
+    run_sweep,
+)
 from .core import (
     EntryLayout,
     GeckoConfig,
@@ -63,6 +74,8 @@ from .ftl import DFTL, IBFTL, LazyFTL, MuFTL, PageMappedFTL, VictimPolicy
 from .ftl.operations import BatchResult, Operation, OpKind
 from .workloads import (
     HotColdWrites,
+    TraceFormatError,
+    WorkloadSpec,
     MixedReadWrite,
     SequentialWrites,
     TraceWorkload,
@@ -71,6 +84,8 @@ from .workloads import (
     WorkloadRunner,
     ZipfianWrites,
     fill_device,
+    register_workload,
+    workload_names,
 )
 
 __version__ = "1.1.0"
@@ -100,19 +115,28 @@ __all__ = [
     "PageMappedFTL",
     "PhysicalAddress",
     "RecoveryReport",
+    "ResultSink",
     "SequentialWrites",
     "SessionSnapshot",
     "SimulationSession",
+    "SweepExecutor",
+    "SweepPlan",
+    "SweepTask",
+    "TraceFormatError",
     "TraceWorkload",
     "UniformRandomWrites",
     "VictimPolicy",
     "Workload",
     "WorkloadRunner",
+    "WorkloadSpec",
     "ZipfianWrites",
     "fill_device",
     "ftl_names",
     "paper_configuration",
     "register_ftl",
+    "register_workload",
+    "run_sweep",
     "simulation_configuration",
+    "workload_names",
     "__version__",
 ]

@@ -124,6 +124,22 @@ class SimulationSession:
         self._recovery = None
         self._closed = False
 
+    @classmethod
+    def from_task(cls, task) -> "SimulationSession":
+        """Build the session a :class:`~repro.engine.plan.SweepTask` describes.
+
+        This is the constructor sweep workers use: the task carries only
+        serializable specs (FTL spec string, device geometry dict, cache
+        capacity, interval length), and this method rebuilds the live device
+        and FTL from them. The task's ``cache_capacity`` is a default the FTL
+        spec's own ``cache_capacity`` kwarg overrides.
+        """
+        from ..engine.plan import build_device_config
+        return cls(task.ftl,
+                   device=build_device_config(task.device),
+                   interval_writes=task.interval_writes,
+                   ftl_kwargs={"cache_capacity": task.cache_capacity})
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------

@@ -7,15 +7,19 @@ Lets a user run the library's main experiment shapes without writing code::
     python -m repro.cli ram --capacity-gb 2048
     python -m repro.cli recovery --capacity-gb 2048
     python -m repro.cli replay trace.txt --ftl GeckoFTL
+    python -m repro.cli sweep --grid "ftl=GeckoFTL,DFTL cache=1024,4096" \
+        --workers 4 --sink results.jsonl --resume
 
-FTLs are named through the registry (:mod:`repro.api`): any registered name
-is accepted, optionally with constructor arguments in parentheses. Output is
-plain text, matching the benchmark suite's reports.
+FTLs and workloads are named through their registries (:mod:`repro.api` and
+:mod:`repro.workloads.registry`): any registered name is accepted, optionally
+with constructor arguments in parentheses. Output is plain text, matching the
+benchmark suite's reports.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -23,8 +27,9 @@ from .analysis import all_ftl_ram, all_ftl_recovery
 from .api import FTLSpec, SimulationSession, ftl_names
 from .bench.harness import compare_ftls
 from .bench.reporting import format_bytes, format_seconds, print_report
+from .engine import ResultSink, SweepExecutor, SweepPlan, aggregate, device_dict
 from .flash.config import paper_configuration, simulation_configuration
-from .workloads import TraceWorkload
+from .workloads import TraceWorkload, workload_names
 
 
 def _ftl_spec(text: str) -> FTLSpec:
@@ -108,6 +113,56 @@ def cmd_replay(arguments) -> int:
     return 0
 
 
+def cmd_sweep(arguments) -> int:
+    if arguments.resume and not arguments.sink:
+        print("--resume needs --sink to resume from", file=sys.stderr)
+        return 2
+    if arguments.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    base_device = device_dict(num_blocks=arguments.blocks,
+                              pages_per_block=arguments.pages_per_block,
+                              page_size=arguments.page_size,
+                              logical_ratio=arguments.logical_ratio)
+    overrides = {"devices": [base_device],
+                 "cache_capacities": [arguments.cache_entries],
+                 "write_operations": arguments.writes,
+                 "interval_writes": arguments.interval_writes,
+                 "seeds": [arguments.seed]}
+    try:
+        if arguments.plan is not None:
+            with open(arguments.plan, "r", encoding="utf-8") as handle:
+                plan = SweepPlan.from_dict(json.load(handle))
+        elif arguments.grid is not None:
+            plan = SweepPlan.from_grid(arguments.grid, **overrides)
+        else:
+            print("sweep needs --grid or --plan", file=sys.stderr)
+            return 2
+    except (ValueError, OSError) as exc:
+        print(f"invalid sweep plan: {exc}", file=sys.stderr)
+        return 2
+
+    def on_task(task, row, completed, total):
+        print(f"[{completed}/{total}] {task.ftl} "
+              f"workload={task.workload} cache={task.cache_capacity} "
+              f"seed={task.seed} wa={row['wa_total']:.4f} "
+              f"({row['elapsed_s']:.2f}s, {row['ops_per_sec']:.0f} ops/s)")
+
+    executor = SweepExecutor(workers=arguments.workers, on_task=on_task)
+    sink = ResultSink(arguments.sink) if arguments.sink else None
+    try:
+        report = executor.run(plan, sink=sink, resume=arguments.resume)
+    finally:
+        if sink is not None:
+            sink.close()
+    print_report(f"Sweep of {len(plan)} tasks "
+                 f"({arguments.workers} worker(s))",
+                 aggregate(report.rows, by=tuple(arguments.group_by),
+                           metrics=("wa_total", "ops_per_sec", "ram_bytes")))
+    print(f"\n{report.summary()}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description="GeckoFTL reproduction CLI")
@@ -154,6 +209,33 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--wrap", action="store_true",
                         help="wrap around when the trace is exhausted")
     replay.set_defaults(handler=cmd_replay)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a grid of experiments, optionally in parallel")
+    add_device_arguments(sweep)
+    sweep.add_argument("--grid", metavar="SPEC",
+                       help="grid shorthand, e.g. "
+                            "'ftl=GeckoFTL,DFTL cache=1024,4096 seed=1,2' "
+                            f"(workloads: {', '.join(workload_names())})")
+    sweep.add_argument("--plan", metavar="FILE",
+                       help="JSON sweep-plan file; the file is authoritative "
+                            "(overrides --grid and the device/--writes/"
+                            "--seed/--cache-entries flags)")
+    sweep.add_argument("--writes", type=int, default=4000,
+                       help="measured application writes per task")
+    sweep.add_argument("--interval-writes", type=int, default=1000)
+    sweep.add_argument("--seed", type=int, default=42,
+                       help="base seed when the grid has no seed axis")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = in-process)")
+    sweep.add_argument("--sink", metavar="FILE",
+                       help="JSONL result sink (append; enables --resume)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip tasks whose key is already in the sink")
+    sweep.add_argument("--group-by", nargs="+", default=["ftl"],
+                       help="row fields for the aggregate table "
+                            "(dotted paths reach into device)")
+    sweep.set_defaults(handler=cmd_sweep)
     return parser
 
 

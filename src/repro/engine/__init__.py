@@ -1,0 +1,89 @@
+"""repro.engine — parallel experiment sweeps with declarative plans.
+
+The paper's evaluation is a grid of trace-driven experiments (FTL x cache
+capacity x device geometry x seed). This package turns such grids into data:
+
+* :mod:`repro.engine.plan` — :class:`SweepPlan` declares the grid and expands
+  it into serializable :class:`SweepTask` cells;
+* :mod:`repro.engine.executor` — :class:`SweepExecutor` runs the cells,
+  in-process (``workers=1``) or fanned out over a process pool, with progress
+  callbacks and per-task timing;
+* :mod:`repro.engine.results` — :class:`ResultSink` persists one JSONL row
+  per cell, supports resuming a killed sweep (only missing cells re-run), and
+  provides group-by aggregation helpers for figure tables.
+
+Determinism guarantees
+----------------------
+1. **Plan expansion is deterministic.** A plan always expands to the same
+   ordered task list (cartesian product in declaration order), and each
+   task's ``key()`` is a stable content hash — independent of process,
+   platform, and ``PYTHONHASHSEED``.
+2. **Workload streams are deterministic and FTL-independent.** Each task's
+   workload is seeded with a ``derived_seed`` hashed from the base seed and
+   the workload-relevant cell coordinates only, so two cells that differ
+   only in FTL/cache configuration replay the identical operation stream
+   (the paper's compare-under-one-trace methodology), while cells with
+   different workloads, devices, or base seeds get independent streams.
+3. **Worker count never changes results.** Every row field except the
+   timing/worker fields (:data:`repro.engine.results.TIMING_FIELDS`) is a
+   pure function of the task; rows are written in plan order regardless of
+   completion order. Hence a sweep run with ``workers=1`` and ``workers=N``
+   produces byte-identical canonical rows (:func:`canonical_row_bytes`),
+   which a regression test enforces.
+
+Quickstart::
+
+    from repro.engine import SweepPlan, run_sweep
+
+    plan = SweepPlan(ftls=["GeckoFTL", "DFTL"],
+                     cache_capacities=[1024, 4096], seeds=[1, 2],
+                     write_operations=20_000)
+    report = run_sweep(plan, workers=4, sink="results.jsonl", resume=True)
+    print(report.summary())
+"""
+
+from .executor import (
+    SweepExecutor,
+    SweepReport,
+    SweepTaskError,
+    execute_task,
+    run_sweep,
+)
+from .plan import (
+    SweepPlan,
+    SweepTask,
+    build_device_config,
+    device_dict,
+)
+from .results import (
+    SCHEMA_VERSION,
+    TIMING_FIELDS,
+    ResultSink,
+    aggregate,
+    canonical_row,
+    canonical_row_bytes,
+    load_results,
+    ram_breakdown_table,
+    wa_breakdown_table,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TIMING_FIELDS",
+    "ResultSink",
+    "SweepExecutor",
+    "SweepPlan",
+    "SweepReport",
+    "SweepTask",
+    "SweepTaskError",
+    "aggregate",
+    "build_device_config",
+    "canonical_row",
+    "canonical_row_bytes",
+    "device_dict",
+    "execute_task",
+    "load_results",
+    "ram_breakdown_table",
+    "run_sweep",
+    "wa_breakdown_table",
+]

@@ -1,0 +1,238 @@
+"""Sweep execution: fan tasks out over worker processes, gather rows.
+
+:class:`SweepExecutor` runs the tasks of a :class:`~repro.engine.plan.SweepPlan`
+and returns one result row per task. With ``workers=1`` everything runs
+in-process (easy debugging, no multiprocessing dependency on the platform's
+start method); with ``workers>1`` tasks are distributed over a
+``concurrent.futures.ProcessPoolExecutor``. Workers receive only the
+serializable :class:`~repro.engine.plan.SweepTask` and rebuild the whole
+simulation from its specs — no live device, FTL, or workload object ever
+crosses the process boundary.
+
+Rows come back in *plan order* regardless of completion order (futures are
+consumed in submission order), so a sink's contents are reproducible and the
+engine's determinism guarantee can be stated over whole files. The flip side
+is that a row finishing ahead of an earlier, slower task is persisted only
+once its turn comes — killing a parallel sweep can therefore re-run up to
+``workers - 1`` already-completed tasks on resume (see
+:mod:`repro.engine.results`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from .plan import SweepPlan, SweepTask
+from .results import SCHEMA_VERSION, ResultSink
+
+#: Progress callback: (task, row, completed_count, total_count).
+ProgressCallback = Callable[[SweepTask, Dict[str, Any], int, int], None]
+
+
+class SweepTaskError(RuntimeError):
+    """A task failed inside a worker; carries the task for diagnosis."""
+
+    def __init__(self, task: SweepTask, cause: BaseException) -> None:
+        super().__init__(
+            f"sweep task #{task.index} (ftl={task.ftl!r}, "
+            f"workload={task.workload!r}, seed={task.seed}) failed: {cause}")
+        self.task = task
+
+
+def execute_task(task: SweepTask) -> Dict[str, Any]:
+    """Run one task to completion and return its result row.
+
+    This is the worker entry point: module-level (picklable), takes only the
+    serializable task, and rebuilds session + workload from specs. It is also
+    called directly by the in-process (``workers=1``) path, so both paths are
+    literally the same code.
+    """
+    from ..api.session import SimulationSession
+    from ..workloads.registry import WorkloadSpec
+
+    started = time.perf_counter()
+    with SimulationSession.from_task(task) as session:
+        session.warmup(task.fill_fraction)
+        workload = WorkloadSpec.of(task.workload).build(
+            session.config.logical_pages, seed=task.derived_seed)
+        run = session.run(workload, task.write_operations)
+        snapshot = session.snapshot()
+    elapsed = time.perf_counter() - started
+
+    delta = session.config.delta
+    row: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "key": task.key(),
+        "index": task.index,
+        "ftl": task.ftl,
+        "workload": task.workload,
+        "device": dict(task.device),
+        "cache_capacity": task.cache_capacity,
+        # The grid coordinate above can be overridden by a cache_capacity
+        # kwarg pinned inside the FTL spec string; record what actually ran.
+        "effective_cache_entries": session.ftl.cache.capacity,
+        "seed": task.seed,
+        "derived_seed": task.derived_seed,
+        "write_operations": task.write_operations,
+        "interval_writes": task.interval_writes,
+        "fill_fraction": task.fill_fraction,
+        "operations_executed": run.operations_executed,
+        "host_writes": run.host_writes,
+        "host_reads": run.host_reads,
+        "wa_total": round(run.write_amplification(delta), 6),
+        "wa_steady": round(
+            run.steady_state_write_amplification(delta), 6),
+        "wa_breakdown": {purpose: round(value, 6) for purpose, value
+                         in sorted(snapshot.wa_breakdown.items())},
+        "ram_breakdown": dict(sorted(snapshot.ram_breakdown.items())),
+        "ram_bytes": snapshot.ram_bytes,
+        # -- timing fields (excluded from the determinism guarantee) --
+        "elapsed_s": round(elapsed, 6),
+        "ops_per_sec": round(run.operations_executed / elapsed, 3)
+                       if elapsed > 0 else 0.0,
+        "worker_pid": os.getpid(),
+    }
+    return row
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one :meth:`SweepExecutor.run` call."""
+
+    #: One row per plan task, in plan order. Tasks skipped by resume
+    #: contribute their previously-persisted row.
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: Number of tasks actually executed in this call.
+    executed: int = 0
+    #: Number of tasks skipped because their key was already in the sink.
+    skipped: int = 0
+    #: Wall-clock seconds for the whole call.
+    elapsed_s: float = 0.0
+
+    def summary(self) -> str:
+        return (f"executed={self.executed} skipped={self.skipped} "
+                f"rows={len(self.rows)} elapsed_s={self.elapsed_s:.2f}")
+
+
+class SweepExecutor:
+    """Runs sweep tasks, optionally in parallel, with sink-based resume.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes. ``1`` (the default) runs every task
+        in-process; ``N > 1`` uses a process pool. ``workers=0`` or negative
+        is rejected.
+    on_task:
+        Optional progress callback invoked in the parent process, in plan
+        order, after each task's row is available (and persisted, when a sink
+        is in use).
+    """
+
+    def __init__(self, workers: int = 1,
+                 on_task: Optional[ProgressCallback] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.on_task = on_task
+
+    def run(self,
+            plan: Union[SweepPlan, Sequence[SweepTask]],
+            sink: Optional[ResultSink] = None,
+            resume: bool = False) -> SweepReport:
+        """Execute ``plan``; returns a :class:`SweepReport`.
+
+        With ``resume=True`` (requires ``sink``), tasks whose key is already
+        present in the sink are not executed; their persisted row is reused
+        in the report so callers always see the full grid.
+        """
+        tasks = plan.tasks() if isinstance(plan, SweepPlan) else list(plan)
+        if resume and sink is None:
+            raise ValueError("resume=True needs a sink to resume from")
+
+        started = time.perf_counter()
+        # One pass over the sink file covers both resume needs: which keys
+        # are done, and the persisted row to reuse for each of them.
+        previous_rows: Dict[str, Dict[str, Any]] = {}
+        if resume and sink is not None:
+            for row in sink.rows():
+                key = row.get("key")
+                if key:
+                    previous_rows[key] = row
+        completed_keys = set(previous_rows)
+
+        pending: List[tuple] = []
+        report = SweepReport()
+        slots: List[Optional[Dict[str, Any]]] = [None] * len(tasks)
+        for position, task in enumerate(tasks):
+            if task.key() in completed_keys:
+                slots[position] = previous_rows.get(task.key())
+                report.skipped += 1
+            else:
+                pending.append((position, task))
+
+        for position, task, row in self._execute(pending):
+            report.executed += 1
+            if sink is not None:
+                sink.append(row)
+            slots[position] = row
+            if self.on_task is not None:
+                self.on_task(task, row,
+                             report.executed + report.skipped, len(tasks))
+
+        report.rows = [row for row in slots if row is not None]
+        report.elapsed_s = time.perf_counter() - started
+        return report
+
+    # ------------------------------------------------------------------
+    def _execute(self, pending: List[tuple]):
+        """Yield (position, task, row) triples in plan order."""
+        if not pending:
+            return
+        if self.workers == 1:
+            for position, task in pending:
+                yield position, task, self._guarded(task, execute_task)
+            return
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = [(position, task, pool.submit(execute_task, task))
+                       for position, task in pending]
+            for position, task, future in futures:
+                try:
+                    row = future.result()
+                except Exception as exc:
+                    # Fail fast: drop tasks that haven't started yet so the
+                    # error doesn't wait for the whole queue to drain. Tasks
+                    # already running in workers still finish (their rows are
+                    # discarded), so at most ~`workers` tasks of completed
+                    # work is lost on failure.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise SweepTaskError(task, exc) from exc
+                yield position, task, row
+
+    @staticmethod
+    def _guarded(task: SweepTask, runner: Callable[[SweepTask], Dict[str, Any]]
+                 ) -> Dict[str, Any]:
+        try:
+            return runner(task)
+        except Exception as exc:
+            raise SweepTaskError(task, exc) from exc
+
+
+def run_sweep(plan: Union[SweepPlan, Sequence[SweepTask]],
+              workers: int = 1,
+              sink: Optional[Union[str, ResultSink]] = None,
+              resume: bool = False,
+              on_task: Optional[ProgressCallback] = None) -> SweepReport:
+    """One-call convenience wrapper around :class:`SweepExecutor`."""
+    own_sink = isinstance(sink, (str, os.PathLike))
+    sink_obj = ResultSink(sink) if own_sink else sink
+    try:
+        executor = SweepExecutor(workers=workers, on_task=on_task)
+        return executor.run(plan, sink=sink_obj, resume=resume)
+    finally:
+        if own_sink and sink_obj is not None:
+            sink_obj.close()

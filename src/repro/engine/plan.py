@@ -1,0 +1,327 @@
+"""Declarative sweep plans.
+
+A :class:`SweepPlan` describes a grid of experiments — FTL specs x workload
+specs x device geometries x cache capacities x seeds — and expands it into an
+ordered list of :class:`SweepTask` objects. Tasks are plain serializable data
+(spec strings, a device dict, integers), so they can cross a process boundary
+or be written to disk; nothing in a task is a live object.
+
+Seed derivation
+---------------
+Each task carries the plan's base ``seed`` for the cell plus a
+``derived_seed`` actually handed to the workload generator. The derived seed
+is a stable hash of the base seed and the *workload-relevant* coordinates of
+the cell (workload spec, device geometry, operation volume) — deliberately
+**excluding** the FTL spec and cache capacity — so that:
+
+* two cells differing only in FTL configuration replay the *identical*
+  operation stream (the paper's methodology: compare FTLs under the same
+  trace), and
+* two cells differing in workload, device, or base seed draw from
+  independent streams instead of accidentally sharing one.
+
+The hash is :func:`zlib.crc32` over a canonical string, so it is stable
+across processes, Python versions, and ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import zlib
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Iterator, List, Sequence, Union
+
+from ..api.registry import FTLSpec
+from ..flash.config import DeviceConfig, simulation_configuration
+from ..workloads.registry import WorkloadSpec
+
+#: Fields of :class:`DeviceConfig` a sweep may vary. Latency and wear
+#: parameters keep their defaults; a later PR can widen this.
+_DEVICE_FIELDS = ("num_blocks", "pages_per_block", "page_size",
+                  "logical_ratio")
+
+
+def device_dict(device: Union[DeviceConfig, Dict[str, Any], None] = None,
+                **overrides: Any) -> Dict[str, Any]:
+    """Normalize a device description into a plain geometry dict.
+
+    Accepts a :class:`DeviceConfig`, an existing dict, or ``None`` (the
+    default simulation geometry), plus keyword overrides. The result contains
+    exactly the serializable geometry fields, in canonical order.
+    """
+    if device is None:
+        base = simulation_configuration()
+        values = {name: getattr(base, name) for name in _DEVICE_FIELDS}
+    elif isinstance(device, DeviceConfig):
+        values = {name: getattr(device, name) for name in _DEVICE_FIELDS}
+    elif isinstance(device, dict):
+        unknown = set(device) - set(_DEVICE_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown device field(s) {sorted(unknown)}; "
+                             f"supported: {list(_DEVICE_FIELDS)}")
+        base = simulation_configuration()
+        values = {name: device.get(name, getattr(base, name))
+                  for name in _DEVICE_FIELDS}
+    else:
+        raise TypeError(f"cannot interpret {device!r} as a device")
+    unknown = set(overrides) - set(_DEVICE_FIELDS)
+    if unknown:
+        raise ValueError(f"unknown device field(s) {sorted(unknown)}; "
+                         f"supported: {list(_DEVICE_FIELDS)}")
+    values.update(overrides)
+    return {name: values[name] for name in _DEVICE_FIELDS}
+
+
+def build_device_config(device: Dict[str, Any]) -> DeviceConfig:
+    """Rebuild the :class:`DeviceConfig` a task's device dict describes."""
+    return simulation_configuration(**device)
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One fully-specified experiment cell, serializable end to end."""
+
+    ftl: str
+    workload: str
+    device: Dict[str, Any]
+    cache_capacity: int
+    seed: int
+    write_operations: int
+    interval_writes: int
+    fill_fraction: float = 1.0
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        # Validate both specs eagerly: a typo should fail at plan time in the
+        # parent process, not minutes later inside a worker.
+        object.__setattr__(self, "ftl", str(FTLSpec.of(self.ftl)))
+        object.__setattr__(self, "workload",
+                           str(WorkloadSpec.of(self.workload)))
+        object.__setattr__(self, "device", device_dict(self.device))
+
+    @property
+    def derived_seed(self) -> int:
+        """Deterministic per-task workload seed (see module docstring)."""
+        material = json.dumps(
+            [self.seed, self.workload, self.device, self.write_operations,
+             self.fill_fraction],
+            sort_keys=True, separators=(",", ":"))
+        return zlib.crc32(material.encode("utf-8")) & 0x7FFFFFFF
+
+    def key(self) -> str:
+        """Stable identity of this cell, used for resume deduplication.
+
+        Two tasks with identical experiment-defining parameters have the same
+        key regardless of their position in a plan, so a re-expanded plan can
+        be matched against rows already present in a sink.
+        """
+        material = json.dumps(
+            {"ftl": self.ftl, "workload": self.workload,
+             "device": self.device, "cache_capacity": self.cache_capacity,
+             "seed": self.seed, "write_operations": self.write_operations,
+             "interval_writes": self.interval_writes,
+             "fill_fraction": self.fill_fraction},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepTask":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """A declarative grid of experiments.
+
+    Expansion order is the deterministic cartesian product in declaration
+    order (ftls x workloads x devices x cache_capacities x seeds), so a plan
+    always yields the same ordered task list.
+    """
+
+    ftls: Sequence[str] = ("GeckoFTL",)
+    workloads: Sequence[str] = ("UniformRandomWrites",)
+    devices: Sequence[Dict[str, Any]] = field(
+        default_factory=lambda: (device_dict(),))
+    cache_capacities: Sequence[int] = (2048,)
+    seeds: Sequence[int] = (42,)
+    write_operations: int = 20_000
+    interval_writes: int = 2_000
+    fill_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ftls",
+                           tuple(str(FTLSpec.of(f)) for f in self.ftls))
+        object.__setattr__(self, "workloads",
+                           tuple(str(WorkloadSpec.of(w))
+                                 for w in self.workloads))
+        object.__setattr__(self, "devices",
+                           tuple(device_dict(d) for d in self.devices))
+        object.__setattr__(self, "cache_capacities",
+                           tuple(int(c) for c in self.cache_capacities))
+        object.__setattr__(self, "seeds",
+                           tuple(int(s) for s in self.seeds))
+        for name in ("ftls", "workloads", "devices", "cache_capacities",
+                     "seeds"):
+            if not getattr(self, name):
+                raise ValueError(f"SweepPlan.{name} must be non-empty")
+        if self.write_operations <= 0:
+            raise ValueError("write_operations must be positive")
+        if self.interval_writes <= 0:
+            raise ValueError("interval_writes must be positive")
+        if not 0.0 <= self.fill_fraction <= 1.0:
+            raise ValueError("fill_fraction must be in [0, 1]")
+
+    def __len__(self) -> int:
+        return (len(self.ftls) * len(self.workloads) * len(self.devices)
+                * len(self.cache_capacities) * len(self.seeds))
+
+    def tasks(self) -> List[SweepTask]:
+        """Expand the grid into its ordered task list."""
+        grid = itertools.product(self.ftls, self.workloads, self.devices,
+                                 self.cache_capacities, self.seeds)
+        return [SweepTask(ftl=ftl, workload=workload, device=device,
+                          cache_capacity=cache, seed=seed,
+                          write_operations=self.write_operations,
+                          interval_writes=self.interval_writes,
+                          fill_fraction=self.fill_fraction, index=index)
+                for index, (ftl, workload, device, cache, seed)
+                in enumerate(grid)]
+
+    def __iter__(self) -> Iterator[SweepTask]:
+        return iter(self.tasks())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"ftls": list(self.ftls), "workloads": list(self.workloads),
+                "devices": [dict(d) for d in self.devices],
+                "cache_capacities": list(self.cache_capacities),
+                "seeds": list(self.seeds),
+                "write_operations": self.write_operations,
+                "interval_writes": self.interval_writes,
+                "fill_fraction": self.fill_fraction}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepPlan":
+        """Build a plan from a JSON-style dict (unknown keys rejected)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown sweep-plan key(s) {sorted(unknown)}; "
+                             f"supported: {sorted(known)}")
+        return cls(**data)
+
+    @classmethod
+    def from_grid(cls, grid: str, **overrides: Any) -> "SweepPlan":
+        """Parse the CLI grid shorthand into a plan.
+
+        The shorthand is space-separated ``axis=value[,value...]`` groups::
+
+            ftl=GeckoFTL,DFTL cache=1024,4096 seed=1,2 blocks=96
+
+        Commas and spaces *inside parentheses* belong to a spec's argument
+        list, so ``ftl=GeckoFTL(cache_capacity=64, multiway_merge=True),DFTL``
+        splits into two specs. Recognized axes: ``ftl``, ``workload``,
+        ``cache``, ``seed``, ``blocks``, ``pages``, ``page_size``, ``ratio``.
+        Keyword ``overrides`` (e.g. ``write_operations=...``) are passed
+        through to the plan.
+        """
+        axes: Dict[str, List[str]] = {}
+        for group in _split_grid_groups(grid):
+            name, equals, values = group.partition("=")
+            if not equals or not values:
+                raise ValueError(f"malformed grid group {group!r}; expected "
+                                 "axis=value[,value...]")
+            name = name.lower().rstrip("s")  # accept plural spellings
+            if name not in _GRID_AXES:
+                raise ValueError(f"unknown grid axis {name!r}; choose from "
+                                 f"{sorted(_GRID_AXES)}")
+            if name in axes:
+                raise ValueError(f"grid axis {name!r} given twice")
+            axes[name] = _split_outside_parens(values)
+
+        plan_kwargs: Dict[str, Any] = dict(overrides)
+        if "ftl" in axes:
+            plan_kwargs["ftls"] = axes["ftl"]
+        if "workload" in axes:
+            plan_kwargs["workloads"] = axes["workload"]
+        if "cache" in axes:
+            plan_kwargs["cache_capacities"] = [int(v) for v in axes["cache"]]
+        if "seed" in axes:
+            plan_kwargs["seeds"] = [int(v) for v in axes["seed"]]
+
+        device_axes = {key: axes[key] for key in
+                       ("block", "page", "page_size", "ratio") if key in axes}
+        if device_axes:
+            base = dict(overrides.get("devices", [device_dict()])[0]) \
+                if "devices" in overrides else device_dict()
+            field_of = {"block": ("num_blocks", int),
+                        "page": ("pages_per_block", int),
+                        "page_size": ("page_size", int),
+                        "ratio": ("logical_ratio", float)}
+            axis_values = [[(field_of[key][0], field_of[key][1](value))
+                            for value in values]
+                           for key, values in device_axes.items()]
+            plan_kwargs["devices"] = [
+                device_dict(base, **dict(combo))
+                for combo in itertools.product(*axis_values)]
+        return cls(**plan_kwargs)
+
+
+#: Axes the grid shorthand understands (singular; plural accepted too).
+_GRID_AXES = {"ftl", "workload", "cache", "seed", "block", "page",
+              "page_size", "ratio"}
+
+
+def _split_grid_groups(grid: str) -> List[str]:
+    """Split a grid string into axis groups on depth-0 whitespace.
+
+    Whitespace inside parentheses stays with its group, so spec strings as
+    the library itself renders them (``"GeckoFTL(a=1, b=2)"``) survive.
+    """
+    groups: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in grid:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth = max(0, depth - 1)
+        if char.isspace() and depth == 0:
+            if current:
+                groups.append("".join(current))
+                current = []
+        else:
+            current.append(char)
+    if current:
+        groups.append("".join(current))
+    return groups
+
+
+def _split_outside_parens(text: str) -> List[str]:
+    """Split on commas that are not nested inside parentheses."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth = max(0, depth - 1)
+        if char == "," and depth == 0:
+            part = "".join(current).strip()
+            if part:
+                parts.append(part)
+            current = []
+        else:
+            current.append(char)
+    part = "".join(current).strip()
+    if part:
+        parts.append(part)
+    if not parts:
+        raise ValueError(f"empty value list in grid shorthand: {text!r}")
+    return parts

@@ -1,0 +1,280 @@
+"""Result sinks: schema-versioned JSONL persistence, loading, aggregation.
+
+Every executed :class:`~repro.engine.plan.SweepTask` produces one flat result
+row (a JSON-serializable dict). A :class:`ResultSink` appends rows to a JSONL
+file — one row per line, flushed and fsync'd per row — and on re-open reports
+which task keys are already present so the executor can resume a
+partially-completed sweep by running only the missing tasks. Rows are
+persisted in *plan order* (that is what makes sink files reproducible across
+worker counts), so with ``workers=1`` a kill loses at most the task in
+flight, while with ``workers=N`` up to ``N-1`` tasks that completed ahead of
+a still-running earlier task may not have been persisted yet and will be
+re-run on resume — resume correctness is unaffected either way.
+
+Rows are schema-versioned (``"schema": SCHEMA_VERSION``); :func:`load_results`
+rejects rows from a future schema instead of silently misreading them.
+
+Determinism: every field of a row is a pure function of its task, except the
+fields named in :data:`TIMING_FIELDS` (wall-clock timing and worker
+identity). :func:`canonical_row` strips those, which is what the engine's
+determinism guarantee — identical rows for ``workers=1`` and ``workers=N`` —
+is stated over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from statistics import mean
+from typing import (Any, Dict, Iterable, List, Sequence, Set, Tuple,
+                    Union)
+
+#: Bump when the row layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Row fields that legitimately differ between runs of the same task.
+TIMING_FIELDS = ("elapsed_s", "ops_per_sec", "worker_pid")
+
+
+def canonical_row(row: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic portion of a row (timing/worker fields removed)."""
+    return {key: value for key, value in row.items()
+            if key not in TIMING_FIELDS}
+
+
+def canonical_row_bytes(row: Dict[str, Any]) -> bytes:
+    """Canonical JSON encoding of a row's deterministic portion.
+
+    Used by the determinism regression tests: two rows are "byte-identical
+    modulo timing" iff these encodings are equal.
+    """
+    return json.dumps(canonical_row(row), sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+class ResultSink:
+    """Append-only JSONL store for sweep result rows, with resume support."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle = None
+        #: ``None`` until the existing file has been scanned; scanning is
+        #: lazy (and shared with :meth:`rows`) so opening a large sink and
+        #: resuming against it parses the JSONL exactly once.
+        self._keys: Union[Set[str], None] = None
+
+    def _ingest_keys(self, rows: Iterable[Dict[str, Any]]) -> None:
+        assert self._keys is not None
+        for row in rows:
+            key = row.get("key")
+            if key:
+                self._keys.add(key)
+
+    def _ensure_keys(self) -> Set[str]:
+        if self._keys is None:
+            self._keys = set()
+            if self.path.exists():
+                self._ingest_keys(load_results(self.path))
+        return self._keys
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, row: Dict[str, Any]) -> None:
+        """Append one row; flushed (and fsync'd) immediately."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(row, sort_keys=True,
+                                      separators=(",", ":")) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        key = row.get("key")
+        if key and self._keys is not None:
+            # If the file hasn't been scanned yet, the row is on disk and a
+            # later lazy scan will pick its key up from there.
+            self._keys.add(key)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultSink":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    def completed_keys(self) -> Set[str]:
+        """Task keys already present in the sink (including this session's)."""
+        return set(self._ensure_keys())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._ensure_keys()
+
+    def __len__(self) -> int:
+        return len(self._ensure_keys())
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """All rows currently on disk (also primes the resume-key set)."""
+        self.close()  # make sure buffered rows are visible
+        if not self.path.exists():
+            self._keys = self._keys or set()
+            return []
+        rows = load_results(self.path)
+        if self._keys is None:
+            self._keys = set()
+        self._ingest_keys(rows)
+        return rows
+
+
+def load_results(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load all rows of a JSONL sink, validating the schema version."""
+    rows: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: not valid JSON "
+                                 f"({exc.msg})") from None
+            if not isinstance(row, dict):
+                raise ValueError(f"{path}:{line_number}: expected a JSON "
+                                 f"object, got {type(row).__name__}")
+            schema = row.get("schema", SCHEMA_VERSION)
+            if schema > SCHEMA_VERSION:
+                raise ValueError(
+                    f"{path}:{line_number}: row has schema version {schema} "
+                    f"but this build reads at most {SCHEMA_VERSION}")
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+#: Metrics :func:`aggregate` summarizes by default.
+DEFAULT_METRICS = ("wa_total", "ops_per_sec", "ram_bytes")
+
+
+def _group_value(row: Dict[str, Any], field: str) -> Any:
+    """Resolve a (possibly dotted) field path like ``device.logical_ratio``."""
+    value: Any = row
+    for part in field.split("."):
+        if not isinstance(value, dict):
+            return None
+        value = value.get(part)
+    return value
+
+
+def aggregate(rows: Iterable[Dict[str, Any]],
+              by: Sequence[str] = ("ftl",),
+              metrics: Sequence[str] = DEFAULT_METRICS
+              ) -> List[Dict[str, Any]]:
+    """Group rows and summarize metrics as count/mean/min/max.
+
+    ``by`` names group-by fields (dotted paths reach into nested dicts, e.g.
+    ``"device.logical_ratio"``); ``metrics`` names numeric row fields. The
+    result is one dict per group, ordered by first appearance, with
+    ``<metric>_mean`` / ``_min`` / ``_max`` columns plus ``n`` (the group
+    size). Rows missing a metric simply don't contribute to it.
+    """
+    groups: Dict[Tuple, Dict[str, Any]] = {}
+    sizes: Dict[Tuple, int] = {}
+    samples: Dict[Tuple, Dict[str, List[float]]] = {}
+    for row in rows:
+        key = tuple(_group_value(row, field) for field in by)
+        if key not in groups:
+            groups[key] = {field: value for field, value in zip(by, key)}
+            sizes[key] = 0
+            samples[key] = {metric: [] for metric in metrics}
+        sizes[key] += 1
+        for metric in metrics:
+            value = _group_value(row, metric)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                samples[key][metric].append(float(value))
+    result = []
+    for key, header in groups.items():
+        summary = dict(header)
+        summary["n"] = sizes[key]
+        for metric in metrics:
+            values = samples[key][metric]
+            if values:
+                summary[f"{metric}_mean"] = mean(values)
+                summary[f"{metric}_min"] = min(values)
+                summary[f"{metric}_max"] = max(values)
+        result.append(summary)
+    return result
+
+
+def wa_breakdown_table(rows: Iterable[Dict[str, Any]],
+                       by: Sequence[str] = ("ftl",)) -> List[Dict[str, Any]]:
+    """Mean write-amplification per IO purpose, grouped (Figure 13 bottom).
+
+    Returns one dict per group with ``wa_total`` plus one ``wa_<purpose>``
+    column per purpose observed in *any* group (0.0 where a group has none),
+    so the tables keep a rectangular column set.
+    """
+    grouped: Dict[Tuple, List[Dict[str, Any]]] = {}
+    all_purposes: Set[str] = set()
+    for row in rows:
+        key = tuple(_group_value(row, field) for field in by)
+        grouped.setdefault(key, []).append(row)
+        all_purposes.update((row.get("wa_breakdown") or {}).keys())
+    result = []
+    for key, members in grouped.items():
+        summary: Dict[str, Any] = {field: value
+                                   for field, value in zip(by, key)}
+        totals = [member.get("wa_total") for member in members
+                  if isinstance(member.get("wa_total"), (int, float))]
+        if totals:
+            summary["wa_total"] = mean(totals)
+        purposes: Dict[str, List[float]] = {}
+        for member in members:
+            for purpose, value in (member.get("wa_breakdown") or {}).items():
+                purposes.setdefault(purpose, []).append(float(value))
+        for purpose in sorted(all_purposes):
+            values = purposes.get(purpose)
+            summary[f"wa_{purpose}"] = mean(values) if values else 0.0
+        result.append(summary)
+    return result
+
+
+def ram_breakdown_table(rows: Iterable[Dict[str, Any]],
+                        by: Sequence[str] = ("ftl",)) -> List[Dict[str, Any]]:
+    """Mean RAM-footprint component bytes, grouped (Figure 13/14 style).
+
+    Component columns cover every component seen in *any* group (0.0 where a
+    group lacks one), keeping the tables rectangular.
+    """
+    grouped: Dict[Tuple, List[Dict[str, Any]]] = {}
+    all_components: Set[str] = set()
+    for row in rows:
+        key = tuple(_group_value(row, field) for field in by)
+        grouped.setdefault(key, []).append(row)
+        all_components.update((row.get("ram_breakdown") or {}).keys())
+    result = []
+    for key, members in grouped.items():
+        summary: Dict[str, Any] = {field: value
+                                   for field, value in zip(by, key)}
+        components: Dict[str, List[float]] = {}
+        for member in members:
+            for name, size in (member.get("ram_breakdown") or {}).items():
+                components.setdefault(name, []).append(float(size))
+        total = 0.0
+        for name in sorted(all_components):
+            values = components.get(name)
+            value = mean(values) if values else 0.0
+            summary[f"ram_{name}"] = value
+            total += value
+        summary["ram_bytes"] = total
+        result.append(summary)
+    return result

@@ -58,6 +58,9 @@ class PageMappedFTL:
         self.device = device
         self.config: DeviceConfig = device.config
         self.stats: IOStats = device.stats
+        # Accept the policy's string value too, so FTL spec strings (literal
+        # kwargs only) can select it: "DFTL(victim_policy='metadata_aware')".
+        victim_policy = VictimPolicy(victim_policy)
 
         self.block_manager = BlockManager(device,
                                           gc_reserve_blocks=gc_reserve_blocks)

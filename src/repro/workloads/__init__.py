@@ -1,4 +1,4 @@
-"""Workload generators, trace replay, and the workload runner."""
+"""Workload generators, trace replay, the workload registry, and the runner."""
 
 from .base import (
     BatchResult,
@@ -17,7 +17,20 @@ from .generators import (
     UniformRandomWrites,
     ZipfianWrites,
 )
-from .trace import TraceWorkload, load_trace, parse_trace_line, record_trace
+from .registry import (
+    WorkloadSpec,
+    get_workload_factory,
+    register_workload,
+    resolve_workload_name,
+    workload_names,
+)
+from .trace import (
+    TraceFormatError,
+    TraceWorkload,
+    load_trace,
+    parse_trace_line,
+    record_trace,
+)
 
 __all__ = [
     "BatchResult",
@@ -28,13 +41,19 @@ __all__ = [
     "OpKind",
     "RunResult",
     "SequentialWrites",
+    "TraceFormatError",
     "TraceWorkload",
     "UniformRandomWrites",
     "Workload",
     "WorkloadRunner",
+    "WorkloadSpec",
     "ZipfianWrites",
     "fill_device",
+    "get_workload_factory",
     "load_trace",
     "parse_trace_line",
     "record_trace",
+    "register_workload",
+    "resolve_workload_name",
+    "workload_names",
 ]

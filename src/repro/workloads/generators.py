@@ -14,6 +14,7 @@ import random
 from typing import Iterator, List, Optional, Sequence
 
 from .base import Operation, OpKind, Workload
+from .registry import WorkloadSpec, register_workload
 
 
 def _payload(logical: int, version: int):
@@ -21,6 +22,7 @@ def _payload(logical: int, version: int):
     return ("v", logical, version)
 
 
+@register_workload("UniformRandomWrites", "uniform")
 class UniformRandomWrites(Workload):
     """Uniformly random page updates over the whole logical space.
 
@@ -45,6 +47,7 @@ class UniformRandomWrites(Workload):
                             _payload(logical, self._versions))
 
 
+@register_workload("SequentialWrites", "sequential")
 class SequentialWrites(Workload):
     """Cyclic sequential updates (log-structured application behaviour)."""
 
@@ -69,6 +72,7 @@ class SequentialWrites(Workload):
                             _payload(logical, self._versions))
 
 
+@register_workload("ZipfianWrites", "zipfian")
 class ZipfianWrites(Workload):
     """Skewed updates following a Zipf distribution over logical pages.
 
@@ -121,6 +125,7 @@ class ZipfianWrites(Workload):
                             _payload(logical, self._versions))
 
 
+@register_workload("HotColdWrites", "hotcold", "hot-cold")
 class HotColdWrites(Workload):
     """Two-temperature workload: a hot fraction receives most updates.
 
@@ -162,6 +167,11 @@ class HotColdWrites(Workload):
 class MixedReadWrite(Workload):
     """A read/write mix layered over any write workload.
 
+    Registered in the workload registry as ``MixedReadWrite(write=<spec
+    string>, read_fraction=...)`` — the inner write workload is itself named
+    by a spec string (e.g. ``"ZipfianWrites(theta=0.9)"``) so that the whole
+    composition stays serializable.
+
     The paper's experiments are write-only (reads behave identically across
     the compared FTLs); the mixed generator supports the slowdown-factor
     analysis of Section 5 and the example applications.
@@ -195,3 +205,19 @@ class MixedReadWrite(Workload):
                 if len(self._written) > 65536:
                     self._written = self._written[-32768:]
                 yield operation
+
+
+@register_workload("MixedReadWrite", "mixed")
+def _mixed_read_write(logical_pages: int, seed: int = 42,
+                      write: str = "UniformRandomWrites",
+                      read_fraction: float = 0.5) -> MixedReadWrite:
+    """Registry factory for :class:`MixedReadWrite` with a nested write spec.
+
+    The inner write workload gets a decorrelated seed: seeding both the mixer
+    and the generator with the same value would draw the read/write coin and
+    the page selection from identical Mersenne streams, coupling which steps
+    become reads with which pages get written.
+    """
+    inner = WorkloadSpec.of(write).build(logical_pages,
+                                         seed=(seed ^ 0x6D697865) & 0x7FFFFFFF)
+    return MixedReadWrite(inner, read_fraction=read_fraction, seed=seed)

@@ -1,0 +1,108 @@
+"""Workload registry: self-registering workload factories and parseable specs.
+
+Mirror of the FTL registry in :mod:`repro.api.registry`, built on the same
+:class:`~repro.api.registry.SpecRegistry` / :class:`~repro.api.registry.CallSpec`
+machinery. A workload factory takes the device's ``logical_pages`` as its
+first positional argument plus keyword arguments (``seed`` among them) and
+returns a :class:`~repro.workloads.base.Workload`::
+
+    from repro.workloads.registry import register_workload
+
+    @register_workload("MyWrites", "my-writes")
+    class MyWrites(Workload):
+        ...
+
+Consumers name a workload with a :class:`WorkloadSpec` — programmatically
+(``WorkloadSpec("ZipfianWrites", {"theta": 0.99})``) or from a string as it
+would appear on a command line or in a sweep plan
+(``WorkloadSpec.parse("ZipfianWrites(theta=0.99)")``). Spec arguments are
+Python literals only; nothing is evaluated. Because a spec is just a string,
+:class:`~repro.engine.plan.SweepTask` objects stay fully serializable: a
+worker process rebuilds the exact generator from the spec and a seed.
+
+The registry imports no workload module at import time; the built-in
+generators and the trace replayer are pulled in lazily on first lookup (same
+pattern as the FTL registry, for the same cycle-avoidance reason).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, ClassVar, List
+
+from ..api.registry import CallSpec, SpecRegistry
+
+
+def _load_builtin_workloads() -> None:
+    """Import the built-in workload modules so their decorators have run."""
+    from . import generators, trace  # noqa: F401
+
+
+#: The process-wide workload registry.
+WORKLOAD_REGISTRY = SpecRegistry("workload", _load_builtin_workloads)
+
+
+def register_workload(name: str, *aliases: str) -> Callable:
+    """Class/function decorator that registers a workload factory.
+
+    ``aliases`` are additional accepted spellings; lookups are
+    case-insensitive. Registering a different factory under an existing name
+    is an error (re-registering the same callable, e.g. on module reload, is
+    allowed).
+    """
+    return WORKLOAD_REGISTRY.register(name, *aliases)
+
+
+def resolve_workload_name(name: str) -> str:
+    """Return the primary registered name for ``name`` (or raise ValueError)."""
+    return WORKLOAD_REGISTRY.resolve(name)
+
+
+def get_workload_factory(name: str) -> Callable[..., Any]:
+    """Return the factory registered under ``name`` (or raise ValueError)."""
+    return WORKLOAD_REGISTRY.factory(name)
+
+
+def workload_names() -> List[str]:
+    """Sorted primary names of every registered workload."""
+    return WORKLOAD_REGISTRY.names()
+
+
+class WorkloadSpec(CallSpec):
+    # No @dataclass decorator: no new fields, and re-applying it would
+    # clobber CallSpec's kwargs-aware __hash__ (see FTLSpec).
+    """A named workload plus constructor keyword arguments.
+
+    The name is resolved (and validated) against the registry at construction
+    time, so a ``WorkloadSpec`` always refers to a real workload under its
+    primary name.
+    """
+
+    registry: ClassVar[SpecRegistry] = WORKLOAD_REGISTRY
+    a_what: ClassVar[str] = "a workload"
+    spec_example: ClassVar[str] = "'ZipfianWrites(theta=0.99)'"
+
+    def build(self, logical_pages: int, seed: int = None, **defaults: Any):
+        """Instantiate the workload over ``logical_pages`` logical pages.
+
+        ``defaults`` are keyword arguments the spec's own kwargs override.
+        ``seed`` (when given) is passed through unless the spec pins its own;
+        factories that take no ``seed`` parameter simply don't receive it.
+        """
+        factory = get_workload_factory(self.name)
+        kwargs = {**defaults, **self.kwargs}
+        if seed is not None and "seed" not in kwargs:
+            if _accepts_seed(factory):
+                kwargs["seed"] = seed
+        return factory(logical_pages, **kwargs)
+
+
+def _accepts_seed(factory: Callable) -> bool:
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+        return True
+    parameters = signature.parameters.values()
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters):
+        return True
+    return "seed" in signature.parameters

@@ -10,26 +10,62 @@ against any FTL. The format is one operation per line::
     T <logical_page>
 
 which is close enough to the common MSR-Cambridge/blkparse-derived formats
-that converting real traces is a few lines of awk.
+that converting real traces is a few lines of awk. Paths ending in ``.gz``
+are transparently gzip-compressed on write and decompressed on read, so large
+recorded traces can be kept compressed on disk. Malformed lines are rejected
+with a :class:`TraceFormatError` that names the offending line number (and
+file, when reading from a path).
 """
 
 from __future__ import annotations
 
+import gzip
 import io
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Union
 
 from .base import Operation, OpKind, Workload
+from .registry import register_workload
 
 _KIND_TO_CODE = {OpKind.WRITE: "W", OpKind.READ: "R", OpKind.TRIM: "T"}
 _CODE_TO_KIND = {code: kind for kind, code in _KIND_TO_CODE.items()}
 
 
+class TraceFormatError(ValueError):
+    """A trace line could not be parsed.
+
+    Carries the one-based ``line_number`` (and ``source``, when known) so
+    users of multi-million-line traces can find the bad line instead of
+    guessing from a bare ``ValueError``.
+    """
+
+    def __init__(self, message: str, line_number: Optional[int] = None,
+                 source: Optional[str] = None) -> None:
+        location = ""
+        if source is not None and line_number is not None:
+            location = f"{source}:{line_number}: "
+        elif line_number is not None:
+            location = f"line {line_number}: "
+        super().__init__(f"{location}{message}")
+        self.line_number = line_number
+        self.source = source
+
+
+def _open_trace(path: Union[str, Path], mode: str):
+    """Open a trace path for text IO, transparently handling ``.gz``."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t")
+    return open(path, mode)
+
+
 def record_trace(operations: Iterable[Operation],
                  destination: Union[str, Path, io.TextIOBase]) -> int:
-    """Write an operation stream to ``destination``; returns the line count."""
+    """Write an operation stream to ``destination``; returns the line count.
+
+    A ``.gz`` destination path is written gzip-compressed.
+    """
     own_handle = isinstance(destination, (str, Path))
-    handle = open(destination, "w") if own_handle else destination
+    handle = _open_trace(destination, "w") if own_handle else destination
     count = 0
     try:
         for operation in operations:
@@ -41,33 +77,46 @@ def record_trace(operations: Iterable[Operation],
     return count
 
 
-def parse_trace_line(line: str) -> Optional[Operation]:
-    """Parse one trace line; blank lines and ``#`` comments yield ``None``."""
+def parse_trace_line(line: str, line_number: Optional[int] = None,
+                     source: Optional[str] = None) -> Optional[Operation]:
+    """Parse one trace line; blank lines and ``#`` comments yield ``None``.
+
+    Malformed lines raise :class:`TraceFormatError`, tagged with
+    ``line_number``/``source`` when the caller supplies them.
+    """
     stripped = line.strip()
     if not stripped or stripped.startswith("#"):
         return None
     parts = stripped.split()
     if len(parts) != 2:
-        raise ValueError(f"malformed trace line: {line!r}")
+        raise TraceFormatError(f"malformed trace line: {line!r}",
+                               line_number, source)
     code, logical_text = parts
     kind = _CODE_TO_KIND.get(code.upper())
     if kind is None:
-        raise ValueError(f"unknown operation code {code!r} in line {line!r}")
-    logical = int(logical_text)
+        raise TraceFormatError(f"unknown operation code {code!r} "
+                               f"in line {line!r}", line_number, source)
+    try:
+        logical = int(logical_text)
+    except ValueError:
+        raise TraceFormatError(f"non-integer logical page in line {line!r}",
+                               line_number, source) from None
     if logical < 0:
-        raise ValueError(f"negative logical page in line {line!r}")
+        raise TraceFormatError(f"negative logical page in line {line!r}",
+                               line_number, source)
     payload = ("trace", logical) if kind is OpKind.WRITE else None
     return Operation(kind, logical, payload)
 
 
 def load_trace(source: Union[str, Path, io.TextIOBase]) -> List[Operation]:
-    """Load a whole trace file into memory."""
+    """Load a whole trace file into memory (``.gz`` paths are decompressed)."""
     own_handle = isinstance(source, (str, Path))
-    handle = open(source, "r") if own_handle else source
+    handle = _open_trace(source, "r") if own_handle else source
+    source_name = str(source) if own_handle else None
     try:
         operations = []
-        for line in handle:
-            operation = parse_trace_line(line)
+        for line_number, line in enumerate(handle, start=1):
+            operation = parse_trace_line(line, line_number, source_name)
             if operation is not None:
                 operations.append(operation)
         return operations
@@ -110,3 +159,18 @@ class TraceWorkload(Workload):
     def reset(self) -> None:
         super().reset()
         self._cursor = 0
+
+
+@register_workload("Trace", "TraceWorkload", "replay")
+def _trace_workload(logical_pages: int, path: str = "",
+                    wrap: bool = False) -> TraceWorkload:
+    """Registry factory: ``Trace(path='trace.txt.gz', wrap=True)``.
+
+    The trace is re-read from ``path`` in whichever process builds the
+    workload, so a :class:`~repro.engine.plan.SweepTask` naming a trace stays
+    a few bytes of spec string rather than an embedded operation list.
+    """
+    if not path:
+        raise ValueError(
+            "the Trace workload needs a path, e.g. \"Trace(path='t.txt')\"")
+    return TraceWorkload.from_file(path, logical_pages, wrap=wrap)

@@ -1,0 +1,119 @@
+"""Tests for bench.reporting — previously untested formatting helpers."""
+
+import pytest
+
+from repro.bench.reporting import (format_bytes, format_seconds, format_table,
+                                   print_report)
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        assert format_table([]) == "(no data)"
+        assert format_table([], title="T") == "T\n(no data)"
+
+    def test_column_order_follows_first_row(self):
+        rows = [{"b": 1, "a": 2}, {"a": 3, "b": 4}]
+        table = format_table(rows)
+        header = table.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_explicit_columns_select_and_order(self):
+        rows = [{"ftl": "GeckoFTL", "wa_total": 2.5, "secret": "x"}]
+        table = format_table(rows, columns=["wa_total", "ftl"])
+        header = table.splitlines()[0]
+        assert "secret" not in table
+        assert header.index("wa_total") < header.index("ftl")
+
+    def test_row_order_is_preserved(self):
+        rows = [{"ftl": name} for name in ("DFTL", "GeckoFTL", "uFTL")]
+        lines = format_table(rows).splitlines()[2:]
+        assert [line.split("|")[0].strip() for line in lines] == \
+               ["DFTL", "GeckoFTL", "uFTL"]
+
+    def test_columns_are_padded_to_widest_cell(self):
+        rows = [{"ftl": "IB-FTL"}, {"ftl": "a-very-long-ftl-name"}]
+        lines = format_table(rows).splitlines()
+        assert len({len(line) for line in lines}) == 1  # all equal width
+
+    def test_write_amplification_breakdown_columns(self):
+        # The shape SessionSnapshot.row()/sweep rows feed into reports:
+        # wa_total plus one wa_<purpose> column per IO purpose.
+        rows = [
+            {"ftl": "GeckoFTL", "wa_total": 2.684, "wa_user": 1.0,
+             "wa_gc": 1.319, "wa_translation": 0.288, "wa_validity": 0.077},
+            {"ftl": "uFTL", "wa_total": 3.98, "wa_user": 1.0,
+             "wa_gc": 1.394, "wa_translation": 0.337, "wa_validity": 1.25},
+        ]
+        table = format_table(rows, title="Figure 13 (bottom)")
+        lines = table.splitlines()
+        assert lines[0] == "Figure 13 (bottom)"
+        header = lines[1]
+        for column in ("wa_total", "wa_user", "wa_gc", "wa_translation",
+                       "wa_validity"):
+            assert column in header
+        # Values are rendered with the 4-significant-digit float format.
+        assert "2.684" in lines[3]
+        assert "0.077" in lines[3]
+        assert "1.25" in lines[4]
+
+    def test_float_formatting_and_none_cells(self):
+        rows = [{"a": 0.123456, "b": None, "c": 7}]
+        body = format_table(rows).splitlines()[-1]
+        assert "0.1235" in body  # 4 significant digits
+        assert "None" not in body  # None renders as empty
+        assert "7" in body
+
+    def test_missing_keys_render_empty(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        body = format_table(rows).splitlines()[-1]
+        assert body.split("|")[1].strip() == ""
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize("value,expected", [
+        (0, "0.00 B"),
+        (512, "512.00 B"),
+        (2048, "2.00 KB"),
+        (64 * 2**20, "64.00 MB"),
+        (2 * 2**30, "2.00 GB"),
+        (3 * 2**40, "3.00 TB"),
+        (5 * 2**50, "5120.00 TB"),  # saturates at TB
+    ])
+    def test_units(self, value, expected):
+        assert format_bytes(value) == expected
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize("value,expected", [
+        (5e-6, "5.0 us"),
+        (2.5e-3, "2.5 ms"),
+        (1.5, "1.50 s"),
+        (119.0, "119.00 s"),
+        (600.0, "10.0 min"),
+    ])
+    def test_units(self, value, expected):
+        assert format_seconds(value) == expected
+
+
+class TestPrintReport:
+    def test_prints_banner_title_and_table(self, capsys):
+        print_report("My title", [{"ftl": "GeckoFTL", "wa_total": 2.5}])
+        output = capsys.readouterr().out
+        lines = [line for line in output.splitlines() if line]
+        assert lines[0] == "=" * 20
+        assert lines[1] == "My title"
+        assert lines[2] == "=" * 20
+        assert "GeckoFTL" in output
+        assert "wa_total" in output
+
+    def test_banner_stretches_with_long_titles(self, capsys):
+        title = "A title longer than twenty characters, certainly"
+        print_report(title, [])
+        output = capsys.readouterr().out
+        assert "=" * len(title) in output
+
+    def test_respects_explicit_columns(self, capsys):
+        print_report("T", [{"a": 1, "b": 2}], columns=["b"])
+        output = capsys.readouterr().out
+        assert "b" in output
+        assert "a" not in output.replace("=", "").split("T")[1]

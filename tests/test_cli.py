@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.api import FTLSpec
@@ -88,3 +90,73 @@ class TestCommands:
         assert f"Replay of {trace} against GeckoFTL" in output
         assert "write_amplification" in output
         assert "host_writes" in output
+
+
+class TestSweepCommand:
+    """The `repro sweep` subcommand: grids, plan files, sinks, resume."""
+
+    TINY = ["--blocks", "64", "--pages-per-block", "8", "--page-size", "256",
+            "--writes", "400", "--interval-writes", "200"]
+
+    def test_requires_grid_or_plan(self, capsys):
+        assert main(["sweep"] + self.TINY) == 2
+        assert "needs --grid or --plan" in capsys.readouterr().err
+
+    def test_grid_sweep_prints_progress_and_summary(self, capsys):
+        code = main(["sweep", "--grid", "ftl=GeckoFTL,DFTL cache=32",
+                     "--workers", "1"] + self.TINY)
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "[1/2]" in output and "[2/2]" in output
+        assert "Sweep of 2 tasks" in output
+        assert "executed=2 skipped=0" in output
+        assert "GeckoFTL" in output and "DFTL" in output
+
+    def test_invalid_grid_is_a_usage_error(self, capsys):
+        assert main(["sweep", "--grid", "cheese=1"] + self.TINY) == 2
+        assert "invalid sweep plan" in capsys.readouterr().err
+
+    def test_resume_without_sink_is_a_usage_error(self, capsys):
+        code = main(["sweep", "--grid", "ftl=GeckoFTL cache=32",
+                     "--resume"] + self.TINY)
+        assert code == 2
+        assert "--resume needs --sink" in capsys.readouterr().err
+
+    def test_plan_file_sweep(self, tmp_path, capsys):
+        plan = {"ftls": ["GeckoFTL"],
+                "devices": [{"num_blocks": 64, "pages_per_block": 8,
+                             "page_size": 256}],
+                "cache_capacities": [32], "seeds": [1],
+                "write_operations": 300, "interval_writes": 150}
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(plan))
+        assert main(["sweep", "--plan", str(plan_path)]) == 0
+        output = capsys.readouterr().out
+        assert "Sweep of 1 tasks" in output
+
+    def test_invalid_plan_file_is_a_usage_error(self, tmp_path, capsys):
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps({"cheese": 1}))
+        assert main(["sweep", "--plan", str(plan_path)]) == 2
+        assert "invalid sweep plan" in capsys.readouterr().err
+
+    def test_sink_and_resume_skip_completed_tasks(self, tmp_path, capsys):
+        sink = tmp_path / "rows.jsonl"
+        arguments = ["sweep", "--grid", "ftl=GeckoFTL cache=32,48",
+                     "--sink", str(sink)] + self.TINY
+        assert main(arguments) == 0
+        assert "executed=2 skipped=0" in capsys.readouterr().out
+        assert len(sink.read_text().splitlines()) == 2
+
+        assert main(arguments + ["--resume"]) == 0
+        assert "executed=0 skipped=2" in capsys.readouterr().out
+        assert len(sink.read_text().splitlines()) == 2
+
+    def test_group_by_device_field(self, capsys):
+        code = main(["sweep", "--grid", "ftl=GeckoFTL ratio=0.5,0.7",
+                     "--cache-entries", "32",
+                     "--group-by", "device.logical_ratio"] + self.TINY)
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "device.logical_ratio" in output
+        assert "0.5" in output and "0.7" in output

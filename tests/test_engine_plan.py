@@ -1,0 +1,187 @@
+"""Tests for declarative sweep plans and their expansion."""
+
+import json
+
+import pytest
+
+from repro.engine.plan import (SweepPlan, SweepTask, build_device_config,
+                               device_dict)
+from repro.flash.config import simulation_configuration
+
+TINY = dict(num_blocks=64, pages_per_block=8, page_size=256)
+
+
+class TestDeviceDict:
+    def test_default_matches_simulation_configuration(self):
+        base = simulation_configuration()
+        assert device_dict() == {
+            "num_blocks": base.num_blocks,
+            "pages_per_block": base.pages_per_block,
+            "page_size": base.page_size,
+            "logical_ratio": base.logical_ratio,
+        }
+
+    def test_accepts_config_dict_and_overrides(self):
+        config = simulation_configuration(**TINY)
+        assert device_dict(config) == device_dict(dict(TINY))
+        assert device_dict(config, logical_ratio=0.5)["logical_ratio"] == 0.5
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown device field"):
+            device_dict({"blocks": 64})
+        with pytest.raises(ValueError, match="unknown device field"):
+            device_dict(page_count=7)
+
+    def test_round_trips_through_build_device_config(self):
+        config = build_device_config(device_dict(dict(TINY)))
+        assert config.num_blocks == 64
+        assert config.pages_per_block == 8
+        assert config.page_size == 256
+
+
+class TestSweepTask:
+    def task(self, **overrides):
+        defaults = dict(ftl="GeckoFTL", workload="UniformRandomWrites",
+                        device=dict(TINY), cache_capacity=64, seed=7,
+                        write_operations=500, interval_writes=250)
+        defaults.update(overrides)
+        return SweepTask(**defaults)
+
+    def test_specs_are_validated_and_normalized(self):
+        task = self.task(ftl="geckoftl", workload="uniform")
+        assert task.ftl == "GeckoFTL"
+        assert task.workload == "UniformRandomWrites"
+        with pytest.raises(ValueError, match="unknown FTL"):
+            self.task(ftl="NopeFTL")
+        with pytest.raises(ValueError, match="unknown workload"):
+            self.task(workload="NopeWrites")
+
+    def test_key_is_stable_and_position_independent(self):
+        assert self.task().key() == self.task(index=17).key()
+        assert self.task().key() != self.task(seed=8).key()
+        assert self.task().key() != self.task(cache_capacity=128).key()
+
+    def test_serialization_round_trip(self):
+        task = self.task(ftl="GeckoFTL(cache_capacity=32)")
+        clone = SweepTask.from_dict(json.loads(json.dumps(task.to_dict())))
+        assert clone == task
+        assert clone.key() == task.key()
+        assert clone.derived_seed == task.derived_seed
+
+    def test_derived_seed_ignores_ftl_and_cache(self):
+        # Same cell coordinates, different FTL/cache -> identical stream.
+        base = self.task()
+        assert self.task(ftl="DFTL").derived_seed == base.derived_seed
+        assert self.task(cache_capacity=128).derived_seed == base.derived_seed
+
+    def test_derived_seed_varies_with_workload_device_and_seed(self):
+        base = self.task()
+        assert self.task(seed=8).derived_seed != base.derived_seed
+        assert (self.task(workload="SequentialWrites").derived_seed
+                != base.derived_seed)
+        other_device = dict(TINY, num_blocks=96)
+        assert (self.task(device=other_device).derived_seed
+                != base.derived_seed)
+
+
+class TestSweepPlan:
+    def test_expansion_order_and_count(self):
+        plan = SweepPlan(ftls=["GeckoFTL", "DFTL"],
+                         workloads=["UniformRandomWrites"],
+                         devices=[dict(TINY)],
+                         cache_capacities=[32, 64],
+                         seeds=[1, 2],
+                         write_operations=500, interval_writes=250)
+        tasks = plan.tasks()
+        assert len(plan) == len(tasks) == 8
+        assert [task.index for task in tasks] == list(range(8))
+        # Cartesian product in declaration order: ftl is the slowest axis,
+        # seed the fastest.
+        assert [t.ftl for t in tasks[:4]] == ["GeckoFTL"] * 4
+        assert [t.ftl for t in tasks[4:]] == ["DFTL"] * 4
+        assert [t.seed for t in tasks[:4]] == [1, 2, 1, 2]
+        assert [t.cache_capacity for t in tasks[:4]] == [32, 32, 64, 64]
+
+    def test_expansion_is_deterministic(self):
+        plan = SweepPlan(ftls=["GeckoFTL", "DFTL"], devices=[dict(TINY)],
+                         cache_capacities=[32, 64], seeds=[1, 2],
+                         write_operations=500, interval_writes=250)
+        assert [t.key() for t in plan.tasks()] == \
+               [t.key() for t in plan.tasks()]
+
+    def test_rejects_empty_axes_and_bad_volumes(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SweepPlan(ftls=[])
+        with pytest.raises(ValueError, match="write_operations"):
+            SweepPlan(write_operations=0)
+        with pytest.raises(ValueError, match="fill_fraction"):
+            SweepPlan(fill_fraction=1.5)
+
+    def test_dict_round_trip(self):
+        plan = SweepPlan(ftls=["GeckoFTL"], devices=[dict(TINY)],
+                         cache_capacities=[64], seeds=[3],
+                         write_operations=500, interval_writes=250)
+        clone = SweepPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert clone == plan
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown sweep-plan key"):
+            SweepPlan.from_dict({"ftls": ["GeckoFTL"], "cheese": 1})
+
+
+class TestGridShorthand:
+    def test_basic_axes(self):
+        plan = SweepPlan.from_grid("ftl=GeckoFTL,DFTL cache=32,64 seed=1,2",
+                                   devices=[dict(TINY)],
+                                   write_operations=500, interval_writes=250)
+        assert plan.ftls == ("GeckoFTL", "DFTL")
+        assert plan.cache_capacities == (32, 64)
+        assert plan.seeds == (1, 2)
+        assert len(plan) == 8
+
+    def test_spec_arguments_survive_comma_splitting(self):
+        plan = SweepPlan.from_grid(
+            "ftl=GeckoFTL(cache_capacity=32,multiway_merge=True),DFTL",
+            devices=[dict(TINY)], write_operations=500, interval_writes=250)
+        assert len(plan.ftls) == 2
+        assert plan.ftls[0].startswith("GeckoFTL(")
+        assert plan.ftls[1] == "DFTL"
+
+    def test_spec_arguments_survive_space_splitting(self):
+        # Spec strings as the library renders them use ", " separators;
+        # depth-0 whitespace splitting must leave them intact.
+        plan = SweepPlan.from_grid(
+            "ftl=GeckoFTL(cache_capacity=32, multiway_merge=True),DFTL "
+            "seed=1,2",
+            devices=[dict(TINY)], write_operations=500, interval_writes=250)
+        assert len(plan.ftls) == 2
+        assert "multiway_merge" in plan.ftls[0]
+        assert plan.seeds == (1, 2)
+
+    def test_device_axes_build_device_grid(self):
+        plan = SweepPlan.from_grid("blocks=64,96 ratio=0.5,0.7",
+                                   write_operations=500, interval_writes=250)
+        assert len(plan.devices) == 4
+        assert {d["num_blocks"] for d in plan.devices} == {64, 96}
+        assert {d["logical_ratio"] for d in plan.devices} == {0.5, 0.7}
+
+    def test_plural_axis_spellings_accepted(self):
+        plan = SweepPlan.from_grid("ftls=GeckoFTL seeds=1,2",
+                                   devices=[dict(TINY)],
+                                   write_operations=500, interval_writes=250)
+        assert plan.seeds == (1, 2)
+
+    def test_workload_axis(self):
+        plan = SweepPlan.from_grid(
+            "workload=UniformRandomWrites,ZipfianWrites(theta=0.9)",
+            devices=[dict(TINY)], write_operations=500, interval_writes=250)
+        assert plan.workloads == ("UniformRandomWrites",
+                                  "ZipfianWrites(theta=0.9)")
+
+    def test_malformed_groups_rejected(self):
+        with pytest.raises(ValueError, match="malformed grid group"):
+            SweepPlan.from_grid("ftl")
+        with pytest.raises(ValueError, match="unknown grid axis"):
+            SweepPlan.from_grid("cheese=1")
+        with pytest.raises(ValueError, match="given twice"):
+            SweepPlan.from_grid("seed=1 seed=2")

@@ -1,0 +1,156 @@
+"""Tests for JSONL result sinks, schema handling, and aggregation helpers."""
+
+import json
+
+import pytest
+
+from repro.engine.results import (SCHEMA_VERSION, TIMING_FIELDS, ResultSink,
+                                  aggregate, canonical_row,
+                                  canonical_row_bytes, load_results,
+                                  ram_breakdown_table, wa_breakdown_table)
+
+
+def row(key, ftl="GeckoFTL", ratio=0.7, wa=2.0, ops=1000.0, **extra):
+    data = {"schema": SCHEMA_VERSION, "key": key, "ftl": ftl,
+            "device": {"logical_ratio": ratio}, "wa_total": wa,
+            "ops_per_sec": ops, "ram_bytes": 1024, "elapsed_s": 0.5,
+            "worker_pid": 1234,
+            "wa_breakdown": {"user": 1.0, "gc": wa - 1.0},
+            "ram_breakdown": {"cache": 1000, "gmd": 24}}
+    data.update(extra)
+    return data
+
+
+class TestCanonicalRows:
+    def test_timing_fields_are_stripped(self):
+        stripped = canonical_row(row("k1"))
+        for field in TIMING_FIELDS:
+            assert field not in stripped
+        assert stripped["wa_total"] == 2.0
+
+    def test_canonical_bytes_ignore_timing_differences(self):
+        fast = row("k1", elapsed_s=0.1, ops_per_sec=9999.0, worker_pid=1)
+        slow = row("k1", elapsed_s=3.0, ops_per_sec=7.0, worker_pid=2)
+        assert canonical_row_bytes(fast) == canonical_row_bytes(slow)
+        assert canonical_row_bytes(fast) != canonical_row_bytes(row("k2"))
+
+
+class TestResultSink:
+    def test_append_load_round_trip(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        with ResultSink(path) as sink:
+            sink.append(row("k1"))
+            sink.append(row("k2", ftl="DFTL"))
+        loaded = load_results(path)
+        assert [r["key"] for r in loaded] == ["k1", "k2"]
+        assert loaded[1]["ftl"] == "DFTL"
+
+    def test_reopen_reports_completed_keys(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        with ResultSink(path) as sink:
+            sink.append(row("k1"))
+        reopened = ResultSink(path)
+        assert reopened.completed_keys() == {"k1"}
+        assert "k1" in reopened
+        assert len(reopened) == 1
+        reopened.append(row("k2"))
+        reopened.close()
+        assert ResultSink(path).completed_keys() == {"k1", "k2"}
+
+    def test_missing_file_means_no_keys(self, tmp_path):
+        sink = ResultSink(tmp_path / "absent.jsonl")
+        assert sink.completed_keys() == set()
+        assert sink.rows() == []
+
+    def test_rows_reads_back_appended_rows(self, tmp_path):
+        sink = ResultSink(tmp_path / "rows.jsonl")
+        sink.append(row("k1"))
+        assert [r["key"] for r in sink.rows()] == ["k1"]
+
+
+class TestLoadResults:
+    def test_rejects_future_schema(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text(json.dumps({"schema": SCHEMA_VERSION + 1,
+                                    "key": "k"}) + "\n")
+        with pytest.raises(ValueError, match="schema version"):
+            load_results(path)
+
+    def test_rejects_malformed_json_with_line_number(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"schema": 1, "key": "k1"}\nnot json\n')
+        with pytest.raises(ValueError, match=r":2:"):
+            load_results(path)
+
+    def test_rejects_non_object_rows(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="expected a JSON object"):
+            load_results(path)
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"schema": 1, "key": "k1"}\n\n')
+        assert len(load_results(path)) == 1
+
+
+class TestAggregate:
+    def rows(self):
+        return [row("k1", ftl="GeckoFTL", wa=2.0, ops=1000.0),
+                row("k2", ftl="GeckoFTL", wa=4.0, ops=3000.0),
+                row("k3", ftl="DFTL", wa=3.0, ops=2000.0)]
+
+    def test_group_by_ftl_mean_min_max(self):
+        table = aggregate(self.rows(), by=("ftl",),
+                          metrics=("wa_total", "ops_per_sec"))
+        assert [entry["ftl"] for entry in table] == ["GeckoFTL", "DFTL"]
+        gecko = table[0]
+        assert gecko["n"] == 2
+        assert gecko["wa_total_mean"] == pytest.approx(3.0)
+        assert gecko["wa_total_min"] == pytest.approx(2.0)
+        assert gecko["wa_total_max"] == pytest.approx(4.0)
+        assert gecko["ops_per_sec_mean"] == pytest.approx(2000.0)
+
+    def test_dotted_group_paths_reach_nested_fields(self):
+        rows = [row("k1", ratio=0.5, wa=1.0), row("k2", ratio=0.5, wa=3.0),
+                row("k3", ratio=0.7, wa=5.0)]
+        table = aggregate(rows, by=("device.logical_ratio",),
+                          metrics=("wa_total",))
+        assert [entry["device.logical_ratio"] for entry in table] == [0.5, 0.7]
+        assert table[0]["wa_total_mean"] == pytest.approx(2.0)
+
+    def test_missing_metrics_do_not_contribute(self):
+        rows = [row("k1"), {"key": "k2", "ftl": "GeckoFTL"}]
+        table = aggregate(rows, by=("ftl",), metrics=("wa_total",))
+        assert table[0]["n"] == 2  # n counts the group's rows...
+        # ...but the metric summary only averages rows that carry it.
+        assert table[0]["wa_total_mean"] == pytest.approx(2.0)
+
+
+class TestBreakdownTables:
+    def test_wa_breakdown_columns_are_rectangular(self):
+        rows = [row("k1", ftl="GeckoFTL",
+                    wa_breakdown={"user": 1.0, "validity": 0.1}),
+                row("k2", ftl="DFTL", wa_breakdown={"user": 1.0})]
+        table = wa_breakdown_table(rows)
+        assert [entry["ftl"] for entry in table] == ["GeckoFTL", "DFTL"]
+        # Both rows expose the union of purposes, zero-filled.
+        for entry in table:
+            assert set(entry) >= {"wa_user", "wa_validity", "wa_total"}
+        assert table[1]["wa_validity"] == 0.0
+
+    def test_wa_breakdown_averages_groups(self):
+        rows = [row("k1", wa=2.0, wa_breakdown={"gc": 1.0}),
+                row("k2", wa=4.0, wa_breakdown={"gc": 3.0})]
+        table = wa_breakdown_table(rows)
+        assert table[0]["wa_total"] == pytest.approx(3.0)
+        assert table[0]["wa_gc"] == pytest.approx(2.0)
+
+    def test_ram_breakdown_totals_components(self):
+        rows = [row("k1", ram_breakdown={"cache": 100, "gmd": 20}),
+                row("k2", ftl="DFTL", ram_breakdown={"cache": 50})]
+        table = ram_breakdown_table(rows)
+        gecko, dftl = table
+        assert gecko["ram_bytes"] == pytest.approx(120.0)
+        assert dftl["ram_gmd"] == 0.0
+        assert dftl["ram_bytes"] == pytest.approx(50.0)

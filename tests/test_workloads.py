@@ -21,6 +21,7 @@ from repro.workloads.generators import (
     ZipfianWrites,
 )
 from repro.workloads.trace import (
+    TraceFormatError,
     TraceWorkload,
     load_trace,
     parse_trace_line,
@@ -269,3 +270,53 @@ class TestTrace:
         record_trace(operations, path)
         workload = TraceWorkload.from_file(path, logical_pages=10)
         assert [op.logical for op in workload.operations(4)] == [0, 1, 2, 3]
+
+
+class TestTraceGzipAndErrors:
+    """Transparent .gz trace IO and line-numbered parse failures."""
+
+    def test_gzip_roundtrip_by_suffix(self, tmp_path):
+        path = tmp_path / "trace.txt.gz"
+        operations = [Operation(OpKind.WRITE, i) for i in range(50)]
+        record_trace(operations, path)
+        # The file really is gzip (magic bytes), not plain text.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        loaded = load_trace(path)
+        assert [op.logical for op in loaded] == list(range(50))
+
+    def test_gzip_workload_from_file(self, tmp_path):
+        path = tmp_path / "trace.txt.gz"
+        record_trace([Operation(OpKind.WRITE, i) for i in range(5)], path)
+        workload = TraceWorkload.from_file(path, logical_pages=10)
+        assert [op.logical for op in workload.operations(5)] == [0, 1, 2, 3, 4]
+
+    def test_malformed_line_reports_file_and_line_number(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("W 1\n# fine\nW xyz\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            load_trace(path)
+        assert excinfo.value.line_number == 3
+        assert excinfo.value.source == str(path)
+        assert f"{path}:3:" in str(excinfo.value)
+
+    def test_malformed_gzip_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "trace.txt.gz"
+        import gzip
+        with gzip.open(path, "wt") as handle:
+            handle.write("W 1\nQ 2\n")
+        with pytest.raises(TraceFormatError, match=":2:"):
+            load_trace(path)
+
+    def test_error_is_still_a_value_error(self):
+        # Backwards compatibility: existing `except ValueError` keeps working.
+        with pytest.raises(ValueError):
+            parse_trace_line("W one two three")
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_parse_trace_line_tags_standalone_line_numbers(self):
+        with pytest.raises(TraceFormatError, match="line 7:"):
+            parse_trace_line("bogus line", line_number=7)
+
+    def test_non_integer_page_is_a_format_error(self):
+        with pytest.raises(TraceFormatError, match="non-integer"):
+            parse_trace_line("W 3.5")
