@@ -12,9 +12,7 @@ write-amplification; this ablation quantifies that.
 
 from __future__ import annotations
 
-import random
 
-import pytest
 
 from repro.bench.reporting import print_report
 from repro.core.gecko_ftl import GeckoFTL

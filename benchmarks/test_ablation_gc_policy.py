@@ -10,7 +10,6 @@ pages that would soon be invalidated anyway.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.harness import ExperimentConfig, run_experiment
 from repro.bench.reporting import print_report

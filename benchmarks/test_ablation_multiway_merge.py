@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.bench.reporting import print_report
 from repro.core.gecko_entry import EntryLayout

@@ -9,7 +9,6 @@ in the tens of seconds at ~2 TB. Both curves come from the analytical models
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import ram_model, recovery_model
 from repro.bench.reporting import format_bytes, format_seconds, print_report

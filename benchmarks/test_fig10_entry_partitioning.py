@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.bench.reporting import print_report
 from repro.core.gecko_entry import KEY_BITS, EntryLayout

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.analysis import cost_model
 from repro.bench.reporting import print_report

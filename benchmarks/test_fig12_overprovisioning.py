@@ -14,7 +14,6 @@ device geometry per over-provisioning ratio — rather than a loop of one-off
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.reporting import print_report
 from repro.engine import SweepExecutor, SweepPlan, device_dict

@@ -14,7 +14,6 @@ keep page-validity metadata in flash.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import ram_model, recovery_model
 from repro.bench.reporting import format_bytes, format_seconds, print_report

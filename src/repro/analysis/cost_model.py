@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..flash.config import BLOCK_KEY_BYTES, DeviceConfig
-from ..core.gecko_entry import KEY_BITS, EntryLayout
+from ..core.gecko_entry import EntryLayout
 
 
 @dataclass(frozen=True)

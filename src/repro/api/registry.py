@@ -190,7 +190,7 @@ def _parse_spec_kwargs(arg_text: str, what: str = "FTL",
         except ValueError:
             raise ValueError(
                 f"argument {keyword.arg!r} in {what} specification must be "
-                f"a Python literal") from None
+                "a Python literal") from None
     return kwargs
 
 
@@ -264,7 +264,7 @@ class CallSpec:
         if isinstance(value, str):
             return cls.parse(value)
         raise TypeError(f"cannot interpret {value!r} as {cls.a_what} "
-                        f"specification")
+                        "specification")
 
     def __str__(self) -> str:
         if not self.kwargs:

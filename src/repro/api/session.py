@@ -23,7 +23,7 @@ FTLs model their battery-powered flush instead).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Optional, Sequence, Union
 
 from ..flash.config import DeviceConfig, simulation_configuration
 from ..flash.device import FlashDevice
@@ -104,7 +104,7 @@ class SimulationSession:
         elif isinstance(device, DeviceConfig):
             self.device = FlashDevice(device)
         else:
-            raise TypeError(f"device must be a DeviceConfig or FlashDevice, "
+            raise TypeError("device must be a DeviceConfig or FlashDevice, "
                             f"not {type(device).__name__}")
         self.config: DeviceConfig = self.device.config
 

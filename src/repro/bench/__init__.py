@@ -10,19 +10,36 @@ from .harness import (
     session_for,
     write_amplification_breakdown,
 )
+from .perf import (
+    BENCH_SCHEMA_VERSION,
+    bench_names,
+    compare_records,
+    load_records,
+    run_benchmark,
+    run_benchmarks,
+    speedup_summary,
+    write_record,
+)
 from .reporting import format_bytes, format_seconds, format_table, print_report
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
     "FTL_FACTORIES",
     "ExperimentConfig",
     "ExperimentResult",
+    "bench_names",
     "build_ftl",
     "compare_ftls",
+    "compare_records",
     "format_bytes",
     "format_seconds",
     "format_table",
+    "load_records",
     "print_report",
+    "run_benchmark",
+    "run_benchmarks",
     "run_experiment",
     "session_for",
-    "write_amplification_breakdown",
+    "speedup_summary",
+    "write_record",
 ]

@@ -6,7 +6,7 @@ these helpers keep that formatting in one place and dependency-free.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, Sequence
 
 
 def format_table(rows: Sequence[Dict[str, object]],

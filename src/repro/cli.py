@@ -26,6 +26,8 @@ from typing import List, Optional
 from .analysis import all_ftl_ram, all_ftl_recovery
 from .api import FTLSpec, SimulationSession, ftl_names
 from .bench.harness import compare_ftls
+from .bench.perf import (bench_names, compare_records, load_records,
+                         run_benchmarks)
 from .bench.reporting import format_bytes, format_seconds, print_report
 from .engine import ResultSink, SweepExecutor, SweepPlan, aggregate, device_dict
 from .flash.config import paper_configuration, simulation_configuration
@@ -163,6 +165,51 @@ def cmd_sweep(arguments) -> int:
     return 0
 
 
+def cmd_bench(arguments) -> int:
+    if arguments.compare is not None:
+        baseline_path, current_path = arguments.compare
+        try:
+            baseline = load_records(baseline_path)
+            current = load_records(current_path)
+            rows, regressions = compare_records(baseline, current,
+                                                tolerance=arguments.tolerance)
+        except (OSError, ValueError) as exc:
+            print(f"bench compare failed: {exc}", file=sys.stderr)
+            return 2
+        shared = [row for row in rows if row["ratio"] is not None]
+        if not shared:
+            print("bench compare failed: the two record sets share no "
+                  "benchmark names", file=sys.stderr)
+            return 2
+        print_report(
+            f"Benchmark comparison ({baseline_path} -> {current_path}, "
+            f"tolerance {arguments.tolerance:.0%})", rows)
+        if regressions:
+            print(f"\nREGRESSION beyond {arguments.tolerance:.0%} in: "
+                  f"{', '.join(regressions)}", file=sys.stderr)
+            return 1
+        print("\nno regressions beyond tolerance")
+        return 0
+
+    try:
+        records = run_benchmarks(names=arguments.only, quick=arguments.quick,
+                                 repeats=arguments.repeats,
+                                 out_dir=arguments.out, log=print)
+    except KeyError as exc:
+        print(f"bench failed: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print_report(
+        f"Microbenchmarks ({'quick' if arguments.quick else 'full'}, "
+        f"best of {arguments.repeats})",
+        [{"benchmark": record["name"], "ops": record["ops"],
+          "wall_seconds": record["wall_seconds"],
+          "ops_per_sec": record["ops_per_sec"]} for record in records])
+    if arguments.out:
+        print(f"\nwrote {len(records)} BENCH_<name>.json record(s) "
+              f"to {arguments.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro",
                                      description="GeckoFTL reproduction CLI")
@@ -181,8 +228,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_device_arguments(compare)
     compare.add_argument("--ftls", nargs="+", default=["GeckoFTL", "uFTL"],
                          type=_ftl_spec, metavar="FTL",
-                         help=f"FTL names or specs like "
-                              f"'GeckoFTL(cache_capacity=4096)' "
+                         help="FTL names or specs like "
+                              "'GeckoFTL(cache_capacity=4096)' "
                               f"(known: {known})")
     compare.add_argument("--writes", type=int, default=4000)
     compare.add_argument("--seed", type=int, default=42)
@@ -236,6 +283,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="row fields for the aggregate table "
                             "(dotted paths reach into device)")
     sweep.set_defaults(handler=cmd_sweep)
+
+    bench = subparsers.add_parser(
+        "bench", help="run the named performance microbenchmarks, or "
+                      "compare two sets of BENCH_*.json records")
+    bench.add_argument("--quick", action="store_true",
+                       help="scaled-down variants (what CI runs)")
+    bench.add_argument("--only", nargs="+", metavar="NAME",
+                       help="subset of benchmarks "
+                            f"(known: {', '.join(bench_names())})")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed runs per benchmark; the best is kept")
+    bench.add_argument("--out", metavar="DIR", default=None,
+                       help="directory to write BENCH_<name>.json records to")
+    bench.add_argument("--compare", nargs=2,
+                       metavar=("BASELINE", "CURRENT"),
+                       help="compare two records/directories instead of "
+                            "running; exits 1 on regression beyond "
+                            "--tolerance")
+    bench.add_argument("--tolerance", type=float, default=0.30,
+                       help="allowed fractional ops/s drop for --compare "
+                            "(default 0.30)")
+    bench.set_defaults(handler=cmd_bench)
     return parser
 
 

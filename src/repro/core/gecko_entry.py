@@ -16,8 +16,8 @@ would shrink the buffer and drive update cost up (Figure 10).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
 
 #: Size of a Gecko-entry key in bits (a 4-byte block id, per the paper).
 KEY_BITS = 32

@@ -216,9 +216,9 @@ class GeckoFTL(PageMappedFTL):
                 entry.dirty = False
             return
         if old_physical is not None:
-            spare = self.device.read_spare(old_physical,
-                                           purpose=IOPurpose.VALIDITY)
-            if spare.logical_address == entry.logical:
+            tagged_logical = self.device.read_spare_logical(
+                old_physical, purpose=IOPurpose.VALIDITY)
+            if tagged_logical == entry.logical:
                 self._invalidate_user_page(old_physical)
         entry.uip = False
 
@@ -257,8 +257,8 @@ class GeckoFTL(PageMappedFTL):
         translation-page read per migrated page whose mapping entry is not
         cached, charged to the GC purpose.
         """
-        spare = self.device.read_spare(old_address, purpose=IOPurpose.GC)
-        logical = spare.logical_address
+        logical = self.device.read_spare_logical(old_address,
+                                                 purpose=IOPurpose.GC)
         cached = self.cache.peek(logical) if logical is not None else None
         if cached is not None:
             if cached.physical != old_address:

@@ -24,7 +24,7 @@ adapter lives in :mod:`repro.core.gecko_ftl`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..flash.address import PhysicalAddress
 from .buffer import GeckoBuffer

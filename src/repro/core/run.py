@@ -21,7 +21,7 @@ manifest identifies the whole valid run set.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..flash.address import PhysicalAddress
 from .gecko_entry import GeckoEntry

@@ -21,7 +21,6 @@ from typing import Dict, Optional
 
 from ..flash.address import PhysicalAddress
 from ..flash.device import FlashDevice
-from ..flash.page import SpareArea
 from ..flash.stats import IOPurpose
 from ..ftl.block_manager import BlockManager, BlockType
 from .run import GeckoPagePayload
@@ -126,15 +125,15 @@ class FlashGeckoStorage(GeckoStorage):
     def write(self, address: PhysicalAddress, payload: GeckoPagePayload,
               spare_payload: Optional[dict] = None) -> None:
         self._writes += 1
-        spare = SpareArea(block_type=BlockType.VALIDITY.value,
-                          payload=dict(spare_payload or {}))
-        self.device.write_page(address, payload, spare=spare,
-                               purpose=IOPurpose.VALIDITY)
+        self.device.write_page_tagged(
+            address, payload, block_type=BlockType.VALIDITY.value,
+            payload=dict(spare_payload) if spare_payload else None,
+            purpose=IOPurpose.VALIDITY)
 
     def read(self, address: PhysicalAddress) -> GeckoPagePayload:
         self._reads += 1
-        page = self.device.read_page(address, purpose=IOPurpose.VALIDITY)
-        return page.data
+        return self.device.read_page_data(address,
+                                          purpose=IOPurpose.VALIDITY)
 
     def invalidate(self, address: PhysicalAddress) -> None:
         self.block_manager.invalidate_metadata_page(address)

@@ -61,7 +61,10 @@ def execute_task(task: SweepTask) -> Dict[str, Any]:
             session.config.logical_pages, seed=task.derived_seed)
         run = session.run(workload, task.write_operations)
         snapshot = session.snapshot()
-    elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+    # Unlike ``elapsed``, the wall clock also covers the session's clean
+    # shutdown (the final flush) — the full cost of the task.
+    wall_seconds = time.perf_counter() - started
 
     delta = session.config.delta
     row: Dict[str, Any] = {
@@ -92,6 +95,7 @@ def execute_task(task: SweepTask) -> Dict[str, Any]:
         "ram_bytes": snapshot.ram_bytes,
         # -- timing fields (excluded from the determinism guarantee) --
         "elapsed_s": round(elapsed, 6),
+        "wall_seconds": round(wall_seconds, 6),
         "ops_per_sec": round(run.operations_executed / elapsed, 3)
                        if elapsed > 0 else 0.0,
         "worker_pid": os.getpid(),

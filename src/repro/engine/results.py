@@ -34,7 +34,10 @@ from typing import (Any, Dict, Iterable, List, Sequence, Set, Tuple,
 SCHEMA_VERSION = 1
 
 #: Row fields that legitimately differ between runs of the same task.
-TIMING_FIELDS = ("elapsed_s", "ops_per_sec", "worker_pid")
+#: ``elapsed_s`` covers warm-up + measured run; ``wall_seconds`` is the whole
+#: task (session construction through snapshot), the same clock the BENCH
+#: perf records report.
+TIMING_FIELDS = ("elapsed_s", "wall_seconds", "ops_per_sec", "worker_pid")
 
 
 def canonical_row(row: Dict[str, Any]) -> Dict[str, Any]:

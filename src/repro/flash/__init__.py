@@ -16,7 +16,7 @@ from .config import (
     paper_configuration,
     simulation_configuration,
 )
-from .device import FlashDevice
+from .device import FlashDevice, FlashSnapshot
 from .errors import (
     BlockWornOutError,
     ConfigurationError,
@@ -42,6 +42,7 @@ __all__ = [
     "EraseActiveBlockError",
     "FlashBlock",
     "FlashDevice",
+    "FlashSnapshot",
     "FlashError",
     "FlashPage",
     "InvalidAddressError",

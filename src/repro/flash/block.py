@@ -1,16 +1,26 @@
-"""Flash block model.
+"""Array-backed flash block model.
 
 A block is the erase unit of NAND flash: an array of pages that must be
 programmed sequentially and can only be reused after the whole block is
 erased. The block tracks its own program/erase cycle count, which bounds its
 lifetime, and the offset of the next programmable page, which enforces the
 sequential-programming constraint.
+
+Page state lives in flat per-block *columns* instead of one Python object per
+page: a ``bytearray`` for the free/written bit, ``array('q')`` columns for the
+logical-address tag and the write timestamp, and a ``bytearray`` of interned
+block-type codes. Per-page payloads (page data and structure-specific spare
+extras) are kept in sparse dictionaries only when a caller actually attaches
+them, so a device full of tag-only pages costs a few flat buffers rather than
+``K × B`` object graphs. The historical ``FlashPage`` interface survives as a
+live view (:attr:`FlashBlock.pages`), and per-page ``SpareArea`` objects are
+materialized from the columns on demand.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from array import array
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 from .errors import (
     BlockWornOutError,
@@ -19,22 +29,79 @@ from .errors import (
 )
 from .page import FlashPage, SpareArea
 
+#: Interning table for block-type tags: code 0 is "no tag"; new tags are
+#: appended on first use. Spare areas store a 1-byte code per page instead of
+#: a string reference.
+_TYPE_STRINGS: List[Optional[str]] = [None]
+_TYPE_CODES: Dict[Optional[str], int] = {None: 0}
 
-@dataclass
+
+def _intern_block_type(block_type: Optional[str]) -> int:
+    code = _TYPE_CODES.get(block_type)
+    if code is None:
+        if len(_TYPE_STRINGS) >= 256:
+            raise ValueError("too many distinct block-type tags (max 255)")
+        code = len(_TYPE_STRINGS)
+        _TYPE_STRINGS.append(block_type)
+        _TYPE_CODES[block_type] = code
+    return code
+
+
+class _PageList:
+    """Sequence view exposing a block's pages as live :class:`FlashPage`."""
+
+    __slots__ = ("_block",)
+
+    def __init__(self, block: "FlashBlock") -> None:
+        self._block = block
+
+    def __len__(self) -> int:
+        return self._block.pages_per_block
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return [FlashPage(self._block, offset)
+                    for offset in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return FlashPage(self._block, index)
+
+    def __iter__(self) -> Iterator[FlashPage]:
+        block = self._block
+        return (FlashPage(block, offset)
+                for offset in range(block.pages_per_block))
+
+
 class FlashBlock:
-    """One erase unit of the simulated device."""
+    """One erase unit of the simulated device, stored as flat columns."""
 
-    block_id: int
-    pages_per_block: int
-    max_erase_count: int
-    pages: List[FlashPage] = field(default_factory=list)
-    erase_count: int = 0
-    next_free_offset: int = 0
-    last_erase_timestamp: Optional[int] = None
+    __slots__ = ("block_id", "pages_per_block", "max_erase_count",
+                 "erase_count", "next_free_offset", "last_erase_timestamp",
+                 "_state", "_logical", "_timestamp", "_type_code",
+                 "_data", "_payload")
 
-    def __post_init__(self) -> None:
-        if not self.pages:
-            self.pages = [FlashPage() for _ in range(self.pages_per_block)]
+    def __init__(self, block_id: int, pages_per_block: int,
+                 max_erase_count: int) -> None:
+        self.block_id = block_id
+        self.pages_per_block = pages_per_block
+        self.max_erase_count = max_erase_count
+        self.erase_count = 0
+        self.next_free_offset = 0
+        self.last_erase_timestamp: Optional[int] = None
+        #: Column: 0 = free, 1 = written, one byte per page.
+        self._state = bytearray(pages_per_block)
+        #: Column: logical-address tag per page (-1 = untagged).
+        self._logical = array("q", [-1]) * pages_per_block
+        #: Column: device write-clock stamp per page (0 = unstamped).
+        self._timestamp = array("q", bytes(8 * pages_per_block))
+        #: Column: interned block-type code per page (0 = untagged).
+        self._type_code = bytearray(pages_per_block)
+        #: Sparse page payloads: only pages with attached data have an entry.
+        self._data: Dict[int, Any] = {}
+        #: Sparse spare-area extras (e.g. Gecko run manifests).
+        self._payload: Dict[int, dict] = {}
 
     # ------------------------------------------------------------------
     # State queries
@@ -64,27 +131,80 @@ class FlashBlock:
         """Program/erase cycles left before the block wears out."""
         return max(0, self.max_erase_count - self.erase_count)
 
+    @property
+    def pages(self) -> _PageList:
+        """The block's pages as a sequence of live :class:`FlashPage` views."""
+        return _PageList(self)
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def materialize_spare(self, offset: int) -> SpareArea:
+        """Build the :class:`SpareArea` value of the page at ``offset``.
+
+        A free page materializes as a wiped spare area (only the block's
+        erase count), matching what the historical per-page objects held
+        after :meth:`erase`.
+        """
+        if not self._state[offset]:
+            return SpareArea(erase_count=self.erase_count)
+        logical = self._logical[offset]
+        timestamp = self._timestamp[offset]
+        payload = self._payload.get(offset)
+        return SpareArea(
+            logical_address=logical if logical >= 0 else None,
+            write_timestamp=timestamp if timestamp else None,
+            block_type=_TYPE_STRINGS[self._type_code[offset]],
+            erase_count=self.erase_count,
+            payload=payload if payload is not None else {},
+        )
+
     # ------------------------------------------------------------------
     # Operations (invoked by FlashDevice, which does the IO accounting)
     # ------------------------------------------------------------------
-    def program_page(self, offset: int, data, spare: SpareArea) -> None:
-        """Program the page at ``offset``.
+    def program_tagged(self, offset: int, data: Any, logical: int,
+                       timestamp: int, type_code: int,
+                       payload: Optional[dict]) -> None:
+        """Program the page at ``offset`` from pre-decomposed column values.
+
+        This is the hot-path entry the device uses; ``logical`` is ``-1``
+        for an untagged page, ``type_code`` an interned block-type code.
 
         Raises:
             WriteToNonFreePageError: The page was already programmed.
             NonSequentialWriteError: ``offset`` is not the next free page.
         """
-        page = self.pages[offset]
-        if not page.is_free:
+        if self._state[offset]:
             raise WriteToNonFreePageError(
                 f"block {self.block_id} page {offset} is already programmed")
         if offset != self.next_free_offset:
             raise NonSequentialWriteError(
                 f"block {self.block_id}: attempted to program page {offset} "
                 f"but the next programmable page is {self.next_free_offset}")
+        self._state[offset] = 1
+        self._logical[offset] = logical
+        self._timestamp[offset] = timestamp
+        self._type_code[offset] = type_code
+        if data is not None:
+            self._data[offset] = data
+        if payload:
+            self._payload[offset] = payload
+        self.next_free_offset = offset + 1
+
+    def program_page(self, offset: int, data, spare: SpareArea) -> None:
+        """Program the page at ``offset`` from a :class:`SpareArea` (legacy).
+
+        As historically, the passed spare area is stamped with the block's
+        erase count; its payload dictionary is stored as-is.
+        """
+        logical = spare.logical_address
+        self.program_tagged(
+            offset, data,
+            logical if logical is not None else -1,
+            spare.write_timestamp or 0,
+            _intern_block_type(spare.block_type),
+            spare.payload or None)
         spare.erase_count = self.erase_count
-        page.program(data, spare)
-        self.next_free_offset += 1
 
     def erase(self, timestamp: Optional[int] = None) -> None:
         """Erase the whole block, freeing all of its pages.
@@ -99,5 +219,9 @@ class FlashBlock:
         self.erase_count += 1
         self.next_free_offset = 0
         self.last_erase_timestamp = timestamp
-        for page in self.pages:
-            page.wipe(self.erase_count)
+        # Only the state column needs wiping: materialization of a free page
+        # ignores the stale tag columns, and the sparse payload dictionaries
+        # are dropped wholesale.
+        self._state[:] = bytes(self.pages_per_block)
+        self._data.clear()
+        self._payload.clear()

@@ -10,22 +10,93 @@ write-amplification and recovery cost exactly as the paper does.
 The device knows nothing about logical addresses, validity, or garbage
 collection; those are FTL concerns. It exposes raw page reads/writes,
 spare-area reads, and block erases.
+
+Hot-path design: page state lives in the blocks' flat columns (see
+:mod:`repro.flash.block`), geometry bounds are precomputed integers, and IO
+accounting is a single inline dictionary increment. Two API tiers sit on
+top of the same columns:
+
+* the historical object API (``read_page`` returning a :class:`FlashPage`
+  view, ``write_page`` taking/returning :class:`SpareArea`), kept for tests,
+  recovery code, and external callers;
+* *tagged* fast paths (``write_page_tagged``, ``read_page_data``,
+  ``read_page_record``, ``read_spare_logical``) that move the decomposed
+  column values directly, skipping value-object materialization. The FTL
+  read/write/GC hot loops use these.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional
+from array import array
+from typing import Any, Iterator, List, Optional, Tuple
 
 from .address import PhysicalAddress
-from .block import FlashBlock
+from .block import _TYPE_CODES, FlashBlock, _intern_block_type
 from .config import DeviceConfig
-from .errors import InvalidAddressError, ReadFreePageError
+from .errors import (
+    InvalidAddressError,
+    NonSequentialWriteError,
+    ReadFreePageError,
+    WriteToNonFreePageError,
+)
 from .page import FlashPage, SpareArea
-from .stats import IOKind, IOPurpose, IOStats
+from .stats import IOPurpose, IOStats
+
+
+class _BlockSnapshot:
+    """Frozen column copies of one block (flash-durable state only)."""
+
+    __slots__ = ("erase_count", "next_free_offset", "last_erase_timestamp",
+                 "state", "logical", "timestamp", "type_code", "data",
+                 "payload")
+
+    def __init__(self, block: FlashBlock) -> None:
+        self.erase_count = block.erase_count
+        self.next_free_offset = block.next_free_offset
+        self.last_erase_timestamp = block.last_erase_timestamp
+        # Flat buffer copies: O(bytes), no per-page Python objects.
+        self.state = bytes(block._state)
+        self.logical = block._logical[:]
+        self.timestamp = block._timestamp[:]
+        self.type_code = bytes(block._type_code)
+        # Sparse payloads copy shallowly: flash keeps the object references,
+        # it does not clone what they point at.
+        self.data = dict(block._data)
+        self.payload = dict(block._payload)
+
+    def restore_into(self, block: FlashBlock) -> None:
+        block.erase_count = self.erase_count
+        block.next_free_offset = self.next_free_offset
+        block.last_erase_timestamp = self.last_erase_timestamp
+        block._state[:] = self.state
+        block._logical[:] = self.logical
+        block._timestamp[:] = self.timestamp
+        block._type_code[:] = self.type_code
+        block._data = dict(self.data)
+        block._payload = dict(self.payload)
+
+
+class FlashSnapshot:
+    """Point-in-time copy of a device's flash-durable state.
+
+    Capturing and restoring are both O(pages) *byte* copies over the flat
+    columns plus a shallow copy of the sparse payload dictionaries — never a
+    per-page object walk. ``simulate_power_failure`` round-trips through
+    this path, and tests use it to assert flash durability.
+    """
+
+    __slots__ = ("write_clock", "blocks")
+
+    def __init__(self, device: "FlashDevice") -> None:
+        self.write_clock = device._write_clock
+        self.blocks = [_BlockSnapshot(block) for block in device.blocks]
 
 
 class FlashDevice:
     """A raw NAND flash device with ``K`` blocks of ``B`` pages each."""
+
+    __slots__ = ("config", "stats", "blocks", "_write_clock",
+                 "_num_blocks", "_pages_per_block")
 
     def __init__(self, config: DeviceConfig,
                  stats: Optional[IOStats] = None) -> None:
@@ -40,19 +111,23 @@ class FlashDevice:
         #: Monotonic sequence number stamped into every programmed page's
         #: spare area; recovery uses it to order writes.
         self._write_clock = 0
+        # Geometry bounds as plain ints: the hot paths validate against
+        # these instead of chasing the config dataclass on every operation.
+        self._num_blocks = config.num_blocks
+        self._pages_per_block = config.pages_per_block
 
     # ------------------------------------------------------------------
     # Address validation
     # ------------------------------------------------------------------
     def _check(self, address: PhysicalAddress) -> None:
-        if not (0 <= address.block < self.config.num_blocks):
+        if not 0 <= address.block < self._num_blocks:
             raise InvalidAddressError(f"block {address.block} out of range")
-        if not (0 <= address.page < self.config.pages_per_block):
+        if not 0 <= address.page < self._pages_per_block:
             raise InvalidAddressError(f"page {address.page} out of range")
 
     def block(self, block_id: int) -> FlashBlock:
         """Return the block object for ``block_id``."""
-        if not (0 <= block_id < self.config.num_blocks):
+        if not 0 <= block_id < self._num_blocks:
             raise InvalidAddressError(f"block {block_id} out of range")
         return self.blocks[block_id]
 
@@ -62,12 +137,51 @@ class FlashDevice:
     def read_page(self, address: PhysicalAddress,
                   purpose: IOPurpose = IOPurpose.OTHER) -> FlashPage:
         """Read one flash page (charged as a page read)."""
-        self._check(address)
-        page = self.blocks[address.block].pages[address.page]
-        if page.is_free:
+        block_id, offset = address
+        if not (0 <= block_id < self._num_blocks
+                and 0 <= offset < self._pages_per_block):
+            self._check(address)
+        block = self.blocks[block_id]
+        if not block._state[offset]:
             raise ReadFreePageError(f"{address} has not been programmed")
-        self.stats.record(IOKind.PAGE_READ, purpose)
-        return page
+        self.stats.page_read_counts[purpose] += 1
+        return FlashPage(block, offset)
+
+    def read_page_data(self, address: PhysicalAddress,
+                       purpose: IOPurpose = IOPurpose.OTHER) -> Any:
+        """Read one page and return only its payload (fast path).
+
+        Charged exactly like :meth:`read_page`; skips the page-view object.
+        """
+        block_id, offset = address
+        if not (0 <= block_id < self._num_blocks
+                and 0 <= offset < self._pages_per_block):
+            self._check(address)
+        block = self.blocks[block_id]
+        if not block._state[offset]:
+            raise ReadFreePageError(f"{address} has not been programmed")
+        self.stats.page_read_counts[purpose] += 1
+        return block._data.get(offset)
+
+    def read_page_record(self, address: PhysicalAddress,
+                         purpose: IOPurpose = IOPurpose.OTHER
+                         ) -> Tuple[Any, Optional[int]]:
+        """Read one page; return ``(data, logical_address_tag)`` (fast path).
+
+        One page read is charged — the logical tag rides along "for free"
+        exactly as it does on real NAND, where the spare area is transferred
+        with the page. The GC migration loop is the main consumer.
+        """
+        block_id, offset = address
+        if not (0 <= block_id < self._num_blocks
+                and 0 <= offset < self._pages_per_block):
+            self._check(address)
+        block = self.blocks[block_id]
+        if not block._state[offset]:
+            raise ReadFreePageError(f"{address} has not been programmed")
+        self.stats.page_read_counts[purpose] += 1
+        logical = block._logical[offset]
+        return block._data.get(offset), logical if logical >= 0 else None
 
     def write_page(self, address: PhysicalAddress, data: Any,
                    spare: Optional[SpareArea] = None,
@@ -77,25 +191,97 @@ class FlashDevice:
         The device stamps the spare area with the global write clock before
         programming. Returns the spare area actually stored.
         """
-        self._check(address)
-        spare = spare.copy() if spare is not None else SpareArea()
-        self._write_clock += 1
-        spare.write_timestamp = self._write_clock
-        self.blocks[address.block].program_page(address.page, data, spare)
-        self.stats.record(IOKind.PAGE_WRITE, purpose)
-        return spare
+        if spare is None:
+            logical = None
+            block_type = None
+            payload = None
+        else:
+            logical = spare.logical_address
+            block_type = spare.block_type
+            payload = dict(spare.payload) if spare.payload else None
+        timestamp = self.write_page_tagged(address, data, logical=logical,
+                                           block_type=block_type,
+                                           payload=payload, purpose=purpose)
+        return SpareArea(logical_address=logical, write_timestamp=timestamp,
+                         block_type=block_type,
+                         erase_count=self.blocks[address.block].erase_count,
+                         payload=payload if payload is not None else {})
+
+    def write_page_tagged(self, address: PhysicalAddress, data: Any = None,
+                          logical: Optional[int] = None,
+                          block_type: Optional[str] = None,
+                          payload: Optional[dict] = None,
+                          purpose: IOPurpose = IOPurpose.OTHER) -> int:
+        """Program one page from decomposed tag values (fast path).
+
+        Identical semantics and accounting to :meth:`write_page`, minus the
+        :class:`SpareArea` round trip: the logical tag, block-type tag and
+        optional payload dictionary go straight into the block's columns
+        (``payload`` is stored as given, not copied). Returns the write
+        timestamp stamped into the page.
+
+        The column stores are inlined rather than delegated to
+        ``FlashBlock.program_tagged`` — this method sits under every flash
+        write of every FTL, and the two skipped calls are measurable on the
+        device-fill benchmark.
+        """
+        block_id, offset = address
+        if not (0 <= block_id < self._num_blocks
+                and 0 <= offset < self._pages_per_block):
+            self._check(address)
+        block = self.blocks[block_id]
+        self._write_clock = timestamp = self._write_clock + 1
+        if block._state[offset]:
+            raise WriteToNonFreePageError(
+                f"block {block_id} page {offset} is already programmed")
+        if offset != block.next_free_offset:
+            raise NonSequentialWriteError(
+                f"block {block_id}: attempted to program page {offset} "
+                f"but the next programmable page is {block.next_free_offset}")
+        block._state[offset] = 1
+        block._logical[offset] = logical if logical is not None else -1
+        block._timestamp[offset] = timestamp
+        type_code = _TYPE_CODES.get(block_type)
+        block._type_code[offset] = (type_code if type_code is not None
+                                    else _intern_block_type(block_type))
+        if data is not None:
+            block._data[offset] = data
+        if payload:
+            block._payload[offset] = payload
+        block.next_free_offset = offset + 1
+        self.stats.page_write_counts[purpose] += 1
+        return timestamp
 
     def read_spare(self, address: PhysicalAddress,
                    purpose: IOPurpose = IOPurpose.OTHER) -> SpareArea:
         """Read only a page's spare area (much cheaper than a page read)."""
         self._check(address)
-        self.stats.record(IOKind.SPARE_READ, purpose)
-        return self.blocks[address.block].pages[address.page].spare
+        self.stats.spare_read_counts[purpose] += 1
+        return self.blocks[address.block].materialize_spare(address.page)
+
+    def read_spare_logical(self, address: PhysicalAddress,
+                           purpose: IOPurpose = IOPurpose.OTHER
+                           ) -> Optional[int]:
+        """Read a spare area, returning only its logical tag (fast path).
+
+        Charged exactly like :meth:`read_spare`; skips materializing the
+        :class:`SpareArea`. Free pages return ``None``.
+        """
+        block_id, offset = address
+        if not (0 <= block_id < self._num_blocks
+                and 0 <= offset < self._pages_per_block):
+            self._check(address)
+        self.stats.spare_read_counts[purpose] += 1
+        block = self.blocks[block_id]
+        if not block._state[offset]:
+            return None
+        logical = block._logical[offset]
+        return logical if logical >= 0 else None
 
     def peek(self, address: PhysicalAddress) -> FlashPage:
         """Inspect a page without charging any IO (for tests/assertions only)."""
         self._check(address)
-        return self.blocks[address.block].pages[address.page]
+        return FlashPage(self.blocks[address.block], address.page)
 
     # ------------------------------------------------------------------
     # Block operations
@@ -106,7 +292,7 @@ class FlashDevice:
         block = self.block(block_id)
         self._write_clock += 1
         block.erase(timestamp=self._write_clock)
-        self.stats.record(IOKind.BLOCK_ERASE, purpose)
+        self.stats.block_erase_counts[purpose] += 1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -121,18 +307,49 @@ class FlashDevice:
 
     def free_page_count(self) -> int:
         """Total number of programmable pages across the device."""
-        return sum(block.free_pages for block in self.blocks)
+        per_block = self._pages_per_block
+        return sum(per_block - block.next_free_offset
+                   for block in self.blocks)
 
     def written_page_count(self) -> int:
         """Total number of programmed pages across the device."""
-        return sum(block.written_pages for block in self.blocks)
+        return sum(block.next_free_offset for block in self.blocks)
+
+    # ------------------------------------------------------------------
+    # Power failure and flash durability
+    # ------------------------------------------------------------------
+    def snapshot_flash_state(self) -> FlashSnapshot:
+        """Capture the flash-durable state as flat column copies.
+
+        O(pages) byte copies plus shallow copies of the sparse payload
+        dictionaries — never a per-page object walk (the regression test in
+        ``tests/test_flash_device.py`` pins this down).
+        """
+        return FlashSnapshot(self)
+
+    def restore_flash_state(self, snapshot: FlashSnapshot) -> None:
+        """Restore the device to ``snapshot`` (same geometry required)."""
+        if len(snapshot.blocks) != self._num_blocks:
+            raise ValueError(
+                f"snapshot has {len(snapshot.blocks)} blocks but the device "
+                f"has {self._num_blocks}")
+        if snapshot.blocks and \
+                len(snapshot.blocks[0].state) != self._pages_per_block:
+            raise ValueError(
+                f"snapshot blocks have {len(snapshot.blocks[0].state)} pages "
+                f"but the device has {self._pages_per_block} per block")
+        self._write_clock = snapshot.write_clock
+        for block, frozen in zip(self.blocks, snapshot.blocks):
+            frozen.restore_into(block)
 
     def simulate_power_failure(self) -> "FlashDevice":
         """Model a power failure.
 
-        Flash contents survive a power failure; only RAM-resident FTL state is
-        lost. The device object itself therefore survives unchanged — this
-        method exists to make the intent explicit at call sites and returns
-        ``self`` for chaining. FTLs implement the actual loss of RAM state.
+        Flash contents survive a power failure; only RAM-resident FTL state
+        is lost (FTLs implement that loss themselves). The device
+        round-trips its durable state through the array-backed snapshot
+        path — everything the columns capture survives, anything else is by
+        construction volatile — and returns ``self`` for chaining.
         """
+        self.restore_flash_state(self.snapshot_flash_state())
         return self

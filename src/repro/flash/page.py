@@ -1,4 +1,4 @@
-"""Flash page and spare area model.
+"""Flash page views and the spare-area value object.
 
 A page stores an opaque payload (the FTL decides what that payload is: user
 data, a translation page, or a serialized Logarithmic Gecko run page). Each
@@ -7,6 +7,14 @@ relies on during recovery: the logical address last written to the page, a
 monotonically increasing write timestamp, and the type of the block it lives
 in. The spare area is written together with the page and cannot be modified
 until the block is erased (paper, Section 2).
+
+Since the array-backed refactor the authoritative page state lives in flat
+per-block columns (see :mod:`repro.flash.block`); :class:`FlashPage` is a
+thin *live view* over one ``(block, offset)`` slot, materialized on demand by
+``FlashDevice.peek``/``read_page`` and ``FlashBlock.pages``. It reflects the
+current column contents, exactly like the historical long-lived page objects
+that were mutated in place. :class:`SpareArea` remains a plain value object:
+writers pass one in, readers get one materialized from the columns.
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ class PageState(str, Enum):
     WRITTEN = "written"
 
 
-@dataclass
+@dataclass(slots=True)
 class SpareArea:
     """Out-of-band metadata stored next to a flash page.
 
@@ -64,26 +72,44 @@ class SpareArea:
         )
 
 
-@dataclass
 class FlashPage:
-    """One programmable unit of flash storage."""
+    """Live view of one programmable flash page.
 
-    state: PageState = PageState.FREE
-    data: Any = None
-    spare: SpareArea = field(default_factory=SpareArea)
+    Reads go straight to the owning block's columns, so a view obtained
+    before a write or an erase observes the page's state *after* it — the
+    same aliasing the historical mutable page objects exhibited.
+    """
+
+    __slots__ = ("_block", "_offset")
+
+    def __init__(self, block, offset: int) -> None:
+        self._block = block
+        self._offset = offset
+
+    @property
+    def state(self) -> PageState:
+        return (PageState.WRITTEN if self._block._state[self._offset]
+                else PageState.FREE)
 
     @property
     def is_free(self) -> bool:
-        return self.state is PageState.FREE
+        return not self._block._state[self._offset]
 
-    def program(self, data: Any, spare: SpareArea) -> None:
-        """Program the page; the device validates state before calling this."""
-        self.state = PageState.WRITTEN
-        self.data = data
-        self.spare = spare
+    @property
+    def data(self) -> Any:
+        return self._block._data.get(self._offset)
 
-    def wipe(self, erase_count: int) -> None:
-        """Reset the page to the free state after a block erase."""
-        self.state = PageState.FREE
-        self.data = None
-        self.spare = SpareArea(erase_count=erase_count)
+    @data.setter
+    def data(self, value: Any) -> None:
+        if value is None:
+            self._block._data.pop(self._offset, None)
+        else:
+            self._block._data[self._offset] = value
+
+    @property
+    def spare(self) -> SpareArea:
+        return self._block.materialize_spare(self._offset)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FlashPage(block={self._block.block_id}, "
+                f"offset={self._offset}, state={self.state.value})")

@@ -5,12 +5,16 @@ benchmark harness can reproduce the paper's stacked write-amplification bars
 (Figure 13 bottom, Figure 14): user writes, garbage-collection migrations,
 translation-table synchronization, page-validity metadata, wear-leveling and
 recovery are all counted separately.
+
+The counters are stored as one plain ``{purpose: int}`` dictionary per
+operation kind so the device can bump them inline (a single dict-increment
+per flash operation on the hot path); the historical ``Counter`` keyed by
+``(kind, purpose)`` survives as the read-only :attr:`IOStats.counts` view.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, Optional
 
@@ -37,19 +41,52 @@ class IOKind(str, Enum):
     SPARE_WRITE = "spare_write"
 
 
-@dataclass
+#: Template for a fully zeroed per-kind purpose map. Pre-populating every
+#: purpose keeps the device's inline increment branch-free
+#: (``counts[purpose] += 1`` never needs a membership check).
+_ZERO_COUNTS: Dict[IOPurpose, int] = {purpose: 0 for purpose in IOPurpose}
+
+#: Kinds in their canonical reporting order (sorted by value, which is the
+#: order the historical ``sorted(counts.items())`` produced).
+_KINDS_SORTED = sorted(IOKind, key=lambda kind: kind.value)
+_PURPOSES_SORTED = sorted(IOPurpose, key=lambda purpose: purpose.value)
+
+
 class IOStats:
     """Mutable counter of flash operations grouped by kind and purpose.
 
-    The device owns one instance and records every operation into it; FTLs
-    additionally record host-level writes/reads so write-amplification can be
-    computed. ``snapshot``/``diff`` support measuring a single experiment
-    interval (the paper reports per-10000-write intervals in Figure 9).
+    The device owns one instance and bumps the per-kind dictionaries inline;
+    FTLs additionally record host-level writes/reads so write-amplification
+    can be computed. ``snapshot``/``diff`` support measuring a single
+    experiment interval (the paper reports per-10000-write intervals in
+    Figure 9).
     """
 
-    counts: Counter = field(default_factory=Counter)
-    host_writes: int = 0
-    host_reads: int = 0
+    __slots__ = ("page_read_counts", "page_write_counts",
+                 "block_erase_counts", "spare_read_counts",
+                 "spare_write_counts", "host_writes", "host_reads")
+
+    def __init__(self) -> None:
+        self.page_read_counts: Dict[IOPurpose, int] = _ZERO_COUNTS.copy()
+        self.page_write_counts: Dict[IOPurpose, int] = _ZERO_COUNTS.copy()
+        self.block_erase_counts: Dict[IOPurpose, int] = _ZERO_COUNTS.copy()
+        self.spare_read_counts: Dict[IOPurpose, int] = _ZERO_COUNTS.copy()
+        self.spare_write_counts: Dict[IOPurpose, int] = _ZERO_COUNTS.copy()
+        self.host_writes = 0
+        self.host_reads = 0
+
+    def _counts_of(self, kind: IOKind) -> Dict[IOPurpose, int]:
+        if kind is IOKind.PAGE_READ:
+            return self.page_read_counts
+        if kind is IOKind.PAGE_WRITE:
+            return self.page_write_counts
+        if kind is IOKind.BLOCK_ERASE:
+            return self.block_erase_counts
+        if kind is IOKind.SPARE_READ:
+            return self.spare_read_counts
+        if kind is IOKind.SPARE_WRITE:
+            return self.spare_write_counts
+        raise KeyError(kind)
 
     # ------------------------------------------------------------------
     # Recording
@@ -57,7 +94,7 @@ class IOStats:
     def record(self, kind: IOKind, purpose: IOPurpose = IOPurpose.OTHER,
                amount: int = 1) -> None:
         """Record ``amount`` operations of ``kind`` attributed to ``purpose``."""
-        self.counts[(kind, purpose)] += amount
+        self._counts_of(kind)[purpose] += amount
 
     def record_host_write(self, amount: int = 1) -> None:
         """Record a logical write issued by the application."""
@@ -70,38 +107,59 @@ class IOStats:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @property
+    def counts(self) -> Counter:
+        """Read-only ``Counter`` keyed by ``(kind, purpose)`` (legacy view).
+
+        Only non-zero entries appear, matching the historical behaviour of
+        recording straight into a ``Counter``.
+        """
+        view: Counter = Counter()
+        for kind in _KINDS_SORTED:
+            for purpose, count in self._counts_of(kind).items():
+                if count:
+                    view[(kind, purpose)] = count
+        return view
+
     def total(self, kind: IOKind,
               purpose: Optional[IOPurpose] = None) -> int:
         """Total count of ``kind`` operations, optionally for one purpose."""
+        counts = self._counts_of(kind)
         if purpose is not None:
-            return self.counts[(kind, purpose)]
-        return sum(count for (k, _p), count in self.counts.items() if k is kind)
+            return counts[purpose]
+        return sum(counts.values())
 
     @property
     def page_reads(self) -> int:
-        return self.total(IOKind.PAGE_READ)
+        return sum(self.page_read_counts.values())
 
     @property
     def page_writes(self) -> int:
-        return self.total(IOKind.PAGE_WRITE)
+        return sum(self.page_write_counts.values())
 
     @property
     def block_erases(self) -> int:
-        return self.total(IOKind.BLOCK_ERASE)
+        return sum(self.block_erase_counts.values())
 
     @property
     def spare_reads(self) -> int:
-        return self.total(IOKind.SPARE_READ)
+        return sum(self.spare_read_counts.values())
 
     def purposes(self) -> Iterable[IOPurpose]:
         """Purposes that have at least one recorded operation."""
-        return sorted({p for (_k, p) in self.counts}, key=lambda p: p.value)
+        seen = {purpose for kind in _KINDS_SORTED
+                for purpose, count in self._counts_of(kind).items() if count}
+        return sorted(seen, key=lambda purpose: purpose.value)
 
     def breakdown(self) -> Dict[str, Dict[str, int]]:
         """Nested ``{purpose: {kind: count}}`` dictionary for reporting."""
         result: Dict[str, Dict[str, int]] = {}
-        for (kind, purpose), count in sorted(self.counts.items()):
-            result.setdefault(purpose.value, {})[kind.value] = count
+        for kind in _KINDS_SORTED:
+            counts = self._counts_of(kind)
+            for purpose in _PURPOSES_SORTED:
+                count = counts[purpose]
+                if count:
+                    result.setdefault(purpose.value, {})[kind.value] = count
         return result
 
     # ------------------------------------------------------------------
@@ -120,51 +178,69 @@ class IOStats:
         writes_denominator = self.host_writes if host_writes is None else host_writes
         if writes_denominator == 0:
             return 0.0
-        purposes = (set(include_purposes) if include_purposes is not None
-                    else set(IOPurpose))
-        internal_writes = sum(
-            count for (kind, purpose), count in self.counts.items()
-            if kind is IOKind.PAGE_WRITE and purpose in purposes)
-        internal_reads = sum(
-            count for (kind, purpose), count in self.counts.items()
-            if kind is IOKind.PAGE_READ and purpose in purposes)
+        if include_purposes is None:
+            internal_writes = sum(self.page_write_counts.values())
+            internal_reads = sum(self.page_read_counts.values())
+        else:
+            purposes = set(include_purposes)
+            internal_writes = sum(
+                count for purpose, count in self.page_write_counts.items()
+                if purpose in purposes)
+            internal_reads = sum(
+                count for purpose, count in self.page_read_counts.items()
+                if purpose in purposes)
         return (internal_writes + internal_reads / delta) / writes_denominator
 
     def latency_us(self, latency) -> float:
         """Total simulated time of all recorded operations, in microseconds."""
-        kind_cost = {
-            IOKind.PAGE_READ: latency.page_read_us,
-            IOKind.PAGE_WRITE: latency.page_write_us,
-            IOKind.BLOCK_ERASE: latency.block_erase_us,
-            IOKind.SPARE_READ: latency.spare_read_us,
-            IOKind.SPARE_WRITE: latency.spare_write_us,
-        }
-        return sum(kind_cost[kind] * count
-                   for (kind, _purpose), count in self.counts.items())
+        return (latency.page_read_us * sum(self.page_read_counts.values())
+                + latency.page_write_us * sum(self.page_write_counts.values())
+                + latency.block_erase_us * sum(self.block_erase_counts.values())
+                + latency.spare_read_us * sum(self.spare_read_counts.values())
+                + latency.spare_write_us * sum(self.spare_write_counts.values()))
 
     # ------------------------------------------------------------------
     # Interval measurement
     # ------------------------------------------------------------------
     def snapshot(self) -> "IOStats":
         """Return an independent copy of the current counters."""
-        copy = IOStats()
-        copy.counts = Counter(self.counts)
+        copy = IOStats.__new__(IOStats)
+        copy.page_read_counts = self.page_read_counts.copy()
+        copy.page_write_counts = self.page_write_counts.copy()
+        copy.block_erase_counts = self.block_erase_counts.copy()
+        copy.spare_read_counts = self.spare_read_counts.copy()
+        copy.spare_write_counts = self.spare_write_counts.copy()
         copy.host_writes = self.host_writes
         copy.host_reads = self.host_reads
         return copy
 
     def diff(self, earlier: "IOStats") -> "IOStats":
-        """Return the operations recorded since ``earlier`` was snapshotted."""
-        result = IOStats()
-        result.counts = Counter(self.counts)
-        result.counts.subtract(earlier.counts)
-        result.counts = +result.counts  # drop zero/negative entries
+        """Return the operations recorded since ``earlier`` was snapshotted.
+
+        Negative intermediate values (possible only when diffing unrelated
+        instances) clamp to zero, matching the historical ``+Counter``
+        behaviour of dropping non-positive entries.
+        """
+        result = IOStats.__new__(IOStats)
+        for slot in ("page_read_counts", "page_write_counts",
+                     "block_erase_counts", "spare_read_counts",
+                     "spare_write_counts"):
+            mine: Dict[IOPurpose, int] = getattr(self, slot)
+            theirs: Dict[IOPurpose, int] = getattr(earlier, slot)
+            setattr(result, slot,
+                    {purpose: delta if (delta := count - theirs[purpose]) > 0
+                     else 0
+                     for purpose, count in mine.items()})
         result.host_writes = self.host_writes - earlier.host_writes
         result.host_reads = self.host_reads - earlier.host_reads
         return result
 
     def reset(self) -> None:
         """Clear all counters."""
-        self.counts.clear()
+        self.page_read_counts = _ZERO_COUNTS.copy()
+        self.page_write_counts = _ZERO_COUNTS.copy()
+        self.block_erase_counts = _ZERO_COUNTS.copy()
+        self.spare_read_counts = _ZERO_COUNTS.copy()
+        self.spare_write_counts = _ZERO_COUNTS.copy()
         self.host_writes = 0
         self.host_reads = 0

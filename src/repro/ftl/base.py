@@ -26,7 +26,6 @@ from typing import Any, Dict, List, Optional, Sequence
 from ..flash.address import LogicalAddress, PhysicalAddress
 from ..flash.config import DeviceConfig
 from ..flash.device import FlashDevice
-from ..flash.page import SpareArea
 from ..flash.stats import IOPurpose, IOStats
 from .block_manager import BlockManager, BlockType
 from .bvc import BlockValidityCounter
@@ -36,6 +35,9 @@ from .operations import BatchResult, Operation, OpKind
 from .translation_table import TranslationTable
 from .validity.base import ValidityStore
 from .wear_leveling import WearLeveler
+
+#: Block-type tag stamped into every user page's spare area.
+_USER_TYPE = BlockType.USER.value
 
 
 class PageMappedFTL:
@@ -135,8 +137,8 @@ class PageMappedFTL:
                                   in_flash=True)
             self.cache.put(entry)
             self._evict_if_over_capacity()
-        page = self.device.read_page(entry.physical, purpose=IOPurpose.USER)
-        return page.data
+        return self.device.read_page_data(entry.physical,
+                                          purpose=IOPurpose.USER)
 
     def trim(self, logical: LogicalAddress) -> None:
         """Discard a logical page (TRIM): its flash copy becomes invalid."""
@@ -260,9 +262,8 @@ class PageMappedFTL:
     def _program_user_page(self, logical: LogicalAddress, data: Any,
                            purpose: IOPurpose) -> PhysicalAddress:
         address = self.block_manager.allocate_page(BlockType.USER)
-        spare = SpareArea(logical_address=logical,
-                          block_type=BlockType.USER.value)
-        self.device.write_page(address, data, spare=spare, purpose=purpose)
+        self.device.write_page_tagged(address, data, logical=logical,
+                                      block_type=_USER_TYPE, purpose=purpose)
         self.bvc.increment(address.block)
         return address
 
@@ -382,14 +383,13 @@ class PageMappedFTL:
         Migrations are treated like application writes: the new location is
         recorded as a dirty cached mapping entry and synchronized lazily.
         """
-        page = self.device.read_page(old_address, purpose=IOPurpose.GC)
-        logical = page.spare.logical_address
+        data, logical = self.device.read_page_record(old_address,
+                                                     purpose=IOPurpose.GC)
         new_address = self.block_manager.allocate_page(BlockType.USER,
                                                        use_reserve=True)
-        spare = SpareArea(logical_address=logical,
-                          block_type=BlockType.USER.value)
-        self.device.write_page(new_address, page.data, spare=spare,
-                               purpose=IOPurpose.GC)
+        self.device.write_page_tagged(new_address, data, logical=logical,
+                                      block_type=_USER_TYPE,
+                                      purpose=IOPurpose.GC)
         self.bvc.increment(new_address.block)
         entry = self.cache.get(logical)
         if entry is not None:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Callable, List, Optional, Set
+from typing import Callable, List, Optional
 
 from ..flash.address import PhysicalAddress
 from ..flash.device import FlashDevice
@@ -122,15 +122,44 @@ class GarbageCollector:
         GeckoFTL's metadata-aware policy first looks for a *free* victim — a
         metadata block whose pages are all superseded — and only then falls
         back to a greedy choice among user blocks.
+
+        This is a single ascending pass over the block-manager bookkeeping
+        (garbage collection runs on every write once the device is full, so
+        an O(K) pass with per-block method calls showed up hot); ties and
+        the fully-invalid-first rule resolve exactly as the two-scan
+        formulation did: lowest block id wins.
         """
-        if self.policy is VictimPolicy.METADATA_AWARE:
-            fully_invalid = self._fully_invalid_metadata_block()
-            if fully_invalid is not None:
-                return fully_invalid
-        candidates = self._candidate_blocks()
-        if not candidates:
-            return None
-        return min(candidates, key=self._victim_cost)
+        block_manager = self.block_manager
+        active = set(block_manager.active_blocks.values())
+        metadata_aware = self.policy is VictimPolicy.METADATA_AWARE
+        valid_count = self.bvc.valid_count
+        best: Optional[int] = None
+        best_cost: Optional[int] = None
+        for block_id, info in enumerate(block_manager.info):
+            block_type = info.block_type
+            if block_type is BlockType.FREE:
+                continue
+            is_metadata = block_type in METADATA_TYPES
+            if metadata_aware and is_metadata:
+                # A fully-invalid metadata block is a free victim: take the
+                # first one immediately (ascending scan = lowest id).
+                block = self.device.blocks[block_id]
+                written = block.next_free_offset
+                if block_id in active and written < block.pages_per_block:
+                    continue
+                if written > 0 and len(info.invalid_metadata_offsets) >= written:
+                    return block_id
+                continue
+            if block_id in active:
+                continue
+            if is_metadata:
+                cost = len(block_manager.metadata_valid_offsets(block_id))
+            else:
+                cost = valid_count(block_id)
+            if best_cost is None or cost < best_cost:
+                best = block_id
+                best_cost = cost
+        return best
 
     def _fully_invalid_metadata_block(self) -> Optional[int]:
         for block_id in range(self.device.config.num_blocks):

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set
 
 from ..flash.address import LogicalAddress, PhysicalAddress
 
@@ -70,6 +70,10 @@ class MappingCache:
         self._entries: "OrderedDict[int, Optional[CachedMapping]]" = OrderedDict()
         self._by_translation_page: Dict[int, Set[LogicalAddress]] = {}
         self._dirty_count = 0
+        #: Number of real entries (excludes checkpoint symbols), maintained
+        #: incrementally so ``len(cache)`` — polled on every write by the
+        #: eviction loop — is O(1) instead of a scan.
+        self._live_count = 0
         self._checkpoint_serial = 0
 
     # ------------------------------------------------------------------
@@ -80,7 +84,7 @@ class MappingCache:
         return logical // self.entries_per_translation_page
 
     def __len__(self) -> int:
-        return sum(1 for value in self._entries.values() if value is not None)
+        return self._live_count
 
     def __contains__(self, logical: LogicalAddress) -> bool:
         return logical in self._entries and self._entries[logical] is not None
@@ -142,7 +146,11 @@ class MappingCache:
     def put(self, entry: CachedMapping) -> None:
         """Insert or replace the entry for ``entry.logical`` (most recent)."""
         existing = self._entries.get(entry.logical)
-        if existing is not None and existing.dirty:
+        if existing is None:
+            # Logical keys are non-negative, so a ``None`` here can only mean
+            # "absent" (checkpoint symbols live under negative keys).
+            self._live_count += 1
+        elif existing.dirty:
             self._dirty_count -= 1
         self._entries[entry.logical] = entry
         self._entries.move_to_end(entry.logical)
@@ -165,6 +173,7 @@ class MappingCache:
         entry = self._entries.pop(logical, None)
         if entry is None:
             return None
+        self._live_count -= 1
         translation_page = self.translation_page_of(logical)
         bucket = self._by_translation_page.get(translation_page)
         if bucket is not None:
@@ -195,6 +204,7 @@ class MappingCache:
         self._entries.clear()
         self._by_translation_page.clear()
         self._dirty_count = 0
+        self._live_count = 0
 
     # ------------------------------------------------------------------
     # Checkpoint support (GeckoFTL, Section 4.3)

@@ -21,7 +21,6 @@ from typing import Dict, List, Optional, Tuple
 from ..flash.address import LogicalAddress, PhysicalAddress
 from ..flash.config import MAPPING_ENTRY_BYTES
 from ..flash.device import FlashDevice
-from ..flash.page import SpareArea
 from ..flash.stats import IOPurpose
 from .block_manager import BlockManager, BlockType
 
@@ -88,8 +87,8 @@ class TranslationTable:
         location = self.gmd[translation_page_id]
         if location is None:
             return TranslationPageContent(translation_page_id, {})
-        page = self.device.read_page(location, purpose=purpose)
-        return page.data.copy()
+        content = self.device.read_page_data(location, purpose=purpose)
+        return content.copy()
 
     def lookup(self, logical: LogicalAddress,
                purpose: IOPurpose = IOPurpose.TRANSLATION
@@ -114,13 +113,11 @@ class TranslationTable:
         """
         old_location = self.gmd[content.translation_page_id]
         new_location = self.block_manager.allocate_page(BlockType.TRANSLATION)
-        spare = SpareArea(
-            logical_address=None,
+        self.device.write_page_tagged(
+            new_location, content,
             block_type=BlockType.TRANSLATION.value,
             payload={"translation_page_id": content.translation_page_id},
-        )
-        self.device.write_page(new_location, content, spare=spare,
-                               purpose=purpose)
+            purpose=purpose)
         self.gmd[content.translation_page_id] = new_location
         if old_location is not None:
             self.block_manager.invalidate_metadata_page(old_location)

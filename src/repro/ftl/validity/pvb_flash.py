@@ -18,7 +18,6 @@ from typing import Dict, List, Optional, Set
 from ...flash.address import PhysicalAddress
 from ...flash.config import MAPPING_ENTRY_BYTES, DeviceConfig
 from ...flash.device import FlashDevice
-from ...flash.page import SpareArea
 from ...flash.stats import IOPurpose
 from ..block_manager import BlockManager, BlockType
 from .base import ValidityStore
@@ -79,17 +78,16 @@ class FlashPVB(ValidityStore):
         if location is None:
             return PVBPageContent(pvb_page_id,
                                   self._unwritten.get(pvb_page_id, 0))
-        page = self.device.read_page(location, purpose=purpose)
-        return page.data.copy()
+        content = self.device.read_page_data(location, purpose=purpose)
+        return content.copy()
 
     def _write_pvb_page(self, content: PVBPageContent,
                         purpose: IOPurpose) -> None:
         old_location = self._directory[content.pvb_page_id]
         new_location = self.block_manager.allocate_page(BlockType.VALIDITY)
-        spare = SpareArea(block_type=BlockType.VALIDITY.value,
-                          payload={"pvb_page_id": content.pvb_page_id})
-        self.device.write_page(new_location, content, spare=spare,
-                               purpose=purpose)
+        self.device.write_page_tagged(
+            new_location, content, block_type=BlockType.VALIDITY.value,
+            payload={"pvb_page_id": content.pvb_page_id}, purpose=purpose)
         self._directory[content.pvb_page_id] = new_location
         self._unwritten.pop(content.pvb_page_id, None)
         if old_location is not None:

@@ -16,13 +16,12 @@ last erase are dropped, the rest are re-inserted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ...flash.address import PhysicalAddress
-from ...flash.config import BLOCK_KEY_BYTES, MAPPING_ENTRY_BYTES, DeviceConfig
+from ...flash.config import MAPPING_ENTRY_BYTES, DeviceConfig
 from ...flash.device import FlashDevice
-from ...flash.page import SpareArea
 from ...flash.stats import IOPurpose
 from ..block_manager import BlockManager, BlockType
 from .base import ValidityStore
@@ -107,8 +106,8 @@ class PageValidityLog(ValidityStore):
         offsets = {entry.page_offset for entry in self._buffer
                    if entry.block_id == block_id and entry.timestamp > erased_at}
         for location in sorted(self._chains.get(block_id, ())):
-            page = self.device.read_page(location, purpose=IOPurpose.VALIDITY)
-            content: LogPageContent = page.data
+            content: LogPageContent = self.device.read_page_data(
+                location, purpose=IOPurpose.VALIDITY)
             offsets.update(entry.page_offset for entry in content.entries
                            if entry.block_id == block_id
                            and entry.timestamp > erased_at)
@@ -156,10 +155,10 @@ class PageValidityLog(ValidityStore):
 
     def _append_log_page(self, entries: Tuple[LogEntry, ...]) -> None:
         location = self.block_manager.allocate_page(BlockType.VALIDITY)
-        spare = SpareArea(block_type=BlockType.VALIDITY.value,
-                          payload={"pvl_page": True})
-        self.device.write_page(location, LogPageContent(entries), spare=spare,
-                               purpose=IOPurpose.VALIDITY)
+        self.device.write_page_tagged(
+            location, LogPageContent(entries),
+            block_type=BlockType.VALIDITY.value, payload={"pvl_page": True},
+            purpose=IOPurpose.VALIDITY)
         self._log_pages.append(location)
         for entry in entries:
             self._chains.setdefault(entry.block_id, set()).add(location)
@@ -167,8 +166,8 @@ class PageValidityLog(ValidityStore):
     def _clean_oldest_page(self) -> None:
         """Reclaim the oldest log page, re-inserting still-relevant entries."""
         location = self._log_pages.pop(0)
-        page = self.device.read_page(location, purpose=IOPurpose.VALIDITY)
-        content: LogPageContent = page.data
+        content: LogPageContent = self.device.read_page_data(
+            location, purpose=IOPurpose.VALIDITY)
         survivors = []
         for entry in content.entries:
             erased_at = self._erase_timestamps.get(entry.block_id, 0)

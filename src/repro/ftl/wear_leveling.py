@@ -16,7 +16,7 @@ scan-cost analysis).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..flash.address import PhysicalAddress

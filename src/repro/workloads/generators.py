@@ -9,9 +9,8 @@ generators for the example applications and the wider test suite.
 
 from __future__ import annotations
 
-import math
 import random
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List
 
 from .base import Operation, OpKind, Workload
 from .registry import WorkloadSpec, register_workload

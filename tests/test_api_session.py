@@ -11,7 +11,6 @@ from repro import (
     UniformRandomWrites,
     simulation_configuration,
 )
-from repro.api import FTLSpec
 from repro.core.recovery import RecoveryReport
 from repro.flash.device import FlashDevice
 

@@ -1,0 +1,193 @@
+"""Tests for the performance microbenchmark suite and BENCH records."""
+
+import json
+
+import pytest
+
+from repro.bench.perf import (
+    BENCH_CASES,
+    BENCH_SCHEMA_VERSION,
+    bench_names,
+    compare_records,
+    load_records,
+    record_path,
+    run_benchmark,
+    run_benchmarks,
+    speedup_summary,
+    write_record,
+)
+from repro.cli import main
+
+#: The five benchmarks the issue names, in reporting order.
+EXPECTED_NAMES = ["device_fill", "gecko_update", "gecko_merge",
+                  "dftl_cache_miss", "sweep_cell"]
+
+
+def _record(name, ops_per_sec, quick=True, **extra):
+    base = {"schema": BENCH_SCHEMA_VERSION, "name": name, "ops": 1000,
+            "wall_seconds": 1.0, "ops_per_sec": ops_per_sec, "repeats": 1,
+            "quick": quick, "geometry": {}, "git_sha": None,
+            "python": "3.11.0", "unix_time": 0}
+    base.update(extra)
+    return base
+
+
+class TestRegistry:
+    def test_all_five_benchmarks_are_registered(self):
+        assert bench_names() == EXPECTED_NAMES
+        assert set(BENCH_CASES) == set(EXPECTED_NAMES)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            run_benchmark("nope")
+        with pytest.raises(KeyError):
+            run_benchmarks(names=["device_fill", "nope"])
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_benchmark("device_fill", repeats=0)
+
+
+class TestRunning:
+    def test_device_fill_record_schema(self):
+        record = run_benchmark("device_fill", quick=True, repeats=1)
+        assert record["schema"] == BENCH_SCHEMA_VERSION
+        assert record["name"] == "device_fill"
+        assert record["quick"] is True
+        assert record["repeats"] == 1
+        assert record["ops"] == record["geometry"]["num_blocks"] * \
+            record["geometry"]["pages_per_block"]
+        assert record["wall_seconds"] > 0
+        assert record["ops_per_sec"] == pytest.approx(
+            record["ops"] / record["wall_seconds"], rel=1e-3)
+        assert set(record) >= {"git_sha", "python", "unix_time", "geometry"}
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        record = run_benchmark("device_fill", quick=True, repeats=1)
+        path = write_record(record, tmp_path)
+        assert path == record_path(tmp_path, "device_fill")
+        assert path.name == "BENCH_device_fill.json"
+        loaded = load_records(tmp_path)
+        assert loaded == {"device_fill": record}
+        assert load_records(path) == loaded
+
+    def test_run_benchmarks_writes_selected_records(self, tmp_path):
+        records = run_benchmarks(names=["device_fill"], quick=True,
+                                 repeats=1, out_dir=tmp_path)
+        assert [record["name"] for record in records] == ["device_fill"]
+        assert record_path(tmp_path, "device_fill").exists()
+
+    def test_load_rejects_future_schema(self, tmp_path):
+        write_record(_record("x", 1.0, schema=BENCH_SCHEMA_VERSION + 1),
+                     tmp_path)
+        with pytest.raises(ValueError, match="schema version"):
+            load_records(tmp_path)
+
+    def test_load_rejects_empty_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_records(tmp_path)
+
+
+class TestCompare:
+    def test_within_tolerance_is_ok(self):
+        rows, regressions = compare_records(
+            {"a": _record("a", 100.0)}, {"a": _record("a", 80.0)},
+            tolerance=0.30)
+        assert regressions == []
+        assert rows[0]["status"] == "ok"
+        assert rows[0]["ratio"] == pytest.approx(0.8)
+
+    def test_regression_beyond_tolerance_is_flagged(self):
+        rows, regressions = compare_records(
+            {"a": _record("a", 100.0)}, {"a": _record("a", 60.0)},
+            tolerance=0.30)
+        assert regressions == ["a"]
+        assert rows[0]["status"] == "REGRESSION"
+
+    def test_one_sided_benchmarks_never_regress(self):
+        rows, regressions = compare_records(
+            {"old": _record("old", 10.0)}, {"new": _record("new", 10.0)})
+        assert regressions == []
+        assert {row["status"] for row in rows} == {"baseline-only", "new"}
+
+    def test_quick_full_mismatch_is_an_error(self):
+        with pytest.raises(ValueError, match="quick"):
+            compare_records({"a": _record("a", 1.0, quick=True)},
+                            {"a": _record("a", 1.0, quick=False)})
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            compare_records({}, {}, tolerance=1.5)
+
+    def test_speedup_summary(self):
+        summary = speedup_summary(
+            {"a": _record("a", 100.0), "b": _record("b", 10.0)},
+            {"a": _record("a", 250.0), "c": _record("c", 1.0)})
+        assert summary == {"a": 2.5}
+
+
+class TestCli:
+    def test_bench_runs_and_writes_records(self, tmp_path, capsys):
+        out = tmp_path / "records"
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--only", "device_fill", "--out", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "Microbenchmarks (quick, best of 1)" in output
+        record = json.loads(
+            (out / "BENCH_device_fill.json").read_text(encoding="utf-8"))
+        assert record["name"] == "device_fill"
+
+    def test_bench_unknown_name_exits_2(self, capsys):
+        assert main(["bench", "--only", "nope"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_compare_ok_exits_0(self, tmp_path, capsys):
+        base, new = tmp_path / "base", tmp_path / "new"
+        write_record(_record("a", 100.0), base)
+        write_record(_record("a", 95.0), new)
+        assert main(["bench", "--compare", str(base), str(new)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_regression_exits_1(self, tmp_path, capsys):
+        base, new = tmp_path / "base", tmp_path / "new"
+        write_record(_record("a", 100.0), base)
+        write_record(_record("a", 10.0), new)
+        assert main(["bench", "--compare", str(base), str(new)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "a" in captured.err
+
+    def test_compare_custom_tolerance(self, tmp_path):
+        base, new = tmp_path / "base", tmp_path / "new"
+        write_record(_record("a", 100.0), base)
+        write_record(_record("a", 80.0), new)
+        assert main(["bench", "--compare", str(base), str(new),
+                     "--tolerance", "0.10"]) == 1
+        assert main(["bench", "--compare", str(base), str(new),
+                     "--tolerance", "0.30"]) == 0
+
+    def test_compare_disjoint_records_exits_2(self, tmp_path, capsys):
+        base, new = tmp_path / "base", tmp_path / "new"
+        write_record(_record("a", 100.0), base)
+        write_record(_record("b", 100.0), new)
+        assert main(["bench", "--compare", str(base), str(new)]) == 2
+        assert "share no" in capsys.readouterr().err
+
+    def test_compare_missing_path_exits_2(self, tmp_path, capsys):
+        write_record(_record("a", 100.0), tmp_path)
+        assert main(["bench", "--compare", str(tmp_path),
+                     str(tmp_path / "missing")]) == 2
+        assert "failed" in capsys.readouterr().err
+
+
+class TestCheckedInBaseline:
+    """The CI perf job compares quick runs against benchmarks/baselines."""
+
+    def test_baseline_records_exist_for_every_benchmark(self):
+        from pathlib import Path
+        baselines = Path(__file__).parent.parent / "benchmarks" / "baselines"
+        records = load_records(baselines)
+        assert set(records) == set(EXPECTED_NAMES)
+        for record in records.values():
+            assert record["quick"] is True, (
+                "CI compares --quick runs; baselines must be quick records")

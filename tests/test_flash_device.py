@@ -127,6 +127,140 @@ class TestBlockLifetime:
         assert page.state is PageState.WRITTEN
 
 
+class TestFastPaths:
+    """The tagged fast paths must charge and behave like the object API."""
+
+    def test_write_page_tagged_stores_tags_and_charges(self, device):
+        timestamp = device.write_page_tagged(
+            PhysicalAddress(0, 0), data="payload", logical=11,
+            block_type="user", payload={"k": 1}, purpose=IOPurpose.USER)
+        assert timestamp == device.write_clock
+        spare = device.peek(PhysicalAddress(0, 0)).spare
+        assert spare.logical_address == 11
+        assert spare.write_timestamp == timestamp
+        assert spare.block_type == "user"
+        assert spare.payload == {"k": 1}
+        assert device.stats.total(IOKind.PAGE_WRITE, IOPurpose.USER) == 1
+
+    def test_read_page_data_matches_read_page(self, device):
+        device.write_page(PhysicalAddress(0, 0), "hello")
+        assert device.read_page_data(PhysicalAddress(0, 0)) == "hello"
+        assert device.stats.page_reads == 1
+
+    def test_read_page_data_free_page_is_an_error(self, device):
+        with pytest.raises(ReadFreePageError):
+            device.read_page_data(PhysicalAddress(0, 0))
+
+    def test_read_page_record_returns_data_and_logical(self, device):
+        device.write_page_tagged(PhysicalAddress(1, 0), data="d", logical=42)
+        assert device.read_page_record(PhysicalAddress(1, 0)) == ("d", 42)
+        assert device.stats.page_reads == 1
+
+    def test_read_spare_logical_charges_a_spare_read(self, device):
+        device.write_page_tagged(PhysicalAddress(0, 0), logical=5)
+        assert device.read_spare_logical(PhysicalAddress(0, 0)) == 5
+        assert device.stats.spare_reads == 1
+
+    def test_read_spare_logical_of_untagged_or_free_page(self, device):
+        device.write_page(PhysicalAddress(0, 0), "x")
+        assert device.read_spare_logical(PhysicalAddress(0, 0)) is None
+        assert device.read_spare_logical(PhysicalAddress(0, 1)) is None
+
+    def test_tagged_write_enforces_nand_constraints(self, device):
+        device.write_page_tagged(PhysicalAddress(0, 0))
+        with pytest.raises(WriteToNonFreePageError):
+            device.write_page_tagged(PhysicalAddress(0, 0))
+        with pytest.raises(NonSequentialWriteError):
+            device.write_page_tagged(PhysicalAddress(0, 3))
+        with pytest.raises(InvalidAddressError):
+            device.write_page_tagged(PhysicalAddress(99, 0))
+
+
+def _snapshot_container_objects(snapshot) -> int:
+    """Python objects making up a snapshot's structure.
+
+    Counts the per-block column buffers and the entries of the sparse
+    payload dictionaries — i.e. everything the snapshot allocates.
+    """
+    total = 1
+    for block in snapshot.blocks:
+        total += 1            # the per-block snapshot record
+        total += 4            # state / logical / timestamp / type_code
+        total += 2            # the two sparse dictionaries
+        total += len(block.data) + len(block.payload)
+    return total
+
+
+class TestFlashSnapshot:
+    def test_snapshot_restore_roundtrip(self, device):
+        device.write_page(PhysicalAddress(0, 0), "keep",
+                          spare=SpareArea(logical_address=3))
+        snapshot = device.snapshot_flash_state()
+        device.write_page(PhysicalAddress(0, 1), "later")
+        device.erase_block(1)
+        clock_at_snapshot = snapshot.write_clock
+        device.restore_flash_state(snapshot)
+        assert device.write_clock == clock_at_snapshot
+        assert device.read_page(PhysicalAddress(0, 0)).data == "keep"
+        assert device.peek(PhysicalAddress(0, 1)).is_free
+        assert device.block(1).erase_count == 0
+
+    def test_snapshot_is_independent_of_later_writes(self, device):
+        snapshot = device.snapshot_flash_state()
+        device.write_page(PhysicalAddress(0, 0), "after")
+        assert snapshot.blocks[0].next_free_offset == 0
+
+    def test_restore_rejects_other_geometry(self, device):
+        other = FlashDevice(simulation_configuration(num_blocks=4,
+                                                     pages_per_block=4,
+                                                     page_size=256))
+        with pytest.raises(ValueError):
+            device.restore_flash_state(other.snapshot_flash_state())
+
+    def test_restore_rejects_same_blocks_different_pages(self, device):
+        # Same block count but a different pages-per-block must be rejected,
+        # not silently resize the column buffers.
+        other = FlashDevice(simulation_configuration(num_blocks=8,
+                                                     pages_per_block=8,
+                                                     page_size=256))
+        with pytest.raises(ValueError):
+            device.restore_flash_state(other.snapshot_flash_state())
+
+    def test_snapshot_objects_scale_with_blocks_not_pages(self):
+        """Regression: snapshotting is O(pages) byte copies, O(blocks) objects.
+
+        The historical failure mode is a per-page object walk (deep copy of
+        a ``FlashPage``/``SpareArea`` graph). Payload-free devices with 8x
+        more pages per block must snapshot into the exact same number of
+        Python objects.
+        """
+        counts = {}
+        for pages_per_block in (8, 64):
+            config = simulation_configuration(num_blocks=16,
+                                              pages_per_block=pages_per_block,
+                                              page_size=256)
+            device = FlashDevice(config)
+            for block in range(config.num_blocks):
+                for page in range(pages_per_block):
+                    device.write_page_tagged(PhysicalAddress(block, page),
+                                             logical=page)
+            counts[pages_per_block] = _snapshot_container_objects(
+                device.snapshot_flash_state())
+        assert counts[8] == counts[64]
+
+    def test_power_failure_does_not_deep_copy_payload_objects(self, device):
+        """Regression: the power-failure path must not clone page payloads.
+
+        Flash holds object *references*; a power failure (an array-snapshot
+        round trip) must preserve identity — a deep copy of the device would
+        be O(pages x objects) and would break payload identity.
+        """
+        payload = {"big": list(range(8))}
+        device.write_page(PhysicalAddress(0, 0), payload)
+        device.simulate_power_failure()
+        assert device.read_page(PhysicalAddress(0, 0)).data is payload
+
+
 class TestAccounting:
     def test_reads_and_writes_are_counted(self, device):
         device.write_page(PhysicalAddress(0, 0), "a", purpose=IOPurpose.USER)

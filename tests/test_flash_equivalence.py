@@ -1,0 +1,130 @@
+"""Equivalence lock: the array-backed device reproduces the seed behavior.
+
+The flash core's object-per-page model was replaced by array-backed columns;
+this suite pins the refactor to the seed implementation's observable
+behavior. The golden file (``tests/data/equivalence_golden.json``) was
+generated *by the seed implementation* before the refactor and must never be
+regenerated together with a device change — it is the ground truth that the
+new core produces byte-identical IOStats and sweep rows.
+
+Covered, on a randomized (seeded) 500-operation mixed trace:
+
+* the full per-(kind, purpose) IOStats breakdown, host counters, and
+  write-amplification of GeckoFTL and DFTL;
+* the SHA-256 of the canonical (timing-stripped) sweep row of an
+  end-to-end ``execute_task`` cell.
+
+Regenerate (only when *intentionally* changing simulation semantics) with::
+
+    PYTHONPATH=src python tests/test_flash_equivalence.py --regen
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from pathlib import Path
+
+from repro.core.gecko_ftl import GeckoFTL
+from repro.engine.executor import execute_task
+from repro.engine.plan import SweepTask, device_dict
+from repro.engine.results import canonical_row_bytes
+from repro.flash.config import simulation_configuration
+from repro.flash.device import FlashDevice
+from repro.ftl.dftl import DFTL
+from repro.ftl.operations import Operation, OpKind
+from repro.workloads.base import fill_device
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "equivalence_golden.json"
+
+TRACE_SEED = 20260729
+TRACE_OPS = 500
+#: Deliberately not a divisor of the op count so batches straddle intervals.
+BATCH = 97
+
+
+def _trace(logical_pages: int):
+    """The randomized 500-op trace: 70% writes, 20% reads, 10% trims."""
+    rng = random.Random(TRACE_SEED)
+    operations = []
+    for index in range(TRACE_OPS):
+        logical = rng.randrange(logical_pages)
+        roll = rng.random()
+        if roll < 0.70:
+            operations.append(Operation(OpKind.WRITE, logical,
+                                        ("payload", logical, index)))
+        elif roll < 0.90:
+            operations.append(Operation(OpKind.READ, logical))
+        else:
+            operations.append(Operation(OpKind.TRIM, logical))
+    return operations
+
+
+def _stats_fingerprint(ftl_class, **ftl_kwargs):
+    """Run the trace against a fresh FTL; return its observable IO totals."""
+    config = simulation_configuration(num_blocks=64, pages_per_block=8,
+                                      page_size=256)
+    ftl = ftl_class(FlashDevice(config), cache_capacity=64, **ftl_kwargs)
+    fill_device(ftl)
+    ftl.stats.reset()
+    operations = _trace(config.logical_pages)
+    submitted = 0
+    for start in range(0, len(operations), BATCH):
+        submitted += ftl.submit(operations[start:start + BATCH]).submitted
+    assert submitted == TRACE_OPS
+    stats = ftl.stats
+    return {
+        "breakdown": stats.breakdown(),
+        "host_writes": stats.host_writes,
+        "host_reads": stats.host_reads,
+        "write_amplification": round(
+            stats.write_amplification(config.delta), 10),
+        "free_pages": ftl.device.free_page_count(),
+        "written_pages": ftl.device.written_page_count(),
+        "write_clock": ftl.device.write_clock,
+    }
+
+
+def _sweep_row_fingerprint():
+    """SHA-256 of the canonical row of one end-to-end sweep cell."""
+    task = SweepTask(
+        ftl="GeckoFTL", workload="UniformRandomWrites",
+        device=device_dict(num_blocks=64, pages_per_block=8, page_size=256),
+        cache_capacity=64, seed=7, write_operations=600, interval_writes=200)
+    row = execute_task(task)
+    return hashlib.sha256(canonical_row_bytes(row)).hexdigest()
+
+
+def compute_fingerprints():
+    return {
+        "gecko": _stats_fingerprint(GeckoFTL),
+        "dftl": _stats_fingerprint(DFTL),
+        "sweep_row_sha256": _sweep_row_fingerprint(),
+    }
+
+
+def test_trace_iostats_match_seed_golden():
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    current = compute_fingerprints()
+    assert current["gecko"] == golden["gecko"]
+    assert current["dftl"] == golden["dftl"]
+
+
+def test_sweep_row_bytes_match_seed_golden():
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    current = compute_fingerprints()
+    assert current["sweep_row_sha256"] == golden["sweep_row_sha256"]
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("run with --regen to (re)write the golden file; doing so "
+                 "together with a device change defeats the test's purpose")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(compute_fingerprints(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH}")

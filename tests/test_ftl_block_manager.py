@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.flash.address import PhysicalAddress
 from repro.flash.config import simulation_configuration
 from repro.flash.device import FlashDevice
 from repro.flash.errors import DeviceFullError

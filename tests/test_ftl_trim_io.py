@@ -1,6 +1,5 @@
 """TRIM must not charge translation IO for never-synchronized mappings."""
 
-import pytest
 
 from repro.core.gecko_ftl import GeckoFTL
 from repro.flash.config import simulation_configuration

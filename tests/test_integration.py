@@ -7,14 +7,12 @@ head-to-head FTL comparisons, and crash/recover cycles under load.
 
 import random
 
-import pytest
 
 from repro.bench.harness import ExperimentConfig, compare_ftls, run_experiment
 from repro.core.gecko_ftl import GeckoFTL
 from repro.core.recovery import GeckoRecovery
 from repro.flash.config import simulation_configuration
 from repro.flash.device import FlashDevice
-from repro.flash.stats import IOKind, IOPurpose
 from repro.ftl.dftl import DFTL
 from repro.ftl.mu_ftl import MuFTL
 from repro.workloads.base import WorkloadRunner, fill_device

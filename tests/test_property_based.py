@@ -13,7 +13,6 @@ These tests check the invariants the paper's correctness rests on:
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
