@@ -6,7 +6,7 @@ speed of its hot paths, so this module pins that speed down: a fixed set of
 measured in operations per second and emitted as schema-versioned
 ``BENCH_<name>.json`` records that CI archives and compares across commits.
 
-The five benchmarks:
+The six benchmarks:
 
 ``device_fill``
     Raw sequential page programming of every physical page of a device —
@@ -17,6 +17,9 @@ The five benchmarks:
 ``gecko_merge``
     Logarithmic Gecko invalidation records driving buffer flushes and
     cascading run merges (in-memory storage isolates the merge machinery).
+``gecko_gc_query``
+    GC queries for random victim blocks against a buffer plus multi-level
+    runs — the directory-guided probe path a victim lookup takes.
 ``dftl_cache_miss``
     Random reads against DFTL with a deliberately tiny mapping cache — a
     cache-miss storm hammering the translation-table lookup path.
@@ -184,6 +187,38 @@ def _bench_gecko_merge(quick: bool) -> PreparedBench:
                   "page_size": 512, "storage": "in_memory"})
 
 
+def _bench_gecko_gc_query(quick: bool) -> PreparedBench:
+    """GC queries for random victim blocks against a multi-level Gecko.
+
+    Setup (not timed) drives enough invalidations through the buffer to
+    populate several levels of runs and leaves the buffer partially full, so
+    each timed query probes the buffer *and* walks the run directories —
+    the path a garbage-collection victim lookup takes.
+    """
+    from ..core.gecko_entry import EntryLayout
+    from ..core.logarithmic_gecko import GeckoConfig, LogarithmicGecko
+
+    layout = EntryLayout.recommended(pages_per_block=32, page_size=512)
+    gecko = LogarithmicGecko(GeckoConfig(size_ratio=2, layout=layout))
+    rng = random.Random(0xD1CE)
+    for _ in range(20_000):
+        gecko.record_invalid(rng.randrange(4096), rng.randrange(32))
+    queries = 2_000 if quick else 8_000
+    victims = [rng.randrange(4096) for _ in range(queries)]
+
+    def thunk() -> int:
+        gc_query = gecko.gc_query
+        for block_id in victims:
+            gc_query(block_id)
+        return len(victims)
+
+    return PreparedBench(
+        thunk=thunk, ops=queries,
+        geometry={"num_blocks": 4096, "pages_per_block": 32,
+                  "page_size": 512, "storage": "in_memory",
+                  "setup_records": 20_000})
+
+
 def _bench_dftl_cache_miss(quick: bool) -> PreparedBench:
     """Random reads through a deliberately tiny DFTL mapping cache."""
     from ..flash.config import simulation_configuration
@@ -242,6 +277,7 @@ BENCH_CASES: Dict[str, BenchFactory] = {
     "device_fill": _bench_device_fill,
     "gecko_update": _bench_gecko_update,
     "gecko_merge": _bench_gecko_merge,
+    "gecko_gc_query": _bench_gecko_gc_query,
     "dftl_cache_miss": _bench_dftl_cache_miss,
     "sweep_cell": _bench_sweep_cell,
 }

@@ -3,10 +3,13 @@
 from .buffer import GeckoBuffer
 from .gecko_entry import (
     KEY_BITS,
+    EntryColumns,
     EntryLayout,
     GeckoEntry,
     merge_collision,
+    merge_columns,
     merge_entry_lists,
+    strip_obsolete_columns,
     strip_obsolete_in_largest_run,
 )
 from .gecko_ftl import GeckoFTL, GeckoValidityStore
@@ -17,6 +20,7 @@ from .storage import FlashGeckoStorage, GeckoStorage, InMemoryGeckoStorage
 
 __all__ = [
     "KEY_BITS",
+    "EntryColumns",
     "EntryLayout",
     "FlashGeckoStorage",
     "GeckoBuffer",
@@ -35,6 +39,8 @@ __all__ = [
     "RunDirectorySet",
     "RunPageInfo",
     "merge_collision",
+    "merge_columns",
     "merge_entry_lists",
+    "strip_obsolete_columns",
     "strip_obsolete_in_largest_run",
 ]

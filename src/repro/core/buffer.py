@@ -5,21 +5,31 @@ Invalidations and erases are absorbed here; when ``V`` entries accumulate the
 buffer is flushed to flash as a new level-0 run. Buffering is what turns the
 flash-resident PVB's one-write-per-invalidation into roughly one write per
 ``V`` invalidations.
+
+The buffer keys its records by the same packed composite key the run columns
+use (``(block_id << subkey_bits) | sub_key``): one ``{key: bitmap}`` dict plus
+a set of erase-flagged keys, instead of one :class:`GeckoEntry` object per
+record. Draining sorts the keys once and packs them straight into an
+:class:`~repro.core.gecko_entry.EntryColumns` batch — the flush path never
+materializes entry objects.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
-from .gecko_entry import EntryLayout, GeckoEntry
+from .gecko_entry import EntryColumns, EntryLayout, GeckoEntry
 
 
 class GeckoBuffer:
-    """One-page write buffer of Gecko entries, keyed by (block id, sub-key)."""
+    """One-page write buffer of Gecko entries, keyed by packed composite key."""
 
     def __init__(self, layout: EntryLayout) -> None:
         self.layout = layout
-        self._entries: Dict[Tuple[int, int], GeckoEntry] = {}
+        self._subkey_bits = layout.subkey_bits
+        self._bits_per_slice = layout.bits_per_slice
+        self._bitmaps: Dict[int, int] = {}
+        self._erased: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Capacity
@@ -31,10 +41,10 @@ class GeckoBuffer:
 
     @property
     def is_full(self) -> bool:
-        return len(self._entries) >= self.capacity
+        return len(self._bitmaps) >= self.capacity
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._bitmaps)
 
     @property
     def ram_bytes(self) -> int:
@@ -50,13 +60,11 @@ class GeckoBuffer:
             raise ValueError(
                 f"page offset {page_offset} outside block of "
                 f"{self.layout.pages_per_block} pages")
-        sub_key, bit = divmod(page_offset, self.layout.bits_per_slice)
-        key = (block_id, sub_key)
-        entry = self._entries.get(key)
-        if entry is None:
-            entry = GeckoEntry(block_id=block_id, sub_key=sub_key)
-            self._entries[key] = entry
-        entry.bitmap |= 1 << bit
+        sub_key, bit = divmod(page_offset, self._bits_per_slice)
+        key = (block_id << self._subkey_bits) | sub_key
+        bitmaps = self._bitmaps
+        current = bitmaps.get(key)
+        bitmaps[key] = (1 << bit) if current is None else current | (1 << bit)
 
     def insert_erase(self, block_id: int) -> None:
         """Record that ``block_id`` was erased.
@@ -66,26 +74,56 @@ class GeckoBuffer:
         already buffered for the block are dropped because they too predate
         nothing — they describe pages that were just erased.
         """
-        stale_keys = [key for key in self._entries if key[0] == block_id]
-        for key in stale_keys:
-            del self._entries[key]
-        self._entries[(block_id, 0)] = GeckoEntry(
-            block_id=block_id, sub_key=0, bitmap=0, erase_flag=True)
+        base = block_id << self._subkey_bits
+        bitmaps = self._bitmaps
+        erased = self._erased
+        for sub_key in range(self.layout.partition_factor):
+            bitmaps.pop(base | sub_key, None)
+            erased.discard(base | sub_key)
+        bitmaps[base] = 0
+        erased.add(base)
 
     # ------------------------------------------------------------------
     # Queries and flushing
     # ------------------------------------------------------------------
-    def entries_for_block(self, block_id: int) -> List[GeckoEntry]:
-        """Buffered entries for one block (consulted first by a GC query)."""
-        return [entry for (bid, _sub), entry in sorted(self._entries.items())
-                if bid == block_id]
+    def block_records(self, block_id: int) -> List[Tuple[int, int, bool]]:
+        """``(sub_key, bitmap, erase_flag)`` records buffered for one block.
 
-    def drain(self) -> List[GeckoEntry]:
-        """Remove and return all buffered entries, sorted by (key, sub-key)."""
-        entries = [entry for _key, entry in sorted(self._entries.items())]
-        self._entries.clear()
-        return entries
+        The GC-query fast path: at most ``S`` dict probes, no entry views.
+        """
+        base = block_id << self._subkey_bits
+        bitmaps = self._bitmaps
+        erased = self._erased
+        records = []
+        for sub_key in range(self.layout.partition_factor):
+            key = base | sub_key
+            bitmap = bitmaps.get(key)
+            if bitmap is not None:
+                records.append((sub_key, bitmap, key in erased))
+        return records
+
+    def entries_for_block(self, block_id: int) -> List[GeckoEntry]:
+        """Buffered entries for one block, as materialized views."""
+        return [GeckoEntry(block_id, sub_key, bitmap, erase_flag)
+                for sub_key, bitmap, erase_flag in self.block_records(block_id)]
+
+    def to_columns(self) -> EntryColumns:
+        """Pack the buffered records into sorted columns without draining."""
+        columns = EntryColumns(self._subkey_bits)
+        bitmaps = self._bitmaps
+        erased = self._erased
+        for key in sorted(bitmaps):
+            columns.append(key, bitmaps[key], key in erased)
+        return columns
+
+    def drain(self) -> EntryColumns:
+        """Remove and return all buffered records, sorted by composite key."""
+        columns = self.to_columns()
+        self._bitmaps.clear()
+        self._erased.clear()
+        return columns
 
     def clear(self) -> None:
         """Drop the buffer's contents (power failure)."""
-        self._entries.clear()
+        self._bitmaps.clear()
+        self._erased.clear()

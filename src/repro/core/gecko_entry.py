@@ -11,16 +11,48 @@ each covering a ``B/S``-page slice of the block and carrying a small sub-key
 identifying the slice. Partitioning decouples the number of entries that fit
 into the buffer (``V``) from the block size ``B``: without it, growing blocks
 would shrink the buffer and drive update cost up (Figure 10).
+
+Packed columnar representation
+------------------------------
+
+The data plane does not hold one Python object per entry. A batch of entries
+(one run page, one whole run, one drained buffer) is an :class:`EntryColumns`:
+three parallel columns packed into flat buffers, sorted by a single
+*composite key*::
+
+    composite key = (block_id << subkey_bits) | sub_key
+
+* ``keys`` — an ``array('q')`` of composite keys. Because ``sub_key <
+  2**subkey_bits``, integer order on the packed key equals lexicographic
+  order on ``(block_id, sub_key)``, so one ``bisect`` over the key column
+  replaces a linear scan and merges are two-pointer passes over ints.
+* ``words`` — an ``array('Q')`` holding each entry's low 64 validity bits.
+  Layouts whose ``B/S`` exceeds 64 spill the *full* bitmap of any entry that
+  needs more than one word into ``wide``, a sparse ``{index: int}`` side
+  table (``words`` keeps the low word so narrow entries never touch the
+  dict).
+* ``erase_flags`` — a ``bytearray`` of 0/1 erase flags, scanned with the
+  C-level ``bytearray.find``.
+
+:class:`GeckoEntry` survives as a thin materialized view for tests and
+debugging; the hot paths (merges, GC queries, recovery reconstruction) never
+allocate one per stored record.
 """
 
 from __future__ import annotations
 
 import math
+from array import array
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 #: Size of a Gecko-entry key in bits (a 4-byte block id, per the paper).
 KEY_BITS = 32
+
+#: Bitmaps at or above ``2**64`` spill from the word column to the sparse
+#: ``wide`` side table; the word column keeps the low 64 bits.
+_WORD_MASK = (1 << 64) - 1
 
 
 @dataclass(frozen=True)
@@ -71,6 +103,18 @@ class EntryLayout:
         """``V``: how many (sub-)entries fit into one flash page / the buffer."""
         return max(1, (self.page_size * 8) // self.entry_bits)
 
+    # ------------------------------------------------------------------
+    # Composite-key encoding
+    # ------------------------------------------------------------------
+    def pack_key(self, block_id: int, sub_key: int = 0) -> int:
+        """``(block_id << subkey_bits) | sub_key`` — order-preserving."""
+        return (block_id << self.subkey_bits) | sub_key
+
+    def unpack_key(self, key: int) -> Tuple[int, int]:
+        """Inverse of :meth:`pack_key`: ``(block_id, sub_key)``."""
+        subkey_bits = self.subkey_bits
+        return key >> subkey_bits, key & ((1 << subkey_bits) - 1)
+
     @classmethod
     def recommended(cls, pages_per_block: int, page_size: int) -> "EntryLayout":
         """The paper's tuning ``S = B / key``: balances buffer density and
@@ -90,6 +134,10 @@ class GeckoEntry:
     ``sub_key * bits_per_slice + i`` of block ``block_id``. ``erase_flag``
     set means the block was erased at the moment this entry was created;
     entries in older runs are obsolete for this block.
+
+    This is a *view* type: the data plane stores entries packed in
+    :class:`EntryColumns` and only materializes ``GeckoEntry`` objects for
+    tests, debugging, and the compatibility wrappers below.
     """
 
     block_id: int
@@ -113,6 +161,171 @@ class GeckoEntry:
                 if self.bitmap >> bit & 1]
 
 
+class EntryColumns:
+    """A sorted batch of Gecko entries as packed parallel columns.
+
+    Immutable once built by the data plane (runs never change in place);
+    append/extend are used only while constructing a new batch. Iteration
+    and indexing materialize :class:`GeckoEntry` views on demand.
+    """
+
+    __slots__ = ("subkey_bits", "keys", "words", "erase_flags", "wide")
+
+    def __init__(self, subkey_bits: int,
+                 keys: Optional[array] = None,
+                 words: Optional[array] = None,
+                 erase_flags: Optional[bytearray] = None,
+                 wide: Optional[Dict[int, int]] = None) -> None:
+        self.subkey_bits = subkey_bits
+        self.keys: array = keys if keys is not None else array("q")
+        self.words: array = words if words is not None else array("Q")
+        self.erase_flags: bytearray = (erase_flags if erase_flags is not None
+                                       else bytearray())
+        #: Sparse side table ``{index: full bitmap}`` for entries whose
+        #: bitmap does not fit into one 64-bit word.
+        self.wide: Dict[int, int] = wide if wide is not None else {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def append(self, key: int, bitmap: int, erase_flag: bool = False) -> None:
+        self.keys.append(key)
+        self.words.append(bitmap & _WORD_MASK)
+        self.erase_flags.append(1 if erase_flag else 0)
+        if bitmap >> 64:
+            self.wide[len(self.keys) - 1] = bitmap
+
+    def extend_slice(self, other: "EntryColumns", start: int, stop: int) -> None:
+        """Bulk-copy ``other[start:stop]`` onto the end of this batch."""
+        if other.subkey_bits != self.subkey_bits:
+            # A key packed under a different sub-key width would be silently
+            # misread by every later bisect; fail loudly instead.
+            raise ValueError("cannot combine columns with different "
+                             "sub-key widths")
+        if stop <= start:
+            return
+        base = len(self.keys)
+        self.keys.extend(other.keys[start:stop])
+        self.words.extend(other.words[start:stop])
+        self.erase_flags.extend(other.erase_flags[start:stop])
+        wide = other.wide
+        if wide:
+            # Visit whichever side is smaller so densely-wide layouts
+            # (B/S > 64) stay linear across a whole merge instead of
+            # rescanning the full side table per bulk copy.
+            if stop - start <= len(wide):
+                for index in range(start, stop):
+                    value = wide.get(index)
+                    if value is not None:
+                        self.wide[base + index - start] = value
+            else:
+                for index, value in wide.items():
+                    if start <= index < stop:
+                        self.wide[base + index - start] = value
+
+    @classmethod
+    def from_entries(cls, entries: Iterable[GeckoEntry],
+                     subkey_bits: Optional[int] = None) -> "EntryColumns":
+        """Pack already-sorted entries into columns (test/compat path)."""
+        entries = list(entries)
+        if subkey_bits is None:
+            subkey_bits = max((entry.sub_key.bit_length()
+                               for entry in entries), default=0)
+        columns = cls(subkey_bits)
+        for entry in entries:
+            columns.append((entry.block_id << subkey_bits) | entry.sub_key,
+                           entry.bitmap, entry.erase_flag)
+        return columns
+
+    def copy(self) -> "EntryColumns":
+        return EntryColumns(self.subkey_bits, array("q", self.keys),
+                            array("Q", self.words),
+                            bytearray(self.erase_flags), dict(self.wide))
+
+    # ------------------------------------------------------------------
+    # Element access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def bitmap_at(self, index: int) -> int:
+        if self.wide:
+            value = self.wide.get(index)
+            if value is not None:
+                return value
+        return self.words[index]
+
+    def sort_key_at(self, index: int) -> Tuple[int, int]:
+        key = self.keys[index]
+        subkey_bits = self.subkey_bits
+        return key >> subkey_bits, key & ((1 << subkey_bits) - 1)
+
+    def entry_at(self, index: int) -> GeckoEntry:
+        block_id, sub_key = self.sort_key_at(index)
+        return GeckoEntry(block_id, sub_key, self.bitmap_at(index),
+                          bool(self.erase_flags[index]))
+
+    def __iter__(self) -> Iterator[GeckoEntry]:
+        for index in range(len(self.keys)):
+            yield self.entry_at(index)
+
+    def __getitem__(self, index: Union[int, slice]
+                    ) -> Union[GeckoEntry, "EntryColumns"]:
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self.keys))
+            if step != 1:
+                raise ValueError("EntryColumns slices must be contiguous")
+            out = EntryColumns(self.subkey_bits)
+            out.extend_slice(self, start, stop)
+            return out
+        return self.entry_at(index)
+
+    def to_entries(self) -> List[GeckoEntry]:
+        return [self.entry_at(index) for index in range(len(self.keys))]
+
+    # ------------------------------------------------------------------
+    # Key-column searches
+    # ------------------------------------------------------------------
+    def block_bounds(self, block_id: int) -> Tuple[int, int]:
+        """``[lo, hi)`` index range of ``block_id``'s entries (``bisect``)."""
+        subkey_bits = self.subkey_bits
+        lo = bisect_left(self.keys, block_id << subkey_bits)
+        hi = bisect_left(self.keys, (block_id + 1) << subkey_bits, lo)
+        return lo, hi
+
+    def flagged_blocks(self) -> Set[int]:
+        """Block ids carrying an erase flag (one C-level scan, no views)."""
+        flags = self.erase_flags
+        subkey_bits = self.subkey_bits
+        blocks: Set[int] = set()
+        position = flags.find(1)
+        while position != -1:
+            blocks.add(self.keys[position] >> subkey_bits)
+            position = flags.find(1, position + 1)
+        return blocks
+
+    def without_blocks(self, blocks: Set[int]) -> "EntryColumns":
+        """Drop every entry of ``blocks`` in one sorted-set sweep.
+
+        The erased-block set is visited in key order; each block's entry
+        range is located with two bisects and the surviving gaps are
+        bulk-copied, so the sweep costs O(|blocks| log n) plus one memcpy.
+        """
+        subkey_bits = self.subkey_bits
+        keys = self.keys
+        out = EntryColumns(subkey_bits)
+        keep_start = 0
+        for block_id in sorted(blocks):
+            lo = bisect_left(keys, block_id << subkey_bits, keep_start)
+            hi = bisect_left(keys, (block_id + 1) << subkey_bits, lo)
+            if lo == hi:
+                continue
+            out.extend_slice(self, keep_start, lo)
+            keep_start = hi
+        out.extend_slice(self, keep_start, len(keys))
+        return out
+
+
 def merge_collision(newer: GeckoEntry, older: GeckoEntry) -> GeckoEntry:
     """Resolve a collision between two entries with the same (key, sub-key).
 
@@ -131,58 +344,129 @@ def merge_collision(newer: GeckoEntry, older: GeckoEntry) -> GeckoEntry:
                       erase_flag=older.erase_flag)
 
 
+def merge_columns(newer: EntryColumns, older: EntryColumns,
+                  drop_block_erase_shadows: bool = True) -> EntryColumns:
+    """Two-pointer merge of two sorted column batches, newer side winning.
+
+    Erase-shadow drops happen up front as one sorted-set sweep
+    (:meth:`EntryColumns.without_blocks`); the merge itself then gallops:
+    whenever one side's next key is behind the other, a ``bisect`` finds the
+    whole run of keys that cannot collide and it is bulk-copied instead of
+    being visited entry by entry. Collisions resolve per the paper's
+    Algorithm 3 (:func:`merge_collision`), without materializing views.
+    """
+    if newer.subkey_bits != older.subkey_bits:
+        raise ValueError("cannot merge columns with different sub-key widths")
+    if drop_block_erase_shadows:
+        flagged = newer.flagged_blocks()
+        if flagged:
+            older = older.without_blocks(flagged)
+    out = EntryColumns(newer.subkey_bits)
+    newer_keys, older_keys = newer.keys, older.keys
+    newer_len, older_len = len(newer_keys), len(older_keys)
+    newer_flags, older_flags = newer.erase_flags, older.erase_flags
+    i = j = 0
+    while i < newer_len and j < older_len:
+        newer_key = newer_keys[i]
+        older_key = older_keys[j]
+        if newer_key < older_key:
+            stop = bisect_left(newer_keys, older_key, i + 1, newer_len)
+            out.extend_slice(newer, i, stop)
+            i = stop
+        elif older_key < newer_key:
+            stop = bisect_left(older_keys, newer_key, j + 1, older_len)
+            out.extend_slice(older, j, stop)
+            j = stop
+        elif newer_flags[i]:
+            # Newer erase: the older record predates the erase and is
+            # dropped (only reachable with shadow-dropping disabled).
+            out.append(newer_key, newer.bitmap_at(i), True)
+            i += 1
+            j += 1
+        else:
+            out.append(newer_key, newer.bitmap_at(i) | older.bitmap_at(j),
+                       bool(older_flags[j]))
+            i += 1
+            j += 1
+    if i < newer_len:
+        out.extend_slice(newer, i, newer_len)
+    if j < older_len:
+        out.extend_slice(older, j, older_len)
+    return out
+
+
 def merge_entry_lists(newer: Iterable[GeckoEntry],
                       older: Iterable[GeckoEntry],
                       drop_block_erase_shadows: bool = True
                       ) -> List[GeckoEntry]:
     """Merge two sorted entry lists, newer entries taking precedence.
 
-    ``newer``/``older`` must each be sorted by ``sort_key``. Collisions are
-    resolved with :func:`merge_collision`. Additionally, a *block-level* erase
-    entry (an entry with ``erase_flag`` and sub-key 0 representing the whole
-    block) shadows every older entry of that block regardless of sub-key when
-    ``drop_block_erase_shadows`` is set; this is how a single buffered erase
-    record makes all older per-slice records obsolete.
+    ``newer``/``older`` must each be sorted by ``sort_key``. Compatibility
+    wrapper over :func:`merge_columns` for callers (and tests) that work
+    with :class:`GeckoEntry` views; the data plane merges columns directly.
     """
     newer = list(newer)
     older = list(older)
-    erased_blocks = {entry.block_id for entry in newer if entry.erase_flag}
-    if drop_block_erase_shadows and erased_blocks:
-        older = [entry for entry in older
-                 if entry.block_id not in erased_blocks]
-
-    result: List[GeckoEntry] = []
-    i = j = 0
-    while i < len(newer) and j < len(older):
-        a, b = newer[i], older[j]
-        if a.sort_key == b.sort_key:
-            result.append(merge_collision(a, b))
-            i += 1
-            j += 1
-        elif a.sort_key < b.sort_key:
-            result.append(a.copy())
-            i += 1
-        else:
-            result.append(b.copy())
-            j += 1
-    result.extend(entry.copy() for entry in newer[i:])
-    result.extend(entry.copy() for entry in older[j:])
-    return result
+    subkey_bits = max((entry.sub_key.bit_length()
+                       for entry in newer + older), default=0)
+    merged = merge_columns(EntryColumns.from_entries(newer, subkey_bits),
+                           EntryColumns.from_entries(older, subkey_bits),
+                           drop_block_erase_shadows)
+    return merged.to_entries()
 
 
-def strip_obsolete_in_largest_run(entries: Iterable[GeckoEntry]
-                                  ) -> List[GeckoEntry]:
+def strip_obsolete_columns(columns: EntryColumns) -> EntryColumns:
     """Drop records that carry no information once no older run exists.
 
     When a merge produces the largest (oldest-level) run, erase flags no
     longer shadow anything, so they can be cleared; entries whose bitmap is
     then empty carry no information at all and are dropped. This is the
     space reclamation that bounds Logarithmic Gecko's space-amplification.
+
+    Only flagged or zero-word entries need per-entry work, and both are
+    located with C-level scans (``bytearray.find`` / ``array.index``), so a
+    flag-free merge output passes through untouched and everything else is
+    a handful of bulk copies. (Inside the data plane an unflagged entry
+    always has a set bit; the zero-word scan keeps the documented contract
+    for external callers feeding degenerate records.)
     """
-    result = []
-    for entry in entries:
-        stripped = GeckoEntry(entry.block_id, entry.sub_key, entry.bitmap,
-                              erase_flag=False)
-        if stripped.bitmap:
-            result.append(stripped)
-    return result
+    flags = columns.erase_flags
+    words = columns.words
+    wide = columns.wide
+    positions = set()
+    position = flags.find(1)
+    while position != -1:
+        positions.add(position)
+        position = flags.find(1, position + 1)
+    try:
+        position = words.index(0)
+        while True:
+            # A zero word is an empty bitmap only when it did not spill.
+            if position not in wide:
+                positions.add(position)
+            position = words.index(0, position + 1)
+    except ValueError:
+        pass
+    if not positions:
+        return columns
+    out = EntryColumns(columns.subkey_bits)
+    start = 0
+    for position in sorted(positions):
+        if columns.bitmap_at(position):
+            out.extend_slice(columns, start, position + 1)
+            out.erase_flags[-1] = 0
+        else:
+            out.extend_slice(columns, start, position)
+        start = position + 1
+    out.extend_slice(columns, start, len(columns))
+    return out
+
+
+def strip_obsolete_in_largest_run(
+        entries: Union[EntryColumns, Iterable[GeckoEntry]]
+        ) -> Union[EntryColumns, List[GeckoEntry]]:
+    """List-level compatibility wrapper over :func:`strip_obsolete_columns`."""
+    if isinstance(entries, EntryColumns):
+        return strip_obsolete_columns(entries)
+    columns = EntryColumns.from_entries(list(entries))
+    return strip_obsolete_columns(columns).to_entries()

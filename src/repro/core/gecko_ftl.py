@@ -308,6 +308,7 @@ class GeckoFTL(PageMappedFTL):
         summary.update({
             "size_ratio": self._size_ratio,
             "partition_factor": self.gecko.layout.partition_factor,
+            "entries_per_page": self.gecko.layout.entries_per_page,
             "multiway_merge": self._multiway_merge,
             "checkpoint_period": self.checkpoint_period,
             "gecko_levels": self.gecko.num_levels,

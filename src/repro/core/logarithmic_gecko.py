@@ -16,6 +16,29 @@ structure kept in flash:
   run that can contain the victim block's entries, and stops early when it
   meets an entry whose erase flag is set.
 
+Columnar data plane
+-------------------
+
+Entries are stored packed, not as Python objects: every run page carries one
+:class:`~repro.core.gecko_entry.EntryColumns` chunk — a sorted
+``array('q')`` of composite keys ``(block_id << subkey_bits) | sub_key``, an
+``array('Q')`` of bitmap words (bitmaps wider than 64 bits spill to a sparse
+side table), and a ``bytearray`` of erase flags. Merges are galloping
+two-pointer passes over the key columns with erase-shadow drops done as one
+sorted-set sweep; GC queries ``bisect`` each candidate page's key column
+(after the run directory's first/last keys have ruled the run in);
+reconstruction iterates columns directly. No hot path allocates a
+``GeckoEntry`` per stored record — a filled instance holds O(runs + pages)
+Python objects, not O(entries).
+
+None of this changes the paper-visible accounting: ``ram_bytes`` still
+charges one flash page for the buffer plus 8 bytes per run page for the
+directories (the paper's Table 2 model — a function of the *logical* layout,
+not of how the host process represents entries), ``entries_per_page`` is
+still derived from the bit-level entry size, and the flush/merge schedule —
+hence every read/write counter — is identical to the object-based
+implementation (locked by ``tests/test_gecko_equivalence.py``).
+
 The structure is generic enough to be reused outside the FTL as a
 write-optimized aggregation index keyed by small integers; the FTL-facing
 adapter lives in :mod:`repro.core.gecko_ftl`.
@@ -23,16 +46,18 @@ adapter lives in :mod:`repro.core.gecko_ftl`.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..flash.address import PhysicalAddress
 from .buffer import GeckoBuffer
 from .gecko_entry import (
+    EntryColumns,
     EntryLayout,
     GeckoEntry,
-    merge_entry_lists,
-    strip_obsolete_in_largest_run,
+    merge_columns,
+    strip_obsolete_columns,
 )
 from .run import GeckoPagePayload, Run, RunDirectorySet, RunPageInfo
 from .storage import GeckoStorage, InMemoryGeckoStorage
@@ -114,24 +139,49 @@ class LogarithmicGecko:
 
         Probes the buffer, then each run from newest to oldest (one or two
         page reads per run, located via the run directories), OR-ing bitmaps
-        and stopping at the first entry whose erase flag is set.
+        and stopping at the first entry whose erase flag is set. Runs whose
+        directory key range cannot contain the victim block are skipped
+        without any flash read, and within a page the block's entries are
+        found by bisecting the sorted key column.
         """
         self.gc_queries += 1
         invalid: Set[int] = set()
-        buffered = self.buffer.entries_for_block(block_id)
+        bits_per_slice = self.layout.bits_per_slice
         stop = False
-        for entry in buffered:
-            invalid.update(entry.offsets(self.layout))
-            if entry.erase_flag:
+        for sub_key, bitmap, erase_flag in self.buffer.block_records(block_id):
+            base = sub_key * bits_per_slice
+            while bitmap:
+                low_bit = bitmap & -bitmap
+                invalid.add(base + low_bit.bit_length() - 1)
+                bitmap ^= low_bit
+            if erase_flag:
                 stop = True
         if stop:
             return invalid
         for run in self.runs.all_runs():
-            entries = self._entries_for_block_in_run(run, block_id)
-            for entry in entries:
-                invalid.update(entry.offsets(self.layout))
-                if entry.erase_flag:
-                    stop = True
+            if not run.may_contain(block_id):
+                continue
+            for page_info in run.pages_overlapping(block_id):
+                columns = self.storage.read(page_info.location).columns
+                keys = columns.keys
+                flags = columns.erase_flags
+                # Packing width comes from the chunk itself, so a page is
+                # read correctly however its columns were packed (the data
+                # plane always uses the layout's width; compat payloads may
+                # infer a narrower one).
+                low_key = block_id << columns.subkey_bits
+                lo = bisect_left(keys, low_key)
+                hi = bisect_left(keys, (block_id + 1) << columns.subkey_bits,
+                                 lo)
+                for index in range(lo, hi):
+                    bitmap = columns.bitmap_at(index)
+                    base = (keys[index] - low_key) * bits_per_slice
+                    while bitmap:
+                        low_bit = bitmap & -bitmap
+                        invalid.add(base + low_bit.bit_length() - 1)
+                        bitmap ^= low_bit
+                    if flags[index]:
+                        stop = True
             if stop:
                 break
         return invalid
@@ -153,7 +203,13 @@ class LogarithmicGecko:
         return self.runs.total_pages()
 
     def ram_bytes(self) -> int:
-        """RAM footprint: the insert buffer plus the run directories."""
+        """RAM footprint: the insert buffer plus the run directories.
+
+        This is the paper's Table 2 accounting — one flash page for the
+        buffer, 8 bytes per run page for the directories — a property of the
+        logical layout, deliberately independent of the host-process column
+        representation, so RAM figures reproduce unchanged.
+        """
         return self.buffer.ram_bytes + self.runs.ram_bytes()
 
     def reconstruct_bitmaps(self) -> Dict[int, Set[int]]:
@@ -161,24 +217,36 @@ class LogarithmicGecko:
 
         Used by recovery (GeckoRec step 5) to rebuild the Block Validity
         Counter, and by tests as a ground-truth comparison. Scans every valid
-        run once.
+        run once, walking the packed columns directly — no per-record entry
+        views are materialized.
         """
         result: Dict[int, Set[int]] = {}
         erased: Set[int] = set()
-        sources: List[List[GeckoEntry]] = [self.buffer.drain()]
-        # drain() empties the buffer, so re-insert what we took out.
-        for entry in sources[0]:
-            self.buffer._entries[(entry.block_id, entry.sub_key)] = entry
+        subkey_bits = self.layout.subkey_bits
+        bits_per_slice = self.layout.bits_per_slice
+        subkey_mask = (1 << subkey_bits) - 1
+        sources: List[EntryColumns] = [self.buffer.to_columns()]
         for run in self.runs.all_runs():
-            sources.append(self._read_all_entries(run))
-        for entries in sources:  # newest first
-            for entry in entries:
-                if entry.block_id in erased:
+            sources.append(self._read_run_columns(run))
+        for columns in sources:  # newest first
+            keys = columns.keys
+            flags = columns.erase_flags
+            for index in range(len(keys)):
+                key = keys[index]
+                block_id = key >> subkey_bits
+                if block_id in erased:
                     continue
-                result.setdefault(entry.block_id, set()).update(
-                    entry.offsets(self.layout))
-                if entry.erase_flag:
-                    erased.add(entry.block_id)
+                offsets = result.get(block_id)
+                if offsets is None:
+                    offsets = result[block_id] = set()
+                bitmap = columns.bitmap_at(index)
+                base = (key & subkey_mask) * bits_per_slice
+                while bitmap:
+                    low_bit = bitmap & -bitmap
+                    offsets.add(base + low_bit.bit_length() - 1)
+                    bitmap ^= low_bit
+                if flags[index]:
+                    erased.add(block_id)
         return result
 
     # ------------------------------------------------------------------
@@ -186,10 +254,10 @@ class LogarithmicGecko:
     # ------------------------------------------------------------------
     def flush_buffer(self) -> Optional[Run]:
         """Write the buffer out as a new level-0 run and merge as needed."""
-        entries = self.buffer.drain()
-        if not entries:
+        columns = self.buffer.drain()
+        if not len(columns):
             return None
-        run = self._write_run(entries)
+        run = self._write_run(columns)
         self._merge_until_stable()
         return run
 
@@ -238,23 +306,31 @@ class LogarithmicGecko:
         self._merge_runs(participating)
 
     def _merge_runs(self, runs: Sequence[Run]) -> None:
-        """Merge ``runs`` into one new run, newest entries taking precedence."""
+        """Merge ``runs`` into one new run, newest entries taking precedence.
+
+        The participating runs are folded newest-first through
+        :func:`merge_columns`: each pass is a galloping two-pointer walk
+        over the key columns, with the accumulated batch's erase flags
+        shadowing the older run's blocks via one sorted-set sweep.
+        """
         if len(runs) < 2:
             return
         self.merge_operations += 1
         ordered = sorted(runs, key=lambda run: run.creation_timestamp,
                          reverse=True)
-        merged: List[GeckoEntry] = []
+        merged: Optional[EntryColumns] = None
         for run in ordered:
-            entries = self._read_all_entries(run)
-            merged = merge_entry_lists(merged, entries) if merged else entries
+            columns = self._read_run_columns(run)
+            merged = columns if merged is None else merge_columns(merged,
+                                                                  columns)
+        assert merged is not None
         is_largest = self._is_largest_result(runs)
         if is_largest:
-            merged = strip_obsolete_in_largest_run(merged)
+            merged = strip_obsolete_columns(merged)
         self.entries_rewritten += len(merged)
         for run in runs:
             self._discard_run(run)
-        if merged:
+        if len(merged):
             self._write_run(merged)
 
     def _is_largest_result(self, merging: Sequence[Run]) -> bool:
@@ -285,24 +361,27 @@ class LogarithmicGecko:
             threshold *= self.config.size_ratio
         return level
 
-    def _write_run(self, entries: List[GeckoEntry]) -> Run:
-        """Serialize ``entries`` into Gecko pages and register the new run."""
+    def _write_run(self, columns: EntryColumns) -> Run:
+        """Serialize a column batch into Gecko pages and register the run."""
         self._clock += 1
         run_id = self._next_run_id
         self._next_run_id += 1
         per_page = self.layout.entries_per_page
-        chunks = [entries[i:i + per_page]
-                  for i in range(0, len(entries), per_page)] or [[]]
-        level = self._level_for_pages(len(chunks))
-        run = Run(run_id=run_id, level=level, num_entries=len(entries),
+        total = len(columns)
+        chunk_bounds = [(start, min(start + per_page, total))
+                        for start in range(0, total, per_page)] or [(0, 0)]
+        level = self._level_for_pages(len(chunk_bounds))
+        run = Run(run_id=run_id, level=level, num_entries=total,
                   creation_timestamp=self._clock)
         manifest = tuple(sorted(set(self.runs.run_ids()) | {run_id}))
-        for sequence, chunk in enumerate(chunks):
-            is_last = sequence == len(chunks) - 1
+        for sequence, (start, stop) in enumerate(chunk_bounds):
+            is_last = sequence == len(chunk_bounds) - 1
+            empty = stop <= start
+            min_key = (0, 0) if empty else columns.sort_key_at(start)
+            max_key = (0, 0) if empty else columns.sort_key_at(stop - 1)
             payload = GeckoPagePayload(
                 run_id=run_id, level=level, sequence=sequence,
-                is_last=is_last,
-                entries=tuple(entry.copy() for entry in chunk),
+                is_last=is_last, columns=columns[start:stop],
                 manifest=manifest if is_last else None)
             address = self.storage.allocate()
             spare_payload = {
@@ -311,32 +390,41 @@ class LogarithmicGecko:
                 "gecko_sequence": sequence,
                 "gecko_is_last": is_last,
                 "gecko_creation": self._clock,
-                "gecko_min_key": chunk[0].sort_key if chunk else (0, 0),
-                "gecko_max_key": chunk[-1].sort_key if chunk else (0, 0),
+                "gecko_min_key": min_key,
+                "gecko_max_key": max_key,
             }
             self.storage.write(address, payload, spare_payload)
-            run.pages.append(RunPageInfo(
-                location=address,
-                min_key=chunk[0].sort_key if chunk else (0, 0),
-                max_key=chunk[-1].sort_key if chunk else (0, 0)))
+            run.pages.append(RunPageInfo(location=address,
+                                         min_key=min_key, max_key=max_key))
         self.runs.add(run)
         return run
 
     def _entries_for_block_in_run(self, run: Run,
                                   block_id: int) -> List[GeckoEntry]:
+        """Materialized views of one block's entries in one run.
+
+        Debug/test convenience mirroring the ``gc_query`` probe: the run
+        directory narrows the probe to one or two pages and the block's
+        contiguous slice of each page is found with a bisect.
+        """
         entries: List[GeckoEntry] = []
         for page_info in run.pages_overlapping(block_id):
-            payload = self.storage.read(page_info.location)
-            entries.extend(entry for entry in payload.entries
-                           if entry.block_id == block_id)
+            columns = self.storage.read(page_info.location).columns
+            lo, hi = columns.block_bounds(block_id)
+            entries.extend(columns.entry_at(index) for index in range(lo, hi))
         return entries
 
-    def _read_all_entries(self, run: Run) -> List[GeckoEntry]:
-        entries: List[GeckoEntry] = []
+    def _read_run_columns(self, run: Run) -> EntryColumns:
+        """Concatenate a run's page chunks into one column batch.
+
+        Pure flat-buffer copies; the stored chunks are never aliased (flash
+        storage hands back the live page object) or mutated.
+        """
+        columns = EntryColumns(self.layout.subkey_bits)
         for page_info in run.pages:
-            payload = self.storage.read(page_info.location)
-            entries.extend(entry.copy() for entry in payload.entries)
-        return entries
+            page_columns = self.storage.read(page_info.location).columns
+            columns.extend_slice(page_columns, 0, len(page_columns))
+        return columns
 
     def migrate_run_page(self, old_address: PhysicalAddress) -> Optional[PhysicalAddress]:
         """Relocate one still-valid Gecko page to a fresh location.

@@ -238,8 +238,12 @@ class GeckoRecovery:
                 key=lambda rid: complete_runs[rid][max(complete_runs[rid])]["timestamp"])
             last_page = complete_runs[newest_run_id][
                 max(complete_runs[newest_run_id])]
-            payload = self.device.read_page(last_page["address"],
-                                            purpose=IOPurpose.RECOVERY).data
+            # The payload is a packed column chunk; only its manifest is
+            # needed, so the tagged fast path (identically charged) avoids
+            # materializing a page view — and no per-entry objects exist to
+            # materialize in the first place.
+            payload = self.device.read_page_data(last_page["address"],
+                                                 purpose=IOPurpose.RECOVERY)
             manifest = payload.manifest or (newest_run_id,)
             valid_ids = {run_id for run_id in manifest
                          if run_id in complete_runs}
@@ -300,10 +304,10 @@ class GeckoRecovery:
             if len(ordered) < 2:
                 continue
             _prev_ts, prev_addr = ordered[-2]
-            new_content = self.device.read_page(
-                newest_addr, purpose=IOPurpose.RECOVERY).data
-            old_content = self.device.read_page(
-                prev_addr, purpose=IOPurpose.RECOVERY).data
+            new_content = self.device.read_page_data(
+                newest_addr, purpose=IOPurpose.RECOVERY)
+            old_content = self.device.read_page_data(
+                prev_addr, purpose=IOPurpose.RECOVERY)
             for logical, old_physical in old_content.entries.items():
                 new_physical = new_content.entries.get(logical)
                 if new_physical == old_physical:

@@ -5,9 +5,17 @@ more flash pages ("Gecko pages"). Runs are organized into levels by size: a
 run of ``n`` pages sits at level ``floor(log_T(n))``, so the largest run has
 about ``K/V`` pages and there are ``ceil(log_T(K/V))`` levels in total.
 
+Each Gecko page stores its entries as one packed
+:class:`~repro.core.gecko_entry.EntryColumns` chunk (sorted key column,
+bitmap words, erase flags) rather than a tuple of entry objects, so reading a
+page back costs a few flat-buffer copies regardless of how many entries it
+holds, and point lookups ``bisect`` the page's key column.
+
 For each run, a *run directory* is kept in integrated RAM recording, for every
 page of the run, its flash location and the range of block ids it covers. A
-GC query uses the directory to read at most one page per run.
+GC query uses the directory to read at most one page per run — and skips the
+run entirely when the directory's first/last keys show the victim block
+cannot be covered.
 
 Each Gecko page's spare area carries enough metadata (run id, level, sequence
 number within the run, key range, whether it is the run's last page) for the
@@ -20,11 +28,12 @@ manifest identifies the whole valid run set.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..flash.address import PhysicalAddress
-from .gecko_entry import GeckoEntry
+from .gecko_entry import EntryColumns, GeckoEntry
 
 
 @dataclass
@@ -38,22 +47,42 @@ class RunPageInfo:
 
 @dataclass
 class GeckoPagePayload:
-    """Data stored in one flash Gecko page."""
+    """Data stored in one flash Gecko page: one packed column chunk."""
 
     run_id: int
     level: int
     sequence: int
     is_last: bool
-    entries: Tuple[GeckoEntry, ...]
+    columns: EntryColumns
     #: Only present on the run's last page: ids of all valid runs at commit
     #: time (including this run), i.e. the paper's postamble/manifest.
     manifest: Optional[Tuple[int, ...]] = None
 
+    def __post_init__(self) -> None:
+        # Compatibility: accept a tuple/list of GeckoEntry views in place of
+        # a column chunk (tests and debugging construct payloads that way).
+        if not isinstance(self.columns, EntryColumns):
+            self.columns = EntryColumns.from_entries(tuple(self.columns))
+
+    @classmethod
+    def from_entries(cls, run_id: int, level: int, sequence: int,
+                     is_last: bool, entries: Iterable[GeckoEntry],
+                     manifest: Optional[Tuple[int, ...]] = None,
+                     subkey_bits: Optional[int] = None) -> "GeckoPagePayload":
+        return cls(run_id=run_id, level=level, sequence=sequence,
+                   is_last=is_last,
+                   columns=EntryColumns.from_entries(entries, subkey_bits),
+                   manifest=manifest)
+
+    @property
+    def entries(self) -> Tuple[GeckoEntry, ...]:
+        """Materialized entry views (tests and debugging only)."""
+        return tuple(self.columns)
+
     def copy(self) -> "GeckoPagePayload":
         return GeckoPagePayload(
             run_id=self.run_id, level=self.level, sequence=self.sequence,
-            is_last=self.is_last,
-            entries=tuple(entry.copy() for entry in self.entries),
+            is_last=self.is_last, columns=self.columns.copy(),
             manifest=self.manifest)
 
 
@@ -66,21 +95,50 @@ class Run:
     pages: List[RunPageInfo] = field(default_factory=list)
     num_entries: int = 0
     creation_timestamp: int = 0
+    #: Lazily built sorted list of per-page max keys, backing the bisect in
+    #: :meth:`pages_overlapping`; rebuilt whenever the page count changes.
+    _page_max_keys: Optional[List[Tuple[int, int]]] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def num_pages(self) -> int:
         return len(self.pages)
+
+    def may_contain(self, block_id: int) -> bool:
+        """Early range check: can this run hold any entry of ``block_id``?
+
+        Pages are sorted by key, so the run's whole key range is bounded by
+        the first page's min key and the last page's max key — two RAM
+        comparisons decide whether the run needs probing at all.
+        """
+        pages = self.pages
+        if not pages:
+            return False
+        return pages[0].min_key[0] <= block_id <= pages[-1].max_key[0]
 
     def pages_overlapping(self, block_id: int) -> List[RunPageInfo]:
         """Pages of this run whose key range may contain ``block_id``.
 
         Because entries are sorted by (block id, sub-key), all of a block's
         sub-entries are contiguous; they span at most two adjacent pages.
+        A bisect over the per-page max keys finds the first candidate page
+        instead of scanning the whole directory.
         """
+        pages = self.pages
+        if not pages:
+            return []
         low = (block_id, -1)
         high = (block_id, 1 << 62)
-        return [page for page in self.pages
-                if not (page.max_key < low or page.min_key > high)]
+        max_keys = self._page_max_keys
+        if max_keys is None or len(max_keys) != len(pages):
+            max_keys = self._page_max_keys = [page.max_key for page in pages]
+        result = []
+        for index in range(bisect_left(max_keys, low), len(pages)):
+            page = pages[index]
+            if page.min_key > high:
+                break
+            result.append(page)
+        return result
 
     def directory_ram_bytes(self, bytes_per_entry: int = 8) -> int:
         """RAM footprint of this run's directory (8 bytes per Gecko page)."""

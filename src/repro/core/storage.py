@@ -16,7 +16,6 @@ structure run
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..flash.address import PhysicalAddress
@@ -27,7 +26,13 @@ from .run import GeckoPagePayload
 
 
 class GeckoStorage(ABC):
-    """Minimal page-store interface Logarithmic Gecko writes its runs to."""
+    """Minimal page-store interface Logarithmic Gecko writes its runs to.
+
+    A stored page's payload is a :class:`GeckoPagePayload` carrying one
+    packed column chunk (:class:`~repro.core.gecko_entry.EntryColumns`), so
+    copying a page on write/read is a handful of flat-buffer copies — never
+    one object per entry.
+    """
 
     @abstractmethod
     def allocate(self) -> PhysicalAddress:
@@ -57,17 +62,17 @@ class GeckoStorage(ABC):
         """Number of page writes performed so far."""
 
 
-@dataclass
-class _StoredPage:
-    payload: GeckoPagePayload
-    valid: bool = True
-
-
 class InMemoryGeckoStorage(GeckoStorage):
-    """Dictionary-backed storage for standalone Logarithmic Gecko instances."""
+    """Dictionary-backed storage for standalone Logarithmic Gecko instances.
+
+    Only live (not-yet-invalidated) pages are retained: a superseded run's
+    pages are dropped on :meth:`invalidate`, so a long-lived instance holds
+    O(live pages) host memory rather than one stored page per write ever
+    performed.
+    """
 
     def __init__(self) -> None:
-        self._pages: Dict[PhysicalAddress, _StoredPage] = {}
+        self._pages: Dict[PhysicalAddress, GeckoPagePayload] = {}
         self._next = 0
         self._reads = 0
         self._writes = 0
@@ -79,17 +84,21 @@ class InMemoryGeckoStorage(GeckoStorage):
 
     def write(self, address: PhysicalAddress, payload: GeckoPagePayload,
               spare_payload: Optional[dict] = None) -> None:
+        # Stored copies are cheap column-chunk copies, not per-entry clones;
+        # they isolate the store from later mutation of the caller's batch.
         self._writes += 1
-        self._pages[address] = _StoredPage(payload.copy())
+        self._pages[address] = payload.copy()
 
     def read(self, address: PhysicalAddress) -> GeckoPagePayload:
+        # Returns the stored payload itself, exactly like the device-backed
+        # storage does: column chunks are immutable once written (readers
+        # bisect or bulk-copy out of them, never mutate), so copying on the
+        # gc_query/merge hot path would be pure overhead.
         self._reads += 1
-        return self._pages[address].payload.copy()
+        return self._pages[address]
 
     def invalidate(self, address: PhysicalAddress) -> None:
-        stored = self._pages.get(address)
-        if stored is not None:
-            stored.valid = False
+        self._pages.pop(address, None)
 
     @property
     def reads(self) -> int:
@@ -102,7 +111,7 @@ class InMemoryGeckoStorage(GeckoStorage):
     @property
     def live_pages(self) -> int:
         """Pages not yet invalidated (used to measure space-amplification)."""
-        return sum(1 for stored in self._pages.values() if stored.valid)
+        return len(self._pages)
 
 
 class FlashGeckoStorage(GeckoStorage):

@@ -18,9 +18,10 @@ from repro.bench.perf import (
 )
 from repro.cli import main
 
-#: The five benchmarks the issue names, in reporting order.
+#: The named benchmarks, in reporting order (gecko_gc_query joined the
+#: original five with the columnar Gecko rewrite).
 EXPECTED_NAMES = ["device_fill", "gecko_update", "gecko_merge",
-                  "dftl_cache_miss", "sweep_cell"]
+                  "gecko_gc_query", "dftl_cache_miss", "sweep_cell"]
 
 
 def _record(name, ops_per_sec, quick=True, **extra):
@@ -33,7 +34,7 @@ def _record(name, ops_per_sec, quick=True, **extra):
 
 
 class TestRegistry:
-    def test_all_five_benchmarks_are_registered(self):
+    def test_all_benchmarks_are_registered(self):
         assert bench_names() == EXPECTED_NAMES
         assert set(BENCH_CASES) == set(EXPECTED_NAMES)
 

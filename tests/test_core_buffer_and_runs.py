@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.buffer import GeckoBuffer
-from repro.core.gecko_entry import EntryLayout, GeckoEntry
+from repro.core.gecko_entry import EntryColumns, EntryLayout, GeckoEntry
 from repro.core.run import GeckoPagePayload, Run, RunDirectorySet, RunPageInfo
 from repro.flash.address import PhysicalAddress
 
@@ -133,10 +133,18 @@ class TestRunDirectories:
 
 
 class TestGeckoPagePayload:
-    def test_copy_is_deep_for_entries(self):
-        payload = GeckoPagePayload(run_id=1, level=0, sequence=0, is_last=True,
-                                   entries=(GeckoEntry(1, bitmap=1),),
-                                   manifest=(1,))
+    def test_copy_does_not_share_columns(self):
+        payload = GeckoPagePayload.from_entries(
+            run_id=1, level=0, sequence=0, is_last=True,
+            entries=(GeckoEntry(1, bitmap=1),), manifest=(1,))
         copy = payload.copy()
-        copy.entries[0].bitmap = 0b10
+        copy.columns.words[0] = 0b10
         assert payload.entries[0].bitmap == 0b1
+        assert copy.entries[0].bitmap == 0b10
+
+    def test_tuple_of_entries_is_coerced_to_columns(self):
+        payload = GeckoPagePayload(1, 0, 0, True,
+                                   (GeckoEntry(2, bitmap=0b101),))
+        assert isinstance(payload.columns, EntryColumns)
+        assert payload.entries[0].block_id == 2
+        assert payload.entries[0].bitmap == 0b101

@@ -27,9 +27,9 @@ class TestInMemoryStorage:
     def test_write_read_roundtrip(self):
         storage = InMemoryGeckoStorage()
         address = storage.allocate()
-        payload = GeckoPagePayload(run_id=1, level=0, sequence=0, is_last=True,
-                                   entries=(GeckoEntry(3, bitmap=1),),
-                                   manifest=(1,))
+        payload = GeckoPagePayload.from_entries(
+            run_id=1, level=0, sequence=0, is_last=True,
+            entries=(GeckoEntry(3, bitmap=1),), manifest=(1,))
         storage.write(address, payload)
         read_back = storage.read(address)
         assert read_back.entries[0].block_id == 3

@@ -1,0 +1,340 @@
+"""Unit tests for the packed-column Gecko data plane.
+
+Covers the :class:`EntryColumns` container itself (composite-key packing,
+wide-bitmap spill, slicing, galloping merges, the erase-shadow sweep) and the
+object-count regression the columnar rewrite exists for: a filled multi-level
+Logarithmic Gecko instance holds O(runs + pages) Python objects — not
+O(entries) — and neither ``reconstruct_bitmaps`` nor GeckoRec recovery
+allocates a ``GeckoEntry`` per stored record.
+"""
+
+import gc
+import random
+import types
+
+import pytest
+
+from repro.core.gecko_entry import (
+    EntryColumns,
+    EntryLayout,
+    GeckoEntry,
+    merge_collision,
+    merge_columns,
+    merge_entry_lists,
+    strip_obsolete_columns,
+)
+from repro.core.logarithmic_gecko import GeckoConfig, LogarithmicGecko
+from repro.core.storage import InMemoryGeckoStorage
+
+
+def make_gecko(pages_per_block=8, page_size=128, partition_factor=1):
+    layout = EntryLayout(pages_per_block=pages_per_block, page_size=page_size,
+                         partition_factor=partition_factor)
+    return LogarithmicGecko(GeckoConfig(size_ratio=2, layout=layout),
+                            storage=InMemoryGeckoStorage())
+
+
+class TestCompositeKeys:
+    def test_pack_unpack_roundtrip(self):
+        layout = EntryLayout(pages_per_block=128, page_size=4096,
+                             partition_factor=4)
+        for block_id, sub_key in [(0, 0), (1, 3), (4096, 2), (2**31, 1)]:
+            key = layout.pack_key(block_id, sub_key)
+            assert layout.unpack_key(key) == (block_id, sub_key)
+
+    def test_packed_order_equals_tuple_order(self):
+        layout = EntryLayout(pages_per_block=128, page_size=4096,
+                             partition_factor=4)
+        pairs = [(b, s) for b in (0, 1, 2, 70) for s in range(4)]
+        packed = [layout.pack_key(b, s) for (b, s) in sorted(pairs)]
+        assert packed == sorted(packed)
+
+    def test_unpartitioned_key_is_the_block_id(self):
+        layout = EntryLayout(pages_per_block=32, page_size=512)
+        assert layout.subkey_bits == 0
+        assert layout.pack_key(17) == 17
+
+
+class TestEntryColumns:
+    def test_append_and_materialize_views(self):
+        columns = EntryColumns(subkey_bits=1)
+        columns.append((5 << 1) | 1, 0b1010, erase_flag=False)
+        columns.append((9 << 1) | 0, 0, erase_flag=True)
+        assert len(columns) == 2
+        first, second = list(columns)
+        assert (first.block_id, first.sub_key, first.bitmap) == (5, 1, 0b1010)
+        assert second.block_id == 9 and second.erase_flag
+
+    def test_getitem_int_and_slice(self):
+        columns = EntryColumns.from_entries(
+            [GeckoEntry(b, bitmap=b + 1) for b in range(10)])
+        assert columns[3].block_id == 3
+        middle = columns[2:5]
+        assert isinstance(middle, EntryColumns)
+        assert [entry.block_id for entry in middle] == [2, 3, 4]
+        with pytest.raises(ValueError):
+            columns[::2]
+
+    def test_block_bounds_bisect(self):
+        entries = [GeckoEntry(1, 0, bitmap=1), GeckoEntry(3, 0, bitmap=1),
+                   GeckoEntry(3, 1, bitmap=1), GeckoEntry(7, 0, bitmap=1)]
+        columns = EntryColumns.from_entries(entries, subkey_bits=1)
+        lo, hi = columns.block_bounds(3)
+        assert [columns.entry_at(i).block_id for i in range(lo, hi)] == [3, 3]
+        lo, hi = columns.block_bounds(5)
+        assert lo == hi
+
+    def test_wide_bitmaps_spill_to_side_table(self):
+        wide_bitmap = (1 << 127) | (1 << 64) | 0b11
+        columns = EntryColumns(subkey_bits=0)
+        columns.append(4, wide_bitmap)
+        columns.append(5, 0b1)
+        assert columns.wide == {0: wide_bitmap}
+        assert columns.bitmap_at(0) == wide_bitmap
+        assert columns.bitmap_at(1) == 0b1
+
+    def test_wide_bitmaps_survive_slicing_and_copy(self):
+        wide_bitmap = 1 << 100
+        columns = EntryColumns(subkey_bits=0)
+        for block_id in range(4):
+            columns.append(block_id, wide_bitmap if block_id == 2 else 1)
+        tail = columns[1:4]
+        assert tail.bitmap_at(1) == wide_bitmap
+        duplicate = columns.copy()
+        duplicate.words[0] = 7
+        assert columns.words[0] == 1
+        assert duplicate.wide == columns.wide
+
+    def test_wide_bitmaps_or_through_merges(self):
+        newer = EntryColumns(subkey_bits=0)
+        newer.append(2, 1 << 90)
+        older = EntryColumns(subkey_bits=0)
+        older.append(2, 0b1)
+        merged = merge_columns(newer, older)
+        assert merged.bitmap_at(0) == (1 << 90) | 0b1
+
+    def test_offsets_above_bit_64_resolve(self):
+        layout = EntryLayout(pages_per_block=128, page_size=4096)
+        gecko = LogarithmicGecko(
+            GeckoConfig(size_ratio=2, layout=layout),
+            storage=InMemoryGeckoStorage())
+        gecko.record_invalid(3, 100)
+        gecko.record_invalid(3, 2)
+        gecko.flush_buffer()
+        assert gecko.gc_query(3) == {2, 100}
+
+    def test_flagged_blocks_scan(self):
+        columns = EntryColumns.from_entries(
+            [GeckoEntry(1, bitmap=1), GeckoEntry(2, erase_flag=True),
+             GeckoEntry(5, bitmap=2), GeckoEntry(9, erase_flag=True)])
+        assert columns.flagged_blocks() == {2, 9}
+
+    def test_extend_slice_rejects_mismatched_subkey_width(self):
+        narrow = EntryColumns(subkey_bits=0)
+        narrow.append(3, 1)
+        wide_keys = EntryColumns(subkey_bits=2)
+        with pytest.raises(ValueError, match="sub-key widths"):
+            wide_keys.extend_slice(narrow, 0, 1)
+
+    def test_without_blocks_sweep(self):
+        columns = EntryColumns.from_entries(
+            [GeckoEntry(b, bitmap=b) for b in (1, 2, 3, 5, 8, 9)])
+        survivors = columns.without_blocks({2, 8, 100})
+        assert [entry.block_id for entry in survivors] == [1, 3, 5, 9]
+        assert [entry.bitmap for entry in survivors] == [1, 3, 5, 9]
+
+
+class TestColumnMerges:
+    def _naive_merge(self, newer, older, drop_block_erase_shadows=True):
+        """The seed implementation's object-based two-pointer merge."""
+        erased = {entry.block_id for entry in newer if entry.erase_flag}
+        if drop_block_erase_shadows and erased:
+            older = [entry for entry in older
+                     if entry.block_id not in erased]
+        result, i, j = [], 0, 0
+        while i < len(newer) and j < len(older):
+            a, b = newer[i], older[j]
+            if a.sort_key == b.sort_key:
+                result.append(merge_collision(a, b))
+                i, j = i + 1, j + 1
+            elif a.sort_key < b.sort_key:
+                result.append(a.copy())
+                i += 1
+            else:
+                result.append(b.copy())
+                j += 1
+        result.extend(entry.copy() for entry in newer[i:])
+        result.extend(entry.copy() for entry in older[j:])
+        return result
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("drop", [True, False])
+    def test_galloping_merge_matches_seed_semantics(self, seed, drop):
+        rng = random.Random(seed)
+
+        def random_side():
+            blocks = sorted(rng.sample(range(60), rng.randrange(1, 30)))
+            return [GeckoEntry(block_id, 0, rng.randrange(256),
+                               rng.random() < 0.2) for block_id in blocks]
+
+        newer, older = random_side(), random_side()
+        merged = merge_entry_lists(newer, older,
+                                   drop_block_erase_shadows=drop)
+        expected = self._naive_merge(newer, older,
+                                     drop_block_erase_shadows=drop)
+        assert [(e.sort_key, e.bitmap, e.erase_flag) for e in merged] \
+            == [(e.sort_key, e.bitmap, e.erase_flag) for e in expected]
+
+    def test_disjoint_ranges_bulk_copy(self):
+        newer = EntryColumns.from_entries(
+            [GeckoEntry(b, bitmap=1) for b in range(0, 50)])
+        older = EntryColumns.from_entries(
+            [GeckoEntry(b, bitmap=2) for b in range(100, 150)])
+        merged = merge_columns(newer, older)
+        assert len(merged) == 100
+        assert merged.entry_at(0).bitmap == 1
+        assert merged.entry_at(99).bitmap == 2
+
+    def test_strip_clears_flags_and_drops_empty(self):
+        columns = EntryColumns.from_entries(
+            [GeckoEntry(1, bitmap=0, erase_flag=True),
+             GeckoEntry(2, bitmap=0b1, erase_flag=True),
+             GeckoEntry(3, bitmap=0b10)])
+        stripped = strip_obsolete_columns(columns)
+        assert [(e.block_id, e.bitmap, e.erase_flag) for e in stripped] \
+            == [(2, 0b1, False), (3, 0b10, False)]
+
+    def test_strip_without_flags_is_identity(self):
+        columns = EntryColumns.from_entries(
+            [GeckoEntry(1, bitmap=1), GeckoEntry(2, bitmap=2)])
+        assert strip_obsolete_columns(columns) is columns
+
+    def test_strip_drops_unflagged_empty_entries(self):
+        # The documented contract (and the seed behavior) drops *any*
+        # entry whose bitmap is empty, flagged or not.
+        from repro.core.gecko_entry import strip_obsolete_in_largest_run
+        stripped = strip_obsolete_in_largest_run(
+            [GeckoEntry(1, bitmap=0, erase_flag=False),
+             GeckoEntry(2, bitmap=0b1)])
+        assert [entry.block_id for entry in stripped] == [2]
+
+    def test_strip_keeps_wide_entries_with_zero_low_word(self):
+        columns = EntryColumns(subkey_bits=0)
+        columns.append(1, 1 << 64)          # low word is 0, bitmap is not
+        columns.append(2, 0, erase_flag=True)
+        stripped = strip_obsolete_columns(columns)
+        assert [(e.block_id, e.bitmap) for e in stripped] == [(1, 1 << 64)]
+
+    def test_gc_query_respects_a_chunks_own_packing_width(self):
+        from repro.core.run import GeckoPagePayload, Run, RunPageInfo
+        gecko = make_gecko(pages_per_block=8, partition_factor=4)
+        assert gecko.layout.subkey_bits == 2
+        # A compat payload infers width 0 from its entries; the query must
+        # still find the entry by using the chunk's own packing.
+        payload = GeckoPagePayload.from_entries(
+            run_id=0, level=0, sequence=0, is_last=True,
+            entries=(GeckoEntry(3, sub_key=0, bitmap=0b1),), manifest=(0,))
+        address = gecko.storage.allocate()
+        gecko.storage.write(address, payload)
+        run = Run(run_id=0, level=0, num_entries=1, creation_timestamp=1)
+        run.pages.append(RunPageInfo(address, (3, 0), (3, 0)))
+        gecko.runs.add(run)
+        assert gecko.gc_query(3) == {0}
+
+
+# ----------------------------------------------------------------------
+# Object-count regression: the point of the columnar rewrite
+# ----------------------------------------------------------------------
+def _reachable_objects(root):
+    """Instances reachable from ``root``, excluding classes/modules/code."""
+    skip = (type, types.ModuleType, types.FunctionType,
+            types.BuiltinFunctionType, types.MethodType, types.CodeType)
+    seen = {id(root)}
+    stack = [root]
+    reached = []
+    while stack:
+        obj = stack.pop()
+        reached.append(obj)
+        for ref in gc.get_referents(obj):
+            if isinstance(ref, skip) or id(ref) in seen:
+                continue
+            seen.add(id(ref))
+            stack.append(ref)
+    return reached
+
+
+@pytest.fixture
+def entry_allocations(monkeypatch):
+    """Count every GeckoEntry constructed while the fixture is active."""
+    created = {"count": 0}
+    original_init = GeckoEntry.__init__
+
+    def counting_init(self, *args, **kwargs):
+        created["count"] += 1
+        original_init(self, *args, **kwargs)
+
+    monkeypatch.setattr(GeckoEntry, "__init__", counting_init)
+    return created
+
+
+class TestObjectCounts:
+    def test_filled_instance_holds_o_runs_plus_pages_objects(self):
+        gecko = make_gecko()
+        rng = random.Random(11)
+        for _ in range(20_000):
+            gecko.record_invalid(rng.randrange(2048), rng.randrange(8))
+        total_entries = (gecko.runs.total_entries() + len(gecko.buffer))
+        pages = gecko.total_flash_pages()
+        runs = gecko.num_runs
+        # The bound only means something if the instance is entry-heavy.
+        assert total_entries > 20 * (runs + pages)
+        reached = _reachable_objects(gecko)
+        assert not any(isinstance(obj, GeckoEntry) for obj in reached)
+        # Generous per-page/per-run constant (payload, columns, directory
+        # records, stored-page wrappers, buffered ints) — but nowhere near
+        # one object per entry.
+        budget = 40 * (runs + pages) + 4 * gecko.buffer.capacity + 500
+        assert len(reached) < budget < total_entries + budget
+
+    def test_reconstruct_bitmaps_allocates_no_entries(self, entry_allocations):
+        gecko = make_gecko(partition_factor=2)
+        rng = random.Random(5)
+        for _ in range(3_000):
+            if rng.random() < 0.05:
+                gecko.record_erase(rng.randrange(300))
+            else:
+                gecko.record_invalid(rng.randrange(300), rng.randrange(8))
+        entry_allocations["count"] = 0
+        bitmaps = gecko.reconstruct_bitmaps()
+        assert entry_allocations["count"] == 0
+        assert any(bitmaps.values())
+
+    def test_recovery_allocates_no_entries(self, entry_allocations):
+        from repro.core.recovery import GeckoRecovery
+        from repro.flash.config import simulation_configuration
+        from repro.flash.device import FlashDevice
+        from repro.core.gecko_ftl import GeckoFTL
+        from repro.workloads.base import fill_device
+
+        config = simulation_configuration(num_blocks=64, pages_per_block=8,
+                                          page_size=256)
+        ftl = GeckoFTL(FlashDevice(config), cache_capacity=64)
+        fill_device(ftl)
+        rng = random.Random(23)
+        for i in range(1_500):
+            ftl.write(rng.randrange(config.logical_pages), ("p", i))
+        recovery = GeckoRecovery(ftl)
+        recovery.simulate_power_failure()
+        entry_allocations["count"] = 0
+        report = recovery.recover()
+        assert entry_allocations["count"] == 0
+        assert report.recovered_runs >= 1
+
+    def test_merge_path_allocates_no_entries(self, entry_allocations):
+        gecko = make_gecko()
+        rng = random.Random(7)
+        entry_allocations["count"] = 0
+        for _ in range(5_000):
+            gecko.record_invalid(rng.randrange(512), rng.randrange(8))
+        assert gecko.merge_operations > 0
+        assert entry_allocations["count"] == 0

@@ -1,0 +1,154 @@
+"""Equivalence lock: the columnar Gecko reproduces the object-based seed.
+
+The Logarithmic Gecko data plane's object-per-entry model (``GeckoEntry``
+dataclasses, per-entry ``copy()``, full-list merges, linear ``gc_query``
+scans) was replaced by packed parallel columns; this suite pins the rewrite
+to the pre-refactor implementation's observable behavior. The golden file
+(``tests/data/gecko_equivalence_golden.json``) was generated *by the
+pre-refactor implementation* and must never be regenerated together with a
+Gecko data-plane change — it is the ground truth that the columnar core
+answers every GC query identically, performs the identical flush/merge
+schedule (same storage reads/writes, same merge and rewrite counters), lays
+runs out on the identical page boundaries (same per-page key ranges and
+manifests), and reports bit-identical ``ram_bytes``.
+
+Covered, per configuration (unpartitioned, partitioned, multiway merge), on
+a randomized (seeded) 500-op invalidate/erase trace:
+
+* ``gc_query`` result sets for every block in the key universe;
+* update/erase/merge/rewrite counters and storage read/write/live totals;
+* the run manifest: every valid run's level, entry count, creation stamp,
+  and per-page (min, max) key ranges;
+* ``ram_bytes`` and ``reconstruct_bitmaps`` output.
+
+Regenerate (only when *intentionally* changing Gecko semantics) with::
+
+    PYTHONPATH=src python tests/test_gecko_equivalence.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.core.gecko_entry import EntryLayout
+from repro.core.logarithmic_gecko import GeckoConfig, LogarithmicGecko
+from repro.core.storage import InMemoryGeckoStorage
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "gecko_equivalence_golden.json"
+
+TRACE_SEED = 20260730
+TRACE_OPS = 500
+NUM_BLOCKS = 160
+
+#: The three configurations exercise the unpartitioned fast path, the
+#: entry-partitioned layout (sub-keys in the composite key), and the
+#: Appendix A multi-way merge.
+CONFIGS = {
+    "unpartitioned": dict(pages_per_block=8, page_size=128,
+                          partition_factor=1, multiway=False),
+    "partitioned": dict(pages_per_block=32, page_size=256,
+                        partition_factor=4, multiway=False),
+    "multiway": dict(pages_per_block=16, page_size=128,
+                     partition_factor=2, multiway=True),
+}
+
+
+def _build(pages_per_block, page_size, partition_factor, multiway):
+    layout = EntryLayout(pages_per_block=pages_per_block, page_size=page_size,
+                         partition_factor=partition_factor)
+    config = GeckoConfig(size_ratio=2, layout=layout, multiway_merge=multiway)
+    return LogarithmicGecko(config, storage=InMemoryGeckoStorage())
+
+
+def _drive(gecko, pages_per_block):
+    """The randomized 500-op trace: ~90% invalidations, ~10% erases."""
+    rng = random.Random(TRACE_SEED)
+    for _ in range(TRACE_OPS):
+        block = rng.randrange(NUM_BLOCKS)
+        if rng.random() < 0.10:
+            gecko.record_erase(block)
+        else:
+            gecko.record_invalid(block, rng.randrange(pages_per_block))
+
+
+def _run_manifest(gecko):
+    """Every valid run's identity, size, and per-page key ranges."""
+    manifest = []
+    for run in sorted(gecko.runs.all_runs(), key=lambda run: run.run_id):
+        manifest.append({
+            "run_id": run.run_id,
+            "level": run.level,
+            "num_entries": run.num_entries,
+            "creation_timestamp": run.creation_timestamp,
+            "pages": [[list(page.min_key), list(page.max_key)]
+                      for page in run.pages],
+        })
+    return manifest
+
+
+def _fingerprint(name):
+    gecko = _build(**CONFIGS[name])
+    _drive(gecko, CONFIGS[name]["pages_per_block"])
+    # Counters are captured before the query sweep so the sweep itself
+    # (which bumps gc_queries and spends storage reads) stays out of them.
+    counters = {
+        "updates": gecko.updates,
+        "erase_records": gecko.erase_records,
+        "merge_operations": gecko.merge_operations,
+        "entries_rewritten": gecko.entries_rewritten,
+        "storage_reads": gecko.storage.reads,
+        "storage_writes": gecko.storage.writes,
+        "live_pages": gecko.storage.live_pages,
+        "buffered_entries": len(gecko.buffer),
+        "num_runs": gecko.num_runs,
+        "num_levels": gecko.num_levels,
+        "ram_bytes": gecko.ram_bytes(),
+    }
+    reads_before = gecko.storage.reads
+    queries = {str(block): sorted(gecko.gc_query(block))
+               for block in range(NUM_BLOCKS)}
+    counters["query_sweep_reads"] = gecko.storage.reads - reads_before
+    bitmaps = {str(block): sorted(offsets)
+               for block, offsets in sorted(gecko.reconstruct_bitmaps().items())}
+    return {
+        "counters": counters,
+        "gc_queries": queries,
+        "reconstructed": bitmaps,
+        "runs": _run_manifest(gecko),
+    }
+
+
+def compute_fingerprints():
+    return {name: _fingerprint(name) for name in CONFIGS}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_gecko_trace_matches_pre_refactor_golden(name, golden):
+    current = _fingerprint(name)
+    assert current["counters"] == golden[name]["counters"]
+    assert current["gc_queries"] == golden[name]["gc_queries"]
+    assert current["reconstructed"] == golden[name]["reconstructed"]
+    assert current["runs"] == golden[name]["runs"]
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("run with --regen to (re)write the golden file; doing so "
+                 "together with a Gecko data-plane change defeats the "
+                 "test's purpose")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(compute_fingerprints(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(f"wrote {GOLDEN_PATH}")
