@@ -45,6 +45,7 @@ from .api import (
     register_ftl,
 )
 from .engine import (
+    CrashPlan,
     ResultSink,
     SweepExecutor,
     SweepPlan,
@@ -92,6 +93,7 @@ __version__ = "1.2.0"
 
 __all__ = [
     "BatchResult",
+    "CrashPlan",
     "DFTL",
     "DeviceConfig",
     "EntryLayout",

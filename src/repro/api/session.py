@@ -15,9 +15,13 @@ at a time. :class:`SimulationSession` owns that whole lifecycle::
         print(session.snapshot().write_amplification)
 
 Operations flow through the FTL's batched submission queue
-(:meth:`~repro.ftl.base.PageMappedFTL.submit`), and the session exposes the
-crash/recovery cycle of the paper's Appendix C for GeckoFTL (battery-backed
-FTLs model their battery-powered flush instead).
+(:meth:`~repro.ftl.base.PageMappedFTL.submit`), and the session exposes a
+crash/recovery cycle for *every* registered FTL: GeckoRec (the paper's
+Appendix C) for GeckoFTL, the battery-paid flush for DFTL/µ-FTL, and the
+full-device spare-area scan rebuild for the battery-less baselines
+(LazyFTL, IB-FTL). Each ``crash()``/``recover()`` round trip returns a
+:class:`~repro.ftl.recovery.RecoveryReport` with per-step IO and simulated
+duration.
 """
 
 from __future__ import annotations
@@ -122,6 +126,7 @@ class SimulationSession:
         self.runner = WorkloadRunner(self.ftl,
                                      interval_writes=interval_writes)
         self._recovery = None
+        self._crashed = False
         self._closed = False
 
     @classmethod
@@ -152,6 +157,7 @@ class SimulationSession:
         excluded from subsequent measurements, matching how the paper reports
         steady-state behaviour.
         """
+        self._check_not_crashed()
         pages = fill_device(self.ftl, fraction=fraction,
                             payload_factory=payload_factory)
         if reset_stats:
@@ -161,6 +167,7 @@ class SimulationSession:
     def run(self, workload: Workload, operation_count: int,
             on_interval: Optional[Callable[..., None]] = None) -> RunResult:
         """Drive the FTL with ``operation_count`` ops of ``workload``."""
+        self._check_not_crashed()
         return self.runner.run(workload, operation_count,
                                on_interval=on_interval)
 
@@ -175,46 +182,77 @@ class SimulationSession:
             wa_breakdown=write_amplification_breakdown(stats, delta),
             ram_breakdown=self.ftl.ram_breakdown())
 
+    @property
+    def crashed(self) -> bool:
+        """True between :meth:`crash` and the next successful :meth:`recover`."""
+        return self._crashed
+
     def crash(self) -> None:
         """Simulate a power failure (integrated RAM is lost, flash survives).
 
-        For GeckoFTL this wipes the RAM-resident structures; call
-        :meth:`recover` to run GeckoRec. Battery-backed FTLs (DFTL, µ-FTL)
-        instead perform the flush their battery pays for, after which
-        :meth:`recover` has nothing left to do. FTLs that are neither
-        (LazyFTL, IB-FTL rebuild state by scanning structures this simulator
-        models only analytically) raise ``NotImplementedError``.
+        Every registered FTL supports this through its recovery adapter
+        (:meth:`~repro.ftl.base.PageMappedFTL.make_recovery`): GeckoFTL
+        wipes its RAM structures for GeckoRec, battery-backed FTLs (DFTL,
+        µ-FTL) perform the flush their battery pays for, and battery-less
+        baselines (LazyFTL, IB-FTL) lose their RAM and will rebuild by
+        scanning the whole device. Call :meth:`recover` to run the recovery
+        algorithm; until then the session refuses host IO and :meth:`close`
+        is a no-op (there is no RAM state left worth flushing).
         """
-        from ..core.gecko_ftl import GeckoFTL
-        from ..core.recovery import GeckoRecovery
-        if isinstance(self.ftl, GeckoFTL):
-            self._recovery = GeckoRecovery(self.ftl)
-            self._recovery.simulate_power_failure()
-            return
-        if self.ftl.uses_battery:
-            self.ftl.flush()
-            self._recovery = None
-            return
-        raise NotImplementedError(
-            f"crash simulation is not implemented for {self.ftl.name}; its "
-            "recovery path is modelled analytically (see repro.analysis)")
+        # Any adapter left over from an earlier crash is stale: replaying
+        # its recovery against the new failure state would be wrong, so it
+        # is dropped before dispatching (even if dispatch itself fails).
+        self._recovery = None
+        # If adapter construction fails, no power failure has happened yet
+        # and the session stays fully usable; only once the failure is
+        # actually simulated is the session considered crashed.
+        adapter = self.ftl.make_recovery()
+        self._crashed = True
+        adapter.simulate_power_failure()
+        self._recovery = adapter
 
     def recover(self):
         """Run the recovery algorithm after :meth:`crash`.
 
-        Returns a :class:`~repro.core.recovery.RecoveryReport` for GeckoFTL,
-        ``None`` for battery-backed FTLs (their flush already ran).
+        Returns the adapter's :class:`~repro.ftl.recovery.RecoveryReport`
+        (for battery-backed FTLs it carries the single ``battery_flush``
+        step the battery paid for), or ``None`` when no crash is pending.
         """
         if self._recovery is None:
+            if self._crashed:
+                # simulate_power_failure itself failed mid-wipe: the FTL's
+                # RAM state is indeterminate and no adapter can fix it.
+                raise RuntimeError(
+                    "the simulated power failure did not complete; the "
+                    "session's FTL state is indeterminate and cannot be "
+                    "recovered (a fresh crash() re-runs the failure and "
+                    "installs a new recovery adapter)")
             return None
-        recovery, self._recovery = self._recovery, None
-        return recovery.recover()
+        # The adapter is only dropped once recovery succeeds: if recover()
+        # raises mid-rebuild the session stays crashed with the adapter in
+        # place, so a retry (or an accurate diagnostic) is still possible.
+        report = self._recovery.recover()
+        self._recovery = None
+        self._crashed = False
+        return report
 
     def close(self) -> None:
-        """Clean shutdown: synchronize all dirty state with flash."""
-        if not self._closed:
+        """Clean shutdown: synchronize all dirty state with flash.
+
+        After a :meth:`crash` that has not been :meth:`recover`-ed the FTL's
+        RAM is gone, so there is nothing to synchronize and flushing would
+        corrupt the crash state; close is then a no-op (and the session can
+        still be closed for real after a later recovery).
+        """
+        if not self._closed and not self._crashed:
             self._closed = True
             self.ftl.flush()
+
+    def _check_not_crashed(self) -> None:
+        if self._crashed:
+            raise RuntimeError(
+                "the session's simulated power failure has not been "
+                "recovered; call recover() before issuing host IO")
 
     def __enter__(self) -> "SimulationSession":
         return self
@@ -228,15 +266,19 @@ class SimulationSession:
     def submit(self, batch: Sequence[Operation],
                collect_payloads: bool = False) -> BatchResult:
         """Submit a batch of operations to the FTL's submission queue."""
+        self._check_not_crashed()
         return self.ftl.submit(batch, collect_payloads=collect_payloads)
 
     def write(self, logical: int, data: Any = None):
+        self._check_not_crashed()
         return self.ftl.write(logical, data)
 
     def read(self, logical: int) -> Any:
+        self._check_not_crashed()
         return self.ftl.read(logical)
 
     def trim(self, logical: int) -> None:
+        self._check_not_crashed()
         self.ftl.trim(logical)
 
     # ------------------------------------------------------------------

@@ -6,7 +6,7 @@ speed of its hot paths, so this module pins that speed down: a fixed set of
 measured in operations per second and emitted as schema-versioned
 ``BENCH_<name>.json`` records that CI archives and compares across commits.
 
-The six benchmarks:
+The seven benchmarks:
 
 ``device_fill``
     Raw sequential page programming of every physical page of a device —
@@ -20,6 +20,10 @@ The six benchmarks:
 ``gecko_gc_query``
     GC queries for random victim blocks against a buffer plus multi-level
     runs — the directory-guided probe path a victim lookup takes.
+``gecko_recovery``
+    Repeated power-failure + GeckoRec cycles against a busy GeckoFTL — the
+    whole crash-recovery path: RAM wipe, BID/GMD/run-directory spare scans,
+    buffer and BVC reconstruction, bounded dirty-entry scan.
 ``dftl_cache_miss``
     Random reads against DFTL with a deliberately tiny mapping cache — a
     cache-miss storm hammering the translation-table lookup path.
@@ -219,6 +223,46 @@ def _bench_gecko_gc_query(quick: bool) -> PreparedBench:
                   "setup_records": 20_000})
 
 
+def _bench_gecko_recovery(quick: bool) -> PreparedBench:
+    """Power-failure + GeckoRec cycles on a GeckoFTL with real history.
+
+    Setup (not timed) fills the device and applies random updates so the
+    recovery has translation versions, multiple Gecko runs, and dirty cache
+    entries to rebuild. Each timed cycle wipes the RAM state and runs the
+    full recovery; repeated cycles are supported (recovery leaves the FTL
+    operational), so one prepared instance yields several measured ops.
+    """
+    from ..core.gecko_ftl import GeckoFTL
+    from ..core.recovery import GeckoRecovery
+    from ..flash.config import simulation_configuration
+    from ..flash.device import FlashDevice
+    from ..ftl.operations import Operation, OpKind
+    from ..workloads.base import fill_device
+
+    config = simulation_configuration(num_blocks=128, pages_per_block=16,
+                                      page_size=256)
+    ftl = GeckoFTL(FlashDevice(config), cache_capacity=256)
+    fill_device(ftl, payload_factory=lambda logical: None)
+    rng = random.Random(0xFA11)
+    updates = [Operation(OpKind.WRITE, rng.randrange(config.logical_pages))
+               for _ in range(4000)]
+    for start in range(0, len(updates), 2048):
+        ftl.submit(updates[start:start + 2048])
+    cycles = 8 if quick else 25
+
+    def thunk() -> int:
+        for _ in range(cycles):
+            recovery = GeckoRecovery(ftl)
+            recovery.simulate_power_failure()
+            recovery.recover()
+        return cycles
+
+    return PreparedBench(
+        thunk=thunk, ops=cycles,
+        geometry={**_geometry_dict(config), "ftl": "GeckoFTL",
+                  "cache_capacity": 256, "setup_updates": 4000})
+
+
 def _bench_dftl_cache_miss(quick: bool) -> PreparedBench:
     """Random reads through a deliberately tiny DFTL mapping cache."""
     from ..flash.config import simulation_configuration
@@ -278,6 +322,7 @@ BENCH_CASES: Dict[str, BenchFactory] = {
     "gecko_update": _bench_gecko_update,
     "gecko_merge": _bench_gecko_merge,
     "gecko_gc_query": _bench_gecko_gc_query,
+    "gecko_recovery": _bench_gecko_recovery,
     "dftl_cache_miss": _bench_dftl_cache_miss,
     "sweep_cell": _bench_sweep_cell,
 }

@@ -29,7 +29,8 @@ from .bench.harness import compare_ftls
 from .bench.perf import (bench_names, compare_records, load_records,
                          run_benchmarks)
 from .bench.reporting import format_bytes, format_seconds, print_report
-from .engine import ResultSink, SweepExecutor, SweepPlan, aggregate, device_dict
+from .engine import (CrashPlan, ResultSink, SweepExecutor, SweepPlan, SweepTask,
+                     aggregate, device_dict, execute_task)
 from .flash.config import paper_configuration, simulation_configuration
 from .workloads import TraceWorkload, workload_names
 
@@ -39,6 +40,14 @@ def _ftl_spec(text: str) -> FTLSpec:
     try:
         return FTLSpec.parse(text)
     except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _crash_plan(text: str) -> CrashPlan:
+    """argparse type: parse a crash-schedule shorthand."""
+    try:
+        return CrashPlan.of(text)
+    except (ValueError, TypeError) as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
@@ -131,10 +140,17 @@ def cmd_sweep(arguments) -> int:
                  "write_operations": arguments.writes,
                  "interval_writes": arguments.interval_writes,
                  "seeds": [arguments.seed]}
+    if arguments.crash is not None:
+        overrides["crash"] = arguments.crash
     try:
         if arguments.plan is not None:
             with open(arguments.plan, "r", encoding="utf-8") as handle:
-                plan = SweepPlan.from_dict(json.load(handle))
+                plan_dict = json.load(handle)
+            if arguments.crash is not None:
+                # The plan file is authoritative for the grid, but an
+                # explicit --crash flag (no ambient default) still applies.
+                plan_dict["crash"] = arguments.crash.to_dict()
+            plan = SweepPlan.from_dict(plan_dict)
         elif arguments.grid is not None:
             plan = SweepPlan.from_grid(arguments.grid, **overrides)
         else:
@@ -145,9 +161,14 @@ def cmd_sweep(arguments) -> int:
         return 2
 
     def on_task(task, row, completed, total):
+        extra = ""
+        if row.get("recovery") is not None:
+            extra = (f" recovery_spare={row['recovery']['total_spare_reads']}"
+                     f" recovery_ms="
+                     f"{row['recovery']['total_duration_us'] / 1000:.1f}")
         print(f"[{completed}/{total}] {task.ftl} "
               f"workload={task.workload} cache={task.cache_capacity} "
-              f"seed={task.seed} wa={row['wa_total']:.4f} "
+              f"seed={task.seed} wa={row['wa_total']:.4f}{extra} "
               f"({row['elapsed_s']:.2f}s, {row['ops_per_sec']:.0f} ops/s)")
 
     executor = SweepExecutor(workers=arguments.workers, on_task=on_task)
@@ -157,11 +178,62 @@ def cmd_sweep(arguments) -> int:
     finally:
         if sink is not None:
             sink.close()
+    metrics = ["wa_total", "ops_per_sec", "ram_bytes"]
+    if any(row.get("recovery") is not None for row in report.rows):
+        metrics += ["recovery.total_spare_reads", "recovery.total_page_reads",
+                    "recovery.total_page_writes", "recovery.total_duration_us",
+                    "wa_delta"]
     print_report(f"Sweep of {len(plan)} tasks "
                  f"({arguments.workers} worker(s))",
                  aggregate(report.rows, by=tuple(arguments.group_by),
-                           metrics=("wa_total", "ops_per_sec", "ram_bytes")))
+                           metrics=tuple(metrics)))
     print(f"\n{report.summary()}")
+    return 0
+
+
+def cmd_crash(arguments) -> int:
+    """Run one crash–recovery scenario and print the recovery breakdown."""
+    try:
+        task = SweepTask(
+            ftl=str(arguments.ftl), workload=arguments.workload,
+            device=device_dict(num_blocks=arguments.blocks,
+                               pages_per_block=arguments.pages_per_block,
+                               page_size=arguments.page_size,
+                               logical_ratio=arguments.logical_ratio),
+            cache_capacity=arguments.cache_entries, seed=arguments.seed,
+            write_operations=arguments.writes,
+            interval_writes=max(1, arguments.writes // 10),
+            crash=CrashPlan(after_ops=arguments.crash_after,
+                            phase=arguments.phase,
+                            recover=not arguments.no_recover).to_dict())
+    except ValueError as exc:
+        print(f"invalid crash scenario: {exc}", file=sys.stderr)
+        return 2
+    row = execute_task(task)
+    crash = row["crash"]
+    header = (f"Crash of {row['ftl']} after {crash['ops_completed']} ops "
+              f"(phase={crash['phase']}, "
+              f"fired={'yes' if crash['phase_fired'] else 'no'})")
+    if row["recovery"] is None:
+        print(header)
+        print("recovery skipped (--no-recover)")
+        return 0
+    recovery = row["recovery"]
+    print_report(header, [
+        {"step": step["name"], "page_reads": step["page_reads"],
+         "page_writes": step["page_writes"],
+         "spare_reads": step["spare_reads"],
+         "duration": format_seconds(step["duration_us"] / 1e6)}
+        for step in recovery["steps"]])
+    print_report("Recovery totals and post-recovery impact", [{
+        "page_reads": recovery["total_page_reads"],
+        "page_writes": recovery["total_page_writes"],
+        "spare_reads": recovery["total_spare_reads"],
+        "duration": format_seconds(recovery["total_duration_us"] / 1e6),
+        "wa_pre_crash": row["wa_pre_crash"],
+        "wa_post_recovery": row["wa_post_recovery"],
+        "wa_delta": row["wa_delta"],
+    }])
     return 0
 
 
@@ -282,7 +354,36 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--group-by", nargs="+", default=["ftl"],
                        help="row fields for the aggregate table "
                             "(dotted paths reach into device)")
+    sweep.add_argument("--crash", type=_crash_plan, metavar="SPEC",
+                       default=None,
+                       help="run every cell as a crash-recovery scenario, "
+                            "e.g. 'after_ops=2000,phase=gc' (phases: ops, "
+                            "gc, merge; add recover=false to stop at the "
+                            "failure)")
     sweep.set_defaults(handler=cmd_sweep)
+
+    crash = subparsers.add_parser(
+        "crash", help="simulate one power failure + recovery and print the "
+                      "recovery IO breakdown")
+    add_device_arguments(crash)
+    crash.add_argument("--ftl", default="GeckoFTL", type=_ftl_spec,
+                       metavar="FTL",
+                       help=f"FTL name or spec (known: {known})")
+    crash.add_argument("--workload", default="UniformRandomWrites",
+                       help="workload name or spec "
+                            f"(known: {', '.join(workload_names())})")
+    crash.add_argument("--writes", type=int, default=4000,
+                       help="workload operations (the crash interrupts them)")
+    crash.add_argument("--crash-after", type=int, default=2000,
+                       help="operations to complete before the failure")
+    crash.add_argument("--phase", choices=["ops", "gc", "merge"],
+                       default="ops",
+                       help="failure point: between ops, mid-GC "
+                            "(before the victim erase), or mid-merge")
+    crash.add_argument("--no-recover", action="store_true",
+                       help="stop at the power failure without recovering")
+    crash.add_argument("--seed", type=int, default=42)
+    crash.set_defaults(handler=cmd_crash)
 
     bench = subparsers.add_parser(
         "bench", help="run the named performance microbenchmarks, or "

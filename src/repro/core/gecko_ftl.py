@@ -99,6 +99,11 @@ class GeckoFTL(PageMappedFTL):
         self._previous_checkpoint_symbol: Optional[int] = None
         self.checkpoints_taken = 0
 
+    def make_recovery(self):
+        """GeckoFTL recovers with GeckoRec (Appendix C), not a full scan."""
+        from .recovery import GeckoRecovery  # deferred: recovery imports ftl
+        return GeckoRecovery(self)
+
     # ------------------------------------------------------------------
     # Validity store construction
     # ------------------------------------------------------------------

@@ -107,6 +107,13 @@ class LogarithmicGecko:
         self.gc_queries = 0
         self.updates = 0
         self.erase_records = 0
+        #: Fault-injection hook for crash scenarios: when set, it is invoked
+        #: as ``crash_hook("merge", num_participating_runs)`` mid-merge —
+        #: after the participating runs have been read and merged in RAM but
+        #: before any of them is discarded or the result is written — and
+        #: may raise to model a power failure during a merge (the old runs
+        #: are still the valid set; recovery must restore them).
+        self.crash_hook = None
 
     # ------------------------------------------------------------------
     # Public interface: updates, erases, GC queries
@@ -324,6 +331,8 @@ class LogarithmicGecko:
             merged = columns if merged is None else merge_columns(merged,
                                                                   columns)
         assert merged is not None
+        if self.crash_hook is not None:
+            self.crash_hook("merge", len(runs))
         is_largest = self._is_largest_result(runs)
         if is_largest:
             merged = strip_obsolete_columns(merged)

@@ -35,78 +35,45 @@ Figure 13 recovery comparison and the recovery benchmarks consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..flash.address import PhysicalAddress
-from ..flash.stats import IOKind, IOPurpose, IOStats
+from ..flash.stats import IOPurpose
 from ..ftl.block_manager import BlockType
 from ..ftl.mapping_cache import CachedMapping
-from .gecko_ftl import GeckoFTL
+from ..ftl.recovery import RecoveryAdapter, RecoveryReport, RecoveryStep
 from .run import Run, RunPageInfo
 
-
-@dataclass
-class RecoveryStep:
-    """IO cost and simulated duration of one GeckoRec step."""
-
-    name: str
-    page_reads: int = 0
-    page_writes: int = 0
-    spare_reads: int = 0
-    duration_us: float = 0.0
+__all__ = ["GeckoRecovery", "RecoveryReport", "RecoveryStep"]
 
 
-@dataclass
-class RecoveryReport:
-    """Outcome of a full GeckoRec run."""
+class GeckoRecovery(RecoveryAdapter):
+    """Executes power failure and GeckoRec against a
+    :class:`~repro.core.gecko_ftl.GeckoFTL`.
 
-    steps: List[RecoveryStep] = field(default_factory=list)
-    recovered_mapping_entries: int = 0
-    recovered_runs: int = 0
-    recovered_erase_records: int = 0
-    recovered_invalidation_records: int = 0
-
-    @property
-    def total_duration_us(self) -> float:
-        return sum(step.duration_us for step in self.steps)
-
-    @property
-    def total_spare_reads(self) -> int:
-        return sum(step.spare_reads for step in self.steps)
-
-    @property
-    def total_page_reads(self) -> int:
-        return sum(step.page_reads for step in self.steps)
-
-    def as_rows(self) -> List[Tuple[str, int, int, int, float]]:
-        """Rows (step, page reads, page writes, spare reads, duration)."""
-        return [(step.name, step.page_reads, step.page_writes,
-                 step.spare_reads, step.duration_us) for step in self.steps]
-
-
-class GeckoRecovery:
-    """Executes power failure and GeckoRec against a :class:`GeckoFTL`."""
-
-    def __init__(self, ftl: GeckoFTL) -> None:
-        self.ftl = ftl
-        self.device = ftl.device
-        self.config = ftl.config
+    The generic scan steps (BID construction, GMD recovery) and the step
+    measurement live in :class:`~repro.ftl.recovery.RecoveryAdapter`; this
+    class adds the Gecko-specific steps (run directories, buffer, BVC, and
+    the bounded dirty-entry scan).
+    """
 
     # ------------------------------------------------------------------
     # Power failure
     # ------------------------------------------------------------------
     def simulate_power_failure(self) -> None:
-        """Discard every RAM-resident structure; flash contents survive."""
-        ftl = self.ftl
-        ftl.cache.clear()
-        ftl._previous_checkpoint_symbol = None
-        ftl._cache_update_counter = 0
-        ftl.translation_table.reset_ram_state()
-        ftl.gecko.reset_ram_state()
-        ftl.bvc.reset()
-        # The block manager's layout table is also RAM-resident.
-        ftl.block_manager.rebuild_from_types({})
+        """Discard every RAM-resident structure; flash contents survive.
+
+        The shared wipe covers the cache/GMD/validity/BVC/layout/GC state
+        (the validity-store wrapper delegates to Logarithmic Gecko's own
+        ``reset_ram_state``); GeckoFTL's checkpoint counters are the only
+        extra RAM to lose. A collection interrupted by a crash hook simply
+        never finished its erase — the mapping check in GeckoFTL's
+        migration path keeps the un-erased victim's unrecorded stale
+        copies from ever being migrated.
+        """
+        self._wipe_ram_state()
+        self.ftl._previous_checkpoint_symbol = None
+        self.ftl._cache_update_counter = 0
 
     # ------------------------------------------------------------------
     # Recovery
@@ -128,100 +95,35 @@ class GeckoRecovery:
     # ------------------------------------------------------------------
     # Step implementations
     # ------------------------------------------------------------------
-    def _measure(self, report: RecoveryReport, name: str,
-                 before: IOStats) -> RecoveryStep:
-        diff = self.device.stats.diff(before)
-        step = RecoveryStep(
-            name=name,
-            page_reads=diff.total(IOKind.PAGE_READ),
-            page_writes=diff.total(IOKind.PAGE_WRITE),
-            spare_reads=diff.total(IOKind.SPARE_READ),
-            duration_us=diff.latency_us(self.config.latency))
-        report.steps.append(step)
-        return step
-
     def _step1_build_bid(self, report: RecoveryReport) -> Dict[int, dict]:
         """Read one spare area per block to learn its type and age."""
-        before = self.device.stats.snapshot()
-        bid: Dict[int, dict] = {}
-        for block_id in range(self.config.num_blocks):
-            block = self.device.block(block_id)
-            if block.is_erased:
-                bid[block_id] = {"type": BlockType.FREE, "timestamp": None}
-                continue
-            spare = self.device.read_spare(PhysicalAddress(block_id, 0),
-                                           purpose=IOPurpose.RECOVERY)
-            block_type = BlockType(spare.block_type) if spare.block_type else BlockType.USER
-            bid[block_id] = {"type": block_type,
-                             "timestamp": spare.write_timestamp}
-        block_types = {block_id: info["type"] for block_id, info in bid.items()}
-        self.ftl.block_manager.rebuild_from_types(block_types)
-        self._measure(report, "step1_bid", before)
-        return bid
+        return self._build_bid(report, name="step1_bid")
 
     def _step2_recover_gmd(self, report: RecoveryReport,
                            bid: Dict[int, dict]) -> None:
         """Scan translation-block spare areas to find the newest versions."""
-        before = self.device.stats.snapshot()
-        newest: Dict[int, Tuple[int, PhysicalAddress]] = {}
-        all_versions: Dict[int, List[Tuple[int, PhysicalAddress]]] = {}
-        for block_id, info in bid.items():
-            if info["type"] is not BlockType.TRANSLATION:
-                continue
-            block = self.device.block(block_id)
-            for offset in range(block.written_pages):
-                address = PhysicalAddress(block_id, offset)
-                spare = self.device.read_spare(address,
-                                               purpose=IOPurpose.RECOVERY)
-                translation_page_id = spare.payload.get("translation_page_id")
-                if translation_page_id is None:
-                    continue
-                version = (spare.write_timestamp, address)
-                all_versions.setdefault(translation_page_id, []).append(version)
-                if (translation_page_id not in newest
-                        or version[0] > newest[translation_page_id][0]):
-                    newest[translation_page_id] = version
-        gmd: List[Optional[PhysicalAddress]] = (
-            [None] * self.ftl.translation_table.num_translation_pages)
-        for translation_page_id, (_ts, address) in newest.items():
-            gmd[translation_page_id] = address
-        self.ftl.translation_table.restore_gmd(gmd)
-        # Older versions are invalid metadata pages; restore that bookkeeping
-        # so fully-invalid translation blocks can be reclaimed.
-        for translation_page_id, versions in all_versions.items():
-            newest_address = newest[translation_page_id][1]
-            for _ts, address in versions:
-                if address != newest_address:
-                    self.ftl.block_manager.invalidate_metadata_page(address)
-        self._translation_versions = all_versions
-        self._measure(report, "step2_gmd", before)
+        self._translation_versions = self._recover_gmd(report, bid,
+                                                       name="step2_gmd")
 
     def _step3_recover_run_directories(self, report: RecoveryReport,
                                        bid: Dict[int, dict]) -> None:
         """Scan Gecko-block spare areas and rebuild the valid run set."""
         before = self.device.stats.snapshot()
         pages_by_run: Dict[int, Dict[int, dict]] = {}
-        for block_id, info in bid.items():
-            if info["type"] is not BlockType.VALIDITY:
+        for address, spare in self._scan_spares(bid, BlockType.VALIDITY):
+            run_id = spare.payload.get("gecko_run_id")
+            if run_id is None:
                 continue
-            block = self.device.block(block_id)
-            for offset in range(block.written_pages):
-                address = PhysicalAddress(block_id, offset)
-                spare = self.device.read_spare(address,
-                                               purpose=IOPurpose.RECOVERY)
-                run_id = spare.payload.get("gecko_run_id")
-                if run_id is None:
-                    continue
-                pages_by_run.setdefault(run_id, {})[
-                    spare.payload["gecko_sequence"]] = {
-                        "address": address,
-                        "level": spare.payload["gecko_level"],
-                        "is_last": spare.payload["gecko_is_last"],
-                        "creation": spare.payload["gecko_creation"],
-                        "min_key": tuple(spare.payload["gecko_min_key"]),
-                        "max_key": tuple(spare.payload["gecko_max_key"]),
-                        "timestamp": spare.write_timestamp,
-                    }
+            pages_by_run.setdefault(run_id, {})[
+                spare.payload["gecko_sequence"]] = {
+                    "address": address,
+                    "level": spare.payload["gecko_level"],
+                    "is_last": spare.payload["gecko_is_last"],
+                    "creation": spare.payload["gecko_creation"],
+                    "min_key": tuple(spare.payload["gecko_min_key"]),
+                    "max_key": tuple(spare.payload["gecko_max_key"]),
+                    "timestamp": spare.write_timestamp,
+                }
         complete_runs = {}
         for run_id, pages in pages_by_run.items():
             sequences = sorted(pages)
@@ -287,8 +189,7 @@ class GeckoRecovery:
             recently_rewritten = (info["timestamp"] is not None
                                   and last_flush is not None
                                   and info["timestamp"] > last_flush)
-            if info["type"] is BlockType.FREE or recently_rewritten \
-                    or last_flush is None and info["type"] is BlockType.FREE:
+            if info["type"] is BlockType.FREE or recently_rewritten:
                 gecko.buffer.insert_erase(block_id)
                 erase_records += 1
 
@@ -324,21 +225,13 @@ class GeckoRecovery:
 
     def _step5_rebuild_bvc(self, report: RecoveryReport,
                            bid: Dict[int, dict]) -> None:
-        """Scan Logarithmic Gecko once and rebuild the per-block counters."""
-        before = self.device.stats.snapshot()
-        invalid_map = self.ftl.gecko.reconstruct_bitmaps()
-        for block_id, info in bid.items():
-            block = self.device.block(block_id)
-            written = block.written_pages
-            if info["type"] is BlockType.USER:
-                invalid = len(invalid_map.get(block_id, ()))
-                self.ftl.bvc.set_count(block_id, max(0, written - invalid))
-            elif info["type"] in (BlockType.TRANSLATION, BlockType.VALIDITY):
-                invalid = self.ftl.block_manager.metadata_invalid_count(block_id)
-                self.ftl.bvc.set_count(block_id, max(0, written - invalid))
-            else:
-                self.ftl.bvc.set_count(block_id, 0)
-        self._measure(report, "step5_bvc", before)
+        """Scan Logarithmic Gecko once and rebuild the per-block counters.
+
+        The reconstruction's flash reads happen inside the measured window
+        (the callable runs after the step's snapshot).
+        """
+        self._rebuild_bvc(report, bid, self.ftl.gecko.reconstruct_bitmaps,
+                          "step5_bvc")
 
     def _step6_recover_dirty_entries(self, report: RecoveryReport,
                                      bid: Dict[int, dict]) -> None:

@@ -10,7 +10,10 @@ capacity x device geometry x seed). This package turns such grids into data:
   callbacks and per-task timing;
 * :mod:`repro.engine.results` — :class:`ResultSink` persists one JSONL row
   per cell, supports resuming a killed sweep (only missing cells re-run), and
-  provides group-by aggregation helpers for figure tables.
+  provides group-by aggregation helpers for figure tables;
+* :mod:`repro.engine.crash` — :class:`CrashPlan` turns any cell into a
+  deterministic crash–recovery scenario (crash after N operations, mid-GC,
+  or mid-merge; optional recovery; recovery-cost and WA-delta row fields).
 
 Determinism guarantees
 ----------------------
@@ -42,10 +45,18 @@ Quickstart::
     print(report.summary())
 """
 
+from .crash import (
+    CRASH_PHASES,
+    CrashOutcome,
+    CrashPlan,
+    SimulatedPowerFailure,
+    run_crash_scenario,
+)
 from .executor import (
     SweepExecutor,
     SweepReport,
     SweepTaskError,
+    execute_crash_task,
     execute_task,
     run_sweep,
 )
@@ -68,7 +79,11 @@ from .results import (
 )
 
 __all__ = [
+    "CRASH_PHASES",
+    "CrashOutcome",
+    "CrashPlan",
     "SCHEMA_VERSION",
+    "SimulatedPowerFailure",
     "TIMING_FIELDS",
     "ResultSink",
     "SweepExecutor",
@@ -81,9 +96,11 @@ __all__ = [
     "canonical_row",
     "canonical_row_bytes",
     "device_dict",
+    "execute_crash_task",
     "execute_task",
     "load_results",
     "ram_breakdown_table",
+    "run_crash_scenario",
     "run_sweep",
     "wa_breakdown_table",
 ]

@@ -1,0 +1,285 @@
+"""Deterministic crash schedules for sweep tasks.
+
+A :class:`CrashPlan` turns a sweep cell into a crash–recovery scenario: drive
+the workload to a well-defined failure point, power-fail the FTL there,
+optionally run its recovery, then finish the remaining workload on the
+recovered state. Everything is a pure function of the task, so crash rows
+obey the engine's determinism guarantee (byte-identical canonical rows across
+worker counts).
+
+Failure points (``phase``):
+
+``"ops"``
+    Power fails right after the ``after_ops``-th workload operation
+    completes — the clean between-operations crash.
+``"gc"``
+    After ``after_ops`` operations the next garbage-collection operation is
+    interrupted *mid-collection*: the victim's live pages are already
+    migrated but the erase has not happened (two live-looking copies on
+    flash). Uses the injection hook in
+    :class:`~repro.ftl.garbage_collector.GarbageCollector`.
+``"merge"``
+    After ``after_ops`` operations the next Logarithmic Gecko merge is
+    interrupted before it commits (hook in
+    :class:`~repro.core.logarithmic_gecko.LogarithmicGecko`). Only GeckoFTL
+    has merges; for other FTLs the point can never fire.
+
+If the armed failure point does not fire before the workload is exhausted,
+the power failure happens after the last operation instead (recorded as
+``phase_fired: false`` in the row), keeping every cell of a grid
+well-defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from itertools import islice
+from typing import Any, Dict, Optional, Union
+
+from ..flash.stats import IOKind
+
+#: Failure points a plan may name.
+CRASH_PHASES = ("ops", "gc", "merge")
+
+#: Operations per submitted batch while no failure point is armed.
+_BATCH_OPS = 2048
+
+
+class SimulatedPowerFailure(Exception):
+    """Raised by an armed injection hook to model instant power loss."""
+
+    def __init__(self, point: str, detail: int) -> None:
+        super().__init__(f"simulated power failure at {point} ({detail})")
+        self.point = point
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """One deterministic crash schedule, serializable end to end."""
+
+    after_ops: int
+    phase: str = "ops"
+    recover: bool = True
+
+    def __post_init__(self) -> None:
+        if self.after_ops < 0:
+            raise ValueError("after_ops must be >= 0")
+        if self.phase not in CRASH_PHASES:
+            raise ValueError(f"unknown crash phase {self.phase!r}; choose "
+                             f"from {CRASH_PHASES}")
+        object.__setattr__(self, "recover", bool(self.recover))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CrashPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown crash-plan key(s) {sorted(unknown)}; "
+                             f"supported: {sorted(known)}")
+        return cls(**data)
+
+    @classmethod
+    def parse(cls, text: str) -> "CrashPlan":
+        """Parse the CLI shorthand ``"after_ops=2000,phase=gc,recover=true"``.
+
+        A bare integer is accepted as ``after_ops``.
+        """
+        values: Dict[str, Any] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, equals, value = part.partition("=")
+            if not equals:
+                if part.isdigit() and "after_ops" not in values:
+                    values["after_ops"] = int(part)
+                    continue
+                raise ValueError(f"malformed crash spec part {part!r}; "
+                                 "expected key=value")
+            name = name.strip()
+            value = value.strip()
+            if name == "after_ops":
+                values[name] = int(value)
+            elif name == "phase":
+                values[name] = value
+            elif name == "recover":
+                lowered = value.lower()
+                if lowered not in ("true", "false", "1", "0", "yes", "no"):
+                    raise ValueError(f"recover must be a boolean, "
+                                     f"not {value!r}")
+                values[name] = lowered in ("true", "1", "yes")
+            else:
+                raise ValueError(f"unknown crash spec key {name!r}; "
+                                 "supported: after_ops, phase, recover")
+        if "after_ops" not in values:
+            raise ValueError("crash spec needs after_ops "
+                             "(e.g. 'after_ops=2000,phase=gc')")
+        return cls(**values)
+
+    @classmethod
+    def of(cls, value: Union["CrashPlan", Dict[str, Any], str, int]
+           ) -> "CrashPlan":
+        """Coerce a plan, dict, shorthand string, or bare op count."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            return cls.from_dict(value)
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, int) and not isinstance(value, bool):
+            return cls(after_ops=value)
+        raise TypeError(f"cannot interpret {value!r} as a crash plan")
+
+
+@dataclass
+class CrashOutcome:
+    """What a crash scenario run observed (consumed by the result row)."""
+
+    plan: CrashPlan
+    #: Operations fully completed before the power failure.
+    ops_completed: int
+    #: Whether the armed gc/merge failure point actually fired (always True
+    #: for phase="ops" unless the workload ran dry first).
+    phase_fired: bool
+    #: Operations completed after recovery.
+    post_ops: int
+    #: ``None`` when the corresponding window saw no host writes.
+    wa_pre_crash: Optional[float]
+    wa_post_recovery: Optional[float]
+    #: Flash IO spent during the power-failure event itself — zero for FTLs
+    #: that simply lose RAM, the battery-paid flush (and any completed
+    #: in-flight erase) for battery-backed ones. Kept separately from the
+    #: recovery report so the cost stays attributable even with
+    #: ``recover=False`` (where the report is dropped).
+    crash_io: Dict[str, int]
+    report: Optional[Any]  # RecoveryReport, None when plan.recover is False
+
+
+def _arm_hook(ftl, phase: str):
+    """Install the failure hook for ``phase``.
+
+    Returns ``(disarm, can_fire)``: an un-arm callable, and whether the
+    failure point exists at all on this FTL (phase ``"merge"`` on an FTL
+    without a Logarithmic Gecko can never fire, so the driver keeps the
+    batched submit path instead of stepping one operation at a time).
+    """
+    def hook(point: str, detail: int) -> None:
+        raise SimulatedPowerFailure(point, detail)
+
+    if phase == "gc":
+        ftl.garbage_collector.crash_hook = hook
+
+        def disarm() -> None:
+            ftl.garbage_collector.crash_hook = None
+        return disarm, True
+    if phase == "merge":
+        gecko = getattr(ftl, "gecko", None)
+        if gecko is None:
+            return (lambda: None), False  # no merges to interrupt
+        gecko.crash_hook = hook
+
+        def disarm() -> None:
+            gecko.crash_hook = None
+        return disarm, True
+    return (lambda: None), False
+
+
+def run_crash_scenario(session, workload, plan: CrashPlan,
+                       operation_count: int) -> CrashOutcome:
+    """Execute one crash scenario against a prepared (warmed-up) session.
+
+    Drives ``operation_count`` operations of ``workload``: up to the failure
+    point, then power failure, then (when the plan says so) recovery and the
+    remaining operations — the host retrying from the interrupted operation,
+    exactly as a restarted application would. The stream is consumed
+    incrementally (and re-derived from the workload's seed for the
+    post-recovery replay), so memory stays bounded like the plain-task path.
+    """
+    stats = session.stats
+    delta = session.config.delta
+    boundary = min(plan.after_ops, operation_count)
+    stream = workload.operations(operation_count)
+
+    before_pre = stats.snapshot()
+    completed = 0
+    while completed < boundary:
+        batch = list(islice(stream, min(_BATCH_OPS, boundary - completed)))
+        if not batch:
+            break
+        completed += session.submit(batch).submitted
+
+    phase_fired = False
+    if plan.phase == "ops":
+        # Fired iff the planned boundary lies within the workload; a plan
+        # pointing past the end degenerates to a crash after the last op.
+        phase_fired = plan.after_ops <= operation_count
+    else:
+        disarm, can_fire = _arm_hook(session.ftl, plan.phase)
+        try:
+            if can_fire:
+                # One operation per submit: the failure must land on a
+                # well-defined operation boundary.
+                for operation in stream:
+                    try:
+                        session.submit([operation])
+                    except SimulatedPowerFailure:
+                        phase_fired = True
+                        break
+                    completed += 1
+            else:
+                # The armed point cannot exist on this FTL: run the rest
+                # batched and crash after the last operation.
+                while True:
+                    batch = list(islice(stream, _BATCH_OPS))
+                    if not batch:
+                        break
+                    completed += session.submit(batch).submitted
+        finally:
+            disarm()
+    pre_stats = stats.diff(before_pre)
+    # Symmetric with the post window below: no host writes before the
+    # failure means there is no pre-crash write amplification to report.
+    wa_pre: Optional[float] = (pre_stats.write_amplification(delta)
+                               if pre_stats.host_writes else None)
+
+    before_crash = stats.snapshot()
+    session.crash()
+    crash_stats = stats.diff(before_crash)
+    crash_io = {
+        "page_reads": crash_stats.total(IOKind.PAGE_READ),
+        "page_writes": crash_stats.total(IOKind.PAGE_WRITE),
+        "spare_reads": crash_stats.total(IOKind.SPARE_READ),
+        "block_erases": crash_stats.total(IOKind.BLOCK_ERASE),
+    }
+
+    report = None
+    wa_post: Optional[float] = None
+    post_ops = 0
+    if plan.recover:
+        report = session.recover()
+        before_post = stats.snapshot()
+        # The restarted host re-derives its stream from the seed and retries
+        # from the interrupted operation (generators are deterministic under
+        # reset(); the first `completed` operations are skipped unsubmitted).
+        workload.reset()
+        replay = workload.operations(operation_count)
+        next(islice(replay, completed, completed), None)
+        while True:
+            batch = list(islice(replay, _BATCH_OPS))
+            if not batch:
+                break
+            post_ops += session.submit(batch).submitted
+        post_stats = stats.diff(before_post)
+        # An empty post-recovery window (the crash landed at the end of the
+        # workload) has no meaningful write amplification.
+        wa_post = (post_stats.write_amplification(delta)
+                   if post_stats.host_writes else None)
+
+    return CrashOutcome(plan=plan, ops_completed=completed,
+                        phase_fired=phase_fired, post_ops=post_ops,
+                        wa_pre_crash=wa_pre, wa_post_recovery=wa_post,
+                        crash_io=crash_io, report=report)

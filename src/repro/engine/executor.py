@@ -43,31 +43,9 @@ class SweepTaskError(RuntimeError):
         self.task = task
 
 
-def execute_task(task: SweepTask) -> Dict[str, Any]:
-    """Run one task to completion and return its result row.
-
-    This is the worker entry point: module-level (picklable), takes only the
-    serializable task, and rebuilds session + workload from specs. It is also
-    called directly by the in-process (``workers=1``) path, so both paths are
-    literally the same code.
-    """
-    from ..api.session import SimulationSession
-    from ..workloads.registry import WorkloadSpec
-
-    started = time.perf_counter()
-    with SimulationSession.from_task(task) as session:
-        session.warmup(task.fill_fraction)
-        workload = WorkloadSpec.of(task.workload).build(
-            session.config.logical_pages, seed=task.derived_seed)
-        run = session.run(workload, task.write_operations)
-        snapshot = session.snapshot()
-        elapsed = time.perf_counter() - started
-    # Unlike ``elapsed``, the wall clock also covers the session's clean
-    # shutdown (the final flush) — the full cost of the task.
-    wall_seconds = time.perf_counter() - started
-
-    delta = session.config.delta
-    row: Dict[str, Any] = {
+def _base_row(task: SweepTask, session, snapshot) -> Dict[str, Any]:
+    """Row fields shared by plain and crash tasks (identity + state)."""
+    return {
         "schema": SCHEMA_VERSION,
         "key": task.key(),
         "index": task.index,
@@ -83,24 +61,135 @@ def execute_task(task: SweepTask) -> Dict[str, Any]:
         "write_operations": task.write_operations,
         "interval_writes": task.interval_writes,
         "fill_fraction": task.fill_fraction,
+        "wa_breakdown": {purpose: round(value, 6) for purpose, value
+                         in sorted(snapshot.wa_breakdown.items())},
+        "ram_breakdown": dict(sorted(snapshot.ram_breakdown.items())),
+        "ram_bytes": snapshot.ram_bytes,
+    }
+
+
+def _timing_fields(executed: int, elapsed: float,
+                   wall_seconds: float) -> Dict[str, Any]:
+    """Timing/worker fields (excluded from the determinism guarantee)."""
+    return {
+        "elapsed_s": round(elapsed, 6),
+        "wall_seconds": round(wall_seconds, 6),
+        "ops_per_sec": round(executed / elapsed, 3) if elapsed > 0 else 0.0,
+        "worker_pid": os.getpid(),
+    }
+
+
+def execute_task(task: SweepTask) -> Dict[str, Any]:
+    """Run one task to completion and return its result row.
+
+    This is the worker entry point: module-level (picklable), takes only the
+    serializable task, and rebuilds session + workload from specs. It is also
+    called directly by the in-process (``workers=1``) path, so both paths are
+    literally the same code. Tasks carrying a crash plan are routed to
+    :func:`execute_crash_task` (same contract, richer row).
+    """
+    from ..api.session import SimulationSession
+    from ..workloads.registry import WorkloadSpec
+
+    if task.crash is not None:
+        return execute_crash_task(task)
+
+    started = time.perf_counter()
+    with SimulationSession.from_task(task) as session:
+        session.warmup(task.fill_fraction)
+        workload = WorkloadSpec.of(task.workload).build(
+            session.config.logical_pages, seed=task.derived_seed)
+        run = session.run(workload, task.write_operations)
+        snapshot = session.snapshot()
+        elapsed = time.perf_counter() - started
+    # Unlike ``elapsed``, the wall clock also covers the session's clean
+    # shutdown (the final flush) — the full cost of the task.
+    wall_seconds = time.perf_counter() - started
+
+    delta = session.config.delta
+    return {
+        **_base_row(task, session, snapshot),
         "operations_executed": run.operations_executed,
         "host_writes": run.host_writes,
         "host_reads": run.host_reads,
         "wa_total": round(run.write_amplification(delta), 6),
         "wa_steady": round(
             run.steady_state_write_amplification(delta), 6),
-        "wa_breakdown": {purpose: round(value, 6) for purpose, value
-                         in sorted(snapshot.wa_breakdown.items())},
-        "ram_breakdown": dict(sorted(snapshot.ram_breakdown.items())),
-        "ram_bytes": snapshot.ram_bytes,
-        # -- timing fields (excluded from the determinism guarantee) --
-        "elapsed_s": round(elapsed, 6),
-        "wall_seconds": round(wall_seconds, 6),
-        "ops_per_sec": round(run.operations_executed / elapsed, 3)
-                       if elapsed > 0 else 0.0,
-        "worker_pid": os.getpid(),
+        **_timing_fields(run.operations_executed, elapsed, wall_seconds),
     }
-    return row
+
+
+def execute_crash_task(task: SweepTask) -> Dict[str, Any]:
+    """Run one crash–recovery scenario task and return its result row.
+
+    The row keeps the plain-task columns (so crash and non-crash rows mix in
+    one sink; ``wa_steady`` is present but ``None`` — the crash path has no
+    interval series to average) and adds:
+
+    ``crash``
+        The plan plus what actually happened: ``ops_completed`` before the
+        failure, whether the armed gc/merge point fired, ``post_ops`` after
+        recovery.
+    ``recovery``
+        The :class:`~repro.ftl.recovery.RecoveryReport` as a dict — per-step
+        IO breakdown plus all four totals (page reads, page writes, spare
+        reads, simulated duration) — or ``None`` when the plan skipped
+        recovery.
+    ``wa_pre_crash`` / ``wa_post_recovery`` / ``wa_delta``
+        Write amplification over the pre-crash window, over the
+        post-recovery window, and their difference (the post-recovery WA
+        delta: how much the recovered state costs until it re-converges).
+    """
+    from ..api.session import SimulationSession
+    from ..workloads.registry import WorkloadSpec
+    from .crash import CrashPlan, run_crash_scenario
+
+    plan = CrashPlan.from_dict(task.crash)
+    started = time.perf_counter()
+    with SimulationSession.from_task(task) as session:
+        session.warmup(task.fill_fraction)
+        before = session.stats.snapshot()
+        workload = WorkloadSpec.of(task.workload).build(
+            session.config.logical_pages, seed=task.derived_seed)
+        outcome = run_crash_scenario(session, workload, plan,
+                                     task.write_operations)
+        total = session.stats.diff(before)
+        snapshot = session.snapshot()
+        elapsed = time.perf_counter() - started
+    wall_seconds = time.perf_counter() - started
+
+    delta = session.config.delta
+    executed = outcome.ops_completed + outcome.post_ops
+    wa_delta = (round(outcome.wa_post_recovery - outcome.wa_pre_crash, 6)
+                if outcome.wa_post_recovery is not None
+                and outcome.wa_pre_crash is not None else None)
+    return {
+        **_base_row(task, session, snapshot),
+        "operations_executed": executed,
+        "host_writes": total.host_writes,
+        "host_reads": total.host_reads,
+        "wa_total": round(total.write_amplification(delta), 6),
+        # No interval series exists on the crash path; the column is kept
+        # (as null) so mixed sinks stay rectangular.
+        "wa_steady": None,
+        "crash": {**plan.to_dict(),
+                  "ops_completed": outcome.ops_completed,
+                  "phase_fired": outcome.phase_fired,
+                  "post_ops": outcome.post_ops,
+                  # IO spent during the power-failure event itself (the
+                  # battery-paid flush for DFTL/µ-FTL, zero for RAM-loss
+                  # FTLs) — attributable even when recovery is skipped.
+                  "crash_io": dict(outcome.crash_io)},
+        "recovery": (outcome.report.as_dict()
+                     if outcome.report is not None else None),
+        "wa_pre_crash": (round(outcome.wa_pre_crash, 6)
+                         if outcome.wa_pre_crash is not None else None),
+        "wa_post_recovery": (round(outcome.wa_post_recovery, 6)
+                             if outcome.wa_post_recovery is not None
+                             else None),
+        "wa_delta": wa_delta,
+        **_timing_fields(executed, elapsed, wall_seconds),
+    }
 
 
 @dataclass

@@ -36,6 +36,7 @@ from typing import Any, Dict, Iterator, List, Sequence, Union
 from ..api.registry import FTLSpec
 from ..flash.config import DeviceConfig, simulation_configuration
 from ..workloads.registry import WorkloadSpec
+from .crash import CrashPlan
 
 #: Fields of :class:`DeviceConfig` a sweep may vary. Latency and wear
 #: parameters keep their defaults; a later PR can widen this.
@@ -92,6 +93,9 @@ class SweepTask:
     interval_writes: int
     fill_fraction: float = 1.0
     index: int = 0
+    #: Optional serialized :class:`~repro.engine.crash.CrashPlan`; when set
+    #: the task runs as a crash–recovery scenario instead of a plain run.
+    crash: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         # Validate both specs eagerly: a typo should fail at plan time in the
@@ -100,6 +104,9 @@ class SweepTask:
         object.__setattr__(self, "workload",
                            str(WorkloadSpec.of(self.workload)))
         object.__setattr__(self, "device", device_dict(self.device))
+        if self.crash is not None:
+            object.__setattr__(self, "crash",
+                               CrashPlan.of(self.crash).to_dict())
 
     @property
     def derived_seed(self) -> int:
@@ -117,13 +124,19 @@ class SweepTask:
         key regardless of their position in a plan, so a re-expanded plan can
         be matched against rows already present in a sink.
         """
-        material = json.dumps(
-            {"ftl": self.ftl, "workload": self.workload,
-             "device": self.device, "cache_capacity": self.cache_capacity,
-             "seed": self.seed, "write_operations": self.write_operations,
-             "interval_writes": self.interval_writes,
-             "fill_fraction": self.fill_fraction},
-            sort_keys=True, separators=(",", ":"))
+        identity = {"ftl": self.ftl, "workload": self.workload,
+                    "device": self.device,
+                    "cache_capacity": self.cache_capacity,
+                    "seed": self.seed,
+                    "write_operations": self.write_operations,
+                    "interval_writes": self.interval_writes,
+                    "fill_fraction": self.fill_fraction}
+        if self.crash is not None:
+            # Only crash tasks carry the field, so plain tasks keep the keys
+            # (and hence the resumability) of sinks written by older builds.
+            identity["crash"] = self.crash
+        material = json.dumps(identity, sort_keys=True,
+                              separators=(",", ":"))
         return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
 
     def to_dict(self) -> Dict[str, Any]:
@@ -153,8 +166,15 @@ class SweepPlan:
     write_operations: int = 20_000
     interval_writes: int = 2_000
     fill_fraction: float = 1.0
+    #: Optional crash schedule applied to every cell (a
+    #: :class:`~repro.engine.crash.CrashPlan`, its dict form, or the CLI
+    #: shorthand string); ``None`` runs plain cells.
+    crash: Optional[Any] = None
 
     def __post_init__(self) -> None:
+        if self.crash is not None:
+            object.__setattr__(self, "crash",
+                               CrashPlan.of(self.crash).to_dict())
         object.__setattr__(self, "ftls",
                            tuple(str(FTLSpec.of(f)) for f in self.ftls))
         object.__setattr__(self, "workloads",
@@ -189,7 +209,8 @@ class SweepPlan:
                           cache_capacity=cache, seed=seed,
                           write_operations=self.write_operations,
                           interval_writes=self.interval_writes,
-                          fill_fraction=self.fill_fraction, index=index)
+                          fill_fraction=self.fill_fraction, index=index,
+                          crash=self.crash)
                 for index, (ftl, workload, device, cache, seed)
                 in enumerate(grid)]
 
@@ -197,13 +218,17 @@ class SweepPlan:
         return iter(self.tasks())
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"ftls": list(self.ftls), "workloads": list(self.workloads),
-                "devices": [dict(d) for d in self.devices],
-                "cache_capacities": list(self.cache_capacities),
-                "seeds": list(self.seeds),
-                "write_operations": self.write_operations,
-                "interval_writes": self.interval_writes,
-                "fill_fraction": self.fill_fraction}
+        result = {"ftls": list(self.ftls),
+                  "workloads": list(self.workloads),
+                  "devices": [dict(d) for d in self.devices],
+                  "cache_capacities": list(self.cache_capacities),
+                  "seeds": list(self.seeds),
+                  "write_operations": self.write_operations,
+                  "interval_writes": self.interval_writes,
+                  "fill_fraction": self.fill_fraction}
+        if self.crash is not None:
+            result["crash"] = dict(self.crash)
+        return result
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SweepPlan":

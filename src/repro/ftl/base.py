@@ -32,6 +32,7 @@ from .bvc import BlockValidityCounter
 from .garbage_collector import GarbageCollector, VictimPolicy
 from .mapping_cache import CachedMapping, MappingCache
 from .operations import BatchResult, Operation, OpKind
+from .recovery import BatteryRecovery, FullScanRecovery, RecoveryAdapter
 from .translation_table import TranslationTable
 from .validity.base import ValidityStore
 from .wear_leveling import WearLeveler
@@ -94,6 +95,21 @@ class PageMappedFTL:
     def _create_validity_store(self) -> ValidityStore:
         """Build this FTL's page-validity structure."""
         raise NotImplementedError
+
+    def make_recovery(self) -> RecoveryAdapter:
+        """Build the crash/recovery adapter for this FTL.
+
+        Battery-backed FTLs flush at failure time
+        (:class:`~repro.ftl.recovery.BatteryRecovery`); battery-less ones
+        fall back to the full-device spare-area scan
+        (:class:`~repro.ftl.recovery.FullScanRecovery`). GeckoFTL overrides
+        this with GeckoRec. Every FTL in the registry therefore supports
+        ``crash()`` + ``recover()`` through
+        :class:`~repro.api.session.SimulationSession`.
+        """
+        if self.uses_battery:
+            return BatteryRecovery(self)
+        return FullScanRecovery(self)
 
     # ------------------------------------------------------------------
     # Host interface

@@ -72,6 +72,17 @@ class GarbageCollector:
         self.policy = policy
         self.free_block_threshold = free_block_threshold
         self.collections = 0
+        #: Fault-injection hook for crash scenarios: when set, it is invoked
+        #: as ``crash_hook("gc", victim_block)`` mid-collection — after the
+        #: victim's live pages have been migrated but *before* the erase —
+        #: and may raise to model a power failure at the nastiest moment
+        #: (two live-looking copies on flash, victim not yet reclaimed).
+        self.crash_hook: Optional[Callable[[str, int], None]] = None
+        #: Victim of the collection currently in flight, if any. Stays set
+        #: when a crash hook aborts the collection mid-way, so recovery can
+        #: tell that an erase is outstanding (battery-backed FTLs complete
+        #: it; scan-based recovery rediscovers the state from flash).
+        self.in_flight_victim: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Triggering
@@ -180,6 +191,7 @@ class GarbageCollector:
     def collect_block(self, victim: int) -> GCResult:
         """Reclaim one specific block (victim selection already done)."""
         self.collections += 1
+        self.in_flight_victim = victim
         victim_type = self.block_manager.block_type(victim)
         block = self.device.block(victim)
         written = block.written_pages
@@ -189,11 +201,32 @@ class GarbageCollector:
         else:
             migrated = self._collect_user_block(victim)
 
+        if self.crash_hook is not None:
+            self.crash_hook("gc", victim)
         self.block_manager.release_block(victim, purpose=IOPurpose.GC)
         self.bvc.set_count(victim, 0)
+        self.in_flight_victim = None
         return GCResult(victim_block=victim, victim_type=victim_type,
                         migrated_pages=migrated,
                         reclaimed_pages=written - migrated)
+
+    def complete_interrupted(self) -> Optional[int]:
+        """Finish a collection that a crash hook aborted mid-way.
+
+        By construction the only interruption point sits between the
+        migrations and the erase, so completion is exactly the outstanding
+        erase. Battery-backed recovery calls this (the battery keeps the
+        controller alive long enough to finish the ~2 ms erase); scan-based
+        recovery does not need to — it rediscovers the un-erased victim's
+        stale copies from flash. Returns the erased victim, if any.
+        """
+        victim = self.in_flight_victim
+        if victim is None:
+            return None
+        self.in_flight_victim = None
+        self.block_manager.release_block(victim, purpose=IOPurpose.GC)
+        self.bvc.set_count(victim, 0)
+        return victim
 
     def _collect_user_block(self, victim: int) -> int:
         """Migrate live user pages (identified by a GC query), then erase."""

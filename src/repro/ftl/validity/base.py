@@ -19,7 +19,7 @@ they supersede one of their own pages.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Set
+from typing import Dict, List, Set, Tuple
 
 from ...flash.address import PhysicalAddress
 
@@ -48,3 +48,19 @@ class ValidityStore(ABC):
 
     def flush(self) -> None:
         """Force any buffered updates out to flash. Default: nothing buffered."""
+
+    def rebuild_after_crash(
+            self, invalid_by_block: Dict[int, Set[int]],
+            metadata_pages: List[Tuple[int, PhysicalAddress, dict]]) -> None:
+        """Rebuild this store after a power failure, from a full device scan.
+
+        ``invalid_by_block`` is the ground-truth map of superseded user-page
+        offsets derived from the recovery scan; ``metadata_pages`` lists every
+        written page of the validity blocks as ``(write_timestamp, address,
+        spare_payload)`` so flash-resident stores can relocate their own
+        pages. Implementations may ignore either argument. Any flash IO they
+        perform is charged normally and lands in the recovery step that
+        called them.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no scan-based crash recovery")

@@ -129,6 +129,59 @@ class FlashPVB(ValidityStore):
         # The directory is recovered by scanning validity-block spare areas;
         # this simulator-side reset is used by recovery tests.
         self._directory = [None] * self.num_pvb_pages
+        self._unwritten = {}
+
+    def rebuild_after_crash(self, invalid_by_block, metadata_pages) -> None:
+        """Reload the RAM directory, then re-synchronize with the scan.
+
+        The newest flash version of each PVB page is located from the
+        validity-block scan (older versions are reported to the block
+        manager). The recovery scan's stale-copy map is then authoritative,
+        exactly as for the other stores: a flash bitmap can be *missing*
+        bits (an invalidation that never reached flash — e.g. a collection
+        interrupted between migration and erase) or carry *extraneous* bits
+        (a TRIMmed copy the scan resurrected), so every PVB page whose
+        flash content disagrees with the scan is rewritten. The reads and
+        writes are charged to the calling recovery step.
+        """
+        newest = {}
+        for timestamp, address, payload in metadata_pages:
+            pvb_page_id = payload.get("pvb_page_id")
+            if pvb_page_id is None:
+                continue
+            current = newest.get(pvb_page_id)
+            if current is None or timestamp > current[0]:
+                newest[pvb_page_id] = (timestamp, address)
+        self._directory = [None] * self.num_pvb_pages
+        for pvb_page_id, (_timestamp, address) in newest.items():
+            self._directory[pvb_page_id] = address
+        for _timestamp, address, payload in metadata_pages:
+            pvb_page_id = payload.get("pvb_page_id")
+            if pvb_page_id is None:
+                continue
+            if self._directory[pvb_page_id] != address:
+                self.block_manager.invalidate_metadata_page(address)
+
+        scan_bitmaps: Dict[int, int] = {}
+        pages_per_block = self.config.pages_per_block
+        for block_id, offsets in invalid_by_block.items():
+            for offset in offsets:
+                linear = block_id * pages_per_block + offset
+                pvb_page_id = linear // self.pages_covered
+                scan_bitmaps[pvb_page_id] = (
+                    scan_bitmaps.get(pvb_page_id, 0)
+                    | (1 << linear % self.pages_covered))
+        self._unwritten = {}
+        for pvb_page_id in range(self.num_pvb_pages):
+            target = scan_bitmaps.get(pvb_page_id, 0)
+            if self._directory[pvb_page_id] is None:
+                if target:
+                    self._unwritten[pvb_page_id] = target
+                continue
+            content = self._read_pvb_page(pvb_page_id, IOPurpose.RECOVERY)
+            if content.bitmap != target:
+                content.bitmap = target
+                self._write_pvb_page(content, IOPurpose.RECOVERY)
 
     # ------------------------------------------------------------------
     # Garbage-collection support

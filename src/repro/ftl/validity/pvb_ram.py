@@ -54,3 +54,7 @@ class RamPVB(ValidityStore):
             block_id: sum(1 << offset for offset in offsets)
             for block_id, offsets in invalid_by_block.items() if offsets
         }
+
+    def rebuild_after_crash(self, invalid_by_block, metadata_pages) -> None:
+        """The bitmap is pure RAM: the scan's stale-copy map *is* the bitmap."""
+        self.rebuild(invalid_by_block)

@@ -125,8 +125,37 @@ class PageValidityLog(ValidityStore):
         return per_block * self.config.num_blocks + self.config.page_size
 
     def reset_ram_state(self) -> None:
+        """Power failure wipes *all* RAM-resident log state.
+
+        The chains, the insert buffer, the log-page order, and the per-block
+        erase timestamps are all integrated-RAM structures; IB-FTL's recovery
+        has to rebuild them from flash (which is exactly why its recovery
+        time scales with the log/device size in Figure 13).
+        """
         self._buffer = []
         self._chains = {}
+        self._log_pages = []
+        self._erase_timestamps = {}
+        self._clock = 0
+
+    def rebuild_after_crash(self, invalid_by_block, metadata_pages) -> None:
+        """Discard the old log and re-insert the scan's ground truth.
+
+        The erase timestamps that made old log entries interpretable were
+        lost with RAM, so surviving log pages cannot be trusted entry by
+        entry. Recovery therefore retires every old log page (the garbage
+        collector reclaims them) and rebuilds the log from the recovery
+        scan's stale-copy map, whose entries need no timestamp filtering.
+        The re-inserted entries are buffered and flushed exactly like
+        runtime invalidations, so the rebuilt log is bounded as usual.
+        """
+        for _timestamp, address, payload in metadata_pages:
+            if payload.get("pvl_page"):
+                self.block_manager.invalidate_metadata_page(address)
+        self.reset_ram_state()
+        for block_id, offsets in sorted(invalid_by_block.items()):
+            for offset in sorted(offsets):
+                self.mark_invalid(PhysicalAddress(block_id, offset))
 
     # ------------------------------------------------------------------
     # Flushing and cleaning

@@ -144,17 +144,111 @@ class TestCrashRecovery:
         session.write(7, "precious")
         session.crash()
         assert session.ftl.cache.dirty_count == 0
-        assert session.recover() is None
+        report = session.recover()
+        assert isinstance(report, RecoveryReport)
+        assert [step.name for step in report.steps] == ["battery_flush"]
         assert session.read(7) == "precious"
 
-    def test_unbatteried_competitors_refuse_crash(self):
+    def test_unbatteried_competitors_recover_by_scanning(self):
         session = SimulationSession("LazyFTL(cache_capacity=64)",
                                     device=tiny_config())
         session.warmup()
-        with pytest.raises(NotImplementedError):
-            session.crash()
+        session.write(7, "precious")
+        session.crash()
+        report = session.recover()
+        assert isinstance(report, RecoveryReport)
+        # The full scan reads at least one spare area per written page.
+        assert report.total_spare_reads >= session.config.logical_pages
+        assert session.read(7) == "precious"
 
     def test_recover_without_crash_is_a_noop(self):
         session = SimulationSession("GeckoFTL(cache_capacity=64)",
                                     device=tiny_config())
+        assert session.recover() is None
+
+    def test_close_after_crash_is_a_noop(self):
+        # Regression: close()/__exit__ used to flush() the power-failed FTL,
+        # which reprograms flash from wiped RAM state.
+        session = SimulationSession("GeckoFTL(cache_capacity=64)",
+                                    device=tiny_config())
+        session.warmup()
+        session.write(7, "precious")
+        session.crash()
+        writes_after_crash = session.stats.page_writes
+        session.close()
+        assert session.stats.page_writes == writes_after_crash
+        assert session.crashed
+        # The session is still closable for real once recovered.
+        session.recover()
+        session.close()
+        assert session.ftl.cache.dirty_count == 0
+
+    def test_context_manager_exit_after_crash_does_not_flush(self):
+        with SimulationSession("LazyFTL(cache_capacity=64)",
+                               device=tiny_config()) as session:
+            session.warmup()
+            session.write(7, "precious")
+            session.crash()
+            writes_after_crash = session.stats.page_writes
+        assert session.stats.page_writes == writes_after_crash
+
+    def test_host_io_refused_while_crashed(self):
+        session = SimulationSession("DFTL(cache_capacity=64)",
+                                    device=tiny_config())
+        session.warmup()
+        session.crash()
+        with pytest.raises(RuntimeError, match="recover"):
+            session.write(1, "x")
+        with pytest.raises(RuntimeError, match="recover"):
+            session.read(1)
+        session.recover()
+        session.write(1, "x")
+        assert session.read(1) == "x"
+
+    def test_crash_clears_stale_recovery_before_dispatch(self):
+        # Regression: a failed crash dispatch used to leave the previous
+        # crash's adapter in place, so a later recover() replayed it.
+        session = SimulationSession("GeckoFTL(cache_capacity=64)",
+                                    device=tiny_config())
+        session.warmup()
+        session.crash()
+        session.recover()
+        def broken():
+            raise RuntimeError("adapter construction failed")
+        session.ftl.make_recovery = broken
+        with pytest.raises(RuntimeError, match="adapter construction"):
+            session.crash()
+        # No power failure actually happened: the session is not crashed,
+        # recover() is a no-op, and host IO still works.
+        assert not session.crashed
+        assert session.recover() is None
+        session.write(1, "still alive")
+        assert session.read(1) == "still alive"
+
+    def test_failed_power_failure_simulation_is_loud(self):
+        # If the wipe itself dies mid-way the state is indeterminate;
+        # recover() must say so instead of silently returning None.
+        session = SimulationSession("GeckoFTL(cache_capacity=64)",
+                                    device=tiny_config())
+        session.warmup()
+        class ExplodingAdapter:
+            def simulate_power_failure(self):
+                raise OSError("wipe interrupted")
+        session.ftl.make_recovery = ExplodingAdapter
+        with pytest.raises(OSError, match="wipe interrupted"):
+            session.crash()
+        assert session.crashed
+        with pytest.raises(RuntimeError, match="indeterminate"):
+            session.recover()
+
+    def test_second_crash_replaces_recovery_adapter(self):
+        session = SimulationSession("GeckoFTL(cache_capacity=64)",
+                                    device=tiny_config())
+        session.warmup()
+        session.write(7, "precious")
+        session.crash()
+        session.crash()
+        report = session.recover()
+        assert isinstance(report, RecoveryReport)
+        assert session.read(7) == "precious"
         assert session.recover() is None

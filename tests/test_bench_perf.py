@@ -19,9 +19,11 @@ from repro.bench.perf import (
 from repro.cli import main
 
 #: The named benchmarks, in reporting order (gecko_gc_query joined the
-#: original five with the columnar Gecko rewrite).
+#: original five with the columnar Gecko rewrite, gecko_recovery with the
+#: crash-recovery scenario engine).
 EXPECTED_NAMES = ["device_fill", "gecko_update", "gecko_merge",
-                  "gecko_gc_query", "dftl_cache_miss", "sweep_cell"]
+                  "gecko_gc_query", "gecko_recovery",
+                  "dftl_cache_miss", "sweep_cell"]
 
 
 def _record(name, ops_per_sec, quick=True, **extra):

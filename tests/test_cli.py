@@ -160,3 +160,89 @@ class TestSweepCommand:
         output = capsys.readouterr().out
         assert "device.logical_ratio" in output
         assert "0.5" in output and "0.7" in output
+
+
+class TestCrashCli:
+    """The `repro crash` subcommand and `repro sweep --crash`."""
+
+    TINY = ["--blocks", "64", "--pages-per-block", "8", "--page-size", "256"]
+
+    def test_crash_command_prints_step_table_and_totals(self, capsys):
+        code = main(["crash", "--ftl", "LazyFTL", "--writes", "600",
+                     "--crash-after", "300", "--cache-entries", "32"]
+                    + self.TINY)
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Crash of LazyFTL after 300 ops" in output
+        assert "step3_full_scan" in output
+        assert "Recovery totals and post-recovery impact" in output
+        assert "wa_delta" in output
+
+    def test_crash_command_gecko_phase_gc(self, capsys):
+        code = main(["crash", "--ftl", "GeckoFTL", "--writes", "600",
+                     "--crash-after", "100", "--phase", "gc",
+                     "--cache-entries", "32"] + self.TINY)
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "phase=gc, fired=yes" in output
+        assert "step6_dirty_entries" in output
+
+    def test_crash_command_no_recover(self, capsys):
+        code = main(["crash", "--writes", "400", "--crash-after", "200",
+                     "--no-recover", "--cache-entries", "32"] + self.TINY)
+        assert code == 0
+        assert "recovery skipped" in capsys.readouterr().out
+
+    def test_sweep_crash_flag_produces_recovery_columns(self, capsys):
+        code = main(["sweep", "--grid", "ftl=GeckoFTL,DFTL cache=32",
+                     "--writes", "400", "--interval-writes", "200",
+                     "--crash", "after_ops=200,phase=ops"] + self.TINY)
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "recovery_spare=" in output
+        assert "recovery.total_spare_reads" in output
+        assert "wa_delta" in output
+
+    def test_sweep_crash_rows_persist_recovery(self, tmp_path):
+        sink = tmp_path / "rows.jsonl"
+        code = main(["sweep", "--grid", "ftl=LazyFTL cache=32",
+                     "--writes", "400", "--interval-writes", "200",
+                     "--crash", "200", "--sink", str(sink)] + self.TINY)
+        assert code == 0
+        row = json.loads(sink.read_text().splitlines()[0])
+        assert row["crash"]["after_ops"] == 200
+        assert row["recovery"]["total_spare_reads"] > 0
+        assert row["recovery"]["total_page_writes"] >= 0
+
+    def test_malformed_crash_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--grid", "ftl=GeckoFTL", "--crash",
+                 "after_ops=1,phase=nope"])
+
+    def test_crash_command_invalid_workload_is_a_usage_error(self, capsys):
+        code = main(["crash", "--workload", "NopeWorkload",
+                     "--writes", "100"] + self.TINY)
+        assert code == 2
+        assert "invalid crash scenario" in capsys.readouterr().err
+
+    def test_crash_command_negative_crash_after_is_a_usage_error(self, capsys):
+        code = main(["crash", "--writes", "100", "--crash-after", "-5"]
+                    + self.TINY)
+        assert code == 2
+        assert "invalid crash scenario" in capsys.readouterr().err
+
+    def test_plan_file_sweep_honors_crash_flag(self, tmp_path, capsys):
+        plan = {"ftls": ["GeckoFTL"],
+                "devices": [{"num_blocks": 64, "pages_per_block": 8,
+                             "page_size": 256}],
+                "cache_capacities": [32], "seeds": [1],
+                "write_operations": 400, "interval_writes": 200}
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps(plan))
+        code = main(["sweep", "--plan", str(plan_path),
+                     "--crash", "after_ops=200"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "recovery_spare=" in output
+        assert "recovery.total_spare_reads" in output

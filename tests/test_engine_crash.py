@@ -1,0 +1,176 @@
+"""Tests for crash schedules in the sweep engine (repro.engine.crash)."""
+
+import pytest
+
+from repro.engine import (
+    CrashPlan,
+    ResultSink,
+    SweepPlan,
+    SweepTask,
+    canonical_row_bytes,
+    execute_task,
+    run_sweep,
+)
+
+TINY_DEVICE = {"num_blocks": 64, "pages_per_block": 8, "page_size": 256}
+
+
+def crash_task(ftl="GeckoFTL", crash=None, writes=1200, **overrides):
+    options = {"ftl": ftl, "workload": "UniformRandomWrites",
+               "device": TINY_DEVICE, "cache_capacity": 64, "seed": 9,
+               "write_operations": writes, "interval_writes": 400,
+               "crash": crash}
+    options.update(overrides)
+    return SweepTask(**options)
+
+
+class TestCrashPlan:
+    def test_defaults_and_validation(self):
+        plan = CrashPlan(after_ops=100)
+        assert plan.phase == "ops" and plan.recover is True
+        with pytest.raises(ValueError, match="after_ops"):
+            CrashPlan(after_ops=-1)
+        with pytest.raises(ValueError, match="phase"):
+            CrashPlan(after_ops=1, phase="nope")
+
+    def test_parse_shorthand(self):
+        plan = CrashPlan.parse("after_ops=2000,phase=gc,recover=false")
+        assert plan == CrashPlan(after_ops=2000, phase="gc", recover=False)
+        assert CrashPlan.parse("1500") == CrashPlan(after_ops=1500)
+        with pytest.raises(ValueError, match="after_ops"):
+            CrashPlan.parse("phase=gc")
+        with pytest.raises(ValueError, match="unknown crash spec key"):
+            CrashPlan.parse("after_ops=1,bogus=2")
+
+    def test_dict_round_trip_and_coercion(self):
+        plan = CrashPlan(after_ops=5, phase="merge", recover=False)
+        assert CrashPlan.from_dict(plan.to_dict()) == plan
+        assert CrashPlan.of(plan) is plan
+        assert CrashPlan.of(42) == CrashPlan(after_ops=42)
+        with pytest.raises(ValueError, match="unknown crash-plan key"):
+            CrashPlan.from_dict({"after_ops": 1, "what": 2})
+
+    def test_task_normalizes_crash_spec_strings(self):
+        task = crash_task(crash="after_ops=600,phase=gc")
+        assert task.crash == {"after_ops": 600, "phase": "gc",
+                              "recover": True}
+
+    def test_crash_changes_task_key_but_plain_keys_are_stable(self):
+        plain = crash_task(crash=None)
+        crashed = crash_task(crash={"after_ops": 600})
+        assert plain.key() != crashed.key()
+        # A task without a crash plan keeps the identity material of older
+        # builds, so pre-crash sinks remain resumable.
+        assert plain.key() == SweepTask.from_dict(
+            {k: v for k, v in plain.to_dict().items()
+             if k != "crash"}).key()
+
+
+class TestCrashExecution:
+    def test_row_carries_recovery_totals_and_wa_delta(self):
+        row = execute_task(crash_task(crash={"after_ops": 600}))
+        recovery = row["recovery"]
+        for key in ("total_page_reads", "total_page_writes",
+                    "total_spare_reads", "total_duration_us", "steps"):
+            assert key in recovery
+        assert row["crash"]["ops_completed"] == 600
+        assert row["crash"]["phase_fired"] is True
+        assert row["crash"]["post_ops"] == 600
+        assert row["operations_executed"] == 1200
+        assert row["wa_delta"] == pytest.approx(
+            row["wa_post_recovery"] - row["wa_pre_crash"], abs=1e-5)
+
+    def test_no_recover_skips_recovery_and_post_ops(self):
+        row = execute_task(crash_task(
+            crash={"after_ops": 600, "recover": False}))
+        assert row["recovery"] is None
+        assert row["wa_post_recovery"] is None
+        assert row["wa_delta"] is None
+        assert row["crash"]["post_ops"] == 0
+        assert row["operations_executed"] == 600
+
+    def test_crash_io_attributes_the_battery_flush(self):
+        # Even with recover=False, the IO the power-failure event itself
+        # costs (the battery-paid flush) is reported, so DFTL's wa_total
+        # surplus over a RAM-loss FTL stays explainable from the row.
+        battery = execute_task(crash_task(
+            ftl="DFTL", crash={"after_ops": 600, "recover": False}))
+        ram_loss = execute_task(crash_task(
+            ftl="LazyFTL", crash={"after_ops": 600, "recover": False}))
+        assert battery["crash"]["crash_io"]["page_writes"] > 0
+        assert ram_loss["crash"]["crash_io"] == {
+            "page_reads": 0, "page_writes": 0,
+            "spare_reads": 0, "block_erases": 0}
+
+    def test_gc_phase_fires_and_interrupts_a_collection(self):
+        row = execute_task(crash_task(crash={"after_ops": 200, "phase": "gc"}))
+        assert row["crash"]["phase_fired"] is True
+        # The crash happened at the first collection at/after the boundary.
+        assert row["crash"]["ops_completed"] >= 200
+        assert row["recovery"] is not None
+
+    def test_merge_phase_fires_for_gecko(self):
+        row = execute_task(crash_task(
+            crash={"after_ops": 100, "phase": "merge"}, writes=2000))
+        assert row["crash"]["phase_fired"] is True
+
+    def test_merge_phase_never_fires_for_ftls_without_merges(self):
+        row = execute_task(crash_task(
+            ftl="DFTL", crash={"after_ops": 100, "phase": "merge"},
+            writes=600))
+        assert row["crash"]["phase_fired"] is False
+        # Degenerates to a crash after the last operation.
+        assert row["crash"]["ops_completed"] == 600
+
+    def test_crash_past_the_workload_end_degenerates(self):
+        row = execute_task(crash_task(crash={"after_ops": 10_000}))
+        assert row["crash"]["phase_fired"] is False
+        assert row["crash"]["ops_completed"] == 1200
+        assert row["wa_post_recovery"] is None
+
+    @pytest.mark.parametrize("ftl", ["GeckoFTL", "LazyFTL", "DFTL"])
+    def test_gc_crash_rows_for_other_ftls(self, ftl):
+        row = execute_task(crash_task(
+            ftl=ftl, crash={"after_ops": 300, "phase": "gc"}))
+        assert row["recovery"] is not None
+        assert row["recovery"]["total_duration_us"] > 0
+
+
+class TestCrashSweepDeterminism:
+    def test_rows_identical_across_worker_counts(self):
+        plan = SweepPlan(
+            ftls=["GeckoFTL", "LazyFTL", "DFTL"],
+            devices=[TINY_DEVICE], cache_capacities=[64], seeds=[3],
+            write_operations=900, interval_writes=300,
+            crash={"after_ops": 450, "phase": "gc"})
+        serial = run_sweep(plan, workers=1)
+        parallel = run_sweep(plan, workers=4)
+        assert [canonical_row_bytes(row) for row in serial.rows] \
+            == [canonical_row_bytes(row) for row in parallel.rows]
+
+    def test_crash_sweep_resume_is_a_noop(self, tmp_path):
+        plan = SweepPlan(
+            ftls=["GeckoFTL"], devices=[TINY_DEVICE], cache_capacities=[64],
+            seeds=[1, 2], write_operations=600, interval_writes=200,
+            crash={"after_ops": 300})
+        sink_path = tmp_path / "crashes.jsonl"
+        first = run_sweep(plan, sink=ResultSink(sink_path))
+        assert first.executed == 2
+        second = run_sweep(plan, sink=ResultSink(sink_path), resume=True)
+        assert second.executed == 0 and second.skipped == 2
+        assert [row["key"] for row in second.rows] \
+            == [row["key"] for row in first.rows]
+
+
+class TestPlanWiring:
+    def test_sweep_plan_normalizes_and_round_trips_crash(self):
+        plan = SweepPlan(ftls=["GeckoFTL"], devices=[TINY_DEVICE],
+                         crash="after_ops=500,phase=merge")
+        assert plan.crash == {"after_ops": 500, "phase": "merge",
+                              "recover": True}
+        assert all(task.crash == plan.crash for task in plan.tasks())
+        assert SweepPlan.from_dict(plan.to_dict()).crash == plan.crash
+
+    def test_plain_plan_to_dict_has_no_crash_key(self):
+        plan = SweepPlan(ftls=["GeckoFTL"], devices=[TINY_DEVICE])
+        assert "crash" not in plan.to_dict()
