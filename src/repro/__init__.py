@@ -17,6 +17,9 @@ The package provides:
   JSONL :class:`ResultSink` persistence;
 * :mod:`repro.analysis` — the paper's analytical RAM, recovery-time and IO
   cost models (Figures 1 and 13, Table 1);
+* :mod:`repro.timing` — the device timing model: per-op latency presets,
+  channel/plane parallelism, a virtual clock with head-of-line blocking,
+  and constant-memory p50/p99/p999 tail-latency sketches;
 * :mod:`repro.bench` — the experiment harness used by the benchmark suite
   (now a thin layer over :mod:`repro.api`).
 
@@ -73,6 +76,13 @@ from .flash import (
 )
 from .ftl import DFTL, IBFTL, LazyFTL, MuFTL, PageMappedFTL, VictimPolicy
 from .ftl.operations import BatchResult, Operation, OpKind
+from .timing import (
+    DEVICE_PRESETS,
+    LatencySketch,
+    TimedFlashDevice,
+    TimingModel,
+    TimingSpec,
+)
 from .workloads import (
     HotColdWrites,
     TraceFormatError,
@@ -89,11 +99,12 @@ from .workloads import (
     workload_names,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BatchResult",
     "CrashPlan",
+    "DEVICE_PRESETS",
     "DFTL",
     "DeviceConfig",
     "EntryLayout",
@@ -108,6 +119,7 @@ __all__ = [
     "IOStats",
     "InMemoryGeckoStorage",
     "LatencyConfig",
+    "LatencySketch",
     "LazyFTL",
     "LogarithmicGecko",
     "MixedReadWrite",
@@ -124,6 +136,9 @@ __all__ = [
     "SweepExecutor",
     "SweepPlan",
     "SweepTask",
+    "TimedFlashDevice",
+    "TimingModel",
+    "TimingSpec",
     "TraceFormatError",
     "TraceWorkload",
     "UniformRandomWrites",

@@ -34,6 +34,9 @@ from ..flash.device import FlashDevice
 from ..flash.stats import IOPurpose, IOStats
 from ..ftl.base import PageMappedFTL
 from ..ftl.operations import BatchResult, Operation
+from ..timing.device import TimedFlashDevice
+from ..timing.model import TimingModel
+from ..timing.spec import TimingSpec
 from ..workloads.base import RunResult, Workload, WorkloadRunner, fill_device
 from .registry import FTLSpec
 
@@ -60,6 +63,9 @@ class SessionSnapshot:
     write_amplification: float
     wa_breakdown: Dict[str, float]
     ram_breakdown: Dict[str, int]
+    #: Full latency/throughput summary (see ``TimingModel.summary``), or
+    #: ``None`` when the session runs without a timing model.
+    latency: Optional[Dict[str, Any]] = None
 
     @property
     def ram_bytes(self) -> int:
@@ -74,6 +80,11 @@ class SessionSnapshot:
         }
         for purpose, value in sorted(self.wa_breakdown.items()):
             row[f"wa_{purpose}"] = round(value, 4)
+        if self.latency is not None:
+            # Virtual-time QoS columns: deterministic for a given seed and
+            # spec, so they are part of the canonical (cross-worker) row.
+            for field in ("throughput_ops_s", "p50_us", "p99_us", "p999_us"):
+                row[field] = self.latency[field]
         return row
 
 
@@ -93,6 +104,15 @@ class SimulationSession:
         Measurement-interval length used by :meth:`run`.
     ftl_kwargs:
         Defaults passed to the FTL factory; the spec's own kwargs win.
+    timing:
+        Optional device timing model: a :class:`TimingModel`, a
+        :class:`TimingSpec`, a preset/shorthand string (``"slc"``,
+        ``"mlc(channels=8)"``) or a spec dict. When given (and ``device``
+        is a config or ``None``) the session builds a
+        :class:`TimedFlashDevice` and every flash operation is sequenced
+        onto the virtual clock; :meth:`latency_summary` then reports
+        p50/p99/p999 and throughput. When omitted the session uses the
+        plain :class:`FlashDevice` fast paths with zero timing overhead.
     """
 
     def __init__(self,
@@ -100,16 +120,34 @@ class SimulationSession:
                  device: Union[DeviceConfig, FlashDevice, None] = None,
                  *,
                  interval_writes: int = 10_000,
-                 ftl_kwargs: Optional[Dict[str, Any]] = None) -> None:
+                 ftl_kwargs: Optional[Dict[str, Any]] = None,
+                 timing: Union[TimingModel, TimingSpec, str,
+                               Dict[str, Any], None] = None) -> None:
+        if timing is not None and not isinstance(timing, TimingModel):
+            timing = TimingModel(timing)
         if device is None:
-            self.device = FlashDevice(simulation_configuration())
+            config = simulation_configuration()
+            self.device = (FlashDevice(config) if timing is None
+                           else TimedFlashDevice(config, timing=timing))
         elif isinstance(device, FlashDevice):
+            device_timing = getattr(device, "timing", None)
+            if timing is not None and device_timing is not timing:
+                raise ValueError(
+                    "timing= conflicts with the ready-made device; pass a "
+                    "TimedFlashDevice carrying the desired timing model (or "
+                    "a DeviceConfig and let the session build one)")
+            timing = device_timing
             self.device = device
         elif isinstance(device, DeviceConfig):
-            self.device = FlashDevice(device)
+            self.device = (FlashDevice(device) if timing is None
+                           else TimedFlashDevice(device, timing=timing))
         else:
             raise TypeError("device must be a DeviceConfig or FlashDevice, "
                             f"not {type(device).__name__}")
+        #: The session's :class:`TimingModel`, or ``None`` when disabled.
+        self.timing: Optional[TimingModel] = timing
+        #: Virtual microseconds the last :meth:`recover` took (timing only).
+        self.recovery_virtual_us: Optional[float] = None
         self.config: DeviceConfig = self.device.config
 
         if isinstance(ftl, PageMappedFTL):
@@ -143,7 +181,8 @@ class SimulationSession:
         return cls(task.ftl,
                    device=build_device_config(task.device),
                    interval_writes=task.interval_writes,
-                   ftl_kwargs={"cache_capacity": task.cache_capacity})
+                   ftl_kwargs={"cache_capacity": task.cache_capacity},
+                   timing=getattr(task, "timing", None))
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -162,6 +201,10 @@ class SimulationSession:
                             payload_factory=payload_factory)
         if reset_stats:
             self.stats.reset()
+            if self.timing is not None:
+                # Same contract as the stats reset: drop the warm-up
+                # samples, keep the steady state (clock and busy units).
+                self.timing.reset_capture()
         return pages
 
     def run(self, workload: Workload, operation_count: int,
@@ -180,7 +223,19 @@ class SimulationSession:
             stats=stats,
             write_amplification=stats.write_amplification(delta),
             wa_breakdown=write_amplification_breakdown(stats, delta),
-            ram_breakdown=self.ftl.ram_breakdown())
+            ram_breakdown=self.ftl.ram_breakdown(),
+            latency=self.latency_summary())
+
+    def latency_summary(self) -> Optional[Dict[str, Any]]:
+        """Latency/throughput figures for the capture window, or ``None``.
+
+        The dictionary mirrors :meth:`TimingModel.summary`: request count,
+        virtual seconds, ``throughput_ops_s``, the full-distribution
+        mean/min/max/p50/p99/p999 (microseconds) and a per-request-kind
+        breakdown under ``"kinds"``. Sessions built without ``timing=``
+        return ``None``.
+        """
+        return self.timing.summary() if self.timing is not None else None
 
     @property
     def crashed(self) -> bool:
@@ -208,6 +263,11 @@ class SimulationSession:
         # actually simulated is the session considered crashed.
         adapter = self.ftl.make_recovery()
         self._crashed = True
+        if self.timing is not None:
+            # A power failure may interrupt a host request mid-submit;
+            # abandon it so the clock stays consistent without recording a
+            # latency sample for a request that never completed.
+            self.timing.abort_request()
         adapter.simulate_power_failure()
         self._recovery = adapter
 
@@ -231,7 +291,13 @@ class SimulationSession:
         # The adapter is only dropped once recovery succeeds: if recover()
         # raises mid-rebuild the session stays crashed with the adapter in
         # place, so a retry (or an accurate diagnostic) is still possible.
+        start_us = self.timing.now if self.timing is not None else None
         report = self._recovery.recover()
+        if start_us is not None:
+            # Recovery IO runs outside host requests, so it sequences as
+            # bare foreground work; the clock delta is the outage's
+            # virtual recovery time under this timing spec.
+            self.recovery_virtual_us = round(self.timing.now - start_us, 3)
         self._recovery = None
         self._crashed = False
         return report

@@ -6,7 +6,7 @@ speed of its hot paths, so this module pins that speed down: a fixed set of
 measured in operations per second and emitted as schema-versioned
 ``BENCH_<name>.json`` records that CI archives and compares across commits.
 
-The seven benchmarks:
+The eight benchmarks:
 
 ``device_fill``
     Raw sequential page programming of every physical page of a device —
@@ -31,6 +31,10 @@ The seven benchmarks:
     One end-to-end sweep cell through :func:`repro.engine.executor.
     execute_task` — build, warm up, run, snapshot — the unit of every
     experiment grid.
+``latency_sweep``
+    The same sweep cell with the ``repro.timing`` virtual clock enabled
+    (``slc`` preset) — pins the cost of per-op timing capture and the
+    latency-sketch summary on top of the untimed path.
 
 A record looks like::
 
@@ -316,6 +320,35 @@ def _bench_sweep_cell(quick: bool) -> PreparedBench:
         geometry={**device, "ftl": "GeckoFTL", "cache_capacity": 128})
 
 
+def _bench_latency_sweep(quick: bool) -> PreparedBench:
+    """The sweep cell again, with the virtual-time latency model on.
+
+    Identical task to ``sweep_cell`` plus ``timing="slc"``, so the ratio
+    between the two records is the measured overhead of per-op timing
+    capture (TimedFlashDevice overrides + sketch recording).
+    """
+    from ..engine.executor import execute_task
+    from ..engine.plan import SweepTask, device_dict
+
+    writes = 1_500 if quick else 6_000
+    device = device_dict(num_blocks=96, pages_per_block=16, page_size=256)
+    task = SweepTask(ftl="GeckoFTL", workload="UniformRandomWrites",
+                     device=device, cache_capacity=128, seed=42,
+                     write_operations=writes, interval_writes=1_000,
+                     timing="slc")
+
+    def thunk() -> int:
+        row = execute_task(task)
+        if "p99_us" not in row:
+            raise RuntimeError("timed sweep cell produced no latency columns")
+        return int(row["operations_executed"])
+
+    return PreparedBench(
+        thunk=thunk, ops=writes,
+        geometry={**device, "ftl": "GeckoFTL", "cache_capacity": 128,
+                  "timing": "slc"})
+
+
 #: The fixed set of named microbenchmarks, in reporting order.
 BENCH_CASES: Dict[str, BenchFactory] = {
     "device_fill": _bench_device_fill,
@@ -325,6 +358,7 @@ BENCH_CASES: Dict[str, BenchFactory] = {
     "gecko_recovery": _bench_gecko_recovery,
     "dftl_cache_miss": _bench_dftl_cache_miss,
     "sweep_cell": _bench_sweep_cell,
+    "latency_sweep": _bench_latency_sweep,
 }
 
 

@@ -29,9 +29,11 @@ from .bench.harness import compare_ftls
 from .bench.perf import (bench_names, compare_records, load_records,
                          run_benchmarks)
 from .bench.reporting import format_bytes, format_seconds, print_report
-from .engine import (CrashPlan, ResultSink, SweepExecutor, SweepPlan, SweepTask,
-                     aggregate, device_dict, execute_task)
+from .engine import (LATENCY_FIELDS, CrashPlan, ResultSink, SweepExecutor,
+                     SweepPlan, SweepTask, aggregate, device_dict,
+                     execute_task, latency_table)
 from .flash.config import paper_configuration, simulation_configuration
+from .timing import DEVICE_PRESETS, TimingSpec
 from .workloads import TraceWorkload, workload_names
 
 
@@ -47,6 +49,14 @@ def _crash_plan(text: str) -> CrashPlan:
     """argparse type: parse a crash-schedule shorthand."""
     try:
         return CrashPlan.of(text)
+    except (ValueError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _timing_spec(text: str) -> TimingSpec:
+    """argparse type: parse a timing preset/shorthand."""
+    try:
+        return TimingSpec.of(text)
     except (ValueError, TypeError) as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
@@ -142,6 +152,8 @@ def cmd_sweep(arguments) -> int:
                  "seeds": [arguments.seed]}
     if arguments.crash is not None:
         overrides["crash"] = arguments.crash
+    if arguments.timing is not None:
+        overrides["timing"] = arguments.timing
     try:
         if arguments.plan is not None:
             with open(arguments.plan, "r", encoding="utf-8") as handle:
@@ -150,6 +162,9 @@ def cmd_sweep(arguments) -> int:
                 # The plan file is authoritative for the grid, but an
                 # explicit --crash flag (no ambient default) still applies.
                 plan_dict["crash"] = arguments.crash.to_dict()
+            if arguments.timing is not None:
+                # Same rule as --crash: explicit flags compose with a plan.
+                plan_dict["timing"] = arguments.timing.to_dict()
             plan = SweepPlan.from_dict(plan_dict)
         elif arguments.grid is not None:
             plan = SweepPlan.from_grid(arguments.grid, **overrides)
@@ -166,6 +181,9 @@ def cmd_sweep(arguments) -> int:
             extra = (f" recovery_spare={row['recovery']['total_spare_reads']}"
                      f" recovery_ms="
                      f"{row['recovery']['total_duration_us'] / 1000:.1f}")
+        if row.get("p99_us") is not None:
+            extra += (f" p99_us={row['p99_us']:.0f}"
+                      f" p999_us={row['p999_us']:.0f}")
         print(f"[{completed}/{total}] {task.ftl} "
               f"workload={task.workload} cache={task.cache_capacity} "
               f"seed={task.seed} wa={row['wa_total']:.4f}{extra} "
@@ -183,11 +201,47 @@ def cmd_sweep(arguments) -> int:
         metrics += ["recovery.total_spare_reads", "recovery.total_page_reads",
                     "recovery.total_page_writes", "recovery.total_duration_us",
                     "wa_delta"]
+    if any(row.get("p99_us") is not None for row in report.rows):
+        metrics += list(LATENCY_FIELDS)
     print_report(f"Sweep of {len(plan)} tasks "
                  f"({arguments.workers} worker(s))",
                  aggregate(report.rows, by=tuple(arguments.group_by),
                            metrics=tuple(metrics)))
     print(f"\n{report.summary()}")
+    return 0
+
+
+def cmd_latency(arguments) -> int:
+    """Compare FTL tail latencies under one timing spec and workload."""
+    device = device_dict(num_blocks=arguments.blocks,
+                         pages_per_block=arguments.pages_per_block,
+                         page_size=arguments.page_size,
+                         logical_ratio=arguments.logical_ratio)
+    rows = []
+    try:
+        tasks = [SweepTask(ftl=str(spec), workload=arguments.workload,
+                           device=device,
+                           cache_capacity=arguments.cache_entries,
+                           seed=arguments.seed,
+                           write_operations=arguments.writes,
+                           interval_writes=max(1, arguments.writes // 10),
+                           timing=arguments.timing.to_dict())
+                 for spec in arguments.ftls]
+    except ValueError as exc:
+        print(f"invalid latency scenario: {exc}", file=sys.stderr)
+        return 2
+    for task in tasks:
+        row = execute_task(task)
+        rows.append(row)
+        print(f"{task.ftl}: wa={row['wa_total']:.4f} "
+              f"throughput={row['throughput_ops_s']:.0f} ops/s "
+              f"p50={row['p50_us']:.0f}us p99={row['p99_us']:.0f}us "
+              f"p999={row['p999_us']:.0f}us")
+    print()
+    print_report(
+        f"Virtual-time QoS under {arguments.workload} "
+        f"({arguments.timing} timing, {arguments.writes} ops)",
+        latency_table(rows))
     return 0
 
 
@@ -360,7 +414,33 @@ def build_parser() -> argparse.ArgumentParser:
                             "e.g. 'after_ops=2000,phase=gc' (phases: ops, "
                             "gc, merge; add recover=false to stop at the "
                             "failure)")
+    sweep.add_argument("--timing", type=_timing_spec, metavar="PRESET",
+                       default=None,
+                       help="run every cell on a timed device and add "
+                            "throughput/p50/p99/p999 columns; presets: "
+                            f"{', '.join(sorted(DEVICE_PRESETS))}, with "
+                            "overrides like 'slc(channels=8)'")
     sweep.set_defaults(handler=cmd_sweep)
+
+    latency = subparsers.add_parser(
+        "latency", help="compare FTL tail latencies (p50/p99/p999) under a "
+                        "device timing model")
+    add_device_arguments(latency)
+    latency.add_argument("--ftls", nargs="+",
+                         default=["GeckoFTL", "DFTL", "LazyFTL"],
+                         type=_ftl_spec, metavar="FTL",
+                         help=f"FTL names or specs (known: {known})")
+    latency.add_argument("--workload", default="UniformRandomWrites",
+                         help="workload name or spec "
+                              f"(known: {', '.join(workload_names())})")
+    latency.add_argument("--writes", type=int, default=4000)
+    latency.add_argument("--seed", type=int, default=42)
+    latency.add_argument("--timing", type=_timing_spec, metavar="PRESET",
+                         default=TimingSpec.preset("slc"),
+                         help="timing preset/shorthand (presets: "
+                              f"{', '.join(sorted(DEVICE_PRESETS))}; "
+                              "default: slc)")
+    latency.set_defaults(handler=cmd_latency)
 
     crash = subparsers.add_parser(
         "crash", help="simulate one power failure + recovery and print the "

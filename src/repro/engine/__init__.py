@@ -67,12 +67,14 @@ from .plan import (
     device_dict,
 )
 from .results import (
+    LATENCY_FIELDS,
     SCHEMA_VERSION,
     TIMING_FIELDS,
     ResultSink,
     aggregate,
     canonical_row,
     canonical_row_bytes,
+    latency_table,
     load_results,
     ram_breakdown_table,
     wa_breakdown_table,
@@ -82,6 +84,7 @@ __all__ = [
     "CRASH_PHASES",
     "CrashOutcome",
     "CrashPlan",
+    "LATENCY_FIELDS",
     "SCHEMA_VERSION",
     "SimulatedPowerFailure",
     "TIMING_FIELDS",
@@ -98,6 +101,7 @@ __all__ = [
     "device_dict",
     "execute_crash_task",
     "execute_task",
+    "latency_table",
     "load_results",
     "ram_breakdown_table",
     "run_crash_scenario",

@@ -45,7 +45,7 @@ class SweepTaskError(RuntimeError):
 
 def _base_row(task: SweepTask, session, snapshot) -> Dict[str, Any]:
     """Row fields shared by plain and crash tasks (identity + state)."""
-    return {
+    row = {
         "schema": SCHEMA_VERSION,
         "key": task.key(),
         "index": task.index,
@@ -66,6 +66,20 @@ def _base_row(task: SweepTask, session, snapshot) -> Dict[str, Any]:
         "ram_breakdown": dict(sorted(snapshot.ram_breakdown.items())),
         "ram_bytes": snapshot.ram_bytes,
     }
+    if task.timing is not None:
+        # Virtual-clock QoS results. All of these derive from the timing
+        # model's deterministic virtual time, so — unlike the wall-clock
+        # ``ops_per_sec`` — they are part of the canonical row and must stay
+        # byte-identical across worker counts. Only timed tasks carry them,
+        # so untimed sinks keep their pre-existing schema byte for byte.
+        latency = snapshot.latency or {}
+        row["timing"] = dict(task.timing)
+        row["throughput_ops_s"] = latency.get("throughput_ops_s")
+        row["p50_us"] = latency.get("p50_us")
+        row["p99_us"] = latency.get("p99_us")
+        row["p999_us"] = latency.get("p999_us")
+        row["latency"] = latency
+    return row
 
 
 def _timing_fields(executed: int, elapsed: float,
@@ -188,6 +202,10 @@ def execute_crash_task(task: SweepTask) -> Dict[str, Any]:
                              if outcome.wa_post_recovery is not None
                              else None),
         "wa_delta": wa_delta,
+        # Virtual time the recovery algorithm itself took under the timing
+        # spec (None for untimed tasks or when recovery was skipped).
+        **({"recovery_virtual_us": session.recovery_virtual_us}
+           if task.timing is not None else {}),
         **_timing_fields(executed, elapsed, wall_seconds),
     }
 

@@ -35,6 +35,7 @@ from typing import Any, Dict, Iterator, List, Sequence, Union
 
 from ..api.registry import FTLSpec
 from ..flash.config import DeviceConfig, simulation_configuration
+from ..timing.spec import TimingSpec
 from ..workloads.registry import WorkloadSpec
 from .crash import CrashPlan
 
@@ -96,6 +97,9 @@ class SweepTask:
     #: Optional serialized :class:`~repro.engine.crash.CrashPlan`; when set
     #: the task runs as a crash–recovery scenario instead of a plain run.
     crash: Optional[Dict[str, Any]] = None
+    #: Optional serialized :class:`~repro.timing.spec.TimingSpec`; when set
+    #: the cell runs on a timed device and its row carries latency columns.
+    timing: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         # Validate both specs eagerly: a typo should fail at plan time in the
@@ -107,6 +111,9 @@ class SweepTask:
         if self.crash is not None:
             object.__setattr__(self, "crash",
                                CrashPlan.of(self.crash).to_dict())
+        if self.timing is not None:
+            object.__setattr__(self, "timing",
+                               TimingSpec.of(self.timing).to_dict())
 
     @property
     def derived_seed(self) -> int:
@@ -135,6 +142,9 @@ class SweepTask:
             # Only crash tasks carry the field, so plain tasks keep the keys
             # (and hence the resumability) of sinks written by older builds.
             identity["crash"] = self.crash
+        if self.timing is not None:
+            # Same backward-compatibility rule as ``crash`` above.
+            identity["timing"] = self.timing
         material = json.dumps(identity, sort_keys=True,
                               separators=(",", ":"))
         return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
@@ -170,11 +180,18 @@ class SweepPlan:
     #: :class:`~repro.engine.crash.CrashPlan`, its dict form, or the CLI
     #: shorthand string); ``None`` runs plain cells.
     crash: Optional[Any] = None
+    #: Optional device timing model applied to every cell (a
+    #: :class:`~repro.timing.spec.TimingSpec`, its dict form, or a preset
+    #: string such as ``"slc"``); ``None`` runs untimed cells.
+    timing: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.crash is not None:
             object.__setattr__(self, "crash",
                                CrashPlan.of(self.crash).to_dict())
+        if self.timing is not None:
+            object.__setattr__(self, "timing",
+                               TimingSpec.of(self.timing).to_dict())
         object.__setattr__(self, "ftls",
                            tuple(str(FTLSpec.of(f)) for f in self.ftls))
         object.__setattr__(self, "workloads",
@@ -210,7 +227,7 @@ class SweepPlan:
                           write_operations=self.write_operations,
                           interval_writes=self.interval_writes,
                           fill_fraction=self.fill_fraction, index=index,
-                          crash=self.crash)
+                          crash=self.crash, timing=self.timing)
                 for index, (ftl, workload, device, cache, seed)
                 in enumerate(grid)]
 
@@ -228,6 +245,8 @@ class SweepPlan:
                   "fill_fraction": self.fill_fraction}
         if self.crash is not None:
             result["crash"] = dict(self.crash)
+        if self.timing is not None:
+            result["timing"] = dict(self.timing)
         return result
 
     @classmethod

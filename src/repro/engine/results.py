@@ -164,8 +164,15 @@ def load_results(path: Union[str, Path]) -> List[Dict[str, Any]]:
 # ----------------------------------------------------------------------
 # Aggregation
 # ----------------------------------------------------------------------
-#: Metrics :func:`aggregate` summarizes by default.
-DEFAULT_METRICS = ("wa_total", "ops_per_sec", "ram_bytes")
+#: Virtual-time QoS columns timed rows carry (see ``repro.timing``). These
+#: are deterministic — unlike the wall-clock ``ops_per_sec`` they are part
+#: of the canonical row, not of :data:`TIMING_FIELDS`.
+LATENCY_FIELDS = ("throughput_ops_s", "p50_us", "p99_us", "p999_us")
+
+#: Metrics :func:`aggregate` summarizes by default. The latency columns
+#: only exist on rows from timed tasks; untimed rows simply don't
+#: contribute to them (see :func:`aggregate`).
+DEFAULT_METRICS = ("wa_total", "ops_per_sec", "ram_bytes") + LATENCY_FIELDS
 
 
 def _group_value(row: Dict[str, Any], field: str) -> Any:
@@ -247,6 +254,41 @@ def wa_breakdown_table(rows: Iterable[Dict[str, Any]],
         for purpose in sorted(all_purposes):
             values = purposes.get(purpose)
             summary[f"wa_{purpose}"] = mean(values) if values else 0.0
+        result.append(summary)
+    return result
+
+
+def latency_table(rows: Iterable[Dict[str, Any]],
+                  by: Sequence[str] = ("ftl",)) -> List[Dict[str, Any]]:
+    """Mean virtual-time QoS figures per group (tail-latency reporting).
+
+    The sibling of :func:`wa_breakdown_table` for the timing subsystem:
+    one dict per group with the mean of each :data:`LATENCY_FIELDS` column
+    plus ``mean_us`` and ``max_us`` drawn from the rows' nested ``latency``
+    summaries. Rows without latency columns (untimed tasks) are skipped;
+    groups containing no timed rows are omitted entirely, so the table
+    stays rectangular without inventing zero latencies.
+    """
+    grouped: Dict[Tuple, List[Dict[str, Any]]] = {}
+    for row in rows:
+        if not isinstance(row.get("p99_us"), (int, float)):
+            continue
+        key = tuple(_group_value(row, field) for field in by)
+        grouped.setdefault(key, []).append(row)
+    result = []
+    for key, members in grouped.items():
+        summary: Dict[str, Any] = {field: value
+                                   for field, value in zip(by, key)}
+        summary["n"] = len(members)
+        for metric in LATENCY_FIELDS + ("latency.mean_us", "latency.max_us"):
+            values = [
+                value for value in
+                (_group_value(member, metric) for member in members)
+                if isinstance(value, (int, float))
+                and not isinstance(value, bool)]
+            if values:
+                name = metric.rpartition(".")[2]
+                summary[name] = mean(values)
         result.append(summary)
     return result
 

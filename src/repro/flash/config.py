@@ -37,6 +37,12 @@ class LatencyConfig:
     Defaults follow the paper's cost models (Section 2 and 5): a page read
     takes ~100 us, a page write ~1 ms, a spare-area read ~3 us (a spare area
     is 32x smaller than a page), and an erase ~2 ms.
+
+    ``bus_transfer_us`` is the channel-bus transfer time added on top of the
+    cell array time for full-page reads and programs (spare-area accesses
+    move 32x less data and erases move none, so neither pays it). The paper's
+    cost model folds the bus into the page constants, hence the 0.0 default;
+    the device presets in :mod:`repro.timing` set it explicitly.
     """
 
     page_read_us: float = 100.0
@@ -44,6 +50,7 @@ class LatencyConfig:
     block_erase_us: float = 2000.0
     spare_read_us: float = 3.0
     spare_write_us: float = 30.0
+    bus_transfer_us: float = 0.0
 
     @property
     def delta(self) -> float:

@@ -192,9 +192,18 @@ class IOStats:
         return (internal_writes + internal_reads / delta) / writes_denominator
 
     def latency_us(self, latency) -> float:
-        """Total simulated time of all recorded operations, in microseconds."""
-        return (latency.page_read_us * sum(self.page_read_counts.values())
-                + latency.page_write_us * sum(self.page_write_counts.values())
+        """Total simulated time of all recorded operations, in microseconds.
+
+        Full-page reads and programs additionally pay the channel-bus
+        transfer when the latency model defines one (see
+        :class:`~repro.flash.config.LatencyConfig.bus_transfer_us`; the
+        default paper model folds it into the page constants).
+        """
+        bus = getattr(latency, "bus_transfer_us", 0.0)
+        return ((latency.page_read_us + bus)
+                * sum(self.page_read_counts.values())
+                + (latency.page_write_us + bus)
+                * sum(self.page_write_counts.values())
                 + latency.block_erase_us * sum(self.block_erase_counts.values())
                 + latency.spare_read_us * sum(self.spare_read_counts.values())
                 + latency.spare_write_us * sum(self.spare_write_counts.values()))

@@ -86,6 +86,10 @@ class PageMappedFTL:
             free_block_threshold=free_block_threshold)
         self.wear_leveler: Optional[WearLeveler] = (
             WearLeveler(device) if enable_wear_leveling else None)
+        # Discovered, not injected: only TimedFlashDevice carries a ``timing``
+        # slot, so FTLs on a plain device see None and every timing branch
+        # below stays a single predictable ``is not None`` check.
+        self.timing = getattr(device, "timing", None)
         self._in_gc = False
 
     # ------------------------------------------------------------------
@@ -126,6 +130,12 @@ class PageMappedFTL:
         (``tests/test_submit_equivalence.py`` locks the equivalence).
         """
         self._check_logical(logical)
+        timing = self.timing
+        if timing is not None:
+            # The request opens before GC so collection triggered by this
+            # write loads the device at the request's arrival time — that is
+            # precisely the head-of-line blocking behind GC tail spikes.
+            timing.begin_request("write")
         self.stats.record_host_write()
         self._maybe_collect()
         new_address = self._program_user_page(logical, data, IOPurpose.USER)
@@ -134,6 +144,8 @@ class PageMappedFTL:
             self.wear_leveler.on_flash_write()
         self._after_write(logical)
         self._enforce_dirty_limit()
+        if timing is not None:
+            timing.end_request()
         return new_address
 
     def read(self, logical: LogicalAddress) -> Any:
@@ -142,23 +154,34 @@ class PageMappedFTL:
         Returns ``None`` for a logical page that has never been written.
         """
         self._check_logical(logical)
+        timing = self.timing
+        if timing is not None:
+            timing.begin_request("read")
         self.stats.record_host_read()
         entry = self.cache.get(logical)
         if entry is None:
             physical = self.translation_table.lookup(
                 logical, purpose=IOPurpose.TRANSLATION)
             if physical is None:
+                if timing is not None:
+                    timing.end_request()
                 return None
             entry = CachedMapping(logical, physical, dirty=False, uip=False,
                                   in_flash=True)
             self.cache.put(entry)
             self._evict_if_over_capacity()
-        return self.device.read_page_data(entry.physical,
-                                          purpose=IOPurpose.USER)
+        value = self.device.read_page_data(entry.physical,
+                                           purpose=IOPurpose.USER)
+        if timing is not None:
+            timing.end_request()
+        return value
 
     def trim(self, logical: LogicalAddress) -> None:
         """Discard a logical page (TRIM): its flash copy becomes invalid."""
         self._check_logical(logical)
+        timing = self.timing
+        if timing is not None:
+            timing.begin_request("trim")
         entry = self.cache.remove(logical)
         physical = entry.physical if entry is not None else None
         if physical is None:
@@ -171,6 +194,8 @@ class PageMappedFTL:
                 # The mapping only ever existed as a cached entry that was
                 # never synchronized: the flash-resident translation page
                 # holds nothing to remove, so charge no translation IO.
+                if timing is not None:
+                    timing.end_request()
                 return
             translation_page = self.translation_table.translation_page_of(logical)
             content = self.translation_table.read_translation_page(
@@ -180,6 +205,8 @@ class PageMappedFTL:
                 del updated.entries[logical]
                 self.translation_table.write_translation_page(
                     updated, purpose=IOPurpose.TRANSLATION)
+        if timing is not None:
+            timing.end_request()
 
     def flush(self) -> None:
         """Synchronize every dirty cached mapping entry with flash.
@@ -229,6 +256,7 @@ class PageMappedFTL:
         wear_leveler = self.wear_leveler
         enforce_dirty = (self._enforce_dirty_limit
                          if self.dirty_fraction_limit is not None else None)
+        timing = self.timing
         user_purpose = IOPurpose.USER
         write_kind, read_kind, trim_kind = OpKind.WRITE, OpKind.READ, OpKind.TRIM
         for operation in batch:
@@ -241,6 +269,8 @@ class PageMappedFTL:
                         f"logical page {logical} outside the device's logical "
                         f"space of {logical_pages} pages")
                 writes += 1
+                if timing is not None:
+                    timing.begin_request("write")
                 record_host_write()
                 if not self._in_gc and needs_collection():
                     self._maybe_collect()
@@ -252,6 +282,8 @@ class PageMappedFTL:
                 after_write(logical)
                 if enforce_dirty is not None:
                     enforce_dirty()
+                if timing is not None:
+                    timing.end_request()
             elif kind is read_kind:
                 reads += 1
                 value = self.read(operation.logical)

@@ -1,0 +1,95 @@
+"""A :class:`FlashDevice` subclass that feeds the virtual clock.
+
+The zero-overhead-when-disabled requirement is met *structurally*: the base
+:class:`~repro.flash.device.FlashDevice` is untouched — no per-op callable
+indirection, no hook checks — and a simulation that wants timing builds a
+:class:`TimedFlashDevice` instead. Each overridden operation delegates to
+the inherited fast path and then records exactly one
+:meth:`~repro.timing.model.TimingModel.record` call, so the timed device
+stays IO-trace identical to the plain one (same stats, same flash state,
+same exceptions) and merely observes the stream.
+
+``write_page`` and the GC/recovery helpers need no overrides of their own:
+they funnel into the overridden primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple, Union
+
+from ..flash.address import PhysicalAddress
+from ..flash.config import DeviceConfig
+from ..flash.device import FlashDevice
+from ..flash.page import FlashPage, SpareArea
+from ..flash.stats import IOKind, IOPurpose, IOStats
+from .model import TimingModel
+from .spec import TimingSpec
+
+
+class TimedFlashDevice(FlashDevice):
+    """A flash device whose every charged operation is also clocked."""
+
+    __slots__ = ("timing",)
+
+    def __init__(self, config: DeviceConfig,
+                 stats: Optional[IOStats] = None,
+                 timing: Union[TimingModel, TimingSpec, str, dict, None]
+                 = None) -> None:
+        super().__init__(config, stats)
+        if isinstance(timing, TimingModel):
+            self.timing = timing
+        else:
+            self.timing = TimingModel(timing)
+
+    # ------------------------------------------------------------------
+    # Page operations
+    # ------------------------------------------------------------------
+    def read_page(self, address: PhysicalAddress,
+                  purpose: IOPurpose = IOPurpose.OTHER) -> FlashPage:
+        page = super().read_page(address, purpose)
+        self.timing.record(IOKind.PAGE_READ, address.block, purpose)
+        return page
+
+    def read_page_data(self, address: PhysicalAddress,
+                       purpose: IOPurpose = IOPurpose.OTHER) -> Any:
+        data = super().read_page_data(address, purpose)
+        self.timing.record(IOKind.PAGE_READ, address.block, purpose)
+        return data
+
+    def read_page_record(self, address: PhysicalAddress,
+                         purpose: IOPurpose = IOPurpose.OTHER
+                         ) -> Tuple[Any, Optional[int]]:
+        record = super().read_page_record(address, purpose)
+        self.timing.record(IOKind.PAGE_READ, address.block, purpose)
+        return record
+
+    def write_page_tagged(self, address: PhysicalAddress, data: Any = None,
+                          logical: Optional[int] = None,
+                          block_type: Optional[str] = None,
+                          payload: Optional[dict] = None,
+                          purpose: IOPurpose = IOPurpose.OTHER) -> int:
+        timestamp = super().write_page_tagged(address, data, logical,
+                                              block_type, payload, purpose)
+        self.timing.record(IOKind.PAGE_WRITE, address.block, purpose)
+        return timestamp
+
+    def read_spare(self, address: PhysicalAddress,
+                   purpose: IOPurpose = IOPurpose.OTHER) -> SpareArea:
+        spare = super().read_spare(address, purpose)
+        self.timing.record(IOKind.SPARE_READ, address.block, purpose)
+        return spare
+
+    def read_spare_logical(self, address: PhysicalAddress,
+                           purpose: IOPurpose = IOPurpose.OTHER
+                           ) -> Optional[int]:
+        logical = super().read_spare_logical(address, purpose)
+        self.timing.record(IOKind.SPARE_READ, address.block, purpose)
+        return logical
+
+    # ------------------------------------------------------------------
+    # Block operations
+    # ------------------------------------------------------------------
+    def erase_block(self, block_id: int,
+                    purpose: IOPurpose = IOPurpose.OTHER) -> None:
+        super().erase_block(block_id, purpose)
+        self.timing.record(IOKind.BLOCK_ERASE, block_id, purpose)

@@ -1,0 +1,201 @@
+"""Constant-memory streaming latency histogram.
+
+:class:`LatencySketch` is a log-bucketed histogram in the HDR/DDSketch
+family: values are folded into geometrically spaced buckets, so memory is
+bounded by the number of *distinct magnitudes* observed (a few hundred
+buckets cover nanoseconds to hours) while quantile queries stay within a
+fixed relative error of roughly ``2^-SUB_BUCKET_BITS`` (~3%).
+
+Determinism is a hard requirement: the engine's sweep rows must be
+byte-identical across worker counts, platforms and ``PYTHONHASHSEED``, so
+bucket indices are computed with *pure integer arithmetic* (``int.bit_length``
+on the value in nanoseconds) rather than ``math.log``, whose libm rounding
+can differ between platforms. Two sketches fed the same value stream are
+equal in every observable way, including :meth:`to_dict`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+#: Sub-bucket resolution: each power-of-two range is split into
+#: ``2**SUB_BUCKET_BITS`` linear sub-buckets, bounding the relative
+#: quantile error at ~``2**-SUB_BUCKET_BITS`` (~3.1%).
+SUB_BUCKET_BITS = 5
+
+_SUB_BUCKETS = 1 << SUB_BUCKET_BITS
+_SUB_MASK = _SUB_BUCKETS - 1
+
+
+def _bucket_of(ns: int) -> int:
+    """Bucket index of a non-negative integer nanosecond value.
+
+    Values below ``2**SUB_BUCKET_BITS`` ns are stored exactly (one bucket
+    per integer); larger values keep their top ``SUB_BUCKET_BITS + 1``
+    significant bits. Indices are monotone in ``ns``.
+    """
+    if ns < _SUB_BUCKETS:
+        return ns
+    exponent = ns.bit_length() - 1
+    mantissa = (ns >> (exponent - SUB_BUCKET_BITS)) & _SUB_MASK
+    return ((exponent - SUB_BUCKET_BITS + 1) << SUB_BUCKET_BITS) | mantissa
+
+
+def _bucket_lower_ns(bucket: int) -> int:
+    """Smallest nanosecond value that maps to ``bucket`` (inverse bound)."""
+    if bucket < _SUB_BUCKETS:
+        return bucket
+    exponent = (bucket >> SUB_BUCKET_BITS) + SUB_BUCKET_BITS - 1
+    mantissa = bucket & _SUB_MASK
+    return (1 << exponent) | (mantissa << (exponent - SUB_BUCKET_BITS))
+
+
+class LatencySketch:
+    """Streaming log-bucketed latency histogram (values in microseconds).
+
+    Tracks exact count/sum/min/max alongside the bucket table, so the mean
+    and the extremes carry no bucketing error; interior quantiles are
+    bucket-resolution approximations clamped into ``[min, max]``.
+    """
+
+    __slots__ = ("_buckets", "count", "_sum_us", "_min_us", "_max_us")
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self._sum_us = 0.0
+        self._min_us: Optional[float] = None
+        self._max_us: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, value_us: float) -> None:
+        """Record one latency sample (microseconds; negatives clamp to 0)."""
+        if value_us < 0.0:
+            value_us = 0.0
+        bucket = _bucket_of(int(value_us * 1000.0))
+        buckets = self._buckets
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+        self.count += 1
+        self._sum_us += value_us
+        if self._min_us is None or value_us < self._min_us:
+            self._min_us = value_us
+        if self._max_us is None or value_us > self._max_us:
+            self._max_us = value_us
+
+    def merge(self, other: "LatencySketch") -> None:
+        """Fold ``other``'s samples into this sketch."""
+        buckets = self._buckets
+        for bucket, count in other._buckets.items():
+            buckets[bucket] = buckets.get(bucket, 0) + count
+        self.count += other.count
+        self._sum_us += other._sum_us
+        if other._min_us is not None and (self._min_us is None
+                                          or other._min_us < self._min_us):
+            self._min_us = other._min_us
+        if other._max_us is not None and (self._max_us is None
+                                          or other._max_us > self._max_us):
+            self._max_us = other._max_us
+
+    def reset(self) -> None:
+        """Drop every sample."""
+        self._buckets = {}
+        self.count = 0
+        self._sum_us = 0.0
+        self._min_us = None
+        self._max_us = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def sum_us(self) -> float:
+        return self._sum_us
+
+    @property
+    def min_us(self) -> float:
+        return self._min_us if self._min_us is not None else 0.0
+
+    @property
+    def max_us(self) -> float:
+        return self._max_us if self._max_us is not None else 0.0
+
+    @property
+    def mean_us(self) -> float:
+        return self._sum_us / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile in microseconds (``0 <= q <= 1``).
+
+        Uses the nearest-rank definition over the bucket table and returns
+        the containing bucket's lower bound, clamped into ``[min, max]`` so
+        the tails are exact.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile q must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        # Nearest-rank: the smallest integer rank >= q * count, at least 1.
+        target = int(rank)
+        if target < rank or target < 1:
+            target += 1
+        seen = 0
+        for bucket in sorted(self._buckets):
+            seen += self._buckets[bucket]
+            if seen >= target:
+                value = _bucket_lower_ns(bucket) / 1000.0
+                return min(max(value, self.min_us), self.max_us)
+        return self.max_us  # pragma: no cover - ranks always land above
+
+    @property
+    def p50_us(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p99_us(self) -> float:
+        return self.quantile(0.99)
+
+    @property
+    def p999_us(self) -> float:
+        return self.quantile(0.999)
+
+    # ------------------------------------------------------------------
+    # Serialization / reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Headline figures, rounded for stable row encoding."""
+        return {
+            "count": self.count,
+            "mean_us": round(self.mean_us, 3),
+            "min_us": round(self.min_us, 3),
+            "max_us": round(self.max_us, 3),
+            "p50_us": round(self.p50_us, 3),
+            "p99_us": round(self.p99_us, 3),
+            "p999_us": round(self.p999_us, 3),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Full, canonical serialization (bucket keys sorted)."""
+        return {
+            "count": self.count,
+            "sum_us": round(self._sum_us, 6),
+            "min_us": round(self.min_us, 6),
+            "max_us": round(self.max_us, 6),
+            "buckets": {str(bucket): self._buckets[bucket]
+                        for bucket in sorted(self._buckets)},
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencySketch):
+            return NotImplemented
+        return (self.count == other.count
+                and self._sum_us == other._sum_us
+                and self._min_us == other._min_us
+                and self._max_us == other._max_us
+                and self._buckets == other._buckets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LatencySketch(count={self.count}, mean={self.mean_us:.1f}us,"
+                f" p99={self.p99_us:.1f}us, buckets={len(self._buckets)})")

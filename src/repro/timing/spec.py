@@ -1,0 +1,205 @@
+"""Timing specifications: per-op cost model plus channel/plane geometry.
+
+A :class:`TimingSpec` is to the timing subsystem what an ``FTLSpec`` is to
+the registry: a small, fully serializable value object that names everything
+the virtual clock needs — the per-operation latency constants (a
+:class:`~repro.flash.config.LatencyConfig` cost model, including the channel
+bus transfer) and how much device parallelism exists (``channels`` x
+``planes_per_channel`` independently busy units).
+
+Specs parse from the CLI shorthand ``"preset(key=value, ...)"``::
+
+    TimingSpec.parse("paper")
+    TimingSpec.parse("slc(channels=8)")
+    TimingSpec.parse("mlc(planes=1, page_read_us=60)")
+
+Presets
+-------
+``paper``
+    The paper's cost model (Sections 2 and 5): 100 us page read, 1 ms page
+    program, 2 ms erase, bus folded into the page constants. One channel,
+    one plane — the strictly serial device the paper's analytical write-
+    amplification formulas assume.
+``slc``
+    An SLC-class part: fast array times (25 us read, 300 us program,
+    1.5 ms erase) with an explicit 20 us bus transfer, 4 channels x 2 planes.
+``mlc``
+    An MLC-class part: 55 us read, 900 us program, 3 ms erase, 20 us bus,
+    4 channels x 2 planes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Union
+
+from ..flash.config import LatencyConfig
+
+#: Named latency/geometry presets (see module docstring).
+DEVICE_PRESETS: Dict[str, Dict[str, Any]] = {
+    "paper": {
+        "page_read_us": 100.0, "page_write_us": 1000.0,
+        "block_erase_us": 2000.0, "spare_read_us": 3.0,
+        "spare_write_us": 30.0, "bus_transfer_us": 0.0,
+        "channels": 1, "planes_per_channel": 1,
+    },
+    "slc": {
+        "page_read_us": 25.0, "page_write_us": 300.0,
+        "block_erase_us": 1500.0, "spare_read_us": 2.0,
+        "spare_write_us": 15.0, "bus_transfer_us": 20.0,
+        "channels": 4, "planes_per_channel": 2,
+    },
+    "mlc": {
+        "page_read_us": 55.0, "page_write_us": 900.0,
+        "block_erase_us": 3000.0, "spare_read_us": 3.0,
+        "spare_write_us": 30.0, "bus_transfer_us": 20.0,
+        "channels": 4, "planes_per_channel": 2,
+    },
+}
+
+#: Accepted kwarg aliases (CLI convenience -> field name).
+_FIELD_ALIASES = {"planes": "planes_per_channel"}
+
+
+@dataclass(frozen=True)
+class TimingSpec:
+    """A fully explicit, serializable timing model description.
+
+    Two specs describing the same numbers compare (and serialize) equal
+    regardless of which preset or shorthand produced them, so sweep-task
+    keys built from a spec are stable.
+    """
+
+    page_read_us: float = 100.0
+    page_write_us: float = 1000.0
+    block_erase_us: float = 2000.0
+    spare_read_us: float = 3.0
+    spare_write_us: float = 30.0
+    bus_transfer_us: float = 0.0
+    channels: int = 1
+    planes_per_channel: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("page_read_us", "page_write_us", "block_erase_us",
+                     "spare_read_us", "spare_write_us", "bus_transfer_us"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(f"TimingSpec.{name} must be a non-negative "
+                                 f"number, not {value!r}")
+            object.__setattr__(self, name, float(value))
+        for name in ("channels", "planes_per_channel"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise ValueError(f"TimingSpec.{name} must be a positive "
+                                 f"integer, not {value!r}")
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def units(self) -> int:
+        """Number of independently busy units (channels x planes)."""
+        return self.channels * self.planes_per_channel
+
+    @property
+    def latency(self) -> LatencyConfig:
+        """The cost-model portion as a :class:`LatencyConfig`."""
+        return LatencyConfig(page_read_us=self.page_read_us,
+                             page_write_us=self.page_write_us,
+                             block_erase_us=self.block_erase_us,
+                             spare_read_us=self.spare_read_us,
+                             spare_write_us=self.spare_write_us,
+                             bus_transfer_us=self.bus_transfer_us)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def preset(cls, name: str, **overrides: Any) -> "TimingSpec":
+        """Build the named preset, optionally overriding fields."""
+        key = name.strip().lower()
+        if key not in DEVICE_PRESETS:
+            raise ValueError(f"unknown timing preset {name!r}; choose from "
+                             f"{sorted(DEVICE_PRESETS)}")
+        values = dict(DEVICE_PRESETS[key])
+        values.update(_canonical_kwargs(overrides))
+        return cls(**values)
+
+    @classmethod
+    def from_latency(cls, latency: LatencyConfig, channels: int = 1,
+                     planes_per_channel: int = 1) -> "TimingSpec":
+        """Build a spec from an existing :class:`LatencyConfig`."""
+        return cls(page_read_us=latency.page_read_us,
+                   page_write_us=latency.page_write_us,
+                   block_erase_us=latency.block_erase_us,
+                   spare_read_us=latency.spare_read_us,
+                   spare_write_us=latency.spare_write_us,
+                   bus_transfer_us=latency.bus_transfer_us,
+                   channels=channels,
+                   planes_per_channel=planes_per_channel)
+
+    @classmethod
+    def parse(cls, text: str) -> "TimingSpec":
+        """Parse ``"preset"`` or ``"preset(key=value, ...)"``."""
+        # Imported lazily: the registry module is cycle-free, but importing
+        # it at module scope would run ``repro.api.__init__`` (which imports
+        # the session, which imports this package).
+        from ..api.registry import parse_call_spec
+        name, kwargs = parse_call_spec(text, what="timing",
+                                       example="'slc(channels=8)'")
+        return cls.preset(name, **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TimingSpec":
+        """Build from a dict; a ``"preset"`` key supplies the base values."""
+        values = dict(data)
+        preset_name = values.pop("preset", None)
+        values = _canonical_kwargs(values)
+        if preset_name is not None:
+            return cls.preset(str(preset_name), **values)
+        known = {f.name for f in fields(cls)}
+        unknown = set(values) - known
+        if unknown:
+            raise ValueError(f"unknown timing field(s) {sorted(unknown)}; "
+                             f"supported: {sorted(known)}")
+        return cls(**values)
+
+    @classmethod
+    def of(cls, value: Union["TimingSpec", str, Dict[str, Any], None]
+           ) -> "TimingSpec":
+        """Coerce a spec, preset/shorthand string, or dict into a spec."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, dict):
+            return cls.from_dict(value)
+        raise TypeError(f"cannot interpret {value!r} as a timing "
+                        "specification")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical, fully explicit dict form (presets resolved away)."""
+        return asdict(self)
+
+    def __str__(self) -> str:
+        for name, values in DEVICE_PRESETS.items():
+            if values == self.to_dict():
+                return name
+        args = ", ".join(f"{key}={value!r}"
+                         for key, value in sorted(self.to_dict().items()))
+        return f"TimingSpec({args})"
+
+
+def _canonical_kwargs(kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """Resolve accepted aliases (e.g. ``planes``) to their field names."""
+    resolved: Dict[str, Any] = {}
+    for key, value in kwargs.items():
+        canonical = _FIELD_ALIASES.get(key, key)
+        if canonical in resolved:
+            raise ValueError(f"timing field {canonical!r} given twice")
+        resolved[canonical] = value
+    return resolved

@@ -4,9 +4,10 @@ import json
 
 import pytest
 
-from repro.engine.results import (SCHEMA_VERSION, TIMING_FIELDS, ResultSink,
-                                  aggregate, canonical_row,
-                                  canonical_row_bytes, load_results,
+from repro.engine.results import (LATENCY_FIELDS, SCHEMA_VERSION,
+                                  TIMING_FIELDS, ResultSink, aggregate,
+                                  canonical_row, canonical_row_bytes,
+                                  latency_table, load_results,
                                   ram_breakdown_table, wa_breakdown_table)
 
 
@@ -154,3 +155,45 @@ class TestBreakdownTables:
         assert gecko["ram_bytes"] == pytest.approx(120.0)
         assert dftl["ram_gmd"] == 0.0
         assert dftl["ram_bytes"] == pytest.approx(50.0)
+
+
+def timed_row(key, ftl="GeckoFTL", p99=1000.0, **extra):
+    return row(key, ftl=ftl, throughput_ops_s=500.0, p50_us=100.0,
+               p99_us=p99, p999_us=p99 * 2,
+               latency={"mean_us": 150.0, "max_us": p99 * 3}, **extra)
+
+
+class TestLatencyTable:
+    def test_latency_fields_are_canonical(self):
+        # Unlike the wall-clock fields, the virtual-time columns survive
+        # canonicalization — they are part of the determinism guarantee.
+        stripped = canonical_row(timed_row("k1"))
+        for field in LATENCY_FIELDS:
+            assert field in stripped
+        assert set(LATENCY_FIELDS).isdisjoint(TIMING_FIELDS)
+
+    def test_default_aggregate_metrics_cover_latency(self):
+        table = aggregate([timed_row("k1", p99=1000.0),
+                           timed_row("k2", p99=3000.0)])
+        assert table[0]["p99_us_mean"] == pytest.approx(2000.0)
+        assert table[0]["p999_us_max"] == pytest.approx(6000.0)
+        assert table[0]["throughput_ops_s_mean"] == pytest.approx(500.0)
+
+    def test_groups_and_averages(self):
+        rows = [timed_row("k1", p99=1000.0), timed_row("k2", p99=3000.0),
+                timed_row("k3", ftl="DFTL", p99=4000.0)]
+        table = latency_table(rows)
+        gecko, dftl = table
+        assert gecko["ftl"] == "GeckoFTL" and gecko["n"] == 2
+        assert gecko["p99_us"] == pytest.approx(2000.0)
+        assert gecko["p999_us"] == pytest.approx(4000.0)
+        assert gecko["mean_us"] == pytest.approx(150.0)
+        assert gecko["max_us"] == pytest.approx(6000.0)
+        assert dftl["n"] == 1
+
+    def test_untimed_rows_and_groups_are_skipped(self):
+        rows = [timed_row("k1"), row("k2"), row("k3", ftl="DFTL")]
+        table = latency_table(rows)
+        assert [entry["ftl"] for entry in table] == ["GeckoFTL"]
+        assert table[0]["n"] == 1
+        assert latency_table([row("k1")]) == []

@@ -1,0 +1,68 @@
+"""Purpose-tag leakage audit.
+
+Every charged flash operation carries an :class:`IOPurpose` so the
+write-amplification breakdown, the validity accounting, and the timing
+model's foreground/background split can attribute it. ``OTHER`` is the
+default parameter value on the device fast paths — any operation that ends
+up tagged ``OTHER`` slipped through a call site that forgot to attribute
+itself. These tests lock the audit result: across every registered FTL
+(plus the wear-leveling variant), a full lifecycle — fill, mixed host IO
+with GC pressure, trims, crash, recovery — records *zero* ``OTHER``
+operations, and the per-purpose counts exactly partition each kind's total.
+"""
+
+import pytest
+
+from repro import SimulationSession, UniformRandomWrites, ftl_names
+from repro.engine import SweepPlan, execute_task
+from repro.flash.stats import IOKind, IOPurpose
+from repro.flash.config import simulation_configuration
+from repro.ftl.operations import Operation, OpKind
+
+TINY = dict(num_blocks=96, pages_per_block=16, page_size=256)
+
+#: Every registered FTL, plus one spec exercising the wear-leveling path.
+AUDITED_SPECS = sorted(ftl_names()) + [
+    "GeckoFTL(enable_wear_leveling=True)"]
+
+
+def assert_no_leakage(stats):
+    __tracebackhint__ = True
+    for kind in IOKind:
+        per_purpose = {purpose: stats.total(kind, purpose)
+                       for purpose in IOPurpose}
+        assert sum(per_purpose.values()) == stats.total(kind), kind
+        assert per_purpose[IOPurpose.OTHER] == 0, (
+            f"{per_purpose[IOPurpose.OTHER]} {kind.value} operation(s) "
+            f"leaked through with purpose=OTHER")
+
+
+@pytest.mark.parametrize("spec", AUDITED_SPECS)
+def test_full_lifecycle_records_no_other_ops(spec):
+    config = simulation_configuration(**TINY)
+    with SimulationSession(spec, device=config,
+                           ftl_kwargs={"cache_capacity": 48}) as session:
+        session.warmup(reset_stats=False)
+        workload = UniformRandomWrites(config.logical_pages, seed=5)
+        session.run(workload, 800)  # enough churn to force GC + merges
+        session.submit([Operation(OpKind.READ, logical)
+                        for logical in range(0, 40)])
+        session.submit([Operation(OpKind.TRIM, logical)
+                        for logical in range(0, 20)])
+        session.crash()
+        session.recover()
+        session.run(workload, 100)
+        assert_no_leakage(session.stats)
+        assert "other" not in session.wa_breakdown()
+    # close() flushes dirty state; audit the shutdown IO too.
+    assert_no_leakage(session.stats)
+
+
+def test_sweep_cell_rows_carry_no_other_wa():
+    plan = SweepPlan(ftls=sorted(ftl_names()), devices=[dict(TINY)],
+                     cache_capacities=[48], seeds=[1],
+                     write_operations=500, interval_writes=250)
+    for task in plan.tasks():
+        row = execute_task(task)
+        assert "wa_other" not in row["wa_breakdown"]
+        assert "other" not in row["wa_breakdown"]

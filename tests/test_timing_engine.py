@@ -1,0 +1,140 @@
+"""Engine integration of the timing subsystem: plans, rows, aggregation."""
+
+import pytest
+
+from repro.engine import (LATENCY_FIELDS, SweepExecutor, SweepPlan, SweepTask,
+                          aggregate, canonical_row_bytes, execute_task,
+                          latency_table)
+from repro.timing import TimingSpec
+
+TINY = dict(num_blocks=64, pages_per_block=8, page_size=256)
+
+
+def timed_plan(**overrides):
+    defaults = dict(ftls=["GeckoFTL", "DFTL"], devices=[dict(TINY)],
+                    cache_capacities=[48], seeds=[1, 2],
+                    write_operations=600, interval_writes=300,
+                    timing="slc")
+    defaults.update(overrides)
+    return SweepPlan(**defaults)
+
+
+class TestTimedPlansAndTasks:
+    def test_plan_serializes_timing_canonically(self):
+        plan = timed_plan()
+        assert plan.timing == TimingSpec.preset("slc").to_dict()
+        rebuilt = SweepPlan.from_dict(plan.to_dict())
+        assert rebuilt.timing == plan.timing
+        assert [t.key() for t in rebuilt.tasks()] \
+            == [t.key() for t in plan.tasks()]
+
+    def test_untimed_plan_omits_the_field(self):
+        plan = timed_plan(timing=None)
+        assert "timing" not in plan.to_dict()
+        assert plan.tasks()[0].timing is None
+
+    def test_timing_changes_task_keys_untimed_keys_stable(self):
+        untimed = timed_plan(timing=None).tasks()[0]
+        timed = timed_plan().tasks()[0]
+        other = timed_plan(timing="mlc").tasks()[0]
+        assert untimed.key() != timed.key()
+        assert timed.key() != other.key()
+        # Round-tripping a task through its dict keeps the key (resume).
+        assert SweepTask.from_dict(timed.to_dict()).key() == timed.key()
+
+    def test_row_carries_latency_columns_and_summary(self):
+        row = execute_task(timed_plan().tasks()[0])
+        for column in LATENCY_FIELDS:
+            assert isinstance(row[column], float)
+        assert row["timing"] == TimingSpec.preset("slc").to_dict()
+        assert row["latency"]["requests"] == row["host_writes"]
+        assert row["latency"]["kinds"]["write"]["count"] \
+            == row["host_writes"]
+        assert row["p50_us"] <= row["p99_us"] <= row["p999_us"]
+
+    def test_untimed_row_has_no_latency_columns(self):
+        row = execute_task(timed_plan(timing=None).tasks()[0])
+        for column in LATENCY_FIELDS + ("timing", "latency"):
+            assert column not in row
+
+
+class TestTimedDeterminism:
+    def test_rows_identical_across_worker_counts(self):
+        plan = timed_plan()
+        serial = SweepExecutor(workers=1).run(plan).rows
+        parallel = SweepExecutor(workers=4).run(plan).rows
+        assert [canonical_row_bytes(row) for row in serial] \
+            == [canonical_row_bytes(row) for row in parallel]
+
+    def test_latency_columns_are_canonical(self):
+        # The virtual-time columns survive canonicalization (they are part
+        # of the determinism guarantee), unlike the wall-clock fields.
+        row = execute_task(timed_plan().tasks()[0])
+        encoded = canonical_row_bytes(row).decode("utf-8")
+        for column in LATENCY_FIELDS:
+            assert f'"{column}"' in encoded
+        assert '"ops_per_sec"' not in encoded
+
+
+class TestLatencyAggregation:
+    def rows(self):
+        return [execute_task(task) for task in timed_plan().tasks()]
+
+    def test_aggregate_summarizes_latency_columns(self):
+        summaries = aggregate(self.rows(), by=("ftl",))
+        assert len(summaries) == 2
+        for summary in summaries:
+            assert summary["n"] == 2
+            assert summary["p99_us_mean"] >= summary["p50_us_mean"]
+            assert summary["p99_us_min"] <= summary["p99_us_max"]
+
+    def test_aggregate_ignores_missing_latency_metrics(self):
+        untimed = [execute_task(task)
+                   for task in timed_plan(timing=None).tasks()]
+        summaries = aggregate(untimed, by=("ftl",))
+        for summary in summaries:
+            assert "p99_us_mean" not in summary
+            assert "wa_total_mean" in summary
+
+    def test_latency_table_groups_and_averages(self):
+        table = latency_table(self.rows(), by=("ftl",))
+        assert [entry["ftl"] for entry in table] == ["GeckoFTL", "DFTL"]
+        for entry in table:
+            assert entry["n"] == 2
+            assert set(entry) >= set(LATENCY_FIELDS) | {"mean_us", "max_us"}
+            assert entry["p50_us"] <= entry["p99_us"] <= entry["p999_us"]
+            assert entry["max_us"] >= entry["p999_us"]
+
+    def test_latency_table_skips_untimed_rows(self):
+        mixed = self.rows() + [execute_task(t)
+                               for t in timed_plan(timing=None).tasks()]
+        table = latency_table(mixed, by=("ftl",))
+        assert all(entry["n"] == 2 for entry in table)
+        assert latency_table([execute_task(
+            timed_plan(timing=None).tasks()[0])]) == []
+
+
+class TestTimedCrashRows:
+    def test_crash_row_reports_recovery_virtual_time(self):
+        task = timed_plan(ftls=["GeckoFTL"], seeds=[1],
+                          crash={"after_ops": 300}).tasks()[0]
+        row = execute_task(task)
+        assert row["crash"]["ops_completed"] == 300
+        assert isinstance(row["recovery_virtual_us"], float)
+        assert row["recovery_virtual_us"] >= 0.0
+        for column in LATENCY_FIELDS:
+            assert isinstance(row[column], float)
+
+    def test_timed_crash_rows_deterministic_across_workers(self):
+        plan = timed_plan(seeds=[1, 2, 3],
+                          crash={"after_ops": 250, "phase": "gc"})
+        serial = SweepExecutor(workers=1).run(plan).rows
+        parallel = SweepExecutor(workers=4).run(plan).rows
+        assert [canonical_row_bytes(row) for row in serial] \
+            == [canonical_row_bytes(row) for row in parallel]
+
+    def test_untimed_crash_row_has_no_virtual_time(self):
+        task = timed_plan(ftls=["DFTL"], seeds=[1], timing=None,
+                          crash={"after_ops": 300}).tasks()[0]
+        row = execute_task(task)
+        assert "recovery_virtual_us" not in row

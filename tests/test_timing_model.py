@@ -1,0 +1,207 @@
+"""Tests for TimingSpec parsing and the TimingModel virtual clock."""
+
+import pytest
+
+from repro.flash.config import LatencyConfig
+from repro.flash.stats import IOKind, IOPurpose
+from repro.timing import (BACKGROUND_PURPOSES, DEVICE_PRESETS, TimingModel,
+                          TimingSpec)
+
+
+class TestTimingSpec:
+    def test_presets_resolve(self):
+        for name in DEVICE_PRESETS:
+            spec = TimingSpec.preset(name)
+            assert spec.to_dict() == DEVICE_PRESETS[name]
+            assert str(spec) == name
+
+    def test_paper_preset_matches_latency_config_defaults(self):
+        spec = TimingSpec.preset("paper")
+        assert spec.latency == LatencyConfig()
+
+    def test_parse_shorthand(self):
+        spec = TimingSpec.parse("slc(channels=8, planes=1)")
+        assert spec.channels == 8
+        assert spec.planes_per_channel == 1
+        assert spec.page_read_us == DEVICE_PRESETS["slc"]["page_read_us"]
+        assert spec.units == 8
+
+    def test_of_accepts_spec_string_dict(self):
+        spec = TimingSpec.preset("mlc")
+        assert TimingSpec.of(spec) is spec
+        assert TimingSpec.of("mlc") == spec
+        assert TimingSpec.of(spec.to_dict()) == spec
+        assert TimingSpec.of({"preset": "mlc"}) == spec
+        assert TimingSpec.of({"preset": "mlc", "channels": 2}).channels == 2
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown timing preset"):
+            TimingSpec.preset("tlc")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown timing field"):
+            TimingSpec.from_dict({"page_read_ns": 5})
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            TimingSpec(page_read_us=-1.0)
+        with pytest.raises(ValueError):
+            TimingSpec(channels=0)
+
+    def test_of_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            TimingSpec.of(42)
+
+    def test_from_latency(self):
+        latency = LatencyConfig(page_read_us=1.0, page_write_us=2.0,
+                                block_erase_us=3.0)
+        spec = TimingSpec.from_latency(latency, channels=2,
+                                       planes_per_channel=3)
+        assert spec.latency == latency
+        assert spec.units == 6
+
+
+def serial_model(**overrides):
+    values = dict(page_read_us=10.0, page_write_us=100.0,
+                  block_erase_us=1000.0, spare_read_us=1.0,
+                  spare_write_us=2.0, bus_transfer_us=0.0,
+                  channels=1, planes_per_channel=1)
+    values.update(overrides)
+    return TimingModel(TimingSpec(**values))
+
+
+class TestTimingModel:
+    def test_bare_ops_advance_clock(self):
+        model = serial_model()
+        model.record(IOKind.PAGE_WRITE, 0, IOPurpose.USER)
+        model.record(IOKind.PAGE_READ, 1, IOPurpose.USER)
+        assert model.now == pytest.approx(110.0)
+        assert model.requests == 0  # bare ops are not host requests
+
+    def test_request_latency_is_foreground_chain(self):
+        model = serial_model()
+        model.begin_request("write")
+        model.record(IOKind.SPARE_READ, 0, IOPurpose.TRANSLATION)
+        model.record(IOKind.PAGE_WRITE, 0, IOPurpose.USER)
+        model.end_request()
+        assert model.requests == 1
+        assert model.sketch.max_us == pytest.approx(101.0)
+        assert model.now == pytest.approx(101.0)
+
+    def test_background_ops_do_not_extend_the_request(self):
+        model = serial_model()
+        model.begin_request("write")
+        model.record(IOKind.BLOCK_ERASE, 1, IOPurpose.GC)  # different unit
+        model.record(IOKind.PAGE_WRITE, 1, IOPurpose.USER)
+        model.end_request()
+        # Serial device: one unit only, so the erase *does* block the write.
+        assert model.sketch.max_us == pytest.approx(1100.0)
+
+        parallel = serial_model(channels=2)
+        parallel.begin_request("write")
+        parallel.record(IOKind.BLOCK_ERASE, 1, IOPurpose.GC)   # unit 1
+        parallel.record(IOKind.PAGE_WRITE, 2, IOPurpose.USER)  # unit 0
+        parallel.end_request()
+        # Two units: the GC erase runs on the other unit, zero HOL blocking.
+        assert parallel.sketch.max_us == pytest.approx(100.0)
+
+    def test_head_of_line_blocking_inherits_remaining_time(self):
+        model = serial_model(channels=2)
+        # Request 1 leaves a GC erase in flight on unit 0.
+        model.begin_request("write")
+        model.record(IOKind.BLOCK_ERASE, 0, IOPurpose.GC)
+        model.record(IOKind.PAGE_WRITE, 1, IOPurpose.USER)  # unit 1, 100us
+        model.end_request()
+        assert model.now == pytest.approx(100.0)
+        # Request 2 lands on unit 0 while the erase (until t=1000) drains.
+        model.begin_request("write")
+        model.record(IOKind.PAGE_WRITE, 2, IOPurpose.USER)  # unit 0
+        model.end_request()
+        assert model.sketch.max_us == pytest.approx(1000.0)  # 900 + 100
+
+    def test_round_robin_striping_by_block_id(self):
+        model = serial_model(channels=4)
+        model.begin_request("write")
+        for block in range(4):  # four different units: perfect overlap
+            model.record(IOKind.PAGE_WRITE, block, IOPurpose.USER)
+        model.end_request()
+        # Foreground ops chain on the cursor even across units, but each
+        # dispatch starts at the chain position, not behind a busy unit.
+        assert model.sketch.max_us == pytest.approx(400.0)
+        follow = serial_model(channels=4)
+        follow.begin_request("write")
+        for _ in range(4):  # same unit every time: identical here
+            follow.record(IOKind.PAGE_WRITE, 0, IOPurpose.USER)
+        follow.end_request()
+        assert follow.sketch.max_us == pytest.approx(400.0)
+
+    def test_nested_requests_share_the_outermost(self):
+        model = serial_model()
+        model.begin_request("write")
+        model.begin_request("read")
+        model.record(IOKind.PAGE_READ, 0, IOPurpose.USER)
+        model.end_request()
+        assert model.in_request
+        model.record(IOKind.PAGE_WRITE, 0, IOPurpose.USER)
+        model.end_request()
+        assert not model.in_request
+        assert model.requests == 1
+        assert "write" in model.kind_sketches
+        assert "read" not in model.kind_sketches
+
+    def test_abort_request_records_no_sample(self):
+        model = serial_model()
+        model.begin_request("write")
+        model.record(IOKind.PAGE_WRITE, 0, IOPurpose.USER)
+        model.abort_request()
+        assert model.requests == 0
+        assert model.sketch.count == 0
+        assert not model.in_request
+        assert model.now == pytest.approx(100.0)  # spent time stays spent
+
+    def test_reset_capture_keeps_clock_and_busy_state(self):
+        model = serial_model()
+        model.record(IOKind.PAGE_WRITE, 0, IOPurpose.USER)
+        model.begin_request("write")
+        model.record(IOKind.PAGE_WRITE, 0, IOPurpose.USER)
+        model.end_request()
+        clock = model.now
+        model.reset_capture()
+        assert model.now == clock
+        assert model.requests == 0
+        assert model.sketch.count == 0
+        assert model.virtual_seconds == 0.0
+
+    def test_throughput_is_requests_per_virtual_second(self):
+        model = serial_model()
+        for _ in range(10):
+            model.begin_request("write")
+            model.record(IOKind.PAGE_WRITE, 0, IOPurpose.USER)
+            model.end_request()
+        assert model.virtual_seconds == pytest.approx(10 * 100.0 / 1e6)
+        assert model.throughput_ops_s == pytest.approx(10_000.0)
+
+    def test_bus_transfer_charged_on_page_ops_only(self):
+        model = serial_model(bus_transfer_us=5.0)
+        model.record(IOKind.PAGE_READ, 0, IOPurpose.USER)
+        model.record(IOKind.SPARE_READ, 0, IOPurpose.USER)
+        assert model.now == pytest.approx(10.0 + 5.0 + 1.0)
+
+    def test_summary_and_row_fields_shape(self):
+        model = serial_model()
+        model.begin_request("write")
+        model.record(IOKind.PAGE_WRITE, 0, IOPurpose.USER)
+        model.end_request()
+        summary = model.summary()
+        assert summary["requests"] == 1
+        assert summary["kinds"]["write"]["count"] == 1
+        assert set(model.row_fields()) == {"throughput_ops_s", "p50_us",
+                                           "p99_us", "p999_us"}
+
+    def test_background_purposes_are_the_housekeeping_set(self):
+        assert BACKGROUND_PURPOSES == {IOPurpose.GC, IOPurpose.WEAR,
+                                       IOPurpose.VALIDITY}
+
+    def test_model_coerces_spec_forms(self):
+        assert TimingModel("slc").spec == TimingSpec.preset("slc")
+        assert TimingModel(None).spec == TimingSpec()

@@ -1,0 +1,141 @@
+"""Tests for the constant-memory streaming latency sketch."""
+
+import random
+
+import pytest
+
+from repro.timing import LatencySketch
+from repro.timing.sketch import (SUB_BUCKET_BITS, _bucket_lower_ns,
+                                 _bucket_of)
+
+
+class TestBucketMath:
+    def test_small_values_exact(self):
+        for ns in range(1 << SUB_BUCKET_BITS):
+            assert _bucket_of(ns) == ns
+            assert _bucket_lower_ns(ns) == ns
+
+    def test_indices_monotone(self):
+        previous = -1
+        for ns in list(range(0, 4096)) + [10**6, 10**9, 10**12]:
+            bucket = _bucket_of(ns)
+            assert bucket >= previous
+            previous = bucket
+
+    def test_lower_bound_round_trips(self):
+        # Every bucket's lower bound must map back to that bucket, and the
+        # value just below it to an earlier bucket.
+        for ns in [1, 31, 32, 33, 63, 64, 65, 1000, 12345, 10**6, 10**9]:
+            bucket = _bucket_of(ns)
+            lower = _bucket_lower_ns(bucket)
+            assert _bucket_of(lower) == bucket
+            assert lower <= ns
+            if lower > 0:
+                assert _bucket_of(lower - 1) < bucket
+
+    def test_relative_error_bound(self):
+        # Bucket width / lower bound <= 2^-SUB_BUCKET_BITS for large values.
+        for ns in [100, 10**4, 10**7, 10**10]:
+            bucket = _bucket_of(ns)
+            lower = _bucket_lower_ns(bucket)
+            upper = _bucket_lower_ns(bucket + 1)
+            assert (upper - lower) / lower <= 2 ** -SUB_BUCKET_BITS + 1e-12
+
+
+class TestLatencySketch:
+    def test_empty_sketch(self):
+        sketch = LatencySketch()
+        assert sketch.count == 0
+        assert sketch.mean_us == 0.0
+        assert sketch.p99_us == 0.0
+        assert sketch.quantile(0.5) == 0.0
+
+    def test_exact_stats(self):
+        sketch = LatencySketch()
+        for value in [100.0, 200.0, 300.0]:
+            sketch.record(value)
+        assert sketch.count == 3
+        assert sketch.sum_us == pytest.approx(600.0)
+        assert sketch.mean_us == pytest.approx(200.0)
+        assert sketch.min_us == 100.0
+        assert sketch.max_us == 300.0
+
+    def test_negative_values_clamp_to_zero(self):
+        sketch = LatencySketch()
+        sketch.record(-5.0)
+        assert sketch.count == 1
+        assert sketch.min_us == 0.0
+
+    def test_quantiles_within_relative_error(self):
+        rng = random.Random(7)
+        values = sorted(rng.uniform(10.0, 50_000.0) for _ in range(5000))
+        sketch = LatencySketch()
+        for value in values:
+            sketch.record(value)
+        for q in (0.5, 0.9, 0.99, 0.999):
+            exact = values[min(len(values) - 1,
+                               max(0, int(q * len(values)) - 1))]
+            approx = sketch.quantile(q)
+            assert approx == pytest.approx(exact, rel=2 ** -SUB_BUCKET_BITS
+                                           + 0.01)
+
+    def test_quantiles_clamped_into_min_max(self):
+        sketch = LatencySketch()
+        sketch.record(777.0)
+        for q in (0.0, 0.5, 1.0):
+            assert sketch.quantile(q) == 777.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            LatencySketch().quantile(1.5)
+
+    def test_merge_equals_combined_stream(self):
+        rng = random.Random(13)
+        values = [rng.expovariate(1 / 500.0) for _ in range(2000)]
+        left, right, combined = (LatencySketch(), LatencySketch(),
+                                 LatencySketch())
+        for index, value in enumerate(values):
+            (left if index % 2 else right).record(value)
+            combined.record(value)
+        left.merge(right)
+        # Bucket tables and extremes merge exactly; the running float sum
+        # can differ in the last ulp from a different addition order.
+        assert left._buckets == combined._buckets
+        assert left.count == combined.count
+        assert left.min_us == combined.min_us
+        assert left.max_us == combined.max_us
+        assert left.sum_us == pytest.approx(combined.sum_us, rel=1e-12)
+        for q in (0.5, 0.99, 0.999):
+            assert left.quantile(q) == combined.quantile(q)
+
+    def test_reset(self):
+        sketch = LatencySketch()
+        sketch.record(42.0)
+        sketch.reset()
+        assert sketch == LatencySketch()
+
+    def test_determinism_identical_streams(self):
+        # Same values, same insertion order-independent structures.
+        values = [3.14, 100.0, 99999.5, 0.001, 8.0] * 100
+        one, two = LatencySketch(), LatencySketch()
+        for value in values:
+            one.record(value)
+        for value in reversed(values):
+            two.record(value)
+        assert one.to_dict() == two.to_dict()
+        assert one.summary() == two.summary()
+
+    def test_summary_shape(self):
+        sketch = LatencySketch()
+        sketch.record(500.0)
+        summary = sketch.summary()
+        assert set(summary) == {"count", "mean_us", "min_us", "max_us",
+                                "p50_us", "p99_us", "p999_us"}
+
+    def test_constant_memory(self):
+        # Millions of distinct magnitudes collapse into a bounded table.
+        sketch = LatencySketch()
+        rng = random.Random(3)
+        for _ in range(20_000):
+            sketch.record(rng.uniform(0.001, 3_600_000_000.0))
+        assert len(sketch._buckets) < 2048
