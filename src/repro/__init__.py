@@ -20,6 +20,9 @@ The package provides:
 * :mod:`repro.timing` — the device timing model: per-op latency presets,
   channel/plane parallelism, a virtual clock with head-of-line blocking,
   and constant-memory p50/p99/p999 tail-latency sketches;
+* :mod:`repro.obs` — opt-in observability: a bounded event trace, a
+  windowed metrics timeline sampled every N host ops, and sweep progress
+  telemetry — all structurally absent when disabled;
 * :mod:`repro.bench` — the experiment harness used by the benchmark suite
   (now a thin layer over :mod:`repro.api`).
 
@@ -76,6 +79,15 @@ from .flash import (
 )
 from .ftl import DFTL, IBFTL, LazyFTL, MuFTL, PageMappedFTL, VictimPolicy
 from .ftl.operations import BatchResult, Operation, OpKind
+from .obs import (
+    EventTrace,
+    MetricsRecorder,
+    ObsSpec,
+    ObservedFlashDevice,
+    ObservedTimedFlashDevice,
+    Observer,
+    SweepProgress,
+)
 from .timing import (
     DEVICE_PRESETS,
     LatencySketch,
@@ -99,7 +111,7 @@ from .workloads import (
     workload_names,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BatchResult",
@@ -108,6 +120,7 @@ __all__ = [
     "DFTL",
     "DeviceConfig",
     "EntryLayout",
+    "EventTrace",
     "FTLSpec",
     "FlashDevice",
     "GeckoConfig",
@@ -122,8 +135,13 @@ __all__ = [
     "LatencySketch",
     "LazyFTL",
     "LogarithmicGecko",
+    "MetricsRecorder",
     "MixedReadWrite",
     "MuFTL",
+    "ObsSpec",
+    "ObservedFlashDevice",
+    "ObservedTimedFlashDevice",
+    "Observer",
     "OpKind",
     "Operation",
     "PageMappedFTL",
@@ -135,6 +153,7 @@ __all__ = [
     "SimulationSession",
     "SweepExecutor",
     "SweepPlan",
+    "SweepProgress",
     "SweepTask",
     "TimedFlashDevice",
     "TimingModel",

@@ -34,6 +34,9 @@ from ..flash.device import FlashDevice
 from ..flash.stats import IOPurpose, IOStats
 from ..ftl.base import PageMappedFTL
 from ..ftl.operations import BatchResult, Operation
+from ..obs.device import ObservedFlashDevice, ObservedTimedFlashDevice
+from ..obs.recorder import Observer
+from ..obs.spec import ObsSpec
 from ..timing.device import TimedFlashDevice
 from ..timing.model import TimingModel
 from ..timing.spec import TimingSpec
@@ -113,6 +116,16 @@ class SimulationSession:
         onto the virtual clock; :meth:`latency_summary` then reports
         p50/p99/p999 and throughput. When omitted the session uses the
         plain :class:`FlashDevice` fast paths with zero timing overhead.
+    obs:
+        Optional observability capture: an :class:`Observer`, an
+        :class:`ObsSpec`, a preset/shorthand string (``"trace"``,
+        ``"metrics(sample_every=250)"``, ``"full"``), a spec dict, or
+        ``True`` for the full default. When given (and ``device`` is a
+        config or ``None``) the session builds an observed device variant
+        so every flash operation also feeds the event trace and/or the
+        metrics recorder; :attr:`obs` then exposes them. When omitted the
+        plain device classes are used — zero observability overhead, the
+        same structural guarantee as ``timing=``.
     """
 
     def __init__(self,
@@ -122,13 +135,24 @@ class SimulationSession:
                  interval_writes: int = 10_000,
                  ftl_kwargs: Optional[Dict[str, Any]] = None,
                  timing: Union[TimingModel, TimingSpec, str,
-                               Dict[str, Any], None] = None) -> None:
+                               Dict[str, Any], None] = None,
+                 obs: Union[Observer, ObsSpec, str,
+                            Dict[str, Any], bool, None] = None) -> None:
         if timing is not None and not isinstance(timing, TimingModel):
             timing = TimingModel(timing)
-        if device is None:
-            config = simulation_configuration()
-            self.device = (FlashDevice(config) if timing is None
-                           else TimedFlashDevice(config, timing=timing))
+        if obs is not None and not isinstance(obs, Observer):
+            obs = Observer(ObsSpec.of(obs))
+        if device is None or isinstance(device, DeviceConfig):
+            config = (device if isinstance(device, DeviceConfig)
+                      else simulation_configuration())
+            if obs is not None:
+                self.device = (
+                    ObservedFlashDevice(config, obs=obs) if timing is None
+                    else ObservedTimedFlashDevice(config, timing=timing,
+                                                  obs=obs))
+            else:
+                self.device = (FlashDevice(config) if timing is None
+                               else TimedFlashDevice(config, timing=timing))
         elif isinstance(device, FlashDevice):
             device_timing = getattr(device, "timing", None)
             if timing is not None and device_timing is not timing:
@@ -137,15 +161,21 @@ class SimulationSession:
                     "TimedFlashDevice carrying the desired timing model (or "
                     "a DeviceConfig and let the session build one)")
             timing = device_timing
+            device_obs = getattr(device, "obs", None)
+            if obs is not None and device_obs is not obs:
+                raise ValueError(
+                    "obs= conflicts with the ready-made device; pass an "
+                    "ObservedFlashDevice carrying the desired observer (or "
+                    "a DeviceConfig and let the session build one)")
+            obs = device_obs
             self.device = device
-        elif isinstance(device, DeviceConfig):
-            self.device = (FlashDevice(device) if timing is None
-                           else TimedFlashDevice(device, timing=timing))
         else:
             raise TypeError("device must be a DeviceConfig or FlashDevice, "
                             f"not {type(device).__name__}")
         #: The session's :class:`TimingModel`, or ``None`` when disabled.
         self.timing: Optional[TimingModel] = timing
+        #: The session's :class:`Observer`, or ``None`` when disabled.
+        self.obs: Optional[Observer] = obs
         #: Virtual microseconds the last :meth:`recover` took (timing only).
         self.recovery_virtual_us: Optional[float] = None
         self.config: DeviceConfig = self.device.config
@@ -205,6 +235,9 @@ class SimulationSession:
                 # Same contract as the stats reset: drop the warm-up
                 # samples, keep the steady state (clock and busy units).
                 self.timing.reset_capture()
+            if self.obs is not None:
+                # Likewise: warm-up events/samples are not measurements.
+                self.obs.reset_capture()
         return pages
 
     def run(self, workload: Workload, operation_count: int,
@@ -268,6 +301,8 @@ class SimulationSession:
             # abandon it so the clock stays consistent without recording a
             # latency sample for a request that never completed.
             self.timing.abort_request()
+        if self.obs is not None:
+            self.obs.on_crash()
         adapter.simulate_power_failure()
         self._recovery = adapter
 

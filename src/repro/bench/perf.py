@@ -6,7 +6,7 @@ speed of its hot paths, so this module pins that speed down: a fixed set of
 measured in operations per second and emitted as schema-versioned
 ``BENCH_<name>.json`` records that CI archives and compares across commits.
 
-The eight benchmarks:
+The nine benchmarks:
 
 ``device_fill``
     Raw sequential page programming of every physical page of a device —
@@ -35,6 +35,11 @@ The eight benchmarks:
     The same sweep cell with the ``repro.timing`` virtual clock enabled
     (``slc`` preset) — pins the cost of per-op timing capture and the
     latency-sketch summary on top of the untimed path.
+``obs_overhead``
+    ``device_fill`` again through :class:`~repro.obs.device.
+    ObservedFlashDevice` with the full observability preset on — pins the
+    cost of per-op event tracing plus metrics sampling, and the ratio
+    against ``device_fill`` is the measured overhead of ``repro.obs``.
 
 A record looks like::
 
@@ -349,6 +354,40 @@ def _bench_latency_sweep(quick: bool) -> PreparedBench:
                   "timing": "slc"})
 
 
+def _bench_obs_overhead(quick: bool) -> PreparedBench:
+    """``device_fill`` through an observed device with full obs enabled.
+
+    Identical geometry and write loop to ``device_fill``, but every page
+    program flows through ``_ObservedOps.write_page_tagged`` — trace append
+    plus the metrics sampling check — so the throughput gap between the two
+    records is the per-op cost of the observability layer when *enabled*.
+    (When disabled the observed classes are never constructed, so the cost
+    is structurally zero; ``device_fill`` itself guards that side.)
+    """
+    from ..flash.address import PhysicalAddress
+    from ..flash.config import simulation_configuration
+    from ..obs import Observer, ObsSpec
+    from ..obs.device import ObservedFlashDevice
+
+    config = (simulation_configuration(num_blocks=256, pages_per_block=32)
+              if quick else
+              simulation_configuration(num_blocks=2048, pages_per_block=64))
+    device = ObservedFlashDevice(config, obs=Observer(ObsSpec.of("full")))
+    num_blocks = config.num_blocks
+    pages_per_block = config.pages_per_block
+
+    def thunk() -> int:
+        write = device.write_page_tagged
+        for block in range(num_blocks):
+            for page in range(pages_per_block):
+                write(PhysicalAddress(block, page), None)
+        return num_blocks * pages_per_block
+
+    return PreparedBench(
+        thunk=thunk, ops=config.physical_pages,
+        geometry={**_geometry_dict(config), "obs": "full"})
+
+
 #: The fixed set of named microbenchmarks, in reporting order.
 BENCH_CASES: Dict[str, BenchFactory] = {
     "device_fill": _bench_device_fill,
@@ -359,6 +398,7 @@ BENCH_CASES: Dict[str, BenchFactory] = {
     "dftl_cache_miss": _bench_dftl_cache_miss,
     "sweep_cell": _bench_sweep_cell,
     "latency_sweep": _bench_latency_sweep,
+    "obs_overhead": _bench_obs_overhead,
 }
 
 

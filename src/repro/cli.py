@@ -32,9 +32,11 @@ from .bench.reporting import format_bytes, format_seconds, print_report
 from .engine import (LATENCY_FIELDS, CrashPlan, ResultSink, SweepExecutor,
                      SweepPlan, SweepTask, aggregate, device_dict,
                      execute_task, latency_table)
+from .engine.executor import SweepTaskError
 from .flash.config import paper_configuration, simulation_configuration
+from .obs import ObsSpec, SweepProgress, event_names
 from .timing import DEVICE_PRESETS, TimingSpec
-from .workloads import TraceWorkload, workload_names
+from .workloads import TraceWorkload, WorkloadSpec, workload_names
 
 
 def _ftl_spec(text: str) -> FTLSpec:
@@ -57,6 +59,14 @@ def _timing_spec(text: str) -> TimingSpec:
     """argparse type: parse a timing preset/shorthand."""
     try:
         return TimingSpec.of(text)
+    except (ValueError, TypeError) as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _obs_spec(text: str) -> ObsSpec:
+    """argparse type: parse an observability preset/shorthand."""
+    try:
+        return ObsSpec.of(text)
     except (ValueError, TypeError) as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
@@ -134,6 +144,75 @@ def cmd_replay(arguments) -> int:
     return 0
 
 
+def _run_observed(arguments, spec: ObsSpec):
+    """Shared trace/metrics driver: one observed session, one workload run."""
+    session = SimulationSession(
+        arguments.ftl, device=_device_from_args(arguments),
+        interval_writes=max(1, arguments.writes // 10),
+        ftl_kwargs={"cache_capacity": arguments.cache_entries},
+        timing=arguments.timing, obs=spec)
+    with session:
+        session.warmup()
+        workload = WorkloadSpec.of(arguments.workload).build(
+            session.config.logical_pages, seed=arguments.seed)
+        session.run(workload, arguments.writes)
+        return session
+
+
+def cmd_trace(arguments) -> int:
+    """Run one observed simulation and dump its structured event trace."""
+    spec = ObsSpec.preset("trace", trace_capacity=arguments.capacity)
+    try:
+        session = _run_observed(arguments, spec)
+    except ValueError as exc:
+        print(f"invalid trace scenario: {exc}", file=sys.stderr)
+        return 2
+    trace = session.obs.trace
+    kinds = arguments.events
+    try:
+        if arguments.out:
+            written = trace.export_jsonl(arguments.out, kinds=kinds)
+            print(f"wrote {written} event(s) to {arguments.out} "
+                  f"(captured {trace.seq}, dropped {trace.dropped})")
+        else:
+            shown = 0
+            tail = list(trace.events(kinds))[-arguments.tail:]
+            for event in tail:
+                print(json.dumps(event, sort_keys=True,
+                                 separators=(",", ":")))
+                shown += 1
+            print(f"# shown {shown} of {trace.seq} captured event(s) "
+                  f"(ring dropped {trace.dropped}); "
+                  f"summary: {trace.summary()}", file=sys.stderr)
+    except ValueError as exc:
+        print(f"invalid event filter: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_metrics(arguments) -> int:
+    """Run one observed simulation and dump its metrics time series."""
+    spec = ObsSpec.preset("metrics", sample_every=arguments.sample_every)
+    try:
+        session = _run_observed(arguments, spec)
+    except ValueError as exc:
+        print(f"invalid metrics scenario: {exc}", file=sys.stderr)
+        return 2
+    recorder = session.obs.metrics
+    if arguments.out:
+        if arguments.format == "csv":
+            written = recorder.export_csv(arguments.out)
+        else:
+            written = recorder.export_jsonl(arguments.out)
+        print(f"wrote {written} sample row(s) to {arguments.out}")
+        return 0
+    if arguments.format == "csv":
+        recorder.export_csv(sys.stdout)
+    else:
+        recorder.export_jsonl(sys.stdout)
+    return 0
+
+
 def cmd_sweep(arguments) -> int:
     if arguments.resume and not arguments.sink:
         print("--resume needs --sink to resume from", file=sys.stderr)
@@ -189,13 +268,24 @@ def cmd_sweep(arguments) -> int:
               f"seed={task.seed} wa={row['wa_total']:.4f}{extra} "
               f"({row['elapsed_s']:.2f}s, {row['ops_per_sec']:.0f} ops/s)")
 
-    executor = SweepExecutor(workers=arguments.workers, on_task=on_task)
+    progress = SweepProgress() if arguments.progress else None
+    executor = SweepExecutor(workers=arguments.workers,
+                             on_task=progress if progress is not None
+                             else on_task)
     sink = ResultSink(arguments.sink) if arguments.sink else None
     try:
         report = executor.run(plan, sink=sink, resume=arguments.resume)
+    except SweepTaskError as exc:
+        if progress is not None:
+            progress.note_failure(exc)
+            progress.finish()
+            return 1
+        raise
     finally:
         if sink is not None:
             sink.close()
+    if progress is not None:
+        progress.finish()
     metrics = ["wa_total", "ops_per_sec", "ram_bytes"]
     if any(row.get("recovery") is not None for row in report.rows):
         metrics += ["recovery.total_spare_reads", "recovery.total_page_reads",
@@ -420,7 +510,53 @@ def build_parser() -> argparse.ArgumentParser:
                             "throughput/p50/p99/p999 columns; presets: "
                             f"{', '.join(sorted(DEVICE_PRESETS))}, with "
                             "overrides like 'slc(channels=8)'")
+    sweep.add_argument("--progress", action="store_true",
+                       help="live progress telemetry on stderr (rows/sec, "
+                            "ETA, per-task wall time, failures); display "
+                            "only — result rows are unchanged")
     sweep.set_defaults(handler=cmd_sweep)
+
+    def add_observed_arguments(sub):
+        add_device_arguments(sub)
+        sub.add_argument("--ftl", default="GeckoFTL", type=_ftl_spec,
+                         metavar="FTL",
+                         help=f"FTL name or spec (known: {known})")
+        sub.add_argument("--workload", default="UniformRandomWrites",
+                         help="workload name or spec "
+                              f"(known: {', '.join(workload_names())})")
+        sub.add_argument("--writes", type=int, default=4000)
+        sub.add_argument("--seed", type=int, default=42)
+        sub.add_argument("--timing", type=_timing_spec, metavar="PRESET",
+                         default=None,
+                         help="also run the virtual clock (adds windowed "
+                              "latency percentiles to metrics rows); "
+                              f"presets: {', '.join(sorted(DEVICE_PRESETS))}")
+        sub.add_argument("--out", metavar="FILE", default=None,
+                         help="write to FILE instead of stdout")
+
+    trace = subparsers.add_parser(
+        "trace", help="run one observed simulation and dump its structured "
+                      "event trace as JSONL")
+    add_observed_arguments(trace)
+    trace.add_argument("--events", nargs="+", metavar="EVENT", default=None,
+                       help="only these event kinds "
+                            f"(known: {', '.join(event_names())})")
+    trace.add_argument("--capacity", type=int, default=65_536,
+                       help="trace ring-buffer capacity (older events are "
+                            "dropped beyond it)")
+    trace.add_argument("--tail", type=int, default=40,
+                       help="events to print when no --out is given")
+    trace.set_defaults(handler=cmd_trace)
+
+    metrics = subparsers.add_parser(
+        "metrics", help="run one observed simulation and dump its sampled "
+                        "metrics time series")
+    add_observed_arguments(metrics)
+    metrics.add_argument("--sample-every", type=int, default=1000,
+                         help="host operations per sample window")
+    metrics.add_argument("--format", choices=["csv", "jsonl"], default="csv",
+                         help="export format (default: csv)")
+    metrics.set_defaults(handler=cmd_metrics)
 
     latency = subparsers.add_parser(
         "latency", help="compare FTL tail latencies (p50/p99/p999) under a "

@@ -114,6 +114,11 @@ class LogarithmicGecko:
         #: may raise to model a power failure during a merge (the old runs
         #: are still the valid set; recovery must restore them).
         self.crash_hook = None
+        #: Observability hook (same idiom as ``crash_hook``): invoked as
+        #: ``obs_hook("flush", entries)`` when the buffer is written out and
+        #: ``obs_hook("merge", num_participating_runs)`` when runs merge.
+        #: ``None`` — the default — costs one predicted branch per event.
+        self.obs_hook = None
 
     # ------------------------------------------------------------------
     # Public interface: updates, erases, GC queries
@@ -264,6 +269,8 @@ class LogarithmicGecko:
         columns = self.buffer.drain()
         if not len(columns):
             return None
+        if self.obs_hook is not None:
+            self.obs_hook("flush", len(columns))
         run = self._write_run(columns)
         self._merge_until_stable()
         return run
@@ -323,6 +330,8 @@ class LogarithmicGecko:
         if len(runs) < 2:
             return
         self.merge_operations += 1
+        if self.obs_hook is not None:
+            self.obs_hook("merge", len(runs))
         ordered = sorted(runs, key=lambda run: run.creation_timestamp,
                          reverse=True)
         merged: Optional[EntryColumns] = None

@@ -215,10 +215,22 @@ class GeckoRecovery(RecoveryAdapter):
                     continue
                 spare = self.device.read_spare(old_physical,
                                                purpose=IOPurpose.RECOVERY)
-                if spare.logical_address == logical:
-                    gecko.record_invalid(old_physical.block,
-                                         old_physical.page)
-                    invalidation_records += 1
+                if spare.logical_address != logical:
+                    continue
+                # The before-image this diff identified was written before
+                # the translation-page version that referenced it. If the
+                # occupant's timestamp is newer, the block was erased and
+                # reused since — possibly by a fresh copy of the very same
+                # logical page — so recording it invalid could kill live
+                # data. Skipping is always safe: an unrecorded stale copy
+                # is reclaimed by the mapping check in GeckoFTL's GC
+                # migration path.
+                if spare.write_timestamp is not None \
+                        and spare.write_timestamp >= _prev_ts:
+                    continue
+                gecko.record_invalid(old_physical.block,
+                                     old_physical.page)
+                invalidation_records += 1
         report.recovered_erase_records = erase_records
         report.recovered_invalidation_records = invalidation_records
         self._measure(report, "step4_buffer", before)

@@ -241,7 +241,8 @@ class SweepExecutor:
     on_task:
         Optional progress callback invoked in the parent process, in plan
         order, after each task's row is available (and persisted, when a sink
-        is in use).
+        is in use). Rows reused by ``resume`` replay through the callback
+        before execution starts, so ``completed/total`` covers the full grid.
     """
 
     def __init__(self, workers: int = 1,
@@ -283,6 +284,12 @@ class SweepExecutor:
             if task.key() in completed_keys:
                 slots[position] = previous_rows.get(task.key())
                 report.skipped += 1
+                # Resumed rows replay through the progress callback up
+                # front, so a reporter's completed/total accounting covers
+                # the whole grid rather than only the freshly executed part.
+                if self.on_task is not None:
+                    self.on_task(task, slots[position], report.skipped,
+                                 len(tasks))
             else:
                 pending.append((position, task))
 

@@ -226,9 +226,14 @@ class IOStats:
     def diff(self, earlier: "IOStats") -> "IOStats":
         """Return the operations recorded since ``earlier`` was snapshotted.
 
-        Negative intermediate values (possible only when diffing unrelated
-        instances) clamp to zero, matching the historical ``+Counter``
-        behaviour of dropping non-positive entries.
+        Negative intermediate values (possible when diffing across a
+        :meth:`reset`, or between unrelated instances) clamp to zero,
+        matching the historical ``+Counter`` behaviour of dropping
+        non-positive entries. The result always carries every
+        :class:`IOPurpose` key — even against a hand-built ``earlier`` whose
+        purpose dictionaries are missing keys — so downstream consumers
+        (interval windows, nested diffs, the metrics recorder) can index
+        purposes unconditionally.
         """
         result = IOStats.__new__(IOStats)
         for slot in ("page_read_counts", "page_write_counts",
@@ -236,10 +241,12 @@ class IOStats:
                      "spare_write_counts"):
             mine: Dict[IOPurpose, int] = getattr(self, slot)
             theirs: Dict[IOPurpose, int] = getattr(earlier, slot)
-            setattr(result, slot,
-                    {purpose: delta if (delta := count - theirs[purpose]) > 0
-                     else 0
-                     for purpose, count in mine.items()})
+            window = _ZERO_COUNTS.copy()
+            for purpose, count in mine.items():
+                delta = count - theirs.get(purpose, 0)
+                if delta > 0:
+                    window[purpose] = delta
+            setattr(result, slot, window)
         result.host_writes = self.host_writes - earlier.host_writes
         result.host_reads = self.host_reads - earlier.host_reads
         return result

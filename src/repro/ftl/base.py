@@ -90,6 +90,15 @@ class PageMappedFTL:
         # slot, so FTLs on a plain device see None and every timing branch
         # below stays a single predictable ``is not None`` check.
         self.timing = getattr(device, "timing", None)
+        # Same discovery idiom for the observability layer: only the observed
+        # device variants carry an ``obs`` slot. By this point every hooked
+        # structure (garbage collector, validity store — hence GeckoFTL's
+        # ``gecko`` — and the cache) exists, so the observer can wire itself
+        # into all of them at once.
+        obs = getattr(device, "obs", None)
+        self.obs = obs
+        if obs is not None:
+            obs.attach_ftl(self)
         self._in_gc = False
 
     # ------------------------------------------------------------------
@@ -362,6 +371,8 @@ class PageMappedFTL:
             victim = self.cache.pop_lru()
             if victim is None:
                 break
+            if self.obs is not None:
+                self.obs.on_cache_evict(victim.logical, victim.dirty)
             if victim.dirty:
                 translation_page = self.cache.translation_page_of(victim.logical)
                 self._synchronize_translation_page(translation_page,

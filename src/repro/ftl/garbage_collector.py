@@ -83,6 +83,11 @@ class GarbageCollector:
         #: tell that an erase is outstanding (battery-backed FTLs complete
         #: it; scan-based recovery rediscovers the state from flash).
         self.in_flight_victim: Optional[int] = None
+        #: Observability hook (same discovery idiom as ``crash_hook``): when
+        #: an observer attaches to the owning FTL it sets itself here, and
+        #: ``collect_block`` reports cycle boundaries to it. ``None`` —
+        #: the default — costs one predicted branch per collection.
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Triggering
@@ -195,6 +200,9 @@ class GarbageCollector:
         victim_type = self.block_manager.block_type(victim)
         block = self.device.block(victim)
         written = block.written_pages
+        obs = self.obs
+        if obs is not None:
+            obs.on_gc_start(victim, victim_type.value)
 
         if victim_type in METADATA_TYPES:
             migrated = self._collect_metadata_block(victim, victim_type)
@@ -206,6 +214,8 @@ class GarbageCollector:
         self.block_manager.release_block(victim, purpose=IOPurpose.GC)
         self.bvc.set_count(victim, 0)
         self.in_flight_victim = None
+        if obs is not None:
+            obs.on_gc_end(victim, migrated, written - migrated)
         return GCResult(victim_block=victim, victim_type=victim_type,
                         migrated_pages=migrated,
                         reclaimed_pages=written - migrated)

@@ -75,6 +75,13 @@ class MappingCache:
         #: eviction loop — is O(1) instead of a scan.
         self._live_count = 0
         self._checkpoint_serial = 0
+        #: Monotonic lookup counters (same idiom as Logarithmic Gecko's
+        #: ``updates``/``gc_queries``): maintained unconditionally so the
+        #: observability layer can report windowed hit ratios without adding
+        #: any hook to the lookup path. They count :meth:`get` calls only —
+        #: :meth:`peek` is introspection, not a cache access.
+        self.hits = 0
+        self.misses = 0
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -108,7 +115,9 @@ class MappingCache:
         """Return the cached entry for ``logical`` (refreshing recency)."""
         entry = self._entries.get(logical)
         if entry is None:
+            self.misses += 1
             return None
+        self.hits += 1
         if touch:
             self._entries.move_to_end(logical)
         return entry

@@ -160,6 +160,9 @@ class RecoveryAdapter:
             spare_reads=diff.total(IOKind.SPARE_READ),
             duration_us=diff.latency_us(self.config.latency))
         report.steps.append(step)
+        obs = getattr(self.ftl, "obs", None)
+        if obs is not None:
+            obs.on_recovery_step(step)
         return step
 
     # ------------------------------------------------------------------

@@ -1,0 +1,137 @@
+"""Flash devices whose charged operations also feed the observer.
+
+The zero-overhead-when-disabled requirement is met the same way
+:mod:`repro.timing` meets it — *structurally*. The base
+:class:`~repro.flash.device.FlashDevice` is untouched: no per-op callable
+indirection, no hook checks on the plain device. A simulation that wants
+observability builds an :class:`ObservedFlashDevice` (or, with timing on as
+well, an :class:`ObservedTimedFlashDevice`) instead. Each overridden
+operation delegates to the inherited fast path and then makes exactly one
+:meth:`~repro.obs.recorder.Observer.on_flash_op` call, so the observed
+device stays IO-trace identical to the plain one (same stats, same flash
+state, same exceptions) and merely watches the stream.
+
+The seven overrides live once in the :class:`_ObservedOps` mixin; the MRO
+composes them over either base, so on the timed variant every operation is
+first charged, then clocked, then observed. ``write_page`` and the
+GC/recovery helpers need no overrides of their own: they funnel into the
+overridden primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..flash.address import PhysicalAddress
+from ..flash.config import DeviceConfig
+from ..flash.device import FlashDevice
+from ..flash.page import FlashPage, SpareArea
+from ..flash.stats import IOKind, IOPurpose, IOStats
+from ..timing.device import TimedFlashDevice
+from ..timing.model import TimingModel
+from ..timing.spec import TimingSpec
+from .recorder import Observer
+from .spec import ObsSpec
+
+
+def _coerce_observer(obs: Union[Observer, ObsSpec, str, Dict[str, Any],
+                                bool, None]) -> Observer:
+    if isinstance(obs, Observer):
+        return obs
+    return Observer(ObsSpec.of(obs) if obs is not None else ObsSpec())
+
+
+class _ObservedOps:
+    """The seven charged-operation overrides, shared by both variants."""
+
+    __slots__ = ()
+
+    # ------------------------------------------------------------------
+    # Page operations
+    # ------------------------------------------------------------------
+    def read_page(self, address: PhysicalAddress,
+                  purpose: IOPurpose = IOPurpose.OTHER) -> FlashPage:
+        page = super().read_page(address, purpose)
+        self.obs.on_flash_op(IOKind.PAGE_READ, address.block, purpose)
+        return page
+
+    def read_page_data(self, address: PhysicalAddress,
+                       purpose: IOPurpose = IOPurpose.OTHER) -> Any:
+        data = super().read_page_data(address, purpose)
+        self.obs.on_flash_op(IOKind.PAGE_READ, address.block, purpose)
+        return data
+
+    def read_page_record(self, address: PhysicalAddress,
+                         purpose: IOPurpose = IOPurpose.OTHER
+                         ) -> Tuple[Any, Optional[int]]:
+        record = super().read_page_record(address, purpose)
+        self.obs.on_flash_op(IOKind.PAGE_READ, address.block, purpose)
+        return record
+
+    def write_page_tagged(self, address: PhysicalAddress, data: Any = None,
+                          logical: Optional[int] = None,
+                          block_type: Optional[str] = None,
+                          payload: Optional[dict] = None,
+                          purpose: IOPurpose = IOPurpose.OTHER) -> int:
+        timestamp = super().write_page_tagged(address, data, logical,
+                                              block_type, payload, purpose)
+        self.obs.on_flash_op(IOKind.PAGE_WRITE, address.block, purpose)
+        return timestamp
+
+    def read_spare(self, address: PhysicalAddress,
+                   purpose: IOPurpose = IOPurpose.OTHER) -> SpareArea:
+        spare = super().read_spare(address, purpose)
+        self.obs.on_flash_op(IOKind.SPARE_READ, address.block, purpose)
+        return spare
+
+    def read_spare_logical(self, address: PhysicalAddress,
+                           purpose: IOPurpose = IOPurpose.OTHER
+                           ) -> Optional[int]:
+        logical = super().read_spare_logical(address, purpose)
+        self.obs.on_flash_op(IOKind.SPARE_READ, address.block, purpose)
+        return logical
+
+    # ------------------------------------------------------------------
+    # Block operations
+    # ------------------------------------------------------------------
+    def erase_block(self, block_id: int,
+                    purpose: IOPurpose = IOPurpose.OTHER) -> None:
+        super().erase_block(block_id, purpose)
+        self.obs.on_flash_op(IOKind.BLOCK_ERASE, block_id, purpose)
+
+
+class ObservedFlashDevice(_ObservedOps, FlashDevice):
+    """A flash device whose every charged operation is also observed."""
+
+    __slots__ = ("obs",)
+
+    def __init__(self, config: DeviceConfig,
+                 stats: Optional[IOStats] = None,
+                 obs: Union[Observer, ObsSpec, str, Dict[str, Any],
+                            bool, None] = None) -> None:
+        super().__init__(config, stats)
+        self.obs = _coerce_observer(obs)
+        self.obs.bind_device(self)
+
+
+class ObservedTimedFlashDevice(_ObservedOps, TimedFlashDevice):
+    """A flash device that is both clocked and observed.
+
+    The MRO runs each operation through the inherited timed override first
+    (charge, then clock) and the observer hook last, so the observer sees
+    the operation only after the virtual clock has advanced — exactly the
+    order the metrics recorder needs to report windowed latency percentiles
+    consistent with the ops of the same window.
+    """
+
+    __slots__ = ("obs",)
+
+    def __init__(self, config: DeviceConfig,
+                 stats: Optional[IOStats] = None,
+                 timing: Union[TimingModel, TimingSpec, str, dict, None]
+                 = None,
+                 obs: Union[Observer, ObsSpec, str, Dict[str, Any],
+                            bool, None] = None) -> None:
+        super().__init__(config, stats, timing)
+        self.obs = _coerce_observer(obs)
+        self.obs.bind_device(self)

@@ -1,0 +1,190 @@
+"""Structured event tracing: a bounded ring buffer of packed records.
+
+Every hook point feeds the same :class:`EventTrace`: flash operations (kind,
+purpose, block) from the observed device, garbage-collection cycle
+boundaries, Logarithmic Gecko buffer flushes and run merges, mapping-cache
+evictions, and crash/recovery lifecycle steps. Records are stored *packed* —
+one ``(code, a, b, c)`` integer tuple per event in a ``deque(maxlen=...)``
+ring — so a long simulation keeps only the most recent window at a small,
+bounded RAM cost, and the append stays a single tuple build plus a deque
+push on the hot path.
+
+Decoding happens only at export time: :meth:`EventTrace.events` yields plain
+dictionaries with human-readable event names and per-event field names, and
+:meth:`EventTrace.export_jsonl` writes them as canonical (sorted-key) JSONL
+so identical simulations produce byte-identical trace files.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Any, Dict, Iterable, Iterator, List, Optional, Union
+
+from ..flash.stats import IOKind, IOPurpose
+
+# ----------------------------------------------------------------------
+# Event codes
+# ----------------------------------------------------------------------
+#: Flash-operation events reuse the IOKind ordering: codes 0..4.
+_FLASH_KINDS: List[IOKind] = list(IOKind)
+_FLASH_CODE = {kind: code for code, kind in enumerate(_FLASH_KINDS)}
+_PURPOSES: List[IOPurpose] = list(IOPurpose)
+_PURPOSE_INDEX = {purpose: index for index, purpose in enumerate(_PURPOSES)}
+
+GC_START = len(_FLASH_KINDS)
+GC_END = GC_START + 1
+GECKO_FLUSH = GC_START + 2
+GECKO_MERGE = GC_START + 3
+CACHE_EVICT = GC_START + 4
+RECOVERY_STEP = GC_START + 5
+CRASH = GC_START + 6
+
+#: Code -> event name, in code order (flash kinds first, then lifecycle).
+EVENT_NAMES: List[str] = (
+    [kind.value for kind in _FLASH_KINDS]
+    + ["gc_start", "gc_end", "gecko_flush", "gecko_merge",
+       "cache_evict", "recovery_step", "crash"])
+
+_NAME_TO_CODE = {name: code for code, name in enumerate(EVENT_NAMES)}
+
+
+def event_names() -> List[str]:
+    """All event names the tracer can record, in code order."""
+    return list(EVENT_NAMES)
+
+
+class EventTrace:
+    """Bounded ring buffer of packed simulation events."""
+
+    __slots__ = ("capacity", "seq", "_records", "_labels", "_label_index")
+
+    def __init__(self, capacity: int = 65_536) -> None:
+        if capacity < 1:
+            raise ValueError("trace capacity must be positive")
+        self.capacity = capacity
+        #: Total events ever appended (survives ring-buffer eviction), so
+        #: each retained record keeps its absolute sequence number.
+        self.seq = 0
+        self._records: "deque[tuple]" = deque(maxlen=capacity)
+        # Interned string labels (recovery step names): packed records carry
+        # only the label id. Appended-only, so ids stay stable for decoding.
+        self._labels: List[str] = []
+        self._label_index: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording (hot paths)
+    # ------------------------------------------------------------------
+    def append_flash(self, kind: IOKind, block: int,
+                     purpose: IOPurpose) -> None:
+        """Record one flash operation (one tuple build + deque push)."""
+        self.seq += 1
+        self._records.append((_FLASH_CODE[kind], block,
+                              _PURPOSE_INDEX[purpose], 0))
+
+    def append(self, code: int, a: int = 0, b: int = 0, c: int = 0) -> None:
+        """Record one lifecycle event by code."""
+        self.seq += 1
+        self._records.append((code, a, b, c))
+
+    def append_label(self, code: int, label: str, a: int = 0,
+                     b: int = 0) -> None:
+        """Record one event carrying an interned string label."""
+        label_id = self._label_index.get(label)
+        if label_id is None:
+            label_id = self._label_index[label] = len(self._labels)
+            self._labels.append(label)
+        self.seq += 1
+        self._records.append((code, label_id, a, b))
+
+    def reset(self) -> None:
+        """Drop every record (the sequence counter restarts too)."""
+        self.seq = 0
+        self._records.clear()
+        self._labels = []
+        self._label_index = {}
+
+    # ------------------------------------------------------------------
+    # Queries and decoding
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of records currently retained in the ring."""
+        return len(self._records)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer (total appended - retained)."""
+        return self.seq - len(self._records)
+
+    def _decode(self, seq: int, record: tuple) -> Dict[str, Any]:
+        code, a, b, c = record
+        event = EVENT_NAMES[code]
+        if code < GC_START:
+            return {"seq": seq, "event": event, "block": a,
+                    "purpose": _PURPOSES[b].value}
+        if code == GC_START:
+            return {"seq": seq, "event": event, "block": b,
+                    "victim_type": self._labels[a]}
+        if code == GC_END:
+            return {"seq": seq, "event": event, "block": a,
+                    "migrated": b, "reclaimed": c}
+        if code == GECKO_FLUSH:
+            return {"seq": seq, "event": event, "entries": a}
+        if code == GECKO_MERGE:
+            return {"seq": seq, "event": event, "runs": a}
+        if code == CACHE_EVICT:
+            return {"seq": seq, "event": event, "logical": a,
+                    "dirty": bool(b)}
+        if code == RECOVERY_STEP:
+            return {"seq": seq, "event": event, "step": self._labels[a],
+                    "page_reads": b, "page_writes": c}
+        return {"seq": seq, "event": event}
+
+    def events(self, kinds: Optional[Iterable[str]] = None
+               ) -> Iterator[Dict[str, Any]]:
+        """Decode retained records oldest-first, optionally filtered.
+
+        ``kinds`` is an iterable of event names (see :func:`event_names`);
+        unknown names raise so a mistyped CLI filter fails loudly.
+        """
+        codes = None
+        if kinds is not None:
+            codes = set()
+            for name in kinds:
+                if name not in _NAME_TO_CODE:
+                    raise ValueError(
+                        f"unknown event kind {name!r}; "
+                        f"known: {', '.join(EVENT_NAMES)}")
+                codes.add(_NAME_TO_CODE[name])
+        first_seq = self.seq - len(self._records) + 1
+        for offset, record in enumerate(self._records):
+            if codes is None or record[0] in codes:
+                yield self._decode(first_seq + offset, record)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export_jsonl(self, target: Union[str, IO[str]],
+                     kinds: Optional[Iterable[str]] = None) -> int:
+        """Write decoded events as canonical JSONL; returns lines written.
+
+        Keys are sorted and separators fixed, so two identical simulations
+        export byte-identical files.
+        """
+        count = 0
+        if hasattr(target, "write"):
+            for event in self.events(kinds):
+                target.write(json.dumps(event, sort_keys=True,
+                                        separators=(",", ":")) + "\n")
+                count += 1
+            return count
+        with open(target, "w", encoding="utf-8") as handle:
+            return self.export_jsonl(handle, kinds)
+
+    def summary(self) -> Dict[str, int]:
+        """``{event_name: retained_count}`` over the ring, names sorted."""
+        counts: Dict[int, int] = {}
+        for record in self._records:
+            counts[record[0]] = counts.get(record[0], 0) + 1
+        return {EVENT_NAMES[code]: counts[code]
+                for code in sorted(counts, key=lambda c: EVENT_NAMES[c])}

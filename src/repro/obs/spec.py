@@ -1,0 +1,144 @@
+"""Observability specifications: what to capture and how often.
+
+An :class:`ObsSpec` is to :mod:`repro.obs` what a
+:class:`~repro.timing.spec.TimingSpec` is to :mod:`repro.timing`: a small,
+fully serializable value object naming everything the observability layer
+needs — which capture channels are on (the event tracer, the metrics
+recorder) and their knobs (trace ring-buffer capacity, metrics sampling
+period in host operations).
+
+Specs parse from the CLI shorthand ``"preset(key=value, ...)"``::
+
+    ObsSpec.parse("trace")
+    ObsSpec.parse("metrics(sample_every=250)")
+    ObsSpec.parse("full(trace_capacity=4096)")
+
+Presets
+-------
+``trace``
+    Structured event tracing only (bounded ring buffer of packed records).
+``metrics``
+    Time-series metrics only (one sample row every ``sample_every`` host
+    operations).
+``full``
+    Both channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Union
+
+#: Named capture presets (see module docstring).
+OBS_PRESETS: Dict[str, Dict[str, Any]] = {
+    "trace": {"trace": True, "metrics": False},
+    "metrics": {"trace": False, "metrics": True},
+    "full": {"trace": True, "metrics": True},
+}
+
+#: Default ring-buffer capacity: enough to hold the tail of a sizeable run
+#: without letting an unbounded trace dominate RAM.
+DEFAULT_TRACE_CAPACITY = 65_536
+
+#: Default metrics sampling period, in host operations.
+DEFAULT_SAMPLE_EVERY = 1_000
+
+
+@dataclass(frozen=True)
+class ObsSpec:
+    """A fully explicit, serializable observability description.
+
+    Two specs describing the same capture configuration compare (and
+    serialize) equal regardless of which preset or shorthand produced them.
+    """
+
+    trace: bool = True
+    metrics: bool = True
+    trace_capacity: int = DEFAULT_TRACE_CAPACITY
+    sample_every: int = DEFAULT_SAMPLE_EVERY
+
+    def __post_init__(self) -> None:
+        for name in ("trace", "metrics"):
+            if not isinstance(getattr(self, name), bool):
+                raise ValueError(f"ObsSpec.{name} must be a bool, "
+                                 f"not {getattr(self, name)!r}")
+        for name in ("trace_capacity", "sample_every"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise ValueError(f"ObsSpec.{name} must be a positive "
+                                 f"integer, not {value!r}")
+        if not (self.trace or self.metrics):
+            raise ValueError(
+                "ObsSpec enables neither tracing nor metrics; omit obs= "
+                "entirely to run without the observability layer")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def preset(cls, name: str, **overrides: Any) -> "ObsSpec":
+        """Build the named preset, optionally overriding fields."""
+        key = name.strip().lower()
+        if key not in OBS_PRESETS:
+            raise ValueError(f"unknown obs preset {name!r}; choose from "
+                             f"{sorted(OBS_PRESETS)}")
+        values = dict(OBS_PRESETS[key])
+        values.update(overrides)
+        return cls(**values)
+
+    @classmethod
+    def parse(cls, text: str) -> "ObsSpec":
+        """Parse ``"preset"`` or ``"preset(key=value, ...)"``."""
+        # Lazy import for the same cycle reason as TimingSpec.parse: the
+        # registry module pulls in the session package at import time.
+        from ..api.registry import parse_call_spec
+        name, kwargs = parse_call_spec(text, what="obs",
+                                       example="'metrics(sample_every=250)'")
+        return cls.preset(name, **kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ObsSpec":
+        """Build from a dict; a ``"preset"`` key supplies the base values."""
+        values = dict(data)
+        preset_name = values.pop("preset", None)
+        if preset_name is not None:
+            return cls.preset(str(preset_name), **values)
+        known = {f.name for f in fields(cls)}
+        unknown = set(values) - known
+        if unknown:
+            raise ValueError(f"unknown obs field(s) {sorted(unknown)}; "
+                             f"supported: {sorted(known)}")
+        return cls(**values)
+
+    @classmethod
+    def of(cls, value: Union["ObsSpec", str, Dict[str, Any], bool]
+           ) -> "ObsSpec":
+        """Coerce a spec, preset/shorthand string, dict, or ``True``."""
+        if isinstance(value, cls):
+            return value
+        if value is True:
+            return cls()
+        if isinstance(value, str):
+            return cls.parse(value)
+        if isinstance(value, dict):
+            return cls.from_dict(value)
+        raise TypeError(f"cannot interpret {value!r} as an observability "
+                        "specification")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical, fully explicit dict form (presets resolved away)."""
+        return asdict(self)
+
+    def __str__(self) -> str:
+        defaults = {"trace_capacity": DEFAULT_TRACE_CAPACITY,
+                    "sample_every": DEFAULT_SAMPLE_EVERY}
+        for name, values in OBS_PRESETS.items():
+            if {**defaults, **values} == self.to_dict():
+                return name
+        args = ", ".join(f"{key}={value!r}"
+                         for key, value in sorted(self.to_dict().items()))
+        return f"ObsSpec({args})"

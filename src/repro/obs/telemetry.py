@@ -1,0 +1,101 @@
+"""Sweep telemetry: live progress reporting over the executor callback.
+
+:class:`SweepProgress` is a ready-made
+:data:`~repro.engine.executor.ProgressCallback`: pass one as
+``SweepExecutor(on_task=...)`` (or ``repro sweep --progress``) and it prints
+one line per completed task — rows done, rows per second, estimated time
+remaining, the task's own wall time — plus a final summary including any
+failures noted along the way.
+
+Telemetry lives strictly *outside* the canonical result rows: the callback
+runs in the parent process after a row has been computed (and persisted),
+only reads the row, and writes to its own stream. The executor's
+determinism guarantees — byte-identical canonical rows across worker
+counts, resume no-ops on already-complete sinks — are untouched whether or
+not a progress reporter is attached. Wall-clock numbers shown here come
+from the rows' non-canonical timing fields and this process's clock; they
+are display-only and never exported.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+from ..engine.plan import SweepTask
+
+
+class SweepProgress:
+    """Progress reporter matching the executor's ``on_task`` signature."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.completed = 0
+        self.total = 0
+        #: Per-task wall seconds, in completion order (from the rows'
+        #: non-canonical ``wall_seconds`` field; resumed rows replay the
+        #: value persisted when they originally ran).
+        self.task_walls: List[float] = []
+        self.failures: List[str] = []
+        self._started: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # The executor callback
+    # ------------------------------------------------------------------
+    def __call__(self, task: SweepTask, row: Dict[str, Any],
+                 completed: int, total: int) -> None:
+        now = time.perf_counter()
+        if self._started is None:
+            self._started = now
+        self.completed = completed
+        self.total = total
+        wall = float(row.get("wall_seconds") or 0.0)
+        self.task_walls.append(wall)
+        elapsed = now - self._started
+        # Rate over tasks observed by *this* reporter: resumed rows are
+        # replayed before any task executes, so the rate converges on the
+        # true execution rate once real rows start arriving.
+        rate = len(self.task_walls) / elapsed if elapsed > 0 else 0.0
+        remaining = total - completed
+        eta = remaining / rate if rate > 0 else float("inf")
+        self.stream.write(
+            f"[{completed}/{total}] ftl={task.ftl} "
+            f"workload={task.workload} seed={task.seed} "
+            f"wall={wall:.2f}s | {rate:.2f} rows/s eta={self._fmt(eta)}\n")
+        self.stream.flush()
+
+    # ------------------------------------------------------------------
+    # Failures and summary
+    # ------------------------------------------------------------------
+    def note_failure(self, error: BaseException) -> None:
+        """Record a failed task (e.g. a caught ``SweepTaskError``)."""
+        message = str(error)
+        self.failures.append(message)
+        self.stream.write(f"FAILED: {message}\n")
+        self.stream.flush()
+
+    def summary(self) -> str:
+        """One closing line: totals, slowest task, failure count."""
+        parts = [f"completed={self.completed}/{self.total}"]
+        if self.task_walls:
+            parts.append(f"slowest_task_s={max(self.task_walls):.2f}")
+        if self._started is not None:
+            parts.append(
+                f"elapsed_s={time.perf_counter() - self._started:.2f}")
+        if self.failures:
+            parts.append(f"failures={len(self.failures)}")
+        return " ".join(parts)
+
+    def finish(self) -> None:
+        """Print the closing summary line."""
+        self.stream.write(self.summary() + "\n")
+        self.stream.flush()
+
+    @staticmethod
+    def _fmt(seconds: float) -> str:
+        if seconds == float("inf"):
+            return "?"
+        if seconds >= 60.0:
+            return f"{int(seconds // 60)}m{int(seconds % 60):02d}s"
+        return f"{seconds:.1f}s"

@@ -51,8 +51,9 @@ class TimingModel:
     """Sequences tagged flash ops onto device units under a virtual clock."""
 
     __slots__ = ("spec", "units", "now", "sketch", "kind_sketches",
-                 "requests", "_busy", "_service", "_cursor", "_arrival",
-                 "_depth", "_kind", "_capture_start", "_background")
+                 "requests", "window_sketch", "_busy", "_service", "_cursor",
+                 "_arrival", "_depth", "_kind", "_capture_start",
+                 "_background")
 
     def __init__(self, spec: Union[TimingSpec, str, Dict[str, Any], None]
                  = None) -> None:
@@ -80,6 +81,12 @@ class TimingModel:
         self.requests = 0
         self.sketch = LatencySketch()
         self.kind_sketches: Dict[str, LatencySketch] = {}
+        #: Optional secondary sketch the metrics recorder installs to report
+        #: per-window percentiles: every closed request is recorded into it
+        #: *in addition to* the cumulative sketch, and the recorder resets it
+        #: at each window boundary. ``None`` (the default) keeps the request
+        #: path free of any window bookkeeping.
+        self.window_sketch: Optional[LatencySketch] = None
         self._capture_start = 0.0
 
     # ------------------------------------------------------------------
@@ -101,6 +108,9 @@ class TimingModel:
             self.now = self._cursor
             self.requests += 1
             self.sketch.record(latency)
+            window = self.window_sketch
+            if window is not None:
+                window.record(latency)
             kind = self._kind or "op"
             per_kind = self.kind_sketches.get(kind)
             if per_kind is None:
@@ -156,6 +166,8 @@ class TimingModel:
         self.sketch = LatencySketch()
         self.kind_sketches = {}
         self.requests = 0
+        if self.window_sketch is not None:
+            self.window_sketch.reset()
         self._capture_start = self.now
 
     @property

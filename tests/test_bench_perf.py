@@ -23,7 +23,8 @@ from repro.cli import main
 #: crash-recovery scenario engine).
 EXPECTED_NAMES = ["device_fill", "gecko_update", "gecko_merge",
                   "gecko_gc_query", "gecko_recovery",
-                  "dftl_cache_miss", "sweep_cell", "latency_sweep"]
+                  "dftl_cache_miss", "sweep_cell", "latency_sweep",
+                  "obs_overhead"]
 
 
 def _record(name, ops_per_sec, quick=True, **extra):
