@@ -35,7 +35,7 @@ PLAN = SweepPlan(
 
 
 def figure12_rows():
-    report = SweepExecutor(workers=1).run(PLAN)
+    report = SweepExecutor().run(PLAN)
     return [{
         "logical_ratio_R": row["device"]["logical_ratio"],
         "wa_total": round(row["wa_total"], 4),

@@ -65,7 +65,7 @@ def recovery_rows():
 
 
 def wa_rows():
-    report = SweepExecutor(workers=1).run(WA_PLAN)
+    report = SweepExecutor().run(WA_PLAN)
     rows = []
     for result in report.rows:
         row = {"ftl": result["ftl"],

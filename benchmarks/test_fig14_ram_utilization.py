@@ -58,7 +58,7 @@ SCENARIOS = [
 
 
 def figure14_rows():
-    report = SweepExecutor(workers=1).run([task for _, task in SCENARIOS])
+    report = SweepExecutor().run([task for _, task in SCENARIOS])
     rows = []
     for (label, task), result in zip(SCENARIOS, report.rows):
         rows.append({

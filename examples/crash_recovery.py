@@ -21,8 +21,8 @@ The scenarios are declared as a :class:`repro.engine.SweepPlan` with a
 :class:`repro.engine.CrashPlan`, so they fan out over worker processes and
 can persist/resume like any other sweep::
 
-    python examples/crash_recovery.py [--writes N] [--workers W]
-    python examples/crash_recovery.py --phase gc --sink crashes.jsonl
+    python examples/crash_recovery.py [--writes N] [--backend SPEC]
+    python examples/crash_recovery.py --phase gc --store crashes.sqlite
 """
 
 from __future__ import annotations
@@ -42,8 +42,8 @@ DEVICES = [
 ]
 
 
-def run_comparison(writes: int, workers: int, phase: str,
-                   sink: str = None, resume: bool = False) -> None:
+def run_comparison(writes: int, backend: str, phase: str,
+                   store: str = None, resume: bool = False) -> None:
     plan = SweepPlan(
         ftls=FTLS,
         workloads=["UniformRandomWrites"],
@@ -54,7 +54,7 @@ def run_comparison(writes: int, workers: int, phase: str,
         interval_writes=max(1, writes // 10),
         crash=CrashPlan(after_ops=writes // 2, phase=phase),
     )
-    report = run_sweep(plan, workers=workers, sink=sink, resume=resume)
+    report = run_sweep(plan, backend=backend, store=store, resume=resume)
 
     rows = []
     for row in report.rows:
@@ -87,20 +87,21 @@ def main() -> None:
     parser.add_argument("--writes", type=int, default=4000,
                         help="workload operations per scenario "
                              "(crash at half)")
-    parser.add_argument("--workers", type=int, default=2,
-                        help="worker processes")
+    parser.add_argument("--backend", default="pool(workers=2)",
+                        help="execution backend (serial, pool(workers=N), "
+                             "...)")
     parser.add_argument("--phase", choices=["ops", "gc", "merge"],
                         default="ops",
                         help="failure point (see repro.engine.crash)")
-    parser.add_argument("--sink", default=None,
-                        help="optional JSONL result sink")
+    parser.add_argument("--store", default=None,
+                        help="optional result store (.jsonl or .sqlite)")
     parser.add_argument("--resume", action="store_true",
-                        help="skip scenarios already present in the sink")
+                        help="skip scenarios already present in the store")
     arguments = parser.parse_args()
-    if arguments.resume and not arguments.sink:
-        parser.error("--resume needs --sink to resume from")
-    run_comparison(arguments.writes, arguments.workers, arguments.phase,
-                   sink=arguments.sink, resume=arguments.resume)
+    if arguments.resume and not arguments.store:
+        parser.error("--resume needs --store to resume from")
+    run_comparison(arguments.writes, arguments.backend, arguments.phase,
+                   store=arguments.store, resume=arguments.resume)
 
 
 if __name__ == "__main__":

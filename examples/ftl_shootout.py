@@ -10,8 +10,8 @@ The simulated comparison is declared as a :class:`repro.engine.SweepPlan` and
 executed by the sweep engine, so it can fan out over worker processes and
 persist/resume its rows::
 
-    python examples/ftl_shootout.py [--writes N] [--workers W]
-    python examples/ftl_shootout.py --sink shootout.jsonl --resume
+    python examples/ftl_shootout.py [--writes N] [--backend SPEC]
+    python examples/ftl_shootout.py --store shootout.sqlite --resume
 """
 
 from __future__ import annotations
@@ -42,8 +42,9 @@ def show_analytical_comparison() -> None:
     } for breakdown in all_ftl_recovery(config)])
 
 
-def show_simulated_comparison(writes: int, workers: int,
-                              sink: str = None, resume: bool = False) -> None:
+def show_simulated_comparison(writes: int, backend: str,
+                              store: str = None,
+                              resume: bool = False) -> None:
     # The comparison grid as data: all five FTLs, one device, one stream.
     # Every FTL replays the identical operation sequence (the engine derives
     # workload seeds independently of the FTL axis).
@@ -57,7 +58,7 @@ def show_simulated_comparison(writes: int, workers: int,
         write_operations=writes,
         interval_writes=max(1, writes // 10),
     )
-    report = run_sweep(plan, workers=workers, sink=sink, resume=resume)
+    report = run_sweep(plan, backend=backend, store=store, resume=resume)
     print_report(
         f"Write-amplification after {writes} random updates "
         "(simulated, Figure 13 bottom)",
@@ -69,18 +70,20 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--writes", type=int, default=5000,
                         help="measured application writes per FTL")
-    parser.add_argument("--workers", type=int, default=2,
-                        help="worker processes for the simulated comparison")
-    parser.add_argument("--sink", default=None,
-                        help="optional JSONL result sink")
+    parser.add_argument("--backend", default="pool(workers=2)",
+                        help="execution backend for the simulated comparison"
+                             " (serial, pool(workers=N), ...)")
+    parser.add_argument("--store", default=None,
+                        help="optional result store (.jsonl or .sqlite)")
     parser.add_argument("--resume", action="store_true",
-                        help="skip FTLs already present in the sink")
+                        help="skip FTLs already present in the store")
     arguments = parser.parse_args()
-    if arguments.resume and not arguments.sink:
-        parser.error("--resume needs --sink to resume from")
+    if arguments.resume and not arguments.store:
+        parser.error("--resume needs --store to resume from")
     show_analytical_comparison()
-    show_simulated_comparison(arguments.writes, arguments.workers,
-                              sink=arguments.sink, resume=arguments.resume)
+    show_simulated_comparison(arguments.writes, arguments.backend,
+                              store=arguments.store,
+                              resume=arguments.resume)
 
 
 if __name__ == "__main__":

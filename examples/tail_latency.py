@@ -30,7 +30,7 @@ settings are shown.
 Everything is virtual-time and deterministic, so the closing assertions —
 GeckoFTL's tail below both monolithic-GC FTLs for every seed — are exact::
 
-    python examples/tail_latency.py [--writes N] [--seeds S ...] [--workers W]
+    python examples/tail_latency.py [--writes N] [--seeds S ...] [--backend SPEC]
 """
 
 from __future__ import annotations
@@ -65,11 +65,11 @@ def battery_of(spec: str) -> str:
         else "no"
 
 
-def run(writes: int, seeds: list, workers: int, timing: str):
+def run(writes: int, seeds: list, backend: str, timing: str):
     plan = SweepPlan(ftls=FTLS, devices=[DEVICE], cache_capacities=[CACHE],
                      seeds=seeds, write_operations=writes,
                      interval_writes=writes, timing=timing)
-    report = run_sweep(plan, workers=workers)
+    report = run_sweep(plan, backend=backend)
     rows = report.rows
 
     table = latency_table(rows)
@@ -114,12 +114,12 @@ def main() -> None:
                         help="measured random writes per FTL and seed")
     parser.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3],
                         help="workload seeds (assertions hold per seed)")
-    parser.add_argument("--workers", type=int, default=2,
-                        help="worker processes for the sweep")
+    parser.add_argument("--backend", default="pool(workers=2)",
+                        help="execution backend for the sweep")
     parser.add_argument("--timing", default="slc",
                         help="timing preset (paper, slc, mlc)")
     arguments = parser.parse_args()
-    run(arguments.writes, arguments.seeds, arguments.workers,
+    run(arguments.writes, arguments.seeds, arguments.backend,
         arguments.timing)
 
 

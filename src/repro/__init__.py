@@ -13,8 +13,10 @@ The package provides:
 * :mod:`repro.workloads` — workload generators, the workload registry
   (:func:`register_workload`, :class:`WorkloadSpec`) and trace replay;
 * :mod:`repro.engine` — declarative experiment sweeps: :class:`SweepPlan`
-  grids, :class:`SweepExecutor` multiprocessing execution, and resumable
-  JSONL :class:`ResultSink` persistence;
+  grids, :class:`SweepExecutor` execution through pluggable backends
+  (serial / process pool / key-ranged shards), and resumable
+  :class:`ResultStore` persistence (JSONL :class:`ResultSink` or the
+  queryable SQLite :class:`SqliteResultStore`);
 * :mod:`repro.analysis` — the paper's analytical RAM, recovery-time and IO
   cost models (Figures 1 and 13, Table 1);
 * :mod:`repro.timing` — the device timing model: per-op latency presets,
@@ -52,10 +54,15 @@ from .api import (
 )
 from .engine import (
     CrashPlan,
+    ExecutionBackend,
     ResultSink,
+    ResultStore,
+    SqliteResultStore,
     SweepExecutor,
     SweepPlan,
     SweepTask,
+    open_store,
+    register_backend,
     run_sweep,
 )
 from .core import (
@@ -111,7 +118,7 @@ from .workloads import (
     workload_names,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BatchResult",
@@ -121,6 +128,7 @@ __all__ = [
     "DeviceConfig",
     "EntryLayout",
     "EventTrace",
+    "ExecutionBackend",
     "FTLSpec",
     "FlashDevice",
     "GeckoConfig",
@@ -148,9 +156,11 @@ __all__ = [
     "PhysicalAddress",
     "RecoveryReport",
     "ResultSink",
+    "ResultStore",
     "SequentialWrites",
     "SessionSnapshot",
     "SimulationSession",
+    "SqliteResultStore",
     "SweepExecutor",
     "SweepPlan",
     "SweepProgress",
@@ -168,7 +178,9 @@ __all__ = [
     "ZipfianWrites",
     "fill_device",
     "ftl_names",
+    "open_store",
     "paper_configuration",
+    "register_backend",
     "register_ftl",
     "register_workload",
     "run_sweep",

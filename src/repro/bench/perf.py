@@ -6,7 +6,7 @@ speed of its hot paths, so this module pins that speed down: a fixed set of
 measured in operations per second and emitted as schema-versioned
 ``BENCH_<name>.json`` records that CI archives and compares across commits.
 
-The nine benchmarks:
+The ten benchmarks:
 
 ``device_fill``
     Raw sequential page programming of every physical page of a device —
@@ -40,6 +40,12 @@ The nine benchmarks:
     ObservedFlashDevice` with the full observability preset on — pins the
     cost of per-op event tracing plus metrics sampling, and the ratio
     against ``device_fill`` is the measured overhead of ``repro.obs``.
+``store_append``
+    Result-store append throughput: thousands of real ``sweep_cell`` rows
+    (one executed task row, cloned with distinct keys) appended into a
+    fresh :class:`~repro.engine.store.SqliteResultStore` — the batched
+    WAL transaction path that replaced the JSONL sink's per-row ``fsync``
+    on the SQLite store.
 
 A record looks like::
 
@@ -388,6 +394,57 @@ def _bench_obs_overhead(quick: bool) -> PreparedBench:
         geometry={**_geometry_dict(config), "obs": "full"})
 
 
+def _bench_store_append(quick: bool) -> PreparedBench:
+    """Append real sweep rows into a fresh SQLite result store.
+
+    Setup (not timed) executes one tiny sweep cell and clones its row with
+    distinct keys — realistic row width and nesting without paying for
+    thousands of simulations. The thunk appends every row into a brand-new
+    :class:`~repro.engine.store.SqliteResultStore` and closes it, so the
+    measured work is the full persistence path: row splitting, batched
+    INSERTs, WAL commits — the path whose batching replaced the JSONL
+    per-row ``fsync``.
+    """
+    import tempfile
+
+    from ..engine.executor import execute_task
+    from ..engine.plan import SweepTask, device_dict
+    from ..engine.store import SqliteResultStore
+
+    device = device_dict(num_blocks=64, pages_per_block=8, page_size=256)
+    task = SweepTask(ftl="GeckoFTL", workload="UniformRandomWrites",
+                     device=device, cache_capacity=64, seed=42,
+                     write_operations=400, interval_writes=200)
+    template = execute_task(task)
+    rows = 2_000 if quick else 10_000
+    cloned = []
+    for index in range(rows):
+        row = dict(template)
+        row["key"] = f"{index:016x}"
+        row["seed"] = index
+        cloned.append(row)
+    scratch = tempfile.TemporaryDirectory(prefix="bench_store_append_")
+    counter = iter(range(1_000_000))
+
+    def thunk() -> int:
+        path = Path(scratch.name) / f"rows{next(counter)}.sqlite"
+        store = SqliteResultStore(path)
+        try:
+            for row in cloned:
+                store.append(row)
+        finally:
+            store.close()
+        # Keep the scratch directory alive until the last repeat's thunk
+        # has run, then let refcounting clean it up with the bench.
+        thunk.scratch = scratch
+        return rows
+
+    return PreparedBench(
+        thunk=thunk, ops=rows,
+        geometry={**device, "ftl": "GeckoFTL", "rows": rows,
+                  "store": "sqlite"})
+
+
 #: The fixed set of named microbenchmarks, in reporting order.
 BENCH_CASES: Dict[str, BenchFactory] = {
     "device_fill": _bench_device_fill,
@@ -399,6 +456,7 @@ BENCH_CASES: Dict[str, BenchFactory] = {
     "sweep_cell": _bench_sweep_cell,
     "latency_sweep": _bench_latency_sweep,
     "obs_overhead": _bench_obs_overhead,
+    "store_append": _bench_store_append,
 }
 
 

@@ -8,7 +8,8 @@ Lets a user run the library's main experiment shapes without writing code::
     python -m repro.cli recovery --capacity-gb 2048
     python -m repro.cli replay trace.txt --ftl GeckoFTL
     python -m repro.cli sweep --grid "ftl=GeckoFTL,DFTL cache=1024,4096" \
-        --workers 4 --sink results.jsonl --resume
+        --backend "pool(workers=4)" --store results.sqlite --resume
+    python -m repro.cli query results.sqlite --by ftl --metrics wa_total
 
 FTLs and workloads are named through their registries (:mod:`repro.api` and
 :mod:`repro.workloads.registry`): any registered name is accepted, optionally
@@ -19,9 +20,12 @@ benchmark suite's reports.
 from __future__ import annotations
 
 import argparse
+import ast
 import json
+import math
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
 
 from .analysis import all_ftl_ram, all_ftl_recovery
 from .api import FTLSpec, SimulationSession, ftl_names
@@ -29,9 +33,11 @@ from .bench.harness import compare_ftls
 from .bench.perf import (bench_names, compare_records, load_records,
                          run_benchmarks)
 from .bench.reporting import format_bytes, format_seconds, print_report
-from .engine import (LATENCY_FIELDS, CrashPlan, ResultSink, SweepExecutor,
-                     SweepPlan, SweepTask, aggregate, device_dict,
-                     execute_task, latency_table)
+from .engine import (DEFAULT_METRICS, LATENCY_FIELDS, CrashPlan,
+                     ExecutionBackend, SqliteResultStore, SweepExecutor,
+                     SweepPlan, SweepTask, aggregate, backend_names,
+                     copy_rows, device_dict, execute_task, latency_table,
+                     open_store)
 from .engine.executor import SweepTaskError
 from .flash.config import paper_configuration, simulation_configuration
 from .obs import ObsSpec, SweepProgress, event_names
@@ -69,6 +75,33 @@ def _obs_spec(text: str) -> ObsSpec:
         return ObsSpec.of(text)
     except (ValueError, TypeError) as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _shard_ref(text: str) -> Tuple[int, int]:
+    """argparse type: parse ``I/N`` into a (index, hosts) pair."""
+    index_text, slash, hosts_text = text.partition("/")
+    try:
+        index, hosts = int(index_text), int(hosts_text)
+    except ValueError:
+        slash = ""
+        index = hosts = 0
+    if not slash or hosts < 1 or not 0 <= index < hosts:
+        raise argparse.ArgumentTypeError(
+            f"expected I/N with 0 <= I < N, e.g. '0/4'; got {text!r}")
+    return index, hosts
+
+
+def _where_item(text: str) -> Tuple[str, Any]:
+    """argparse type: parse ``field=value`` (value as a literal, else str)."""
+    field, equals, raw = text.partition("=")
+    if not equals or not field:
+        raise argparse.ArgumentTypeError(
+            f"expected field=value, got {text!r}")
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return field, value
 
 
 def _device_from_args(arguments) -> "simulation_configuration":
@@ -214,11 +247,35 @@ def cmd_metrics(arguments) -> int:
 
 
 def cmd_sweep(arguments) -> int:
-    if arguments.resume and not arguments.sink:
-        print("--resume needs --sink to resume from", file=sys.stderr)
+    if arguments.resume and not arguments.store:
+        print("--resume needs --store to resume from", file=sys.stderr)
         return 2
-    if arguments.workers < 1:
-        print("--workers must be >= 1", file=sys.stderr)
+    backend_spec = arguments.backend
+    if arguments.workers is not None:
+        if backend_spec is not None:
+            print("--workers is deprecated and cannot be combined with "
+                  "--backend", file=sys.stderr)
+            return 2
+        if arguments.workers < 1:
+            print("--workers must be >= 1", file=sys.stderr)
+            return 2
+        backend_spec = ("serial" if arguments.workers == 1
+                        else f"pool(workers={arguments.workers})")
+    if arguments.shard is not None:
+        if backend_spec is not None:
+            print("--shard cannot be combined with --backend/--workers",
+                  file=sys.stderr)
+            return 2
+        index, hosts = arguments.shard
+        if not arguments.store:
+            print("--shard needs --store (the per-shard sub-stores are "
+                  "derived from it)", file=sys.stderr)
+            return 2
+        backend_spec = f"shard(hosts={hosts}, index={index})"
+    try:
+        backend = ExecutionBackend.of(backend_spec or "serial")
+    except (ValueError, TypeError) as exc:
+        print(f"invalid execution backend: {exc}", file=sys.stderr)
         return 2
     base_device = device_dict(num_blocks=arguments.blocks,
                               pages_per_block=arguments.pages_per_block,
@@ -269,12 +326,12 @@ def cmd_sweep(arguments) -> int:
               f"({row['elapsed_s']:.2f}s, {row['ops_per_sec']:.0f} ops/s)")
 
     progress = SweepProgress() if arguments.progress else None
-    executor = SweepExecutor(workers=arguments.workers,
+    executor = SweepExecutor(backend,
                              on_task=progress if progress is not None
                              else on_task)
-    sink = ResultSink(arguments.sink) if arguments.sink else None
+    store = open_store(arguments.store) if arguments.store else None
     try:
-        report = executor.run(plan, sink=sink, resume=arguments.resume)
+        report = executor.run(plan, store=store, resume=arguments.resume)
     except SweepTaskError as exc:
         if progress is not None:
             progress.note_failure(exc)
@@ -282,8 +339,8 @@ def cmd_sweep(arguments) -> int:
             return 1
         raise
     finally:
-        if sink is not None:
-            sink.close()
+        if store is not None:
+            store.close()
     if progress is not None:
         progress.finish()
     metrics = ["wa_total", "ops_per_sec", "ram_bytes"]
@@ -293,12 +350,127 @@ def cmd_sweep(arguments) -> int:
                     "wa_delta"]
     if any(row.get("p99_us") is not None for row in report.rows):
         metrics += list(LATENCY_FIELDS)
-    print_report(f"Sweep of {len(plan)} tasks "
-                 f"({arguments.workers} worker(s))",
+    print_report(f"Sweep of {len(plan)} tasks ({backend})",
                  aggregate(report.rows, by=tuple(arguments.group_by),
                            metrics=tuple(metrics)))
     print(f"\n{report.summary()}")
     return 0
+
+
+def _row_field(row: Dict[str, Any], field: str) -> Any:
+    """Resolve a (possibly dotted) field path in a row dict."""
+    value: Any = row
+    for part in field.split("."):
+        if not isinstance(value, dict):
+            return None
+        value = value.get(part)
+    return value
+
+
+def _match_where(row: Dict[str, Any], where: Dict[str, Any]) -> bool:
+    return all(_row_field(row, field) == value
+               for field, value in where.items())
+
+
+def _python_group_quantile(rows, by, metric: str, q: float):
+    """Nearest-rank per-group quantile (JSONL fallback for ``--quantile``)."""
+    grouped: Dict[tuple, List[float]] = {}
+    for row in rows:
+        value = _row_field(row, metric)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            key = tuple(_row_field(row, field) for field in by)
+            grouped.setdefault(key, []).append(value)
+    label = f"{metric}_p" + f"{q * 100:g}".replace(".", "")
+    table = []
+    for key, values in grouped.items():
+        values.sort()
+        rank = max(1, math.ceil(q * len(values)))
+        entry = dict(zip(by, key))
+        entry["n"] = len(values)
+        entry[label] = values[rank - 1]
+        table.append(entry)
+    return table
+
+
+def cmd_query(arguments) -> int:
+    """Query a result store: grouped aggregates, row listings, export.
+
+    Against a SQLite store every mode except ``--export`` runs inside the
+    database (``GROUP BY`` / window functions); rows are never materialized
+    in Python. JSONL sinks fall back to the Python aggregation helpers.
+    """
+    path = Path(arguments.store)
+    if not path.exists():
+        print(f"no such result store: {path}", file=sys.stderr)
+        return 2
+    store = open_store(path)
+    where = dict(arguments.where or [])
+    sqlite = isinstance(store, SqliteResultStore)
+    try:
+        if arguments.export is not None:
+            destination = open_store(arguments.export)
+            try:
+                copied = copy_rows(store, destination)
+            finally:
+                destination.close()
+            print(f"exported {copied} row(s): {path} -> {arguments.export}")
+            return 0
+
+        if arguments.quantile is not None:
+            if sqlite:
+                table = store.group_quantile(
+                    arguments.metric, by=tuple(arguments.by),
+                    q=arguments.quantile, where=where or None)
+            else:
+                rows = (row for row in store.rows()
+                        if _match_where(row, where))
+                table = _python_group_quantile(
+                    rows, tuple(arguments.by), arguments.metric,
+                    arguments.quantile)
+            print_report(
+                f"p{arguments.quantile * 100:g} of {arguments.metric} "
+                f"by {', '.join(arguments.by)} ({path})", table)
+            return 0
+
+        if arguments.select:
+            if sqlite:
+                rows = store.query(select=list(arguments.select),
+                                   where=where or None,
+                                   order_by=arguments.order_by,
+                                   limit=arguments.limit)
+            else:
+                rows = [
+                    {field: _row_field(row, field)
+                     for field in arguments.select}
+                    for row in store.rows() if _match_where(row, where)]
+                if arguments.order_by:
+                    descending = arguments.order_by.startswith("-")
+                    field = arguments.order_by.lstrip("-")
+                    rows.sort(key=lambda row: (row.get(field) is None,
+                                               row.get(field)),
+                              reverse=descending)
+                if arguments.limit is not None:
+                    rows = rows[:arguments.limit]
+            for row in rows:
+                print(json.dumps(row, sort_keys=True, separators=(",", ":")))
+            return 0
+
+        if sqlite:
+            table = store.aggregate_table(by=tuple(arguments.by),
+                                          metrics=tuple(arguments.metrics),
+                                          where=where or None)
+        else:
+            rows = (row for row in store.rows() if _match_where(row, where))
+            table = aggregate(rows, by=tuple(arguments.by),
+                              metrics=tuple(arguments.metrics))
+        print_report(f"Aggregate by {', '.join(arguments.by)} ({path})",
+                     table)
+        return 0
+    except (ValueError, OSError) as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        store.close()
 
 
 def cmd_latency(arguments) -> int:
@@ -489,12 +661,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--interval-writes", type=int, default=1000)
     sweep.add_argument("--seed", type=int, default=42,
                        help="base seed when the grid has no seed axis")
-    sweep.add_argument("--workers", type=int, default=1,
-                       help="worker processes (1 = in-process)")
-    sweep.add_argument("--sink", metavar="FILE",
-                       help="JSONL result sink (append; enables --resume)")
+    sweep.add_argument("--backend", metavar="SPEC", default=None,
+                       help="execution backend spec, e.g. 'serial', "
+                            "'pool(workers=4)', 'shard(hosts=4, workers=2)' "
+                            f"(known: {', '.join(backend_names())})")
+    sweep.add_argument("--shard", type=_shard_ref, metavar="I/N",
+                       default=None,
+                       help="run only shard I of an N-way key-ranged "
+                            "partition into its own sub-store (shorthand "
+                            "for --backend 'shard(hosts=N, index=I)'; "
+                            "requires --store; merge afterwards with "
+                            "--backend 'shard(hosts=N)')")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="deprecated: use --backend 'pool(workers=N)' "
+                            "(1 = serial)")
+    sweep.add_argument("--store", "--sink", dest="store", metavar="FILE",
+                       help="result store (append; enables --resume): "
+                            ".sqlite/.db opens the queryable SQLite store, "
+                            "anything else a JSONL sink; --sink is the "
+                            "deprecated alias")
     sweep.add_argument("--resume", action="store_true",
-                       help="skip tasks whose key is already in the sink")
+                       help="skip tasks whose key is already in the store")
     sweep.add_argument("--group-by", nargs="+", default=["ftl"],
                        help="row fields for the aggregate table "
                             "(dotted paths reach into device)")
@@ -515,6 +702,43 @@ def build_parser() -> argparse.ArgumentParser:
                             "ETA, per-task wall time, failures); display "
                             "only — result rows are unchanged")
     sweep.set_defaults(handler=cmd_sweep)
+
+    query = subparsers.add_parser(
+        "query", help="query a sweep result store (grouped aggregates, "
+                      "quantiles, row listings, JSONL<->SQLite export)")
+    query.add_argument("store", metavar="STORE",
+                       help="result store path (.jsonl sink or "
+                            ".sqlite/.db store)")
+    query.add_argument("--by", nargs="+", default=["ftl"], metavar="FIELD",
+                       help="group-by fields (dotted paths reach nested "
+                            "dicts, e.g. device.num_blocks)")
+    query.add_argument("--metrics", nargs="+", metavar="FIELD",
+                       default=list(DEFAULT_METRICS),
+                       help="metrics to summarize as mean/min/max "
+                            f"(default: {' '.join(DEFAULT_METRICS)})")
+    query.add_argument("--where", nargs="+", type=_where_item,
+                       metavar="FIELD=VALUE", default=None,
+                       help="equality filters; values parse as Python "
+                            "literals, else strings (e.g. ftl=GeckoFTL "
+                            "seed=1)")
+    query.add_argument("--select", nargs="+", metavar="FIELD", default=None,
+                       help="list matching rows as JSONL with these fields "
+                            "instead of aggregating")
+    query.add_argument("--order-by", metavar="FIELD", default=None,
+                       help="sort --select output by FIELD "
+                            "(-FIELD for descending)")
+    query.add_argument("--limit", type=int, default=None,
+                       help="cap --select output rows")
+    query.add_argument("--quantile", type=float, metavar="Q", default=None,
+                       help="per-group nearest-rank quantile of --metric "
+                            "(0.5 = median; SQL window functions on SQLite "
+                            "stores)")
+    query.add_argument("--metric", metavar="FIELD", default="wa_total",
+                       help="metric for --quantile (default: wa_total)")
+    query.add_argument("--export", metavar="FILE", default=None,
+                       help="copy every row into FILE (format by "
+                            "extension) — migrates JSONL<->SQLite")
+    query.set_defaults(handler=cmd_query)
 
     def add_observed_arguments(sub):
         add_device_arguments(sub)

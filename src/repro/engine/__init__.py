@@ -5,9 +5,16 @@ capacity x device geometry x seed). This package turns such grids into data:
 
 * :mod:`repro.engine.plan` — :class:`SweepPlan` declares the grid and expands
   it into serializable :class:`SweepTask` cells;
-* :mod:`repro.engine.executor` — :class:`SweepExecutor` runs the cells,
-  in-process (``workers=1``) or fanned out over a process pool, with progress
-  callbacks and per-task timing;
+* :mod:`repro.engine.executor` — :class:`SweepExecutor` runs the cells
+  through a pluggable :class:`ExecutionBackend`, with progress callbacks and
+  per-task timing;
+* :mod:`repro.engine.backends` — the backends: ``serial`` (in-process),
+  ``pool(workers=N)`` (process pool), and ``shard(hosts=N, ...)``
+  (deterministic key-ranged partitioning with resumable per-shard stores,
+  for fleet runs);
+* :mod:`repro.engine.store` — the :class:`ResultStore` interface plus
+  :class:`SqliteResultStore`, a queryable SQLite store (indexed keys,
+  promoted columns, in-database group-by/quantile aggregation);
 * :mod:`repro.engine.results` — :class:`ResultSink` persists one JSONL row
   per cell, supports resuming a killed sweep (only missing cells re-run), and
   provides group-by aggregation helpers for figure tables;
@@ -27,12 +34,13 @@ Determinism guarantees
    only in FTL/cache configuration replay the identical operation stream
    (the paper's compare-under-one-trace methodology), while cells with
    different workloads, devices, or base seeds get independent streams.
-3. **Worker count never changes results.** Every row field except the
-   timing/worker fields (:data:`repro.engine.results.TIMING_FIELDS`) is a
-   pure function of the task; rows are written in plan order regardless of
-   completion order. Hence a sweep run with ``workers=1`` and ``workers=N``
-   produces byte-identical canonical rows (:func:`canonical_row_bytes`),
-   which a regression test enforces.
+3. **The execution backend never changes results.** Every row field except
+   the timing/worker fields (:data:`repro.engine.results.TIMING_FIELDS`) is
+   a pure function of the task; rows are written in plan order regardless
+   of completion order. Hence ``serial``, ``pool(workers=N)``, and any
+   shard count produce byte-identical canonical rows
+   (:func:`canonical_row_bytes`) — in JSONL and SQLite stores alike —
+   which the store-parity regression tests enforce.
 
 Quickstart::
 
@@ -41,10 +49,21 @@ Quickstart::
     plan = SweepPlan(ftls=["GeckoFTL", "DFTL"],
                      cache_capacities=[1024, 4096], seeds=[1, 2],
                      write_operations=20_000)
-    report = run_sweep(plan, workers=4, sink="results.jsonl", resume=True)
+    report = run_sweep(plan, backend="pool(workers=4)",
+                       store="results.sqlite", resume=True)
     print(report.summary())
 """
 
+from .backends import (
+    BACKEND_REGISTRY,
+    BackendSpec,
+    ExecutionBackend,
+    PoolBackend,
+    SerialBackend,
+    ShardBackend,
+    backend_names,
+    register_backend,
+)
 from .crash import (
     CRASH_PHASES,
     CrashOutcome,
@@ -60,6 +79,13 @@ from .executor import (
     execute_task,
     run_sweep,
 )
+from .store import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    SqliteResultStore,
+    copy_rows,
+    open_store,
+)
 from .plan import (
     SweepPlan,
     SweepTask,
@@ -67,6 +93,7 @@ from .plan import (
     device_dict,
 )
 from .results import (
+    DEFAULT_METRICS,
     LATENCY_FIELDS,
     SCHEMA_VERSION,
     TIMING_FIELDS,
@@ -81,29 +108,43 @@ from .results import (
 )
 
 __all__ = [
+    "BACKEND_REGISTRY",
+    "BackendSpec",
     "CRASH_PHASES",
     "CrashOutcome",
     "CrashPlan",
+    "DEFAULT_METRICS",
+    "ExecutionBackend",
     "LATENCY_FIELDS",
-    "SCHEMA_VERSION",
-    "SimulatedPowerFailure",
-    "TIMING_FIELDS",
+    "PoolBackend",
     "ResultSink",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "STORE_SCHEMA_VERSION",
+    "SerialBackend",
+    "ShardBackend",
+    "SimulatedPowerFailure",
+    "SqliteResultStore",
     "SweepExecutor",
     "SweepPlan",
     "SweepReport",
     "SweepTask",
     "SweepTaskError",
+    "TIMING_FIELDS",
     "aggregate",
+    "backend_names",
     "build_device_config",
     "canonical_row",
     "canonical_row_bytes",
+    "copy_rows",
     "device_dict",
     "execute_crash_task",
     "execute_task",
     "latency_table",
     "load_results",
+    "open_store",
     "ram_breakdown_table",
+    "register_backend",
     "run_crash_scenario",
     "run_sweep",
     "wa_breakdown_table",

@@ -1,19 +1,21 @@
-"""Sweep execution: fan tasks out over worker processes, gather rows.
+"""Sweep execution: dispatch tasks through a backend, gather rows.
 
 :class:`SweepExecutor` runs the tasks of a :class:`~repro.engine.plan.SweepPlan`
-and returns one result row per task. With ``workers=1`` everything runs
-in-process (easy debugging, no multiprocessing dependency on the platform's
-start method); with ``workers>1`` tasks are distributed over a
-``concurrent.futures.ProcessPoolExecutor``. Workers receive only the
-serializable :class:`~repro.engine.plan.SweepTask` and rebuild the whole
-simulation from its specs — no live device, FTL, or workload object ever
-crosses the process boundary.
+and returns one result row per task. Task dispatch is delegated to a
+pluggable :class:`~repro.engine.backends.ExecutionBackend` — ``"serial"``
+(the default) runs everything in-process, ``"pool(workers=N)"`` fans out
+over a ``concurrent.futures.ProcessPoolExecutor``, and
+``"shard(hosts=N, ...)"`` partitions the plan across resumable per-shard
+stores (see :mod:`repro.engine.backends`). Whatever the backend, workers
+receive only the serializable :class:`~repro.engine.plan.SweepTask` and
+rebuild the whole simulation from its specs — no live device, FTL, or
+workload object ever crosses a process boundary.
 
-Rows come back in *plan order* regardless of completion order (futures are
-consumed in submission order), so a sink's contents are reproducible and the
-engine's determinism guarantee can be stated over whole files. The flip side
-is that a row finishing ahead of an earlier, slower task is persisted only
-once its turn comes — killing a parallel sweep can therefore re-run up to
+Rows come back in *plan order* regardless of completion order (the backend
+contract), so a store's contents are reproducible and the engine's
+determinism guarantee can be stated over whole files. The flip side is that
+a row finishing ahead of an earlier, slower task is persisted only once its
+turn comes — killing a parallel sweep can therefore re-run up to
 ``workers - 1`` already-completed tasks on resume (see
 :mod:`repro.engine.results`).
 """
@@ -22,25 +24,17 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from .backends import ExecutionBackend, SweepTaskError  # noqa: F401 - re-export
 from .plan import SweepPlan, SweepTask
-from .results import SCHEMA_VERSION, ResultSink
+from .results import SCHEMA_VERSION
+from .store import ResultStore, open_store
 
 #: Progress callback: (task, row, completed_count, total_count).
 ProgressCallback = Callable[[SweepTask, Dict[str, Any], int, int], None]
-
-
-class SweepTaskError(RuntimeError):
-    """A task failed inside a worker; carries the task for diagnosis."""
-
-    def __init__(self, task: SweepTask, cause: BaseException) -> None:
-        super().__init__(
-            f"sweep task #{task.index} (ftl={task.ftl!r}, "
-            f"workload={task.workload!r}, seed={task.seed}) failed: {cause}")
-        self.task = task
 
 
 def _base_row(task: SweepTask, session, snapshot) -> Dict[str, Any]:
@@ -229,49 +223,94 @@ class SweepReport:
                 f"rows={len(self.rows)} elapsed_s={self.elapsed_s:.2f}")
 
 
+def _legacy_workers_backend(workers: int) -> Union[str, int]:
+    """Map the deprecated ``workers=N`` argument onto a backend spec."""
+    warnings.warn(
+        "workers= is deprecated; use backend='serial' or "
+        "backend='pool(workers=N)' instead",
+        DeprecationWarning, stacklevel=3)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return "serial" if workers == 1 else f"pool(workers={workers})"
+
+
+def _legacy_sink_store(sink: Any, store: Any) -> Any:
+    """Map the deprecated ``sink=`` argument onto ``store``."""
+    if sink is None:
+        return store
+    warnings.warn("sink= is deprecated; use store=", DeprecationWarning,
+                  stacklevel=3)
+    if store is not None:
+        raise TypeError("pass store= or the deprecated sink=, not both")
+    return sink
+
+
 class SweepExecutor:
-    """Runs sweep tasks, optionally in parallel, with sink-based resume.
+    """Runs sweep tasks through an execution backend, with resume support.
 
     Parameters
     ----------
+    backend:
+        An :class:`~repro.engine.backends.ExecutionBackend` instance, a
+        backend spec / spec string (``"serial"``, ``"pool(workers=4)"``,
+        ``"shard(hosts=4, index=1)"``), or a bare worker count (legacy
+        shorthand). The default runs every task in-process.
     workers:
-        Number of worker processes. ``1`` (the default) runs every task
-        in-process; ``N > 1`` uses a process pool. ``workers=0`` or negative
-        is rejected.
+        Deprecated spelling of ``backend``: ``workers=1`` maps to
+        ``"serial"``, ``workers=N`` to ``"pool(workers=N)"``. Emits a
+        ``DeprecationWarning``; cannot be combined with ``backend``.
     on_task:
         Optional progress callback invoked in the parent process, in plan
-        order, after each task's row is available (and persisted, when a sink
-        is in use). Rows reused by ``resume`` replay through the callback
-        before execution starts, so ``completed/total`` covers the full grid.
+        order, after each task's row is available (and persisted, when a
+        store is in use). Rows reused by ``resume`` replay through the
+        callback before execution starts, so ``completed/total`` covers the
+        full grid.
     """
 
-    def __init__(self, workers: int = 1,
+    def __init__(self,
+                 backend: Union[ExecutionBackend, str, int, None] = None,
+                 *,
+                 workers: Optional[int] = None,
                  on_task: Optional[ProgressCallback] = None) -> None:
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
-        self.workers = workers
+        if workers is not None:
+            if backend is not None:
+                raise TypeError(
+                    "pass backend= or the deprecated workers=, not both")
+            backend = _legacy_workers_backend(workers)
+        self.backend = ExecutionBackend.of(
+            backend if backend is not None else "serial")
         self.on_task = on_task
+
+    @property
+    def workers(self) -> int:
+        """Worker-process count of the underlying backend (legacy alias)."""
+        return getattr(self.backend, "workers", 1)
 
     def run(self,
             plan: Union[SweepPlan, Sequence[SweepTask]],
-            sink: Optional[ResultSink] = None,
-            resume: bool = False) -> SweepReport:
+            store: Optional[ResultStore] = None,
+            resume: bool = False,
+            *,
+            sink: Optional[ResultStore] = None) -> SweepReport:
         """Execute ``plan``; returns a :class:`SweepReport`.
 
-        With ``resume=True`` (requires ``sink``), tasks whose key is already
-        present in the sink are not executed; their persisted row is reused
-        in the report so callers always see the full grid.
+        ``store`` is any :class:`~repro.engine.store.ResultStore` (JSONL
+        sink or SQLite store); ``sink`` is its deprecated alias. With
+        ``resume=True`` (requires ``store``), tasks whose key is already
+        present in the store are not executed; their persisted row is
+        reused in the report so callers always see the full grid.
         """
+        store = _legacy_sink_store(sink, store)
         tasks = plan.tasks() if isinstance(plan, SweepPlan) else list(plan)
-        if resume and sink is None:
-            raise ValueError("resume=True needs a sink to resume from")
+        if resume and store is None:
+            raise ValueError("resume=True needs a store to resume from")
 
         started = time.perf_counter()
-        # One pass over the sink file covers both resume needs: which keys
-        # are done, and the persisted row to reuse for each of them.
+        # One pass over the store covers both resume needs: which keys are
+        # done, and the persisted row to reuse for each of them.
         previous_rows: Dict[str, Dict[str, Any]] = {}
-        if resume and sink is not None:
-            for row in sink.rows():
+        if resume and store is not None:
+            for row in store.rows():
                 key = row.get("key")
                 if key:
                     previous_rows[key] = row
@@ -293,10 +332,13 @@ class SweepExecutor:
             else:
                 pending.append((position, task))
 
-        for position, task, row in self._execute(pending):
+        for position, task, row in self.backend.execute(pending, store=store):
             report.executed += 1
-            if sink is not None:
-                sink.append(row)
+            # A shard-worker backend persists rows to its own sub-store;
+            # appending them to the main store as well would leave it in
+            # shard order rather than plan order.
+            if store is not None and not self.backend.persists_rows:
+                store.append(row)
             slots[position] = row
             if self.on_task is not None:
                 self.on_task(task, row,
@@ -306,51 +348,33 @@ class SweepExecutor:
         report.elapsed_s = time.perf_counter() - started
         return report
 
-    # ------------------------------------------------------------------
-    def _execute(self, pending: List[tuple]):
-        """Yield (position, task, row) triples in plan order."""
-        if not pending:
-            return
-        if self.workers == 1:
-            for position, task in pending:
-                yield position, task, self._guarded(task, execute_task)
-            return
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = [(position, task, pool.submit(execute_task, task))
-                       for position, task in pending]
-            for position, task, future in futures:
-                try:
-                    row = future.result()
-                except Exception as exc:
-                    # Fail fast: drop tasks that haven't started yet so the
-                    # error doesn't wait for the whole queue to drain. Tasks
-                    # already running in workers still finish (their rows are
-                    # discarded), so at most ~`workers` tasks of completed
-                    # work is lost on failure.
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    raise SweepTaskError(task, exc) from exc
-                yield position, task, row
-
-    @staticmethod
-    def _guarded(task: SweepTask, runner: Callable[[SweepTask], Dict[str, Any]]
-                 ) -> Dict[str, Any]:
-        try:
-            return runner(task)
-        except Exception as exc:
-            raise SweepTaskError(task, exc) from exc
-
 
 def run_sweep(plan: Union[SweepPlan, Sequence[SweepTask]],
-              workers: int = 1,
-              sink: Optional[Union[str, ResultSink]] = None,
+              backend: Union[ExecutionBackend, str, int, None] = None,
+              store: Optional[Union[str, ResultStore]] = None,
               resume: bool = False,
-              on_task: Optional[ProgressCallback] = None) -> SweepReport:
-    """One-call convenience wrapper around :class:`SweepExecutor`."""
-    own_sink = isinstance(sink, (str, os.PathLike))
-    sink_obj = ResultSink(sink) if own_sink else sink
+              on_task: Optional[ProgressCallback] = None,
+              *,
+              workers: Optional[int] = None,
+              sink: Optional[Union[str, ResultStore]] = None) -> SweepReport:
+    """One-call convenience wrapper around :class:`SweepExecutor`.
+
+    ``store`` may be a :class:`~repro.engine.store.ResultStore` or a path
+    (opened — and closed — by this call; the format is chosen by extension,
+    see :func:`~repro.engine.store.open_store`). ``workers=`` and ``sink=``
+    are deprecated aliases for ``backend=`` / ``store=``.
+    """
+    if workers is not None:
+        if backend is not None:
+            raise TypeError(
+                "pass backend= or the deprecated workers=, not both")
+        backend = _legacy_workers_backend(workers)
+    store = _legacy_sink_store(sink, store)
+    own_store = isinstance(store, (str, os.PathLike))
+    store_obj = open_store(store) if own_store else store
     try:
-        executor = SweepExecutor(workers=workers, on_task=on_task)
-        return executor.run(plan, sink=sink_obj, resume=resume)
+        executor = SweepExecutor(backend, on_task=on_task)
+        return executor.run(plan, store=store_obj, resume=resume)
     finally:
-        if own_sink and sink_obj is not None:
-            sink_obj.close()
+        if own_store and store_obj is not None:
+            store_obj.close()

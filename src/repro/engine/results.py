@@ -1,10 +1,12 @@
 """Result sinks: schema-versioned JSONL persistence, loading, aggregation.
 
 Every executed :class:`~repro.engine.plan.SweepTask` produces one flat result
-row (a JSON-serializable dict). A :class:`ResultSink` appends rows to a JSONL
-file — one row per line, flushed and fsync'd per row — and on re-open reports
-which task keys are already present so the executor can resume a
-partially-completed sweep by running only the missing tasks. Rows are
+row (a JSON-serializable dict). A :class:`ResultSink` — the JSONL
+implementation of the :class:`~repro.engine.store.ResultStore` interface —
+appends rows to a JSONL file, one row per line, flushed and fsync'd per row,
+and on re-open reports which task keys are already present so the executor
+can resume a partially-completed sweep by running only the missing tasks.
+(The SQLite implementation lives in :mod:`repro.engine.store`.) Rows are
 persisted in *plan order* (that is what makes sink files reproducible across
 worker counts), so with ``workers=1`` a kill loses at most the task in
 flight, while with ``workers=N`` up to ``N-1`` tasks that completed ahead of
@@ -19,6 +21,11 @@ fields named in :data:`TIMING_FIELDS` (wall-clock timing and worker
 identity). :func:`canonical_row` strips those, which is what the engine's
 determinism guarantee — identical rows for ``workers=1`` and ``workers=N`` —
 is stated over.
+
+The aggregation helpers (:func:`aggregate`, :func:`wa_breakdown_table`,
+:func:`latency_table`, :func:`ram_breakdown_table`) accept row iterables,
+any :class:`~repro.engine.store.ResultStore`, or a store path (format chosen
+by extension), so analysis code never cares where rows are persisted.
 """
 
 from __future__ import annotations
@@ -27,8 +34,10 @@ import json
 import os
 from pathlib import Path
 from statistics import mean
-from typing import (Any, Dict, Iterable, List, Sequence, Set, Tuple,
-                    Union)
+from typing import (Any, Dict, Iterable, KeysView, List, Optional, Sequence,
+                    Set, Tuple, Union)
+
+from .store import SQLITE_SUFFIXES, ResultStore, open_store
 
 #: Bump when the row layout changes incompatibly.
 SCHEMA_VERSION = 1
@@ -56,7 +65,7 @@ def canonical_row_bytes(row: Dict[str, Any]) -> bytes:
                       separators=(",", ":")).encode("utf-8")
 
 
-class ResultSink:
+class ResultSink(ResultStore):
     """Append-only JSONL store for sweep result rows, with resume support."""
 
     def __init__(self, path: Union[str, Path]) -> None:
@@ -64,22 +73,36 @@ class ResultSink:
         self._handle = None
         #: ``None`` until the existing file has been scanned; scanning is
         #: lazy (and shared with :meth:`rows`) so opening a large sink and
-        #: resuming against it parses the JSONL exactly once.
-        self._keys: Union[Set[str], None] = None
+        #: resuming against it parses the JSONL exactly once. A dict rather
+        #: than a set so :meth:`completed_keys` can hand out a live
+        #: read-only view instead of copying.
+        self._keys: Optional[Dict[str, None]] = None
+        #: Parsed rows, kept in sync with appends once the file has been
+        #: scanned; :meth:`rows` never re-parses within one sink lifetime.
+        self._rows: Optional[List[Dict[str, Any]]] = None
+        #: JSONL parse count, asserted on by the one-parse regression test.
+        self.parse_count = 0
 
     def _ingest_keys(self, rows: Iterable[Dict[str, Any]]) -> None:
         assert self._keys is not None
         for row in rows:
             key = row.get("key")
             if key:
-                self._keys.add(key)
+                self._keys[key] = None
 
-    def _ensure_keys(self) -> Set[str]:
-        if self._keys is None:
-            self._keys = set()
+    def _scan(self) -> List[Dict[str, Any]]:
+        """Parse the file once, priming both the row cache and key set."""
+        if self._rows is None:
+            self.close()  # make sure buffered rows are visible
             if self.path.exists():
-                self._ingest_keys(load_results(self.path))
-        return self._keys
+                self._rows = load_results(self.path)
+                self.parse_count += 1
+            else:
+                self._rows = []
+            if self._keys is None:
+                self._keys = {}
+            self._ingest_keys(self._rows)
+        return self._rows
 
     # ------------------------------------------------------------------
     # Writing
@@ -97,47 +120,52 @@ class ResultSink:
         if key and self._keys is not None:
             # If the file hasn't been scanned yet, the row is on disk and a
             # later lazy scan will pick its key up from there.
-            self._keys.add(key)
+            self._keys[key] = None
+        if self._rows is not None:
+            # Same rule for the row cache: extend it only once primed.
+            self._rows.append(row)
 
     def close(self) -> None:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
 
-    def __enter__(self) -> "ResultSink":
-        return self
-
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
-        self.close()
-
     # ------------------------------------------------------------------
     # Resume
     # ------------------------------------------------------------------
-    def completed_keys(self) -> Set[str]:
-        """Task keys already present in the sink (including this session's)."""
-        return set(self._ensure_keys())
+    def completed_keys(self) -> KeysView[str]:
+        """Task keys already present in the sink (including this session's).
 
-    def __contains__(self, key: str) -> bool:
-        return key in self._ensure_keys()
-
-    def __len__(self) -> int:
-        return len(self._ensure_keys())
+        Returns a live, read-only view — it reflects later appends and
+        compares equal to plain sets, but costs nothing per call.
+        """
+        if self._keys is None:
+            self._scan()
+        return self._keys.keys()
 
     def rows(self) -> List[Dict[str, Any]]:
-        """All rows currently on disk (also primes the resume-key set)."""
-        self.close()  # make sure buffered rows are visible
-        if not self.path.exists():
-            self._keys = self._keys or set()
-            return []
-        rows = load_results(self.path)
-        if self._keys is None:
-            self._keys = set()
-        self._ingest_keys(rows)
-        return rows
+        """All rows currently in the sink (also primes the resume-key set).
+
+        The JSONL is parsed at most once per sink lifetime; later calls and
+        appends are served from the cache.
+        """
+        return list(self._scan())
 
 
-def load_results(path: Union[str, Path]) -> List[Dict[str, Any]]:
-    """Load all rows of a JSONL sink, validating the schema version."""
+def load_results(source: Union[str, Path, ResultStore]
+                 ) -> List[Dict[str, Any]]:
+    """Load all rows of a result store.
+
+    Accepts a :class:`~repro.engine.store.ResultStore`, a SQLite store path
+    (by extension), or a JSONL sink path, whose rows are schema-validated
+    line by line.
+    """
+    if isinstance(source, ResultStore):
+        return source.rows()
+    path = Path(source)
+    if path.suffix.lower() in SQLITE_SUFFIXES:
+        with open_store(path) as store:
+            return store.rows()
     rows: List[Dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
@@ -164,6 +192,17 @@ def load_results(path: Union[str, Path]) -> List[Dict[str, Any]]:
 # ----------------------------------------------------------------------
 # Aggregation
 # ----------------------------------------------------------------------
+#: What the aggregation helpers accept as their row source.
+RowSource = Union[Iterable[Dict[str, Any]], ResultStore, str, Path]
+
+
+def _coerce_rows(source: RowSource) -> Iterable[Dict[str, Any]]:
+    """Turn a row iterable, store, or store path into an iterable of rows."""
+    if isinstance(source, (ResultStore, str, Path)):
+        return load_results(source)
+    return source
+
+
 #: Virtual-time QoS columns timed rows carry (see ``repro.timing``). These
 #: are deterministic — unlike the wall-clock ``ops_per_sec`` they are part
 #: of the canonical row, not of :data:`TIMING_FIELDS`.
@@ -185,13 +224,15 @@ def _group_value(row: Dict[str, Any], field: str) -> Any:
     return value
 
 
-def aggregate(rows: Iterable[Dict[str, Any]],
+def aggregate(rows: RowSource,
               by: Sequence[str] = ("ftl",),
               metrics: Sequence[str] = DEFAULT_METRICS
               ) -> List[Dict[str, Any]]:
     """Group rows and summarize metrics as count/mean/min/max.
 
-    ``by`` names group-by fields (dotted paths reach into nested dicts, e.g.
+    ``rows`` may be an iterable of row dicts, any
+    :class:`~repro.engine.store.ResultStore`, or a store path (format
+    picked by extension). ``by`` names group-by fields (dotted paths reach into nested dicts, e.g.
     ``"device.logical_ratio"``); ``metrics`` names numeric row fields. The
     result is one dict per group, ordered by first appearance, with
     ``<metric>_mean`` / ``_min`` / ``_max`` columns plus ``n`` (the group
@@ -200,7 +241,7 @@ def aggregate(rows: Iterable[Dict[str, Any]],
     groups: Dict[Tuple, Dict[str, Any]] = {}
     sizes: Dict[Tuple, int] = {}
     samples: Dict[Tuple, Dict[str, List[float]]] = {}
-    for row in rows:
+    for row in _coerce_rows(rows):
         key = tuple(_group_value(row, field) for field in by)
         if key not in groups:
             groups[key] = {field: value for field, value in zip(by, key)}
@@ -225,7 +266,7 @@ def aggregate(rows: Iterable[Dict[str, Any]],
     return result
 
 
-def wa_breakdown_table(rows: Iterable[Dict[str, Any]],
+def wa_breakdown_table(rows: RowSource,
                        by: Sequence[str] = ("ftl",)) -> List[Dict[str, Any]]:
     """Mean write-amplification per IO purpose, grouped (Figure 13 bottom).
 
@@ -235,7 +276,7 @@ def wa_breakdown_table(rows: Iterable[Dict[str, Any]],
     """
     grouped: Dict[Tuple, List[Dict[str, Any]]] = {}
     all_purposes: Set[str] = set()
-    for row in rows:
+    for row in _coerce_rows(rows):
         key = tuple(_group_value(row, field) for field in by)
         grouped.setdefault(key, []).append(row)
         all_purposes.update((row.get("wa_breakdown") or {}).keys())
@@ -258,7 +299,7 @@ def wa_breakdown_table(rows: Iterable[Dict[str, Any]],
     return result
 
 
-def latency_table(rows: Iterable[Dict[str, Any]],
+def latency_table(rows: RowSource,
                   by: Sequence[str] = ("ftl",)) -> List[Dict[str, Any]]:
     """Mean virtual-time QoS figures per group (tail-latency reporting).
 
@@ -270,7 +311,7 @@ def latency_table(rows: Iterable[Dict[str, Any]],
     stays rectangular without inventing zero latencies.
     """
     grouped: Dict[Tuple, List[Dict[str, Any]]] = {}
-    for row in rows:
+    for row in _coerce_rows(rows):
         if not isinstance(row.get("p99_us"), (int, float)):
             continue
         key = tuple(_group_value(row, field) for field in by)
@@ -293,7 +334,7 @@ def latency_table(rows: Iterable[Dict[str, Any]],
     return result
 
 
-def ram_breakdown_table(rows: Iterable[Dict[str, Any]],
+def ram_breakdown_table(rows: RowSource,
                         by: Sequence[str] = ("ftl",)) -> List[Dict[str, Any]]:
     """Mean RAM-footprint component bytes, grouped (Figure 13/14 style).
 
@@ -302,7 +343,7 @@ def ram_breakdown_table(rows: Iterable[Dict[str, Any]],
     """
     grouped: Dict[Tuple, List[Dict[str, Any]]] = {}
     all_components: Set[str] = set()
-    for row in rows:
+    for row in _coerce_rows(rows):
         key = tuple(_group_value(row, field) for field in by)
         grouped.setdefault(key, []).append(row)
         all_components.update((row.get("ram_breakdown") or {}).keys())

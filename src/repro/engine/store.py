@@ -1,0 +1,530 @@
+"""Result stores: the persistence interface behind sweep sinks.
+
+A sweep produces one JSON-serializable result row per task. Historically the
+only persistence was the flat-JSONL :class:`~repro.engine.results.ResultSink`;
+every analysis pass re-parsed the whole file end to end. This module isolates
+persistence behind the :class:`ResultStore` interface — append rows, read
+them back in append order, report which task keys are already present (the
+executor's resume contract) — and adds :class:`SqliteResultStore`, a
+SQLite-backed sibling that keeps the identical row semantics while making
+the rows *queryable in place*:
+
+* a schema-versioned table with the task ``key`` indexed and the hot
+  grouping columns (FTL, workload, device geometry, cache, seed, WA, RAM,
+  latency percentiles) promoted out of the row dict into real columns;
+* the rest of the row in a JSON payload column, reached through
+  ``json_extract`` so *any* row field remains queryable;
+* WAL journaling and batched transactions instead of the JSONL sink's
+  per-row ``fsync`` — appends are two orders of magnitude cheaper (see the
+  ``store_append`` microbenchmark);
+* a :meth:`~SqliteResultStore.query` API (select / where / group_by /
+  order_by) whose grouped form returns the same table shape as
+  :func:`repro.engine.results.aggregate`, plus
+  :meth:`~SqliteResultStore.group_quantile`, which pushes per-group
+  WA/latency quantiles into SQL window functions — aggregation happens in
+  the database, not in Python loops over all rows.
+
+Round-trip fidelity is the load-bearing property: ``store.rows()`` must
+reproduce the appended dicts exactly (the engine's determinism guarantee is
+stated over :func:`~repro.engine.results.canonical_row_bytes` of whole
+files), so column promotion is conservative — a field is promoted only when
+its value round-trips bit-for-bit through SQLite (promoted numeric columns
+deliberately carry *no* type affinity so ints stay ints and floats stay
+floats), and anything else stays in the JSON payload.
+
+:func:`open_store` picks the store class from a path's extension
+(``.sqlite`` / ``.sqlite3`` / ``.db`` → SQLite, anything else → JSONL), and
+:func:`copy_rows` migrates between the two (``repro query --export``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sqlite3
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import (Any, Dict, KeysView, List, Optional, Sequence,
+                    Tuple, Union)
+
+#: Bump when the SQLite table layout changes incompatibly.
+STORE_SCHEMA_VERSION = 1
+
+#: Path suffixes :func:`open_store` routes to :class:`SqliteResultStore`.
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+#: Appended rows per transaction in :class:`SqliteResultStore`. One commit
+#: per batch replaces the JSONL sink's per-row flush+fsync; a kill loses at
+#: most the current batch, which resume re-runs.
+DEFAULT_BATCH_SIZE = 256
+
+
+class ResultStore(ABC):
+    """Interface every sweep result store implements.
+
+    The executor (and the resume machinery) only ever relies on this
+    surface; :class:`~repro.engine.results.ResultSink` (JSONL) and
+    :class:`SqliteResultStore` are the two shipped implementations.
+
+    Contract:
+
+    * :meth:`append` persists one row; rows come back from :meth:`rows` in
+      append order.
+    * :meth:`completed_keys` reports the ``"key"`` field of every stored
+      row as a read-only *view* — cheap to call repeatedly, live across
+      subsequent appends.
+    * :meth:`close` makes all appended rows durable and visible to other
+      processes; the store may be used again afterwards (it reopens
+      lazily).
+    """
+
+    #: Where the store persists, set by implementations.
+    path: Path
+
+    @abstractmethod
+    def append(self, row: Dict[str, Any]) -> None:
+        """Persist one result row."""
+
+    @abstractmethod
+    def rows(self) -> List[Dict[str, Any]]:
+        """All rows currently in the store, in append order."""
+
+    @abstractmethod
+    def completed_keys(self) -> KeysView[str]:
+        """Read-only live view of the task keys present in the store."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Flush buffered rows and release the underlying handle."""
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.completed_keys()
+
+    def __len__(self) -> int:
+        return len(self.completed_keys())
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+def open_store(path: Union[str, Path], **kwargs: Any) -> ResultStore:
+    """Open the :class:`ResultStore` implied by ``path``'s extension.
+
+    ``.sqlite`` / ``.sqlite3`` / ``.db`` open a :class:`SqliteResultStore`;
+    everything else (including the conventional ``.jsonl``) opens the JSONL
+    :class:`~repro.engine.results.ResultSink`.
+    """
+    target = Path(path)
+    if target.suffix.lower() in SQLITE_SUFFIXES:
+        return SqliteResultStore(target, **kwargs)
+    from .results import ResultSink
+    return ResultSink(target, **kwargs)
+
+
+def copy_rows(source: ResultStore, destination: ResultStore) -> int:
+    """Append every row of ``source`` to ``destination`` (migration helper).
+
+    Returns the number of rows copied. Rows are copied verbatim, so the
+    destination reproduces the source's canonical row bytes exactly —
+    this is what ``repro query --export`` runs for JSONL↔SQLite migration.
+    """
+    copied = 0
+    for row in source.rows():
+        destination.append(row)
+        copied += 1
+    return copied
+
+
+# ----------------------------------------------------------------------
+# SQLite store
+# ----------------------------------------------------------------------
+#: Promoted string columns (TEXT affinity; only ``str`` values promote).
+_TEXT_COLUMNS = ("key", "ftl", "workload")
+
+#: Promoted numeric columns. Declared with *no* type affinity so SQLite
+#: stores ints as ints and floats as floats — REAL affinity would turn a
+#: stored integer into a float (and NUMERIC the reverse), breaking the
+#: byte-for-byte row round trip.
+_NUMERIC_COLUMNS = ("cache_capacity", "seed", "write_operations", "wa_total",
+                    "ram_bytes", "throughput_ops_s", "p50_us", "p99_us",
+                    "p999_us")
+
+#: Device geometry promoted out of the nested ``device`` dict.
+_DEVICE_COLUMNS = ("num_blocks", "pages_per_block", "page_size",
+                   "logical_ratio")
+
+#: Every promoted column, in table order.
+PROMOTED_COLUMNS = _TEXT_COLUMNS + _NUMERIC_COLUMNS + _DEVICE_COLUMNS
+
+_FIELD_NAME = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z_][A-Za-z0-9_]*)*$")
+
+
+def _promotable(value: Any, text: bool) -> bool:
+    """True when ``value`` round-trips bit-for-bit through a column."""
+    if text:
+        return isinstance(value, str)
+    # bool is a JSON type of its own; SQLite would hand back 0/1.
+    return (isinstance(value, (int, float))
+            and not isinstance(value, bool))
+
+
+class SqliteResultStore(ResultStore):
+    """SQLite-backed result store with an in-database query API.
+
+    Parameters
+    ----------
+    path:
+        Database file (created on first append). WAL journaling is enabled
+        so concurrent readers never block the appender.
+    batch_size:
+        Rows per transaction; :meth:`flush`/:meth:`close` commit partial
+        batches. There is deliberately no per-row fsync.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.path = Path(path)
+        self.batch_size = batch_size
+        self._connection: Optional[sqlite3.Connection] = None
+        self._in_transaction = False
+        self._pending = 0
+        #: dict-as-ordered-set of stored keys; ``None`` until first needed.
+        #: ``completed_keys`` hands out a live ``dict_keys`` view of it.
+        self._keys: Optional[Dict[str, None]] = None
+
+    # ------------------------------------------------------------------
+    # Connection / schema
+    # ------------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        if self._connection is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # isolation_level=None puts sqlite3 in autocommit mode; the
+            # store manages explicit BEGIN/COMMIT batches itself.
+            connection = sqlite3.connect(self.path, isolation_level=None)
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            self._ensure_schema(connection)
+            self._connection = connection
+        return self._connection
+
+    def _ensure_schema(self, connection: sqlite3.Connection) -> None:
+        columns = ", ".join(
+            [f'"{name}" TEXT' for name in _TEXT_COLUMNS]
+            + [f'"{name}"' for name in _NUMERIC_COLUMNS + _DEVICE_COLUMNS])
+        connection.execute(
+            "CREATE TABLE IF NOT EXISTS sweep_rows ("
+            "id INTEGER PRIMARY KEY AUTOINCREMENT, "
+            f"{columns}, payload TEXT NOT NULL)")
+        connection.execute(
+            'CREATE INDEX IF NOT EXISTS idx_sweep_rows_key '
+            'ON sweep_rows("key")')
+        connection.execute(
+            "CREATE TABLE IF NOT EXISTS store_meta "
+            "(name TEXT PRIMARY KEY, value)")
+        stored = connection.execute(
+            "SELECT value FROM store_meta WHERE name = 'schema'").fetchone()
+        if stored is None:
+            connection.execute(
+                "INSERT INTO store_meta (name, value) VALUES ('schema', ?)",
+                (STORE_SCHEMA_VERSION,))
+        elif int(stored[0]) > STORE_SCHEMA_VERSION:
+            connection.close()
+            raise ValueError(
+                f"{self.path}: store has schema version {stored[0]} but "
+                f"this build reads at most {STORE_SCHEMA_VERSION}")
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _split_row(row: Dict[str, Any]
+                   ) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """Split a row into (promoted column values, payload remainder).
+
+        Promotion is conservative: a field moves into its column only when
+        the value round-trips exactly; otherwise it stays in the payload
+        and the column is left NULL. The nested ``device`` dict is promoted
+        only when it is exactly the four geometry fields, so
+        reconstruction can rebuild it in canonical order.
+        """
+        promoted: Dict[str, Any] = {}
+        rest = dict(row)
+        for name in _TEXT_COLUMNS:
+            if name in rest and _promotable(rest[name], text=True):
+                promoted[name] = rest.pop(name)
+        for name in _NUMERIC_COLUMNS:
+            if name in rest and _promotable(rest[name], text=False):
+                promoted[name] = rest.pop(name)
+        device = rest.get("device")
+        if (isinstance(device, dict)
+                and set(device) == set(_DEVICE_COLUMNS)
+                and all(_promotable(value, text=False)
+                        for value in device.values())):
+            for name in _DEVICE_COLUMNS:
+                promoted[name] = device[name]
+            rest.pop("device")
+        return promoted, rest
+
+    @staticmethod
+    def _rebuild_row(values: Sequence[Any], payload: str) -> Dict[str, Any]:
+        row = json.loads(payload)
+        named = dict(zip(PROMOTED_COLUMNS, values))
+        device = {name: named[name] for name in _DEVICE_COLUMNS
+                  if named[name] is not None}
+        if len(device) == len(_DEVICE_COLUMNS):
+            row["device"] = device
+        for name in _TEXT_COLUMNS + _NUMERIC_COLUMNS:
+            if named[name] is not None:
+                row[name] = named[name]
+        return row
+
+    def append(self, row: Dict[str, Any]) -> None:
+        """Persist one row (batched; committed every ``batch_size`` rows)."""
+        connection = self._connect()
+        promoted, rest = self._split_row(row)
+        if not self._in_transaction:
+            connection.execute("BEGIN")
+            self._in_transaction = True
+        placeholders = ", ".join("?" for _ in PROMOTED_COLUMNS)
+        names = ", ".join(f'"{name}"' for name in PROMOTED_COLUMNS)
+        connection.execute(
+            f"INSERT INTO sweep_rows ({names}, payload) "
+            f"VALUES ({placeholders}, ?)",
+            tuple(promoted.get(name) for name in PROMOTED_COLUMNS)
+            + (json.dumps(rest, sort_keys=True, separators=(",", ":")),))
+        self._pending += 1
+        if self._pending >= self.batch_size:
+            self.flush()
+        key = row.get("key")
+        if isinstance(key, str) and self._keys is not None:
+            self._keys[key] = None
+
+    def flush(self) -> None:
+        """Commit the open batch (no-op when nothing is pending)."""
+        if self._connection is not None and self._in_transaction:
+            self._connection.execute("COMMIT")
+            self._in_transaction = False
+        self._pending = 0
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self.flush()
+            self._connection.close()
+            self._connection = None
+
+    # ------------------------------------------------------------------
+    # Reading / resume
+    # ------------------------------------------------------------------
+    def rows(self) -> List[Dict[str, Any]]:
+        """All rows in append order, reconstructed exactly as appended."""
+        if self._connection is None and not self.path.exists():
+            return []
+        cursor = self._connect().execute(
+            f"SELECT {', '.join(chr(34) + c + chr(34) for c in PROMOTED_COLUMNS)}, "
+            "payload FROM sweep_rows ORDER BY id")
+        return [self._rebuild_row(record[:-1], record[-1])
+                for record in cursor]
+
+    def completed_keys(self) -> KeysView[str]:
+        """Live read-only view of the stored task keys."""
+        if self._keys is None:
+            self._keys = {}
+            if self._connection is not None or self.path.exists():
+                cursor = self._connect().execute(
+                    'SELECT DISTINCT COALESCE("key", '
+                    "json_extract(payload, '$.key')) FROM sweep_rows")
+                for (key,) in cursor:
+                    if isinstance(key, str):
+                        self._keys[key] = None
+        return self._keys.keys()
+
+    # ------------------------------------------------------------------
+    # Queries (pushed into SQL)
+    # ------------------------------------------------------------------
+    def _column_sql(self, field: str) -> str:
+        """SQL expression for a (possibly dotted) row field.
+
+        Promoted fields hit their real column (``device.num_blocks`` and
+        bare ``num_blocks`` both reach the promoted geometry column);
+        everything else goes through ``json_extract`` on the payload, so
+        any row field — including nested ones like ``recovery.total_spare_
+        reads`` — is queryable.
+        """
+        if not _FIELD_NAME.match(field):
+            raise ValueError(f"invalid field name {field!r}")
+        name = field
+        if name.startswith("device."):
+            name = name[len("device."):]
+        if name in PROMOTED_COLUMNS and "." not in name:
+            return f'"{name}"'
+        return f"json_extract(payload, '$.{field}')"
+
+    @staticmethod
+    def _numeric(expression: str) -> str:
+        """Wrap ``expression`` so non-numeric values aggregate as NULL.
+
+        Mirrors the Python :func:`~repro.engine.results.aggregate` rule
+        that only ``int``/``float`` row values contribute to a metric
+        (SQLite's ``AVG`` would otherwise count strings as 0.0).
+        """
+        return (f"CASE WHEN typeof({expression}) IN ('integer', 'real') "
+                f"THEN {expression} END")
+
+    def _where_sql(self, where: Optional[Dict[str, Any]]
+                   ) -> Tuple[str, List[Any]]:
+        if not where:
+            return "", []
+        clauses: List[str] = []
+        params: List[Any] = []
+        for field, value in where.items():
+            column = self._column_sql(field)
+            if value is None:
+                clauses.append(f"{column} IS NULL")
+            else:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        return " WHERE " + " AND ".join(clauses), params
+
+    def query(self,
+              select: Optional[Sequence[str]] = None,
+              where: Optional[Dict[str, Any]] = None,
+              group_by: Optional[Sequence[str]] = None,
+              order_by: Optional[str] = None,
+              limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Run a query in the database and return plain dicts.
+
+        Without ``group_by``: one dict per matching row. ``select`` names
+        the row fields wanted (default: the full reconstructed rows);
+        ``where`` is a field → value equality filter; ``order_by`` names a
+        field (prefix with ``-`` for descending); ``limit`` caps the rows.
+
+        With ``group_by``: ``select`` names *metrics* and the result is an
+        :func:`~repro.engine.results.aggregate`-compatible table — one
+        dict per group (in first-appearance order, like the Python
+        aggregator) with ``n`` plus ``<metric>_mean`` / ``_min`` /
+        ``_max`` columns, computed entirely by SQLite.
+        """
+        where_sql, params = self._where_sql(where)
+        if self._connection is None and not self.path.exists():
+            return []
+        connection = self._connect()
+
+        if group_by:
+            metrics = list(select) if select else []
+            by_exprs = [self._column_sql(field) for field in group_by]
+            parts = list(by_exprs) + ["COUNT(*)", "MIN(id)"]
+            for metric in metrics:
+                expr = self._numeric(self._column_sql(metric))
+                parts += [f"COUNT({expr})", f"AVG({expr})",
+                          f"MIN({expr})", f"MAX({expr})"]
+            sql = (f"SELECT {', '.join(parts)} FROM sweep_rows{where_sql} "
+                   f"GROUP BY {', '.join(by_exprs)} ORDER BY MIN(id)")
+            table: List[Dict[str, Any]] = []
+            for record in connection.execute(sql, params):
+                entry: Dict[str, Any] = dict(zip(group_by, record))
+                entry["n"] = record[len(group_by)]
+                base = len(group_by) + 2
+                for position, metric in enumerate(metrics):
+                    count, mean, low, high = record[base + 4 * position:
+                                                    base + 4 * position + 4]
+                    if count:
+                        entry[f"{metric}_mean"] = mean
+                        entry[f"{metric}_min"] = low
+                        entry[f"{metric}_max"] = high
+                table.append(entry)
+            return table
+
+        if select:
+            exprs = [self._column_sql(field) for field in select]
+            sql = f"SELECT {', '.join(exprs)} FROM sweep_rows{where_sql}"
+            rebuild = lambda record: dict(zip(select, record))  # noqa: E731
+        else:
+            columns = ", ".join(f'"{name}"' for name in PROMOTED_COLUMNS)
+            sql = (f"SELECT {columns}, payload FROM sweep_rows{where_sql}")
+            rebuild = lambda record: self._rebuild_row(  # noqa: E731
+                record[:-1], record[-1])
+        if order_by:
+            descending = order_by.startswith("-")
+            expr = self._column_sql(order_by.lstrip("-"))
+            sql += f" ORDER BY {expr} {'DESC' if descending else 'ASC'}"
+        else:
+            sql += " ORDER BY id"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params = params + [int(limit)]
+        return [rebuild(record) for record in connection.execute(sql, params)]
+
+    def aggregate_table(self,
+                        by: Sequence[str] = ("ftl",),
+                        metrics: Optional[Sequence[str]] = None,
+                        where: Optional[Dict[str, Any]] = None
+                        ) -> List[Dict[str, Any]]:
+        """Grouped mean/min/max summary computed by SQLite.
+
+        Returns the same table shape as
+        :func:`repro.engine.results.aggregate` (which defines the default
+        ``metrics``), but the aggregation runs as one SQL ``GROUP BY`` —
+        no row dicts are materialized in Python.
+        """
+        if metrics is None:
+            from .results import DEFAULT_METRICS
+            metrics = DEFAULT_METRICS
+        return self.query(select=list(metrics), where=where,
+                          group_by=list(by))
+
+    def group_quantile(self, metric: str,
+                       by: Sequence[str] = ("ftl",),
+                       q: float = 0.5,
+                       where: Optional[Dict[str, Any]] = None
+                       ) -> List[Dict[str, Any]]:
+        """Per-group nearest-rank quantile of ``metric`` via window functions.
+
+        The quantile is computed entirely inside SQLite with
+        ``ROW_NUMBER() / COUNT(*) OVER (PARTITION BY ...)`` — the
+        windowed-aggregation path the store exists for (e.g. the p99 of
+        per-cell ``wa_total`` or ``p999_us`` across a big sweep). Returns
+        one dict per group, in first-appearance order, with the group
+        fields, ``n`` and ``<metric>_p<q>``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self._connection is None and not self.path.exists():
+            return []
+        where_sql, params = self._where_sql(where)
+        value = self._numeric(self._column_sql(metric))
+        by_exprs = [self._column_sql(field) for field in by]
+        partition = ", ".join(by_exprs)
+        predicate = f"{value} IS NOT NULL"
+        where_sql = (f"{where_sql} AND {predicate}" if where_sql
+                     else f" WHERE {predicate}")
+        by_list = ", ".join(f"{expr} AS g{i}"
+                            for i, expr in enumerate(by_exprs))
+        sql = (
+            f"WITH ranked AS ("
+            f"SELECT {by_list}, {value} AS value, "
+            f"ROW_NUMBER() OVER (PARTITION BY {partition} ORDER BY {value}) "
+            f"AS rn, "
+            f"COUNT(*) OVER (PARTITION BY {partition}) AS cnt, "
+            f"MIN(id) OVER (PARTITION BY {partition}) AS first_id "
+            f"FROM sweep_rows{where_sql}) "
+            # nearest-rank: rn == max(1, ceil(q * cnt))
+            f"SELECT {', '.join(f'g{i}' for i in range(len(by_exprs)))}, "
+            f"value, cnt FROM ranked "
+            f"WHERE rn = MAX(1, CAST(? * cnt AS INTEGER) "
+            f"+ (? * cnt > CAST(? * cnt AS INTEGER))) "
+            f"ORDER BY first_id")
+        # q=0.5 -> "<metric>_p50", q=0.999 -> "<metric>_p999" (the repo's
+        # usual percentile naming, cf. p50_us/p999_us).
+        label = f"{metric}_p" + f"{q * 100:g}".replace(".", "")
+        table: List[Dict[str, Any]] = []
+        for record in self._connect().execute(sql, params + [q, q, q]):
+            entry = dict(zip(by, record))
+            entry["n"] = record[-1]
+            entry[label] = record[-2]
+            table.append(entry)
+        return table

@@ -24,7 +24,7 @@ from repro.cli import main
 EXPECTED_NAMES = ["device_fill", "gecko_update", "gecko_merge",
                   "gecko_gc_query", "gecko_recovery",
                   "dftl_cache_miss", "sweep_cell", "latency_sweep",
-                  "obs_overhead"]
+                  "obs_overhead", "store_append"]
 
 
 def _record(name, ops_per_sec, quick=True, **extra):

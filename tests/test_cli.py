@@ -116,11 +116,23 @@ class TestSweepCommand:
         assert main(["sweep", "--grid", "cheese=1"] + self.TINY) == 2
         assert "invalid sweep plan" in capsys.readouterr().err
 
-    def test_resume_without_sink_is_a_usage_error(self, capsys):
+    def test_resume_without_store_is_a_usage_error(self, capsys):
         code = main(["sweep", "--grid", "ftl=GeckoFTL cache=32",
                      "--resume"] + self.TINY)
         assert code == 2
-        assert "--resume needs --sink" in capsys.readouterr().err
+        assert "--resume needs --store" in capsys.readouterr().err
+
+    def test_workers_and_backend_conflict(self, capsys):
+        code = main(["sweep", "--grid", "ftl=GeckoFTL cache=32",
+                     "--workers", "2", "--backend", "serial"] + self.TINY)
+        assert code == 2
+        assert "--workers is deprecated" in capsys.readouterr().err
+
+    def test_invalid_backend_is_a_usage_error(self, capsys):
+        code = main(["sweep", "--grid", "ftl=GeckoFTL cache=32",
+                     "--backend", "cheese"] + self.TINY)
+        assert code == 2
+        assert "invalid execution backend" in capsys.readouterr().err
 
     def test_plan_file_sweep(self, tmp_path, capsys):
         plan = {"ftls": ["GeckoFTL"],
@@ -140,17 +152,58 @@ class TestSweepCommand:
         assert main(["sweep", "--plan", str(plan_path)]) == 2
         assert "invalid sweep plan" in capsys.readouterr().err
 
-    def test_sink_and_resume_skip_completed_tasks(self, tmp_path, capsys):
-        sink = tmp_path / "rows.jsonl"
+    def test_store_and_resume_skip_completed_tasks(self, tmp_path, capsys):
+        store = tmp_path / "rows.jsonl"
         arguments = ["sweep", "--grid", "ftl=GeckoFTL cache=32,48",
-                     "--sink", str(sink)] + self.TINY
+                     "--store", str(store)] + self.TINY
         assert main(arguments) == 0
         assert "executed=2 skipped=0" in capsys.readouterr().out
-        assert len(sink.read_text().splitlines()) == 2
+        assert len(store.read_text().splitlines()) == 2
 
         assert main(arguments + ["--resume"]) == 0
         assert "executed=0 skipped=2" in capsys.readouterr().out
-        assert len(sink.read_text().splitlines()) == 2
+        assert len(store.read_text().splitlines()) == 2
+
+    def test_sink_flag_is_an_alias_for_store(self, tmp_path, capsys):
+        store = tmp_path / "rows.jsonl"
+        code = main(["sweep", "--grid", "ftl=GeckoFTL cache=32",
+                     "--sink", str(store)] + self.TINY)
+        assert code == 0
+        assert len(store.read_text().splitlines()) == 1
+
+    def test_sqlite_store_and_resume(self, tmp_path, capsys):
+        store = tmp_path / "rows.sqlite"
+        arguments = ["sweep", "--grid", "ftl=GeckoFTL cache=32,48",
+                     "--store", str(store)] + self.TINY
+        assert main(arguments) == 0
+        assert "executed=2 skipped=0" in capsys.readouterr().out
+        assert main(arguments + ["--resume"]) == 0
+        assert "executed=0 skipped=2" in capsys.readouterr().out
+        from repro.engine import open_store
+        with open_store(store) as reopened:
+            assert len(reopened.rows()) == 2
+
+    def test_shard_workers_then_merge(self, tmp_path, capsys):
+        store = tmp_path / "rows.jsonl"
+        base = ["sweep", "--grid", "ftl=GeckoFTL,DFTL cache=32 seed=1,2",
+                "--store", str(store)] + self.TINY
+        assert main(base + ["--shard", "0/2"]) == 0
+        assert main(base + ["--shard", "1/2"]) == 0
+        # Workers fill only their sub-stores; the merge writes the store.
+        assert not store.exists()
+        capsys.readouterr()
+        assert main(base + ["--backend", "shard(hosts=2)"]) == 0
+        out = capsys.readouterr().out
+        assert "executed=4 skipped=0" in out
+        rows = [json.loads(line)
+                for line in store.read_text().splitlines()]
+        assert [row["index"] for row in rows] == [0, 1, 2, 3]
+
+    def test_shard_requires_store(self, capsys):
+        code = main(["sweep", "--grid", "ftl=GeckoFTL cache=32",
+                     "--shard", "0/2"] + self.TINY)
+        assert code == 2
+        assert "--shard needs --store" in capsys.readouterr().err
 
     def test_group_by_device_field(self, capsys):
         code = main(["sweep", "--grid", "ftl=GeckoFTL ratio=0.5,0.7",
@@ -207,7 +260,7 @@ class TestCrashCli:
         sink = tmp_path / "rows.jsonl"
         code = main(["sweep", "--grid", "ftl=LazyFTL cache=32",
                      "--writes", "400", "--interval-writes", "200",
-                     "--crash", "200", "--sink", str(sink)] + self.TINY)
+                     "--crash", "200", "--store", str(sink)] + self.TINY)
         assert code == 0
         row = json.loads(sink.read_text().splitlines()[0])
         assert row["crash"]["after_ops"] == 200
@@ -246,3 +299,109 @@ class TestCrashCli:
         output = capsys.readouterr().out
         assert "recovery_spare=" in output
         assert "recovery.total_spare_reads" in output
+
+
+class TestQueryCommand:
+    """The `repro query` subcommand: aggregates, quantiles, rows, export."""
+
+    @staticmethod
+    def _populate(path, rows=120):
+        from repro.engine import open_store
+        with open_store(path) as store:
+            for index in range(rows):
+                ftl = ("GeckoFTL", "DFTL", "LazyFTL")[index % 3]
+                store.append({"key": f"{index:016x}", "ftl": ftl,
+                              "seed": index, "wa_total": 1.0 + index % 7,
+                              "ram_bytes": 1000 + index})
+        return path
+
+    @staticmethod
+    def _body(lines):
+        """Table rows only: drop the title and '===' ruler lines."""
+        return [line for line in lines
+                if line.strip() and set(line.strip()) != {"="}
+                and "rows." not in line]
+
+    def test_missing_store_is_an_error(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "absent.sqlite")]) == 2
+        assert "no such result store" in capsys.readouterr().err
+
+    def test_grouped_aggregate_never_materializes_rows(self, tmp_path,
+                                                       capsys, monkeypatch):
+        # The ISSUE's acceptance bar: a grouped WA-by-FTL question over a
+        # >=100-row sweep answered in SQL. Poisoning rows() proves no
+        # Python row loading happens on the SQLite path.
+        from repro.engine import SqliteResultStore
+        store = self._populate(tmp_path / "rows.sqlite")
+        monkeypatch.setattr(
+            SqliteResultStore, "rows",
+            lambda self: (_ for _ in ()).throw(
+                AssertionError("rows() materialized in Python")))
+        code = main(["query", str(store), "--by", "ftl",
+                     "--metrics", "wa_total"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "GeckoFTL" in output and "wa_total_mean" in output
+
+    def test_aggregate_matches_python_on_jsonl(self, tmp_path, capsys):
+        sqlite_store = self._populate(tmp_path / "rows.sqlite")
+        jsonl_store = self._populate(tmp_path / "rows.jsonl")
+        assert main(["query", str(sqlite_store), "--metrics",
+                     "wa_total"]) == 0
+        from_sqlite = capsys.readouterr().out.splitlines()
+        assert main(["query", str(jsonl_store), "--metrics",
+                     "wa_total"]) == 0
+        from_jsonl = capsys.readouterr().out.splitlines()
+        # Same table body (title/ruler lines name the different paths).
+        assert self._body(from_sqlite) == self._body(from_jsonl)
+
+    def test_where_filters(self, tmp_path, capsys):
+        store = self._populate(tmp_path / "rows.sqlite")
+        assert main(["query", str(store), "--where", "ftl=DFTL",
+                     "--metrics", "wa_total"]) == 0
+        output = capsys.readouterr().out
+        assert "DFTL" in output and "GeckoFTL" not in output
+
+    def test_select_prints_jsonl_rows(self, tmp_path, capsys):
+        store = self._populate(tmp_path / "rows.sqlite")
+        assert main(["query", str(store), "--select", "ftl", "wa_total",
+                     "--order-by=-wa_total", "--limit", "3"]) == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines()]
+        assert len(lines) == 3
+        assert all(line["wa_total"] == 7.0 for line in lines)
+
+    def test_quantile_uses_sql_on_sqlite(self, tmp_path, capsys,
+                                         monkeypatch):
+        from repro.engine import SqliteResultStore
+        store = self._populate(tmp_path / "rows.sqlite")
+        monkeypatch.setattr(
+            SqliteResultStore, "rows",
+            lambda self: (_ for _ in ()).throw(
+                AssertionError("rows() materialized in Python")))
+        assert main(["query", str(store), "--quantile", "0.5",
+                     "--metric", "wa_total"]) == 0
+        assert "wa_total_p50" in capsys.readouterr().out
+
+    def test_quantile_python_fallback_agrees(self, tmp_path, capsys):
+        sqlite_store = self._populate(tmp_path / "rows.sqlite")
+        jsonl_store = self._populate(tmp_path / "rows.jsonl")
+        assert main(["query", str(sqlite_store), "--quantile", "0.9"]) == 0
+        from_sqlite = capsys.readouterr().out.splitlines()
+        assert main(["query", str(jsonl_store), "--quantile", "0.9"]) == 0
+        from_jsonl = capsys.readouterr().out.splitlines()
+        assert self._body(from_sqlite) == self._body(from_jsonl)
+
+    def test_export_round_trips_between_formats(self, tmp_path, capsys):
+        source = self._populate(tmp_path / "rows.jsonl", rows=10)
+        assert main(["query", str(source), "--export",
+                     str(tmp_path / "rows.sqlite")]) == 0
+        assert "exported 10 row(s)" in capsys.readouterr().out
+        assert main(["query", str(tmp_path / "rows.sqlite"), "--export",
+                     str(tmp_path / "back.jsonl")]) == 0
+        assert (tmp_path / "back.jsonl").read_bytes() == source.read_bytes()
+
+    def test_bad_field_is_a_usage_error(self, tmp_path, capsys):
+        store = self._populate(tmp_path / "rows.sqlite", rows=3)
+        assert main(["query", str(store), "--select", "no;such"]) == 2
+        assert "query failed" in capsys.readouterr().err

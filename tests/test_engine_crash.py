@@ -143,8 +143,8 @@ class TestCrashSweepDeterminism:
             devices=[TINY_DEVICE], cache_capacities=[64], seeds=[3],
             write_operations=900, interval_writes=300,
             crash={"after_ops": 450, "phase": "gc"})
-        serial = run_sweep(plan, workers=1)
-        parallel = run_sweep(plan, workers=4)
+        serial = run_sweep(plan)
+        parallel = run_sweep(plan, backend="pool(workers=4)")
         assert [canonical_row_bytes(row) for row in serial.rows] \
             == [canonical_row_bytes(row) for row in parallel.rows]
 
@@ -154,9 +154,10 @@ class TestCrashSweepDeterminism:
             seeds=[1, 2], write_operations=600, interval_writes=200,
             crash={"after_ops": 300})
         sink_path = tmp_path / "crashes.jsonl"
-        first = run_sweep(plan, sink=ResultSink(sink_path))
+        first = run_sweep(plan, store=ResultSink(sink_path))
         assert first.executed == 2
-        second = run_sweep(plan, sink=ResultSink(sink_path), resume=True)
+        second = run_sweep(plan, store=ResultSink(sink_path),
+                           resume=True)
         assert second.executed == 0 and second.skipped == 2
         assert [row["key"] for row in second.rows] \
             == [row["key"] for row in first.rows]

@@ -1,4 +1,4 @@
-"""Tests for the sweep executor: execution, parallelism, resume, determinism."""
+"""Tests for the sweep executor: execution, backends, resume, determinism."""
 
 import pytest
 
@@ -57,13 +57,9 @@ class TestExecuteTask:
 
 
 class TestSweepExecutor:
-    def test_rejects_bad_worker_counts(self):
-        with pytest.raises(ValueError):
-            SweepExecutor(workers=0)
-
     def test_runs_plan_in_order(self):
         plan = tiny_plan()
-        report = SweepExecutor(workers=1).run(plan)
+        report = SweepExecutor().run(plan)
         assert report.executed == len(plan) == 4
         assert report.skipped == 0
         assert [row["index"] for row in report.rows] == [0, 1, 2, 3]
@@ -74,7 +70,6 @@ class TestSweepExecutor:
         plan = tiny_plan()
         seen = []
         executor = SweepExecutor(
-            workers=1,
             on_task=lambda task, row, done, total: seen.append(
                 (task.index, row["key"], done, total)))
         executor.run(plan)
@@ -91,66 +86,116 @@ class TestSweepExecutor:
                          cache_capacity=48, seed=1, write_operations=100,
                          interval_writes=50)
         with pytest.raises(SweepTaskError, match="GeckoFTL"):
-            SweepExecutor(workers=1).run([task])
+            SweepExecutor().run([task])
 
     def test_accepts_explicit_task_lists(self):
         tasks = tiny_plan().tasks()[:2]
-        report = SweepExecutor(workers=1).run(tasks)
+        report = SweepExecutor().run(tasks)
         assert report.executed == 2
 
 
+class TestLegacyShims:
+    """The deprecated workers=/sink= spellings must keep working, loudly."""
+
+    def test_workers_keyword_warns_and_maps_to_backend(self):
+        with pytest.warns(DeprecationWarning, match="workers="):
+            executor = SweepExecutor(workers=4)
+        assert executor.workers == 4
+        assert str(executor.backend) == "pool(workers=4)"
+        with pytest.warns(DeprecationWarning):
+            assert str(SweepExecutor(workers=1).backend) == "serial"
+
+    def test_rejects_bad_worker_counts(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                SweepExecutor(workers=0)
+        with pytest.raises(ValueError):
+            SweepExecutor(0)
+
+    def test_workers_and_backend_conflict(self):
+        with pytest.raises(TypeError, match="not both"):
+            SweepExecutor("serial", workers=2)
+
+    def test_int_backend_is_a_worker_count(self):
+        assert str(SweepExecutor(1).backend) == "serial"
+        assert str(SweepExecutor(3).backend) == "pool(workers=3)"
+
+    def test_sink_keyword_warns_and_persists(self, tmp_path):
+        plan = tiny_plan(ftls=["GeckoFTL"], seeds=[1])
+        sink = ResultSink(tmp_path / "legacy.jsonl")
+        with pytest.warns(DeprecationWarning, match="sink="):
+            report = SweepExecutor().run(plan, sink=sink)
+        sink.close()
+        assert report.executed == 1
+        assert len(sink.rows()) == 1
+
+    def test_sink_and_store_conflict(self, tmp_path):
+        sink = ResultSink(tmp_path / "a.jsonl")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="not both"):
+                SweepExecutor().run(tiny_plan(), store=sink, sink=sink)
+
+    def test_run_sweep_legacy_spellings(self, tmp_path):
+        plan = tiny_plan(ftls=["GeckoFTL"], seeds=[1])
+        path = tmp_path / "legacy.jsonl"
+        with pytest.warns(DeprecationWarning):
+            report = run_sweep(plan, workers=1, sink=str(path))
+        assert report.executed == 1
+        assert path.exists()
+
+
 class TestResume:
-    def test_resume_requires_sink(self):
-        with pytest.raises(ValueError, match="needs a sink"):
-            SweepExecutor(workers=1).run(tiny_plan(), resume=True)
+    def test_resume_requires_store(self):
+        with pytest.raises(ValueError, match="needs a store"):
+            SweepExecutor().run(tiny_plan(), resume=True)
 
     def test_resume_skips_completed_tasks(self, tmp_path):
         plan = tiny_plan()
-        sink_path = tmp_path / "results.jsonl"
-        first = run_sweep(plan, workers=1, sink=str(sink_path))
+        store_path = tmp_path / "results.jsonl"
+        first = run_sweep(plan, store=str(store_path))
         assert first.executed == 4 and first.skipped == 0
 
-        second = run_sweep(plan, workers=1, sink=str(sink_path), resume=True)
+        second = run_sweep(plan, store=str(store_path), resume=True)
         assert second.executed == 0 and second.skipped == 4
         # The report still exposes the full grid, from persisted rows.
         assert [row["key"] for row in second.rows] == \
                [row["key"] for row in first.rows]
-        # And the sink did not grow.
-        assert len(sink_path.read_text().splitlines()) == 4
+        # And the store did not grow.
+        assert len(store_path.read_text().splitlines()) == 4
 
     def test_killed_sweep_reruns_only_missing_tasks(self, tmp_path):
         plan = tiny_plan()
         tasks = plan.tasks()
-        sink_path = tmp_path / "results.jsonl"
+        store_path = tmp_path / "results.jsonl"
         # Simulate a sweep killed after two tasks.
-        with ResultSink(sink_path) as sink:
-            partial = SweepExecutor(workers=1).run(tasks[:2], sink=sink)
+        with ResultSink(store_path) as store:
+            partial = SweepExecutor().run(tasks[:2], store=store)
         assert partial.executed == 2
 
-        resumed = run_sweep(plan, workers=1, sink=str(sink_path), resume=True)
+        resumed = run_sweep(plan, store=str(store_path), resume=True)
         assert resumed.executed == 2
         assert resumed.skipped == 2
         executed_keys = {row["key"] for row in resumed.rows[2:]}
         assert executed_keys == {task.key() for task in tasks[2:]}
 
 
-class TestDeterminismAcrossWorkerCounts:
-    """Engine regression: worker count must never change results."""
+class TestDeterminismAcrossBackends:
+    """Engine regression: the backend must never change results."""
 
-    def test_workers_1_and_4_produce_identical_canonical_rows(self):
+    def test_serial_and_pool_produce_identical_canonical_rows(self):
         plan = tiny_plan()
-        serial = SweepExecutor(workers=1).run(plan)
-        parallel = SweepExecutor(workers=4).run(plan)
+        serial = SweepExecutor().run(plan)
+        parallel = SweepExecutor("pool(workers=4)").run(plan)
         assert [canonical_row_bytes(row) for row in serial.rows] == \
                [canonical_row_bytes(row) for row in parallel.rows]
 
-    def test_parallel_sink_files_are_byte_identical_modulo_timing(self,
-                                                                  tmp_path):
+    def test_parallel_store_files_are_byte_identical_modulo_timing(
+            self, tmp_path):
         plan = tiny_plan(seeds=[5])
         path_serial = tmp_path / "serial.jsonl"
         path_parallel = tmp_path / "parallel.jsonl"
-        run_sweep(plan, workers=1, sink=str(path_serial))
-        run_sweep(plan, workers=2, sink=str(path_parallel))
+        run_sweep(plan, store=str(path_serial))
+        run_sweep(plan, backend="pool(workers=2)", store=str(path_parallel))
         from repro.engine import load_results
         serial = [canonical_row_bytes(r) for r in load_results(path_serial)]
         parallel = [canonical_row_bytes(r)

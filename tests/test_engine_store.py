@@ -1,0 +1,395 @@
+"""Tests for the result-store layer: SQLite store, routing, queries."""
+
+import sqlite3
+
+import pytest
+
+from repro.engine import (ResultSink, SqliteResultStore,
+                          STORE_SCHEMA_VERSION, SweepPlan, aggregate,
+                          canonical_row_bytes, copy_rows, execute_task,
+                          latency_table, load_results, open_store, run_sweep,
+                          wa_breakdown_table)
+
+TINY = dict(num_blocks=64, pages_per_block=8, page_size=256)
+
+
+def tiny_plan(**overrides):
+    defaults = dict(ftls=["GeckoFTL", "DFTL"], devices=[dict(TINY)],
+                    cache_capacities=[48], seeds=[1, 2],
+                    write_operations=600, interval_writes=300)
+    defaults.update(overrides)
+    return SweepPlan(**defaults)
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    """Real rows from one tiny sweep, shared across the module's tests."""
+    return [execute_task(task) for task in tiny_plan().tasks()]
+
+
+class TestOpenStore:
+    def test_extension_routing(self, tmp_path):
+        assert isinstance(open_store(tmp_path / "a.jsonl"), ResultSink)
+        assert isinstance(open_store(tmp_path / "a.txt"), ResultSink)
+        for suffix in (".sqlite", ".sqlite3", ".db", ".SQLITE"):
+            store = open_store(tmp_path / f"a{suffix}")
+            assert isinstance(store, SqliteResultStore)
+            store.close()
+
+    def test_kwargs_reach_the_store(self, tmp_path):
+        store = open_store(tmp_path / "a.sqlite", batch_size=7)
+        assert store.batch_size == 7
+        store.close()
+
+
+class TestSqliteRoundTrip:
+    def test_rows_reproduce_appended_dicts_exactly(self, tmp_path,
+                                                   sweep_rows):
+        with SqliteResultStore(tmp_path / "r.sqlite") as store:
+            for row in sweep_rows:
+                store.append(row)
+            assert store.rows() == sweep_rows
+        # And after close/reopen (a fresh process reading the file).
+        reopened = SqliteResultStore(tmp_path / "r.sqlite")
+        assert reopened.rows() == sweep_rows
+        reopened.close()
+
+    def test_crash_and_timed_rows_round_trip(self, tmp_path):
+        plan = tiny_plan(ftls=["GeckoFTL"], seeds=[1], timing="slc")
+        timed = run_sweep(plan).rows
+        from repro.engine import CrashPlan
+        crash_plan = tiny_plan(ftls=["GeckoFTL"], seeds=[1],
+                               crash=CrashPlan(after_ops=300))
+        crashed = run_sweep(crash_plan).rows
+        with SqliteResultStore(tmp_path / "r.sqlite") as store:
+            for row in timed + crashed:
+                store.append(row)
+            assert store.rows() == timed + crashed
+
+    def test_awkward_values_stay_in_payload(self, tmp_path):
+        # Values that don't round-trip through columns must survive via the
+        # JSON payload: bools, None, nested structures, non-str keys'
+        # shadow fields, and a non-geometry device dict.
+        row = {"key": "abc", "ftl": True, "wa_total": None,
+               "seed": [1, 2], "device": {"num_blocks": 64},
+               "extra": {"nested": {"deep": 1.5}}}
+        with SqliteResultStore(tmp_path / "r.sqlite") as store:
+            store.append(row)
+            assert store.rows() == [row]
+
+    def test_int_and_float_affinity_preserved(self, tmp_path):
+        with SqliteResultStore(tmp_path / "r.sqlite") as store:
+            store.append({"key": "a", "seed": 1, "wa_total": 2.0})
+            (row,) = store.rows()
+        assert isinstance(row["seed"], int)
+        assert isinstance(row["wa_total"], float) and row["wa_total"] == 2.0
+
+    def test_promoted_columns_are_populated(self, tmp_path, sweep_rows):
+        with SqliteResultStore(tmp_path / "r.sqlite") as store:
+            store.append(sweep_rows[0])
+            store.flush()
+            ftl, blocks = store._connect().execute(
+                'SELECT ftl, "num_blocks" FROM sweep_rows').fetchone()
+        assert ftl == sweep_rows[0]["ftl"]
+        assert blocks == TINY["num_blocks"]
+
+
+class TestSqliteDurability:
+    def test_batched_appends_commit_on_flush_and_close(self, tmp_path):
+        path = tmp_path / "r.sqlite"
+        store = SqliteResultStore(path, batch_size=100)
+        for index in range(5):
+            store.append({"key": f"k{index}"})
+        store.close()  # partial batch must be committed here
+        other = sqlite3.connect(path)
+        assert other.execute(
+            "SELECT COUNT(*) FROM sweep_rows").fetchone()[0] == 5
+        other.close()
+
+    def test_batch_boundary_commits_without_close(self, tmp_path):
+        path = tmp_path / "r.sqlite"
+        store = SqliteResultStore(path, batch_size=2)
+        for index in range(4):
+            store.append({"key": f"k{index}"})
+        # Two full batches committed; a concurrent reader sees them even
+        # though the store is still open (WAL, no per-row fsync needed).
+        other = sqlite3.connect(path)
+        assert other.execute(
+            "SELECT COUNT(*) FROM sweep_rows").fetchone()[0] == 4
+        other.close()
+        store.close()
+
+    def test_store_reopens_after_close(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "r.sqlite")
+        store.append({"key": "a"})
+        store.close()
+        store.append({"key": "b"})
+        store.close()
+        assert [row["key"] for row in store.rows()] == ["a", "b"]
+
+    def test_rejects_bad_batch_size(self, tmp_path):
+        with pytest.raises(ValueError):
+            SqliteResultStore(tmp_path / "r.sqlite", batch_size=0)
+
+    def test_rejects_future_schema_version(self, tmp_path):
+        path = tmp_path / "r.sqlite"
+        with SqliteResultStore(path) as store:
+            store.append({"key": "a"})
+        connection = sqlite3.connect(path)
+        connection.execute("UPDATE store_meta SET value = ? "
+                           "WHERE name = 'schema'",
+                           (STORE_SCHEMA_VERSION + 1,))
+        connection.commit()
+        connection.close()
+        with pytest.raises(ValueError, match="schema version"):
+            SqliteResultStore(path).rows()
+
+
+class TestResumeContract:
+    def test_completed_keys_is_a_live_view(self, tmp_path):
+        with SqliteResultStore(tmp_path / "r.sqlite") as store:
+            keys = store.completed_keys()
+            assert len(keys) == 0
+            store.append({"key": "a"})
+            assert "a" in keys  # live: reflects the later append
+            assert keys == {"a"}  # compares equal to plain sets
+
+    def test_keys_found_in_payload_when_not_promoted(self, tmp_path):
+        path = tmp_path / "r.sqlite"
+        with SqliteResultStore(path) as store:
+            # A key that fails promotion (not a str) never lands in the
+            # column, but completed_keys must not invent it either.
+            store.append({"key": 123})
+            store.append({"key": "real"})
+        assert set(SqliteResultStore(path).completed_keys()) == {"real"}
+
+    def test_len_and_contains(self, tmp_path):
+        with SqliteResultStore(tmp_path / "r.sqlite") as store:
+            store.append({"key": "a"})
+            store.append({"key": "a"})
+            store.append({"key": "b"})
+            assert len(store) == 2
+            assert "a" in store and "c" not in store
+
+
+class TestQuery:
+    @pytest.fixture()
+    def store(self, tmp_path, sweep_rows):
+        store = SqliteResultStore(tmp_path / "r.sqlite")
+        for row in sweep_rows:
+            store.append(row)
+        yield store
+        store.close()
+
+    def test_where_filters_rows(self, store, sweep_rows):
+        rows = store.query(where={"ftl": "DFTL"})
+        assert rows == [row for row in sweep_rows if row["ftl"] == "DFTL"]
+
+    def test_select_projects_fields(self, store, sweep_rows):
+        rows = store.query(select=["ftl", "seed", "wa_total"])
+        assert rows == [{"ftl": row["ftl"], "seed": row["seed"],
+                         "wa_total": row["wa_total"]} for row in sweep_rows]
+
+    def test_select_reaches_payload_and_device_fields(self, store,
+                                                      sweep_rows):
+        (row,) = store.query(select=["device.num_blocks", "index"],
+                             where={"ftl": "GeckoFTL", "seed": 1})
+        assert row["device.num_blocks"] == TINY["num_blocks"]
+        assert row["index"] == 0
+
+    def test_order_by_and_limit(self, store, sweep_rows):
+        rows = store.query(select=["wa_total"], order_by="-wa_total",
+                           limit=2)
+        expected = sorted((row["wa_total"] for row in sweep_rows),
+                          reverse=True)[:2]
+        assert [row["wa_total"] for row in rows] == expected
+
+    def test_invalid_field_names_rejected(self, store):
+        for bad in ("1leading", "a;drop", "a b", "", "a..b"):
+            with pytest.raises(ValueError, match="invalid field"):
+                store.query(select=[bad])
+
+    def test_query_on_missing_file_is_empty(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "absent.sqlite")
+        assert store.query() == []
+        assert store.rows() == []
+        assert not (tmp_path / "absent.sqlite").exists()
+
+
+class TestSqlAggregation:
+    @pytest.fixture()
+    def store(self, tmp_path, sweep_rows):
+        store = SqliteResultStore(tmp_path / "r.sqlite")
+        for row in sweep_rows:
+            store.append(row)
+        yield store
+        store.close()
+
+    def test_aggregate_table_matches_python_aggregate(self, store,
+                                                      sweep_rows):
+        sql_table = store.aggregate_table(by=("ftl",))
+        python_table = aggregate(sweep_rows, by=("ftl",))
+        assert len(sql_table) == len(python_table)
+        for sql_entry, python_entry in zip(sql_table, python_table):
+            assert set(sql_entry) == set(python_entry)
+            for name, value in python_entry.items():
+                if isinstance(value, float):
+                    assert sql_entry[name] == pytest.approx(value,
+                                                            rel=1e-12)
+                else:
+                    assert sql_entry[name] == value
+
+    def test_group_order_is_first_appearance(self, store, sweep_rows):
+        assert [entry["ftl"] for entry in store.aggregate_table()] == \
+               [entry["ftl"] for entry in aggregate(sweep_rows)]
+
+    def test_grouped_query_with_where(self, store, sweep_rows):
+        table = store.query(select=["wa_total"], group_by=["ftl"],
+                            where={"seed": 1})
+        expected = aggregate(
+            [row for row in sweep_rows if row["seed"] == 1],
+            by=("ftl",), metrics=("wa_total",))
+        assert table == expected
+
+    def test_non_numeric_metrics_do_not_poison_averages(self, tmp_path):
+        with SqliteResultStore(tmp_path / "mixed.sqlite") as store:
+            store.append({"key": "a", "ftl": "X", "wa_total": 2.0})
+            store.append({"key": "b", "ftl": "X", "wa_total": "broken"})
+            (entry,) = store.aggregate_table(metrics=("wa_total",))
+        # AVG over a TEXT value would otherwise count it as 0.0.
+        assert entry["n"] == 2
+        assert entry["wa_total_mean"] == 2.0
+
+    def test_group_quantile_nearest_rank(self, tmp_path):
+        with SqliteResultStore(tmp_path / "q.sqlite") as store:
+            for position, value in enumerate([5.0, 1.0, 3.0, 2.0, 4.0]):
+                store.append({"key": f"k{position}", "ftl": "X",
+                              "wa_total": value})
+            (median,) = store.group_quantile("wa_total", q=0.5)
+            (p99,) = store.group_quantile("wa_total", q=0.99)
+            (floor,) = store.group_quantile("wa_total", q=0.0)
+        assert median == {"ftl": "X", "n": 5, "wa_total_p50": 3.0}
+        assert p99["wa_total_p99"] == 5.0
+        assert floor["wa_total_p0"] == 1.0
+
+    def test_group_quantile_rejects_out_of_range_q(self, store):
+        with pytest.raises(ValueError):
+            store.group_quantile("wa_total", q=1.5)
+
+
+class TestCopyRowsAndLoadResults:
+    def test_jsonl_to_sqlite_and_back_is_exact(self, tmp_path, sweep_rows):
+        jsonl = ResultSink(tmp_path / "a.jsonl")
+        for row in sweep_rows:
+            jsonl.append(row)
+        sqlite_store = SqliteResultStore(tmp_path / "b.sqlite")
+        assert copy_rows(jsonl, sqlite_store) == len(sweep_rows)
+        back = ResultSink(tmp_path / "c.jsonl")
+        assert copy_rows(sqlite_store, back) == len(sweep_rows)
+        sqlite_store.close()
+        jsonl.close()
+        back.close()
+        # Exact equality — timing fields included — after two migrations.
+        assert (tmp_path / "c.jsonl").read_bytes() == \
+               (tmp_path / "a.jsonl").read_bytes()
+
+    def test_load_results_accepts_stores_and_paths(self, tmp_path,
+                                                   sweep_rows):
+        with SqliteResultStore(tmp_path / "r.sqlite") as store:
+            for row in sweep_rows:
+                store.append(row)
+            assert load_results(store) == sweep_rows
+        assert load_results(tmp_path / "r.sqlite") == sweep_rows
+        assert load_results(str(tmp_path / "r.sqlite")) == sweep_rows
+
+    def test_aggregation_helpers_accept_stores_and_paths(self, tmp_path,
+                                                         sweep_rows):
+        path = tmp_path / "r.jsonl"
+        with ResultSink(path) as sink:
+            for row in sweep_rows:
+                sink.append(row)
+        assert aggregate(path) == aggregate(sweep_rows)
+        assert wa_breakdown_table(str(path)) == wa_breakdown_table(sweep_rows)
+        with open_store(path) as store:
+            assert latency_table(store) == latency_table(sweep_rows)
+
+
+class TestResultSinkCaching:
+    """Regression: resume used to re-parse the JSONL per call."""
+
+    def _populated(self, tmp_path, sweep_rows):
+        path = tmp_path / "r.jsonl"
+        with ResultSink(path) as sink:
+            for row in sweep_rows:
+                sink.append(row)
+        return path
+
+    def test_one_parse_per_sink_lifetime(self, tmp_path, sweep_rows):
+        sink = ResultSink(self._populated(tmp_path, sweep_rows))
+        assert sink.parse_count == 0
+        sink.completed_keys()
+        sink.rows()
+        sink.completed_keys()
+        sink.rows()
+        assert sink.parse_count == 1
+
+    def test_resume_parses_once(self, tmp_path, sweep_rows):
+        plan = tiny_plan()
+        path = tmp_path / "r.jsonl"
+        run_sweep(plan.tasks()[:2], store=str(path))
+        sink = ResultSink(path)
+        from repro.engine import SweepExecutor
+        report = SweepExecutor().run(plan, store=sink, resume=True)
+        assert report.executed == 2 and report.skipped == 2
+        assert sink.parse_count == 1
+        sink.close()
+
+    def test_completed_keys_is_a_live_view(self, tmp_path):
+        sink = ResultSink(tmp_path / "r.jsonl")
+        keys = sink.completed_keys()
+        assert len(keys) == 0
+        sink.append({"key": "a"})
+        assert "a" in keys and keys == {"a"}
+        sink.close()
+
+    def test_rows_cache_tracks_appends(self, tmp_path):
+        sink = ResultSink(tmp_path / "r.jsonl")
+        sink.append({"key": "a"})
+        assert [row["key"] for row in sink.rows()] == ["a"]
+        sink.append({"key": "b"})
+        assert [row["key"] for row in sink.rows()] == ["a", "b"]
+        assert sink.parse_count == 1
+        sink.close()
+
+
+class TestStoreParity:
+    """ISSUE acceptance: stores are interchangeable, bytes agree."""
+
+    def test_same_plan_same_canonical_bytes_across_stores(self, tmp_path):
+        plan = tiny_plan()
+        run_sweep(plan, store=str(tmp_path / "a.jsonl"))
+        run_sweep(plan, store=str(tmp_path / "b.sqlite"))
+        jsonl = [canonical_row_bytes(row)
+                 for row in load_results(tmp_path / "a.jsonl")]
+        sqlite_rows = [canonical_row_bytes(row)
+                       for row in load_results(tmp_path / "b.sqlite")]
+        assert jsonl == sqlite_rows
+
+    @pytest.mark.parametrize("first,second", [
+        ("a.jsonl", "b.sqlite"), ("a.sqlite", "b.jsonl")])
+    def test_resume_started_on_one_store_completes_on_other(
+            self, tmp_path, first, second):
+        plan = tiny_plan()
+        tasks = plan.tasks()
+        # Half the sweep lands in the first store...
+        with open_store(tmp_path / first) as store:
+            run_sweep(tasks[:2], store=store)
+        # ...which is migrated to the other format, where resume finishes.
+        with open_store(tmp_path / first) as source, \
+                open_store(tmp_path / second) as destination:
+            assert copy_rows(source, destination) == 2
+        report = run_sweep(plan, store=str(tmp_path / second), resume=True)
+        assert report.executed == 2 and report.skipped == 2
+        finished = load_results(tmp_path / second)
+        assert [row["key"] for row in finished] == \
+               [task.key() for task in tasks]

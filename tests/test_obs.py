@@ -515,10 +515,11 @@ def _telemetry_plan():
 class TestSweepTelemetry:
     def test_progress_never_touches_canonical_rows(self):
         plan = _telemetry_plan()
-        silent = run_sweep(plan, workers=1)
+        silent = run_sweep(plan)
         stream = io.StringIO()
         progress = SweepProgress(stream=stream)
-        observed = run_sweep(plan, workers=2, on_task=progress)
+        observed = run_sweep(plan, backend="pool(workers=2)",
+                             on_task=progress)
         assert [canonical_row_bytes(row) for row in silent.rows] == \
             [canonical_row_bytes(row) for row in observed.rows]
         lines = stream.getvalue().splitlines()
@@ -529,11 +530,11 @@ class TestSweepTelemetry:
     def test_progress_resume_is_noop(self, tmp_path):
         plan = _telemetry_plan()
         sink = tmp_path / "rows.jsonl"
-        first = run_sweep(plan, workers=1, sink=str(sink))
+        first = run_sweep(plan, store=str(sink))
         assert first.executed == len(plan.tasks())
         stream = io.StringIO()
         progress = SweepProgress(stream=stream)
-        resumed = run_sweep(plan, workers=1, sink=str(sink), resume=True,
+        resumed = run_sweep(plan, store=str(sink), resume=True,
                             on_task=progress)
         assert resumed.executed == 0
         assert resumed.skipped == len(plan.tasks())

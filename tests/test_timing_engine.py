@@ -61,8 +61,8 @@ class TestTimedPlansAndTasks:
 class TestTimedDeterminism:
     def test_rows_identical_across_worker_counts(self):
         plan = timed_plan()
-        serial = SweepExecutor(workers=1).run(plan).rows
-        parallel = SweepExecutor(workers=4).run(plan).rows
+        serial = SweepExecutor().run(plan).rows
+        parallel = SweepExecutor("pool(workers=4)").run(plan).rows
         assert [canonical_row_bytes(row) for row in serial] \
             == [canonical_row_bytes(row) for row in parallel]
 
@@ -128,8 +128,8 @@ class TestTimedCrashRows:
     def test_timed_crash_rows_deterministic_across_workers(self):
         plan = timed_plan(seeds=[1, 2, 3],
                           crash={"after_ops": 250, "phase": "gc"})
-        serial = SweepExecutor(workers=1).run(plan).rows
-        parallel = SweepExecutor(workers=4).run(plan).rows
+        serial = SweepExecutor().run(plan).rows
+        parallel = SweepExecutor("pool(workers=4)").run(plan).rows
         assert [canonical_row_bytes(row) for row in serial] \
             == [canonical_row_bytes(row) for row in parallel]
 
