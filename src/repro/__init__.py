@@ -84,6 +84,9 @@ from .flash import (
     paper_configuration,
     simulation_configuration,
 )
+# Imported after .api and .flash: the device-array module builds on both
+# (its session subclass sits on the regular front door).
+from .flash.device_array import DeviceArray, DeviceArraySession
 from .ftl import DFTL, IBFTL, LazyFTL, MuFTL, PageMappedFTL, VictimPolicy
 from .ftl.operations import BatchResult, Operation, OpKind
 from .obs import (
@@ -125,6 +128,8 @@ __all__ = [
     "CrashPlan",
     "DEVICE_PRESETS",
     "DFTL",
+    "DeviceArray",
+    "DeviceArraySession",
     "DeviceConfig",
     "EntryLayout",
     "EventTrace",

@@ -1,0 +1,59 @@
+"""Optional numpy acceleration behind a feature flag.
+
+The simulator is pure stdlib by design — numpy is a *soft* dependency that
+vectorizes a few whole-column operations (GC victim argmin, ``DeviceArray``
+shard partitioning) when explicitly enabled. Acceleration is opt-in via the
+``REPRO_NUMPY`` environment variable (``1``/``true``/``on``/``yes``) or
+programmatically via :func:`set_numpy_enabled`; when numpy is missing the
+flag silently resolves to the pure-stdlib fallback, so nothing here may ever
+make numpy a hard requirement.
+
+Every accelerated call site keeps a stdlib twin with identical results —
+``tests/test_accel.py`` runs both paths against each other.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+#: Tri-state override: ``None`` defers to the environment variable.
+_override: Optional[bool] = None
+#: Cached numpy module (or ``None``) once resolution has happened.
+_numpy = None
+_resolved = False
+
+_TRUTHY = ("1", "true", "on", "yes")
+
+
+def set_numpy_enabled(enabled: Optional[bool]) -> None:
+    """Force the flag on/off (tests), or ``None`` to re-read the environment."""
+    global _override, _resolved
+    _override = enabled
+    _resolved = False
+
+
+def numpy_enabled() -> bool:
+    """True when acceleration is requested *and* numpy is importable."""
+    return get_numpy() is not None
+
+
+def get_numpy():
+    """Return the numpy module when acceleration is on, else ``None``."""
+    global _numpy, _resolved
+    if not _resolved:
+        _resolved = True
+        if _override is not None:
+            wanted = _override
+        else:
+            wanted = os.environ.get("REPRO_NUMPY",
+                                    "").strip().lower() in _TRUTHY
+        if wanted:
+            try:
+                import numpy
+                _numpy = numpy
+            except ImportError:  # soft dependency: fall back silently
+                _numpy = None
+        else:
+            _numpy = None
+    return _numpy

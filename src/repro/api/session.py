@@ -27,7 +27,7 @@ duration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..flash.config import DeviceConfig, simulation_configuration
 from ..flash.device import FlashDevice
@@ -69,6 +69,10 @@ class SessionSnapshot:
     #: Full latency/throughput summary (see ``TimingModel.summary``), or
     #: ``None`` when the session runs without a timing model.
     latency: Optional[Dict[str, Any]] = None
+    #: Per-shard measurement rows (dicts with ``shard``, host/flash counters
+    #: and ``wa_total``), or ``None`` for single-device sessions. Only
+    #: :class:`~repro.flash.device_array.DeviceArraySession` fills this.
+    shards: Optional[List[Dict[str, Any]]] = None
 
     @property
     def ram_bytes(self) -> int:
@@ -88,6 +92,12 @@ class SessionSnapshot:
             # spec, so they are part of the canonical (cross-worker) row.
             for field in ("throughput_ops_s", "p50_us", "p99_us", "p999_us"):
                 row[field] = self.latency[field]
+        if self.shards is not None:
+            # Array columns follow the timing pattern: only array sessions
+            # emit them, so single-device rows keep their historical shape.
+            row["array_shards"] = len(self.shards)
+            row["shard_wa_max"] = max(
+                (shard["wa_total"] for shard in self.shards), default=0.0)
         return row
 
 
@@ -127,6 +137,25 @@ class SimulationSession:
         plain device classes are used — zero observability overhead, the
         same structural guarantee as ``timing=``.
     """
+
+    def __new__(cls, ftl: Any = "GeckoFTL", device: Any = None,
+                **kwargs: Any) -> "SimulationSession":
+        # Multi-device front door: an ``"array(n=4)"`` spec string, a device
+        # dict carrying ``array_shards``, or a ready DeviceArray routes to
+        # the array subclass (one FTL stack per shard, merged reporting).
+        # Other strings fall through to __init__'s TypeError.
+        if cls is SimulationSession and device is not None:
+            routed = (isinstance(device, str)
+                      and device.lstrip().startswith("array(")) or (
+                isinstance(device, dict) and "array_shards" in device)
+            if not routed and not isinstance(device,
+                                             (DeviceConfig, FlashDevice)):
+                from ..flash.device_array import DeviceArray
+                routed = isinstance(device, DeviceArray)
+            if routed:
+                from ..flash.device_array import DeviceArraySession
+                return object.__new__(DeviceArraySession)
+        return object.__new__(cls)
 
     def __init__(self,
                  ftl: Union[FTLSpec, str, PageMappedFTL] = "GeckoFTL",
@@ -208,6 +237,10 @@ class SimulationSession:
         spec's own ``cache_capacity`` kwarg overrides.
         """
         from ..engine.plan import build_device_config
+        if cls is SimulationSession and isinstance(task.device, dict) \
+                and "array_shards" in task.device:
+            from ..flash.device_array import DeviceArraySession
+            return DeviceArraySession.from_task(task)
         return cls(task.ftl,
                    device=build_device_config(task.device),
                    interval_writes=task.interval_writes,

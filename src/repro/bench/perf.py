@@ -6,7 +6,7 @@ speed of its hot paths, so this module pins that speed down: a fixed set of
 measured in operations per second and emitted as schema-versioned
 ``BENCH_<name>.json`` records that CI archives and compares across commits.
 
-The ten benchmarks:
+The twelve benchmarks:
 
 ``device_fill``
     Raw sequential page programming of every physical page of a device —
@@ -27,6 +27,16 @@ The ten benchmarks:
 ``dftl_cache_miss``
     Random reads against DFTL with a deliberately tiny mapping cache — a
     cache-miss storm hammering the translation-table lookup path.
+``submit_batch``
+    Large random-read batches against DFTL with a cache covering the whole
+    translation table — every operation is a hit, so the measured work is
+    the batch-vectorized ``PageMappedFTL.submit`` dispatch machinery itself
+    (the counterpart of ``dftl_cache_miss``'s miss storm).
+``device_array_fill``
+    Sequentially program every physical page of every shard of a
+    ``DeviceArray(n=4)`` through the block-run write path — the multi-device
+    data plane's raw fill throughput, the N-shard analogue of
+    ``device_fill``.
 ``sweep_cell``
     One end-to-end sweep cell through :func:`repro.engine.executor.
     execute_task` — build, warm up, run, snapshot — the unit of every
@@ -123,12 +133,16 @@ def _geometry_dict(config) -> Dict[str, Any]:
 def _bench_device_fill(quick: bool) -> PreparedBench:
     """Sequentially program every physical page of a raw device.
 
-    Drives the device's canonical write hot path — ``write_page_tagged``,
-    the entry every FTL's write/GC/metadata path goes through. (On the
-    pre-refactor seed the equivalent, and only, path was ``write_page``;
-    the checked-in pre-PR baseline was measured through it.)
+    Drives the device's canonical batch write hot path —
+    ``write_pages_tagged``, the block-run entry the vectorized submit path
+    and ``DeviceArray`` fills go through, programming each block as one run
+    of bulk column stores. (On the pre-vectorization baseline the canonical
+    path was per-page ``write_page_tagged``; the archived
+    ``benchmarks/baselines/pre-vectorized/`` record was measured through
+    it, and ``submit_batch`` still covers the per-op FTL loop.)
     """
-    from ..flash.address import PhysicalAddress
+    from array import array
+
     from ..flash.config import simulation_configuration
     from ..flash.device import FlashDevice
 
@@ -140,10 +154,10 @@ def _bench_device_fill(quick: bool) -> PreparedBench:
     pages_per_block = config.pages_per_block
 
     def thunk() -> int:
-        write = getattr(device, "write_page_tagged", device.write_page)
+        write_run = device.write_pages_tagged
+        logicals = array("q", range(pages_per_block))
         for block in range(num_blocks):
-            for page in range(pages_per_block):
-                write(PhysicalAddress(block, page), None)
+            write_run(block, logicals)
         return num_blocks * pages_per_block
 
     return PreparedBench(thunk=thunk, ops=config.physical_pages,
@@ -311,6 +325,81 @@ def _bench_dftl_cache_miss(quick: bool) -> PreparedBench:
                          geometry=_geometry_dict(config))
 
 
+def _bench_submit_batch(quick: bool) -> PreparedBench:
+    """Read batches through a fully cache-resident DFTL: pure submit path.
+
+    With ``cache_capacity == logical_pages`` every lookup hits, so no
+    translation-page IO or GC noise enters the measurement — the throughput
+    is the per-op cost of the batched submission machinery (batch walk,
+    kind dispatch, mapping-cache probe, device read, accounting).
+    """
+    from ..flash.config import simulation_configuration
+    from ..flash.device import FlashDevice
+    from ..ftl.dftl import DFTL
+    from ..ftl.operations import Operation, OpKind
+    from ..workloads.base import fill_device
+
+    config = simulation_configuration(num_blocks=128, pages_per_block=16,
+                                      page_size=256)
+    ftl = DFTL(FlashDevice(config), cache_capacity=config.logical_pages)
+    fill_device(ftl, payload_factory=lambda logical: None)
+    operations = 10_000 if quick else 40_000
+    logical_pages = config.logical_pages
+    rng = random.Random(0x5EED)
+    batches = []
+    for start in range(0, operations, 4096):
+        stop = min(start + 4096, operations)
+        batches.append([Operation(OpKind.READ, rng.randrange(logical_pages))
+                        for _ in range(start, stop)])
+
+    def thunk() -> int:
+        submit = ftl.submit
+        executed = 0
+        for batch in batches:
+            executed += submit(batch).submitted
+        return executed
+
+    return PreparedBench(
+        thunk=thunk, ops=operations,
+        geometry={**_geometry_dict(config), "ftl": "DFTL",
+                  "cache_capacity": config.logical_pages,
+                  "batch_ops": 4096})
+
+
+def _bench_device_array_fill(quick: bool) -> PreparedBench:
+    """Program every physical page of every shard of a 4-shard array.
+
+    The N-shard analogue of ``device_fill``: each shard is filled through
+    the same block-run write path, so the record pins the multi-device data
+    plane's raw fill throughput (and the ratio against ``device_fill``
+    exposes any per-shard dispatch overhead).
+    """
+    from array import array
+
+    from ..flash.config import simulation_configuration
+    from ..flash.device_array import DeviceArray
+
+    config = (simulation_configuration(num_blocks=128, pages_per_block=32)
+              if quick else
+              simulation_configuration(num_blocks=1024, pages_per_block=64))
+    shards = 4
+    device_array = DeviceArray(config, shards)
+    num_blocks = config.num_blocks
+    pages_per_block = config.pages_per_block
+
+    def thunk() -> int:
+        logicals = array("q", range(pages_per_block))
+        for shard in device_array.shards:
+            write_run = shard.write_pages_tagged
+            for block in range(num_blocks):
+                write_run(block, logicals)
+        return shards * num_blocks * pages_per_block
+
+    return PreparedBench(
+        thunk=thunk, ops=shards * config.physical_pages,
+        geometry={**_geometry_dict(config), "array_shards": shards})
+
+
 def _bench_sweep_cell(quick: bool) -> PreparedBench:
     """One end-to-end sweep cell: build, warm up, run, snapshot."""
     from ..engine.executor import execute_task
@@ -453,6 +542,8 @@ BENCH_CASES: Dict[str, BenchFactory] = {
     "gecko_gc_query": _bench_gecko_gc_query,
     "gecko_recovery": _bench_gecko_recovery,
     "dftl_cache_miss": _bench_dftl_cache_miss,
+    "submit_batch": _bench_submit_batch,
+    "device_array_fill": _bench_device_array_fill,
     "sweep_cell": _bench_sweep_cell,
     "latency_sweep": _bench_latency_sweep,
     "obs_overhead": _bench_obs_overhead,

@@ -28,6 +28,10 @@ class GeckoBuffer:
         self.layout = layout
         self._subkey_bits = layout.subkey_bits
         self._bits_per_slice = layout.bits_per_slice
+        #: ``V`` cached as a plain attribute: the full-buffer check runs once
+        #: per invalidation, and ``layout.entries_per_page`` recomputes the
+        #: bit arithmetic on every property access.
+        self._capacity = layout.entries_per_page
         self._bitmaps: Dict[int, int] = {}
         self._erased: Set[int] = set()
 
@@ -37,11 +41,11 @@ class GeckoBuffer:
     @property
     def capacity(self) -> int:
         """``V``: the number of entries that fit into one flash page."""
-        return self.layout.entries_per_page
+        return self._capacity
 
     @property
     def is_full(self) -> bool:
-        return len(self._bitmaps) >= self.capacity
+        return len(self._bitmaps) >= self._capacity
 
     def __len__(self) -> int:
         return len(self._bitmaps)

@@ -365,6 +365,52 @@ def merge_columns(newer: EntryColumns, older: EntryColumns,
     newer_keys, older_keys = newer.keys, older.keys
     newer_len, older_len = len(newer_keys), len(older_keys)
     newer_flags, older_flags = newer.erase_flags, older.erase_flags
+    if not newer.wide and not older.wide:
+        # Fast path for layouts whose bitmaps fit one word (``B/S <= 64``,
+        # the recommended tuning): no side table can exist on either input,
+        # and OR-ing two 64-bit words cannot spill, so the merge appends
+        # straight into the output's flat buffers. Same output as the
+        # general loop below, minus per-entry method dispatch.
+        newer_words, older_words = newer.words, older.words
+        out_keys, out_words = out.keys, out.words
+        out_flags = out.erase_flags
+        i = j = 0
+        while i < newer_len and j < older_len:
+            newer_key = newer_keys[i]
+            older_key = older_keys[j]
+            if newer_key < older_key:
+                stop = bisect_left(newer_keys, older_key, i + 1, newer_len)
+                out_keys.extend(newer_keys[i:stop])
+                out_words.extend(newer_words[i:stop])
+                out_flags.extend(newer_flags[i:stop])
+                i = stop
+            elif older_key < newer_key:
+                stop = bisect_left(older_keys, newer_key, j + 1, older_len)
+                out_keys.extend(older_keys[j:stop])
+                out_words.extend(older_words[j:stop])
+                out_flags.extend(older_flags[j:stop])
+                j = stop
+            elif newer_flags[i]:
+                out_keys.append(newer_key)
+                out_words.append(newer_words[i])
+                out_flags.append(1)
+                i += 1
+                j += 1
+            else:
+                out_keys.append(newer_key)
+                out_words.append(newer_words[i] | older_words[j])
+                out_flags.append(older_flags[j])
+                i += 1
+                j += 1
+        if i < newer_len:
+            out_keys.extend(newer_keys[i:newer_len])
+            out_words.extend(newer_words[i:newer_len])
+            out_flags.extend(newer_flags[i:newer_len])
+        if j < older_len:
+            out_keys.extend(older_keys[j:older_len])
+            out_words.extend(older_words[j:older_len])
+            out_flags.extend(older_flags[j:older_len])
+        return out
     i = j = 0
     while i < newer_len and j < older_len:
         newer_key = newer_keys[i]

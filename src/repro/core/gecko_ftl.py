@@ -25,19 +25,34 @@ The recovery algorithm itself (GeckoRec) lives in :mod:`repro.core.recovery`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 from ..api.registry import register_ftl
 from ..flash.address import LogicalAddress, PhysicalAddress
 from ..flash.device import FlashDevice
 from ..flash.stats import IOPurpose
+from ..flash.block import _intern_block_type
+from ..flash.errors import ReadFreePageError
 from ..ftl.base import PageMappedFTL
+from ..ftl.block_manager import BlockType
 from ..ftl.garbage_collector import VictimPolicy
 from ..ftl.mapping_cache import CachedMapping
+from ..ftl.translation_table import TranslationPageContent
 from ..ftl.validity.base import ValidityStore
 from .gecko_entry import EntryLayout
 from .logarithmic_gecko import GeckoConfig, LogarithmicGecko
 from .storage import FlashGeckoStorage
+
+_TRANSLATION_TYPE = BlockType.TRANSLATION
+_TRANSLATION_CODE = _intern_block_type(BlockType.TRANSLATION.value)
+_TRANSLATION_PURPOSE = IOPurpose.TRANSLATION
+_USER_TYPE = BlockType.USER
+_USER_CODE = _intern_block_type(BlockType.USER.value)
+_GC_PURPOSE = IOPurpose.GC
+#: See the same alias in :mod:`repro.ftl.base`: skips the namedtuple
+#: ``__new__`` frame on per-page address minting.
+_new_address = tuple.__new__
+_new_mapping = object.__new__
 
 
 class GeckoValidityStore(ValidityStore):
@@ -54,6 +69,10 @@ class GeckoValidityStore(ValidityStore):
 
     def invalid_offsets(self, block_id: int) -> Set[int]:
         return self.gecko.gc_query(block_id)
+
+    def invalid_bitmap(self, block_id: int) -> int:
+        """Packed-int form of :meth:`invalid_offsets` (collector fast path)."""
+        return self.gecko.gc_query_bitmap(block_id)
 
     def ram_bytes(self) -> int:
         return self.gecko.ram_bytes()
@@ -139,15 +158,96 @@ class GeckoFTL(PageMappedFTL):
         synchronization operation of its translation page.
         """
         self._cache_update_counter += 1
-        entry = self.cache.get(logical)
+        cache = self.cache
+        entries = cache._entries
+        entry = entries.get(logical)
         if entry is not None:
-            self._invalidate_user_page(entry.physical)
+            # Inlined cache hit (``get`` + ``_invalidate_user_page`` +
+            # ``mark_dirty``): this is the steady-state write path, one
+            # dispatch per host write.
+            cache.hits += 1
+            entries.move_to_end(logical)
+            old = entry.physical
+            old_block = old[0]
+            # Inlined ``gecko.record_invalid`` + ``buffer.insert_invalid``:
+            # the before-image is a programmed page, so the offset range
+            # check is satisfied by construction.
+            gecko = self.gecko
+            gecko.updates += 1
+            buffer = gecko.buffer
+            sub_key, bit = divmod(old[1], buffer._bits_per_slice)
+            key = (old_block << buffer._subkey_bits) | sub_key
+            bitmaps = buffer._bitmaps
+            current = bitmaps.get(key)
+            bitmaps[key] = ((1 << bit) if current is None
+                            else current | (1 << bit))
+            if len(bitmaps) >= buffer._capacity:
+                gecko.flush_buffer()
+            bvc_counts = self.bvc._counts
+            if bvc_counts[old_block] > 0:
+                bvc_counts[old_block] -= 1
             entry.physical = new_address
-            self.cache.mark_dirty(logical, True)
+            if not entry.dirty:
+                entry.dirty = True
+                cache._dirty_count += 1
             return
-        self.cache.put(CachedMapping(logical, new_address,
-                                     dirty=True, uip=True))
-        self._evict_if_over_capacity()
+        # Inlined cache miss (``put`` of a known-absent key + the eviction
+        # length check): logical keys are non-negative, so ``entry is None``
+        # means absent, never a checkpoint symbol.
+        cache.misses += 1
+        # Slot stores instead of the dataclass constructor: one entry is
+        # created per missing host write, and the generated ``__init__``
+        # costs more than the six stores.
+        entry = _new_mapping(CachedMapping)
+        entry.logical = logical
+        entry.physical = new_address
+        entry.dirty = True
+        entry.uip = True
+        entry.uncertain = False
+        entry.in_flash = None
+        entries[logical] = entry
+        cache._live_count += 1
+        cache._dirty_count += 1
+        entries_per_translation_page = cache.entries_per_translation_page
+        translation_page = logical // entries_per_translation_page
+        by_translation_page = cache._by_translation_page
+        bucket = by_translation_page.get(translation_page)
+        if bucket is None:
+            by_translation_page[translation_page] = {logical}
+        else:
+            bucket.add(logical)
+        if cache._live_count > cache.capacity and not self._in_gc:
+            # Inlined ``_evict_if_over_capacity`` (the cache sits exactly at
+            # capacity in steady state, so every miss insert evicts one
+            # entry): walk past expired checkpoint symbols to the coldest
+            # real entry, drop it, and synchronize it if it was dirty.
+            obs = self.obs
+            capacity = cache.capacity
+            pop_coldest = entries.popitem
+            while cache._live_count > capacity:
+                victim = None
+                while entries:
+                    key, victim = pop_coldest(False)
+                    if victim is None:
+                        continue
+                    cache._live_count -= 1
+                    victim_page = key // entries_per_translation_page
+                    victim_bucket = by_translation_page.get(victim_page)
+                    if victim_bucket is not None:
+                        victim_bucket.discard(key)
+                        if not victim_bucket:
+                            del by_translation_page[victim_page]
+                    if victim.dirty:
+                        cache._dirty_count -= 1
+                    break
+                if victim is None:
+                    break
+                if obs is not None:
+                    obs.on_cache_evict(victim.logical, victim.dirty)
+                if victim.dirty:
+                    self._synchronize_translation_page(
+                        victim.logical // entries_per_translation_page,
+                        extra_entry=victim)
 
     def _after_write(self, logical: LogicalAddress) -> None:
         """Take a checkpoint every ``checkpoint_period`` cache updates."""
@@ -161,25 +261,83 @@ class GeckoFTL(PageMappedFTL):
     def _synchronize_translation_page(
             self, translation_page: int,
             extra_entry: Optional[CachedMapping] = None) -> None:
-        dirty_entries = self.cache.dirty_entries_on_translation_page(
-            translation_page)
-        if extra_entry is not None and extra_entry not in dirty_entries:
-            dirty_entries = [extra_entry] + dirty_entries
+        # Inlined range query (``dirty_entries_on_translation_page``): one
+        # sorted walk over the secondary index, probing the entry map
+        # directly. Synchronization operations run several hundred times per
+        # thousand host writes, so every call layer here is measurable.
+        cache = self.cache
+        cache_entries = cache._entries
+        bucket = cache._by_translation_page.get(translation_page)
+        dirty_entries = []
+        if bucket:
+            for logical in sorted(bucket):
+                entry = cache_entries.get(logical)
+                if entry is not None and entry.dirty:
+                    dirty_entries.append(entry)
+        if extra_entry is not None:
+            # Identity scan, not ``in``: CachedMapping is a dataclass, so
+            # ``in`` would compare field tuples; the evicted extra entry is
+            # only a duplicate if it *is* one of the cached objects.
+            for entry in dirty_entries:
+                if entry is extra_entry:
+                    break
+            else:
+                dirty_entries.insert(0, extra_entry)
         if not dirty_entries:
             return
 
-        old_content = self.translation_table.read_translation_page(
-            translation_page, purpose=IOPurpose.TRANSLATION)
+        translation_table = self.translation_table
+        gmd = translation_table.gmd
+        device = self.device
+        plain = self._plain_device
+        location = gmd[translation_page]
+        # Inlined ``read_translation_page`` (same one-charged-read
+        # accounting, private dict copy materialized directly).
+        if location is None:
+            old_entries: Dict[LogicalAddress, PhysicalAddress] = {}
+        elif plain:
+            read_block = device.blocks[location[0]]
+            read_offset = location[1]
+            if read_offset >= read_block.next_free_offset:
+                raise ReadFreePageError(f"{location} has not been programmed")
+            device.stats.page_read_counts[_TRANSLATION_PURPOSE] += 1
+            old_entries = dict(read_block._data[read_offset].entries)
+        else:
+            old_entries = dict(device.read_page_data(
+                location, purpose=_TRANSLATION_PURPOSE).entries)
+
         updates: Dict[LogicalAddress, PhysicalAddress] = {}
+        gecko = self.gecko
+        buffer = gecko.buffer
+        bits_per_slice = buffer._bits_per_slice
+        subkey_bits = buffer._subkey_bits
+        bitmaps = buffer._bitmaps
+        buffer_capacity = buffer._capacity
+        bvc_counts = self.bvc._counts
         for entry in dirty_entries:
-            old_physical = old_content.entries.get(entry.logical)
+            old_physical = old_entries.get(entry.logical)
             if entry.uncertain:
                 self._resolve_uncertain_entry(entry, old_physical)
                 if not entry.dirty:
                     continue
             elif entry.uip and old_physical is not None \
                     and old_physical != entry.physical:
-                self._invalidate_user_page(old_physical)
+                # Inlined ``_invalidate_user_page`` (and, inside it,
+                # ``gecko.record_invalid``): report the identified
+                # before-image to Logarithmic Gecko and clamp the BVC.
+                # This runs once per identified UIP — roughly ten times per
+                # synchronization operation under a random workload.
+                old_block = old_physical[0]
+                gecko.updates += 1
+                sub_key, bit = divmod(old_physical[1], bits_per_slice)
+                key = (old_block << subkey_bits) | sub_key
+                current = bitmaps.get(key)
+                bitmaps[key] = ((1 << bit) if current is None
+                                else current | (1 << bit))
+                if len(bitmaps) >= buffer_capacity:
+                    gecko.flush_buffer()
+                if bvc_counts[old_block] > 0:
+                    bvc_counts[old_block] -= 1
             entry.uip = False
             updates[entry.logical] = entry.physical
 
@@ -188,17 +346,51 @@ class GeckoFTL(PageMappedFTL):
             # synchronization operation and save the flash write
             # (Appendix C.3.1).
             return
-        new_content = old_content.copy()
-        new_content.entries.update(updates)
-        self.translation_table.write_translation_page(
-            new_content, purpose=IOPurpose.TRANSLATION)
+        old_entries.update(updates)
+        content = TranslationPageContent(translation_page, old_entries)
+        if plain:
+            # Inlined ``write_translation_page``: allocate the next
+            # translation page (metadata may dip into the GC reserve),
+            # program it with the same tags/accounting as
+            # ``write_page_tagged``, repoint the GMD, retire the old copy.
+            manager = self.block_manager
+            active_id = manager.active_blocks[_TRANSLATION_TYPE]
+            if active_id is None:
+                active_id = manager._open_new_active_block(
+                    _TRANSLATION_TYPE, False)
+            block = device.blocks[active_id]
+            offset = block.next_free_offset
+            if offset >= block.pages_per_block:
+                active_id = manager._open_new_active_block(
+                    _TRANSLATION_TYPE, False)
+                block = device.blocks[active_id]
+                offset = block.next_free_offset
+            device._write_clock = timestamp = device._write_clock + 1
+            block._state_words[offset >> 6] |= 1 << (offset & 63)
+            block._logical[offset] = -1
+            block._timestamp[offset] = timestamp
+            block._type_code[offset] = _TRANSLATION_CODE
+            block._data[offset] = content
+            block._payload[offset] = {"translation_page_id": translation_page}
+            block.next_free_offset = offset + 1
+            device.stats.page_write_counts[_TRANSLATION_PURPOSE] += 1
+            gmd[translation_page] = _new_address(PhysicalAddress,
+                                                 (active_id, offset))
+            if location is not None:
+                self.block_manager.info[
+                    location[0]].invalid_metadata_offsets.add(location[1])
+        else:
+            translation_table.write_translation_page(
+                content, purpose=_TRANSLATION_PURPOSE)
         for entry in dirty_entries:
             if entry.logical in updates:
                 entry.in_flash = True
-                if entry.logical in self.cache:
-                    self.cache.mark_dirty(entry.logical, False)
-                else:
+                if entry.dirty:
                     entry.dirty = False
+                    # Only a still-cached entry participates in the dirty
+                    # count (an evicted extra_entry does not).
+                    if cache_entries.get(entry.logical) is entry:
+                        cache._dirty_count -= 1
 
     def _resolve_uncertain_entry(self, entry: CachedMapping,
                                  old_physical: Optional[PhysicalAddress]) -> None:
@@ -262,9 +454,21 @@ class GeckoFTL(PageMappedFTL):
         translation-page read per migrated page whose mapping entry is not
         cached, charged to the GC purpose.
         """
-        logical = self.device.read_spare_logical(old_address,
-                                                 purpose=IOPurpose.GC)
-        cached = self.cache.peek(logical) if logical is not None else None
+        if self._plain_device:
+            # Inlined read_spare_logical (same accounting, no call chain).
+            block_id, offset = old_address
+            block = self.device.blocks[block_id]
+            self.device.stats.spare_read_counts[IOPurpose.GC] += 1
+            logical = None
+            if offset < block.next_free_offset:
+                tag = block._logical[offset]
+                if tag >= 0:
+                    logical = tag
+        else:
+            logical = self.device.read_spare_logical(old_address,
+                                                     purpose=IOPurpose.GC)
+        cached = (self.cache._entries.get(logical)
+                  if logical is not None else None)
         if cached is not None:
             if cached.physical != old_address:
                 # Stale copy (an unidentified invalid page). It is about to be
@@ -275,12 +479,153 @@ class GeckoFTL(PageMappedFTL):
                 return
             super()._migrate_user_page(old_address)
             return
-        flash_mapping = self.translation_table.lookup(logical,
-                                                      purpose=IOPurpose.GC)
+        if self._plain_device:
+            # Inlined ``translation_table.lookup`` (same one-charged-read
+            # accounting): almost every migrated page misses the small cache,
+            # so this probe runs once per migration.
+            table = self.translation_table
+            location = table.gmd[logical // table.entries_per_page]
+            if location is None:
+                flash_mapping = None
+            else:
+                read_block = self.device.blocks[location[0]]
+                if location[1] >= read_block.next_free_offset:
+                    raise ReadFreePageError(
+                        f"{location} has not been programmed")
+                self.device.stats.page_read_counts[IOPurpose.GC] += 1
+                flash_mapping = read_block._data[
+                    location[1]].entries.get(logical)
+        else:
+            flash_mapping = self.translation_table.lookup(
+                logical, purpose=IOPurpose.GC)
         if flash_mapping != old_address:
             # Unrecorded stale copy; skip it and let the erase reclaim it.
             return
         super()._migrate_user_page(old_address)
+
+    def _migrate_user_pages(self, victim: int, offsets: List[int]) -> None:
+        """Batch form of :meth:`_migrate_user_page` for one victim block.
+
+        Garbage collection migrates every live page of a victim in one
+        burst, so the spare-area check, the current-copy verification, and
+        the read-allocate-program sequence are fused into a single loop
+        with all per-victim state (device columns, cache internals, GMD)
+        hoisted out of it. Observably identical — same per-page IO
+        accounting, same cache hit/miss counters, same entry mutations —
+        to calling ``_migrate_user_page`` per offset in ascending order;
+        the per-page path stays behind for subclasses and wrapped devices.
+        """
+        if not self._plain_device or \
+                type(self)._migrate_user_page \
+                is not GeckoFTL._migrate_user_page:
+            migrate = self._migrate_user_page
+            for offset in offsets:
+                migrate(PhysicalAddress(victim, offset))
+            return
+        device = self.device
+        blocks = device.blocks
+        stats = device.stats
+        spare_reads = stats.spare_read_counts
+        page_reads = stats.page_read_counts
+        page_writes = stats.page_write_counts
+        victim_block = blocks[victim]
+        victim_cursor = victim_block.next_free_offset
+        victim_logical = victim_block._logical
+        victim_data = victim_block._data
+        pages_per_block = victim_block.pages_per_block
+        cache = self.cache
+        cache_entries = cache._entries
+        by_translation_page = cache._by_translation_page
+        entries_per_translation_page = cache.entries_per_translation_page
+        capacity = cache.capacity
+        table = self.translation_table
+        gmd = table.gmd
+        entries_per_page = table.entries_per_page
+        manager = self.block_manager
+        active_blocks = manager.active_blocks
+        bvc_counts = self.bvc._counts
+        in_gc = self._in_gc
+        for offset in offsets:
+            # Spare-area read: identify the page's logical address.
+            spare_reads[_GC_PURPOSE] += 1
+            logical = None
+            if offset < victim_cursor:
+                tag = victim_logical[offset]
+                if tag >= 0:
+                    logical = tag
+            cached = (cache_entries.get(logical)
+                      if logical is not None else None)
+            if cached is not None:
+                physical = cached.physical
+                if physical[0] != victim or physical[1] != offset:
+                    # Stale copy (unidentified invalid page): skip, and
+                    # clear the UIP flag — the copy dies with the erase.
+                    cached.uip = False
+                    continue
+            else:
+                # Uncached: verify against the flash-resident mapping
+                # (one charged translation-page read).
+                location = gmd[logical // entries_per_page]
+                if location is None:
+                    continue
+                read_block = blocks[location[0]]
+                if location[1] >= read_block.next_free_offset:
+                    raise ReadFreePageError(
+                        f"{location} has not been programmed")
+                page_reads[_GC_PURPOSE] += 1
+                flash_mapping = read_block._data[
+                    location[1]].entries.get(logical)
+                if flash_mapping is None or flash_mapping[0] != victim \
+                        or flash_mapping[1] != offset:
+                    continue
+            # Current copy confirmed: read, allocate, program (GC purpose).
+            page_reads[_GC_PURPOSE] += 1
+            data = victim_data.get(offset)
+            active_id = active_blocks[_USER_TYPE]
+            if active_id is None \
+                    or blocks[active_id].next_free_offset >= pages_per_block:
+                active_id = manager._open_new_active_block(_USER_TYPE, True)
+            target = blocks[active_id]
+            new_offset = target.next_free_offset
+            device._write_clock = timestamp = device._write_clock + 1
+            target._state_words[new_offset >> 6] |= 1 << (new_offset & 63)
+            target._logical[new_offset] = logical
+            target._timestamp[new_offset] = timestamp
+            target._type_code[new_offset] = _USER_CODE
+            if data is not None:
+                target._data[new_offset] = data
+            target.next_free_offset = new_offset + 1
+            page_writes[_GC_PURPOSE] += 1
+            bvc_counts[active_id] += 1
+            new_address = _new_address(PhysicalAddress,
+                                       (active_id, new_offset))
+            if cached is not None:
+                cache.hits += 1
+                cache_entries.move_to_end(logical)
+                cached.physical = new_address
+                if not cached.dirty:
+                    cached.dirty = True
+                    cache._dirty_count += 1
+            else:
+                cache.misses += 1
+                entry = _new_mapping(CachedMapping)
+                entry.logical = logical
+                entry.physical = new_address
+                entry.dirty = True
+                entry.uip = False
+                entry.uncertain = False
+                entry.in_flash = None
+                cache_entries[logical] = entry
+                cache._live_count += 1
+                cache._dirty_count += 1
+                translation_page = logical // entries_per_translation_page
+                bucket = by_translation_page.get(translation_page)
+                if bucket is None:
+                    by_translation_page[translation_page] = {logical}
+                else:
+                    bucket.add(logical)
+                if not in_gc and cache._live_count > capacity:
+                    self._evict_if_over_capacity()
 
     # ------------------------------------------------------------------
     # Checkpoints (Section 4.3)
@@ -293,16 +638,24 @@ class GeckoFTL(PageMappedFTL):
         backwards scan to ``2 * C`` spare-area reads.
         """
         self.checkpoints_taken += 1
-        new_symbol = self.cache.insert_checkpoint_symbol()
+        cache = self.cache
+        new_symbol = cache.insert_checkpoint_symbol()
         previous = self._previous_checkpoint_symbol
         if previous is not None:
-            lingering = self.cache.entries_older_than_symbol(previous)
-            translation_pages = {
-                self.cache.translation_page_of(entry.logical)
-                for entry in lingering if entry.dirty}
+            # Fused ``entries_older_than_symbol`` + dirty filter: one walk
+            # from the cold end up to the symbol, collecting the dirty
+            # entries' translation pages directly.
+            entries_per_translation_page = cache.entries_per_translation_page
+            translation_pages = set()
+            for key, entry in cache._entries.items():
+                if key == previous:
+                    break
+                if entry is not None and entry.dirty:
+                    translation_pages.add(
+                        entry.logical // entries_per_translation_page)
             for translation_page in sorted(translation_pages):
                 self._synchronize_translation_page(translation_page)
-            self.cache.remove_checkpoint_symbol(previous)
+            cache.remove_checkpoint_symbol(previous)
         self._previous_checkpoint_symbol = new_symbol
 
     # ------------------------------------------------------------------

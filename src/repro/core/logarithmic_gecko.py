@@ -126,8 +126,9 @@ class LogarithmicGecko:
     def record_invalid(self, block_id: int, page_offset: int) -> None:
         """Report that one flash page became invalid (Algorithm 1)."""
         self.updates += 1
-        self.buffer.insert_invalid(block_id, page_offset)
-        if self.buffer.is_full:
+        buffer = self.buffer
+        buffer.insert_invalid(block_id, page_offset)
+        if len(buffer._bitmaps) >= buffer._capacity:
             self.flush_buffer()
 
     def record_invalid_address(self, address: PhysicalAddress) -> None:
@@ -142,39 +143,61 @@ class LogarithmicGecko:
         records from every run.
         """
         self.erase_records += 1
-        self.buffer.insert_erase(block_id)
-        if self.buffer.is_full:
+        buffer = self.buffer
+        buffer.insert_erase(block_id)
+        if len(buffer._bitmaps) >= buffer._capacity:
             self.flush_buffer()
 
     def gc_query(self, block_id: int) -> Set[int]:
         """Return the page offsets of ``block_id`` known to be invalid.
 
+        Set-typed wrapper over :meth:`gc_query_bitmap` (the bits of the
+        packed bitmap are exactly the members of the set); the collector's
+        hot path consumes the bitmap directly.
+        """
+        bitmap = self.gc_query_bitmap(block_id)
+        invalid: Set[int] = set()
+        add_invalid = invalid.add
+        while bitmap:
+            low_bit = bitmap & -bitmap
+            add_invalid(low_bit.bit_length() - 1)
+            bitmap ^= low_bit
+        return invalid
+
+    def gc_query_bitmap(self, block_id: int) -> int:
+        """``block_id``'s known-invalid page offsets as one packed int.
+
         Probes the buffer, then each run from newest to oldest (one or two
-        page reads per run, located via the run directories), OR-ing bitmaps
-        and stopping at the first entry whose erase flag is set. Runs whose
-        directory key range cannot contain the victim block are skipped
-        without any flash read, and within a page the block's entries are
-        found by bisecting the sorted key column.
+        page reads per run, located via the run directories), OR-ing whole
+        bitmap words into one accumulator and stopping at the first entry
+        whose erase flag is set — the same probe sequence and flash-read
+        accounting as the historical set-returning query, without walking
+        individual bits. Runs whose directory key range cannot contain the
+        victim block are skipped without any flash read, and within a page
+        the block's entries are found by bisecting the sorted key column.
         """
         self.gc_queries += 1
-        invalid: Set[int] = set()
+        invalid = 0
         bits_per_slice = self.layout.bits_per_slice
         stop = False
         for sub_key, bitmap, erase_flag in self.buffer.block_records(block_id):
-            base = sub_key * bits_per_slice
-            while bitmap:
-                low_bit = bitmap & -bitmap
-                invalid.add(base + low_bit.bit_length() - 1)
-                bitmap ^= low_bit
+            invalid |= bitmap << (sub_key * bits_per_slice)
             if erase_flag:
                 stop = True
         if stop:
             return invalid
+        storage_read = self.storage.read
+        next_block_base = block_id + 1
         for run in self.runs.all_runs():
-            if not run.may_contain(block_id):
+            # Inlined ``run.may_contain`` range check: two RAM comparisons
+            # decide whether the run needs probing at all, and this probe is
+            # the inner loop of every garbage-collection operation.
+            pages = run.pages
+            if not pages or not (pages[0].min_key[0] <= block_id
+                                 <= pages[-1].max_key[0]):
                 continue
             for page_info in run.pages_overlapping(block_id):
-                columns = self.storage.read(page_info.location).columns
+                columns = storage_read(page_info.location).columns
                 keys = columns.keys
                 flags = columns.erase_flags
                 # Packing width comes from the chunk itself, so a page is
@@ -183,15 +206,11 @@ class LogarithmicGecko:
                 # infer a narrower one).
                 low_key = block_id << columns.subkey_bits
                 lo = bisect_left(keys, low_key)
-                hi = bisect_left(keys, (block_id + 1) << columns.subkey_bits,
+                hi = bisect_left(keys, next_block_base << columns.subkey_bits,
                                  lo)
                 for index in range(lo, hi):
-                    bitmap = columns.bitmap_at(index)
-                    base = (keys[index] - low_key) * bits_per_slice
-                    while bitmap:
-                        low_bit = bitmap & -bitmap
-                        invalid.add(base + low_bit.bit_length() - 1)
-                        bitmap ^= low_bit
+                    invalid |= columns.bitmap_at(index) << (
+                        (keys[index] - low_key) * bits_per_slice)
                     if flags[index]:
                         stop = True
             if stop:
@@ -392,6 +411,10 @@ class LogarithmicGecko:
         run = Run(run_id=run_id, level=level, num_entries=total,
                   creation_timestamp=self._clock)
         manifest = tuple(sorted(set(self.runs.run_ids()) | {run_id}))
+        # Fused allocate+write, when the storage backend offers it (the
+        # device-backed storage does); the two-call sequence is the
+        # portable fallback.
+        append_page = getattr(self.storage, "append_page", None)
         for sequence, (start, stop) in enumerate(chunk_bounds):
             is_last = sequence == len(chunk_bounds) - 1
             empty = stop <= start
@@ -401,7 +424,6 @@ class LogarithmicGecko:
                 run_id=run_id, level=level, sequence=sequence,
                 is_last=is_last, columns=columns[start:stop],
                 manifest=manifest if is_last else None)
-            address = self.storage.allocate()
             spare_payload = {
                 "gecko_run_id": run_id,
                 "gecko_level": level,
@@ -411,7 +433,11 @@ class LogarithmicGecko:
                 "gecko_min_key": min_key,
                 "gecko_max_key": max_key,
             }
-            self.storage.write(address, payload, spare_payload)
+            if append_page is not None:
+                address = append_page(payload, spare_payload)
+            else:
+                address = self.storage.allocate()
+                self.storage.write(address, payload, spare_payload)
             run.pages.append(RunPageInfo(location=address,
                                          min_key=min_key, max_key=max_key))
         self.runs.add(run)

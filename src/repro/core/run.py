@@ -150,19 +150,26 @@ class RunDirectorySet:
 
     def __init__(self) -> None:
         self._runs: Dict[int, Run] = {}
+        #: Cached newest-first ordering, invalidated on any membership
+        #: change: GC queries traverse it once per collection, while runs
+        #: only change on a flush or merge.
+        self._ordered: Optional[List[Run]] = None
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def add(self, run: Run) -> None:
         self._runs[run.run_id] = run
+        self._ordered = None
 
     def remove(self, run_id: int) -> Run:
+        self._ordered = None
         return self._runs.pop(run_id)
 
     def clear(self) -> None:
         """Drop all directories (power failure)."""
         self._runs.clear()
+        self._ordered = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -177,9 +184,17 @@ class RunDirectorySet:
         return self._runs[run_id]
 
     def all_runs(self) -> List[Run]:
-        """All valid runs, newest first (the order GC queries traverse)."""
-        return sorted(self._runs.values(),
-                      key=lambda run: run.creation_timestamp, reverse=True)
+        """All valid runs, newest first (the order GC queries traverse).
+
+        Callers iterate the returned list without mutating it, so the cached
+        ordering is handed out directly.
+        """
+        ordered = self._ordered
+        if ordered is None:
+            ordered = self._ordered = sorted(
+                self._runs.values(),
+                key=lambda run: run.creation_timestamp, reverse=True)
+        return ordered
 
     def runs_at_level(self, level: int) -> List[Run]:
         """Valid runs currently sitting at ``level``, oldest first."""

@@ -19,10 +19,17 @@ from abc import ABC, abstractmethod
 from typing import Dict, Optional
 
 from ..flash.address import PhysicalAddress
+from ..flash.block import _intern_block_type
 from ..flash.device import FlashDevice
+from ..flash.errors import ReadFreePageError
 from ..flash.stats import IOPurpose
 from ..ftl.block_manager import BlockManager, BlockType
 from .run import GeckoPagePayload
+
+_VALIDITY_TYPE = BlockType.VALIDITY
+_VALIDITY_CODE = _intern_block_type(BlockType.VALIDITY.value)
+_VALIDITY_PURPOSE = IOPurpose.VALIDITY
+_new_address = tuple.__new__
 
 
 class GeckoStorage(ABC):
@@ -127,6 +134,14 @@ class FlashGeckoStorage(GeckoStorage):
         self.block_manager = block_manager
         self._reads = 0
         self._writes = 0
+        # Same method-identity gating as PageMappedFTL._plain_device: a
+        # device subclass that intercepts page IO (timing, observability)
+        # must see every operation, so only a plain FlashDevice takes the
+        # inlined paths below.
+        self._plain = (type(device).write_page_tagged
+                       is FlashDevice.write_page_tagged
+                       and type(device).read_page_data
+                       is FlashDevice.read_page_data)
 
     def allocate(self) -> PhysicalAddress:
         return self.block_manager.allocate_page(BlockType.VALIDITY)
@@ -139,8 +154,56 @@ class FlashGeckoStorage(GeckoStorage):
             payload=dict(spare_payload) if spare_payload else None,
             purpose=IOPurpose.VALIDITY)
 
+    def append_page(self, payload: GeckoPagePayload,
+                    spare_payload: Optional[dict] = None) -> PhysicalAddress:
+        """Fused ``allocate()`` + ``write()`` for run serialization.
+
+        Observably identical to the two-call sequence (same allocation
+        policy, same tags and IO accounting); on a plain device the
+        allocate-and-program sequence is poked directly instead of running
+        through four call layers per Gecko page. The caller hands over
+        ownership of ``spare_payload`` (run serialization builds a fresh
+        dict per page).
+        """
+        if not self._plain:
+            address = self.allocate()
+            self.write(address, payload, spare_payload)
+            return address
+        self._writes += 1
+        device = self.device
+        manager = self.block_manager
+        active_id = manager.active_blocks[_VALIDITY_TYPE]
+        if active_id is None:
+            active_id = manager._open_new_active_block(_VALIDITY_TYPE, False)
+        block = device.blocks[active_id]
+        offset = block.next_free_offset
+        if offset >= block.pages_per_block:
+            active_id = manager._open_new_active_block(_VALIDITY_TYPE, False)
+            block = device.blocks[active_id]
+            offset = block.next_free_offset
+        device._write_clock = timestamp = device._write_clock + 1
+        block._state_words[offset >> 6] |= 1 << (offset & 63)
+        block._logical[offset] = -1
+        block._timestamp[offset] = timestamp
+        block._type_code[offset] = _VALIDITY_CODE
+        block._data[offset] = payload
+        if spare_payload:
+            block._payload[offset] = spare_payload
+        block.next_free_offset = offset + 1
+        device.stats.page_write_counts[_VALIDITY_PURPOSE] += 1
+        return _new_address(PhysicalAddress, (active_id, offset))
+
     def read(self, address: PhysicalAddress) -> GeckoPagePayload:
         self._reads += 1
+        if self._plain:
+            # Inlined ``read_page_data`` (GC queries and merges read run
+            # pages constantly): cursor check plus the charged read.
+            block = self.device.blocks[address[0]]
+            offset = address[1]
+            if offset >= block.next_free_offset:
+                raise ReadFreePageError(f"{address} has not been programmed")
+            self.device.stats.page_read_counts[_VALIDITY_PURPOSE] += 1
+            return block._data.get(offset)
         return self.device.read_page_data(address,
                                           purpose=IOPurpose.VALIDITY)
 

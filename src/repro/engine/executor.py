@@ -73,6 +73,16 @@ def _base_row(task: SweepTask, session, snapshot) -> Dict[str, Any]:
         row["p99_us"] = latency.get("p99_us")
         row["p999_us"] = latency.get("p999_us")
         row["latency"] = latency
+    shards = getattr(snapshot, "shards", None)
+    if shards is not None:
+        # Multi-device cells: per-shard counters are deterministic for a
+        # given task (LPN-range routing is static), so — like the timing
+        # columns — they are canonical and must stay byte-identical across
+        # worker counts. Single-device rows keep their historical shape.
+        row["array_shards"] = len(shards)
+        row["shard_wa_max"] = max(
+            (shard["wa_total"] for shard in shards), default=0.0)
+        row["shards"] = [dict(shard) for shard in shards]
     return row
 
 

@@ -45,14 +45,28 @@ _DEVICE_FIELDS = ("num_blocks", "pages_per_block", "page_size",
                   "logical_ratio")
 
 
-def device_dict(device: Union[DeviceConfig, Dict[str, Any], None] = None,
+def device_dict(device: Union[DeviceConfig, Dict[str, Any], str,
+                              None] = None,
                 **overrides: Any) -> Dict[str, Any]:
     """Normalize a device description into a plain geometry dict.
 
-    Accepts a :class:`DeviceConfig`, an existing dict, or ``None`` (the
-    default simulation geometry), plus keyword overrides. The result contains
-    exactly the serializable geometry fields, in canonical order.
+    Accepts a :class:`DeviceConfig`, an existing dict, an ``"array(n=4)"``
+    multi-device spec string (see :mod:`repro.flash.device_array`), or
+    ``None`` (the default simulation geometry), plus keyword overrides. The
+    result contains exactly the serializable geometry fields, in canonical
+    order — with an ``array_shards`` key appended *only* for array devices,
+    so single-device dicts (and everything keyed off them: task keys,
+    derived seeds, sink schemas) keep their historical shape.
     """
+    if isinstance(device, str):
+        from ..flash.device_array import parse_array_spec
+        device = parse_array_spec(device)
+    array_shards = None
+    if isinstance(device, dict) and "array_shards" in device:
+        device = dict(device)
+        array_shards = int(device.pop("array_shards"))
+        if array_shards < 1:
+            raise ValueError("array_shards must be >= 1")
     if device is None:
         base = simulation_configuration()
         values = {name: getattr(base, name) for name in _DEVICE_FIELDS}
@@ -73,7 +87,10 @@ def device_dict(device: Union[DeviceConfig, Dict[str, Any], None] = None,
         raise ValueError(f"unknown device field(s) {sorted(unknown)}; "
                          f"supported: {list(_DEVICE_FIELDS)}")
     values.update(overrides)
-    return {name: values[name] for name in _DEVICE_FIELDS}
+    result = {name: values[name] for name in _DEVICE_FIELDS}
+    if array_shards is not None:
+        result["array_shards"] = array_shards
+    return result
 
 
 def build_device_config(device: Dict[str, Any]) -> DeviceConfig:

@@ -7,9 +7,10 @@ lifetime, and the offset of the next programmable page, which enforces the
 sequential-programming constraint.
 
 Page state lives in flat per-block *columns* instead of one Python object per
-page: a ``bytearray`` for the free/written bit, ``array('q')`` columns for the
-logical-address tag and the write timestamp, and a ``bytearray`` of interned
-block-type codes. Per-page payloads (page data and structure-specific spare
+page: bit-packed ``array('Q')`` words for the free/written bit (64 pages per
+word, whole-word set/clear and ``int.bit_count`` popcounts), ``array('q')``
+columns for the logical-address tag and the write timestamp, and a
+``bytearray`` of interned block-type codes. Per-page payloads (page data and structure-specific spare
 extras) are kept in sparse dictionaries only when a caller actually attaches
 them, so a device full of tag-only pages costs a few flat buffers rather than
 ``K × B`` object graphs. The historical ``FlashPage`` interface survives as a
@@ -47,6 +48,33 @@ def _intern_block_type(block_type: Optional[str]) -> int:
     return code
 
 
+_WORD_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def set_bit_run(words: "array", start: int, stop: int) -> None:
+    """Set bits ``[start, stop)`` in a bit-packed ``array('Q')`` in place.
+
+    Whole interior words are assigned in one store each; only the two
+    boundary words need mask arithmetic.
+    """
+    if start >= stop:
+        return
+    first, low = start >> 6, start & 63
+    last, high = (stop - 1) >> 6, ((stop - 1) & 63) + 1
+    if first == last:
+        words[first] |= ((1 << (high - low)) - 1) << low
+        return
+    words[first] |= (_WORD_MASK >> low) << low
+    for index in range(first + 1, last):
+        words[index] = _WORD_MASK
+    words[last] |= (1 << high) - 1
+
+
+def popcount_words(words: "array") -> int:
+    """Total number of set bits across a bit-packed ``array('Q')``."""
+    return sum(word.bit_count() for word in words)
+
+
 class _PageList:
     """Sequence view exposing a block's pages as live :class:`FlashPage`."""
 
@@ -79,7 +107,7 @@ class FlashBlock:
 
     __slots__ = ("block_id", "pages_per_block", "max_erase_count",
                  "erase_count", "next_free_offset", "last_erase_timestamp",
-                 "_state", "_logical", "_timestamp", "_type_code",
+                 "_state_words", "_logical", "_timestamp", "_type_code",
                  "_data", "_payload")
 
     def __init__(self, block_id: int, pages_per_block: int,
@@ -90,8 +118,8 @@ class FlashBlock:
         self.erase_count = 0
         self.next_free_offset = 0
         self.last_erase_timestamp: Optional[int] = None
-        #: Column: 0 = free, 1 = written, one byte per page.
-        self._state = bytearray(pages_per_block)
+        #: Column: free/written bits packed 64 pages per ``array('Q')`` word.
+        self._state_words = array("Q", bytes(8 * ((pages_per_block + 63) >> 6)))
         #: Column: logical-address tag per page (-1 = untagged).
         self._logical = array("q", [-1]) * pages_per_block
         #: Column: device write-clock stamp per page (0 = unstamped).
@@ -131,6 +159,19 @@ class FlashBlock:
         """Program/erase cycles left before the block wears out."""
         return max(0, self.max_erase_count - self.erase_count)
 
+    def is_written(self, offset: int) -> bool:
+        """True when the page at ``offset`` has been programmed."""
+        return bool((self._state_words[offset >> 6] >> (offset & 63)) & 1)
+
+    def written_popcount(self) -> int:
+        """Programmed-page count straight from the packed state words.
+
+        Equal to :attr:`written_pages` by the sequential-programming
+        invariant; kept as an independent popcount so tests can cross-check
+        the packed representation against the cursor.
+        """
+        return popcount_words(self._state_words)
+
     @property
     def pages(self) -> _PageList:
         """The block's pages as a sequence of live :class:`FlashPage` views."""
@@ -146,7 +187,7 @@ class FlashBlock:
         erase count), matching what the historical per-page objects held
         after :meth:`erase`.
         """
-        if not self._state[offset]:
+        if not (self._state_words[offset >> 6] >> (offset & 63)) & 1:
             return SpareArea(erase_count=self.erase_count)
         logical = self._logical[offset]
         timestamp = self._timestamp[offset]
@@ -174,14 +215,14 @@ class FlashBlock:
             WriteToNonFreePageError: The page was already programmed.
             NonSequentialWriteError: ``offset`` is not the next free page.
         """
-        if self._state[offset]:
+        if (self._state_words[offset >> 6] >> (offset & 63)) & 1:
             raise WriteToNonFreePageError(
                 f"block {self.block_id} page {offset} is already programmed")
         if offset != self.next_free_offset:
             raise NonSequentialWriteError(
                 f"block {self.block_id}: attempted to program page {offset} "
                 f"but the next programmable page is {self.next_free_offset}")
-        self._state[offset] = 1
+        self._state_words[offset >> 6] |= 1 << (offset & 63)
         self._logical[offset] = logical
         self._timestamp[offset] = timestamp
         self._type_code[offset] = type_code
@@ -190,6 +231,42 @@ class FlashBlock:
         if payload:
             self._payload[offset] = payload
         self.next_free_offset = offset + 1
+
+    def program_run_tagged(self, start: int, logicals: "array",
+                           timestamps: "array", type_code: int,
+                           datas: Optional[List[Any]] = None) -> None:
+        """Program ``len(logicals)`` consecutive pages with bulk column stores.
+
+        The batch analogue of :meth:`program_tagged`: one slice assignment
+        per column and one whole-word bit fill replace the per-page pokes.
+        ``logicals`` and ``timestamps`` must be ``array('q')`` values of the
+        same length; ``datas``, when given, attaches per-page payload data
+        (``None`` entries are skipped, preserving the sparse-dict contract).
+
+        Raises:
+            NonSequentialWriteError: ``start`` is not the next free page.
+            WriteToNonFreePageError: The run does not fit in the block.
+        """
+        count = len(logicals)
+        if start != self.next_free_offset:
+            raise NonSequentialWriteError(
+                f"block {self.block_id}: attempted to program page {start} "
+                f"but the next programmable page is {self.next_free_offset}")
+        stop = start + count
+        if stop > self.pages_per_block:
+            raise WriteToNonFreePageError(
+                f"block {self.block_id}: run of {count} pages from offset "
+                f"{start} overruns the block ({self.pages_per_block} pages)")
+        self._logical[start:stop] = logicals
+        self._timestamp[start:stop] = timestamps
+        self._type_code[start:stop] = bytes((type_code,)) * count
+        set_bit_run(self._state_words, start, stop)
+        if datas is not None:
+            data_column = self._data
+            for index, data in enumerate(datas):
+                if data is not None:
+                    data_column[start + index] = data
+        self.next_free_offset = stop
 
     def program_page(self, offset: int, data, spare: SpareArea) -> None:
         """Program the page at ``offset`` from a :class:`SpareArea` (legacy).
@@ -219,9 +296,10 @@ class FlashBlock:
         self.erase_count += 1
         self.next_free_offset = 0
         self.last_erase_timestamp = timestamp
-        # Only the state column needs wiping: materialization of a free page
+        # Only the state words need wiping: materialization of a free page
         # ignores the stale tag columns, and the sparse payload dictionaries
         # are dropped wholesale.
-        self._state[:] = bytes(self.pages_per_block)
+        words = self._state_words
+        words[:] = array("Q", bytes(8 * len(words)))
         self._data.clear()
         self._payload.clear()

@@ -47,15 +47,17 @@ class _BlockSnapshot:
     """Frozen column copies of one block (flash-durable state only)."""
 
     __slots__ = ("erase_count", "next_free_offset", "last_erase_timestamp",
-                 "state", "logical", "timestamp", "type_code", "data",
-                 "payload")
+                 "pages_per_block", "state", "logical", "timestamp",
+                 "type_code", "data", "payload")
 
     def __init__(self, block: FlashBlock) -> None:
         self.erase_count = block.erase_count
         self.next_free_offset = block.next_free_offset
         self.last_erase_timestamp = block.last_erase_timestamp
-        # Flat buffer copies: O(bytes), no per-page Python objects.
-        self.state = bytes(block._state)
+        self.pages_per_block = block.pages_per_block
+        # Flat buffer copies: O(bytes), no per-page Python objects. The
+        # state column is the bit-packed word array.
+        self.state = block._state_words[:]
         self.logical = block._logical[:]
         self.timestamp = block._timestamp[:]
         self.type_code = bytes(block._type_code)
@@ -68,7 +70,7 @@ class _BlockSnapshot:
         block.erase_count = self.erase_count
         block.next_free_offset = self.next_free_offset
         block.last_erase_timestamp = self.last_erase_timestamp
-        block._state[:] = self.state
+        block._state_words[:] = self.state
         block._logical[:] = self.logical
         block._timestamp[:] = self.timestamp
         block._type_code[:] = self.type_code
@@ -142,7 +144,9 @@ class FlashDevice:
                 and 0 <= offset < self._pages_per_block):
             self._check(address)
         block = self.blocks[block_id]
-        if not block._state[offset]:
+        # Sequential programming + whole-block erase make "written" exactly
+        # "offset < next_free_offset" — cheaper than probing the bit words.
+        if offset >= block.next_free_offset:
             raise ReadFreePageError(f"{address} has not been programmed")
         self.stats.page_read_counts[purpose] += 1
         return FlashPage(block, offset)
@@ -158,7 +162,9 @@ class FlashDevice:
                 and 0 <= offset < self._pages_per_block):
             self._check(address)
         block = self.blocks[block_id]
-        if not block._state[offset]:
+        # Sequential programming + whole-block erase make "written" exactly
+        # "offset < next_free_offset" — cheaper than probing the bit words.
+        if offset >= block.next_free_offset:
             raise ReadFreePageError(f"{address} has not been programmed")
         self.stats.page_read_counts[purpose] += 1
         return block._data.get(offset)
@@ -177,7 +183,9 @@ class FlashDevice:
                 and 0 <= offset < self._pages_per_block):
             self._check(address)
         block = self.blocks[block_id]
-        if not block._state[offset]:
+        # Sequential programming + whole-block erase make "written" exactly
+        # "offset < next_free_offset" — cheaper than probing the bit words.
+        if offset >= block.next_free_offset:
             raise ReadFreePageError(f"{address} has not been programmed")
         self.stats.page_read_counts[purpose] += 1
         logical = block._logical[offset]
@@ -231,14 +239,14 @@ class FlashDevice:
             self._check(address)
         block = self.blocks[block_id]
         self._write_clock = timestamp = self._write_clock + 1
-        if block._state[offset]:
+        if offset < block.next_free_offset:
             raise WriteToNonFreePageError(
                 f"block {block_id} page {offset} is already programmed")
         if offset != block.next_free_offset:
             raise NonSequentialWriteError(
                 f"block {block_id}: attempted to program page {offset} "
                 f"but the next programmable page is {block.next_free_offset}")
-        block._state[offset] = 1
+        block._state_words[offset >> 6] |= 1 << (offset & 63)
         block._logical[offset] = logical if logical is not None else -1
         block._timestamp[offset] = timestamp
         type_code = _TYPE_CODES.get(block_type)
@@ -251,6 +259,53 @@ class FlashDevice:
         block.next_free_offset = offset + 1
         self.stats.page_write_counts[purpose] += 1
         return timestamp
+
+    def write_pages_tagged(self, block_id: int, logicals,
+                           datas: Optional[List[Any]] = None,
+                           block_type: Optional[str] = None,
+                           purpose: IOPurpose = IOPurpose.OTHER) -> int:
+        """Program a run of consecutive pages into one block (batch fast path).
+
+        The batch analogue of :meth:`write_page_tagged`: the run starts at
+        the block's next free page, every page carries the same block-type
+        tag, and the write clock advances once per page exactly as it would
+        under per-page programming. Accounting is identical — ``len(logicals)``
+        page writes charged to ``purpose`` — and the column stores collapse
+        into one slice assignment each. Returns the write timestamp of the
+        *first* page of the run (page ``i`` holds ``returned + i``).
+
+        Subclasses that intercept ``write_page_tagged`` (timing, observability)
+        are automatically routed through the per-page path so their capture
+        hooks keep seeing every program operation.
+        """
+        if type(self).write_page_tagged is not FlashDevice.write_page_tagged:
+            block = self.block(block_id)
+            first = None
+            for index, logical in enumerate(logicals):
+                data = datas[index] if datas is not None else None
+                timestamp = self.write_page_tagged(
+                    PhysicalAddress(block_id, block.next_free_offset),
+                    data, logical=logical if logical >= 0 else None,
+                    block_type=block_type, purpose=purpose)
+                if first is None:
+                    first = timestamp
+            return first if first is not None else self._write_clock
+        if not 0 <= block_id < self._num_blocks:
+            raise InvalidAddressError(f"block {block_id} out of range")
+        block = self.blocks[block_id]
+        count = len(logicals)
+        if not isinstance(logicals, array) or logicals.typecode != "q":
+            logicals = array("q", logicals)
+        start_clock = self._write_clock
+        timestamps = array("q", range(start_clock + 1, start_clock + count + 1))
+        type_code = _TYPE_CODES.get(block_type)
+        if type_code is None:
+            type_code = _intern_block_type(block_type)
+        block.program_run_tagged(block.next_free_offset, logicals, timestamps,
+                                 type_code, datas)
+        self._write_clock = start_clock + count
+        self.stats.page_write_counts[purpose] += count
+        return start_clock + 1
 
     def read_spare(self, address: PhysicalAddress,
                    purpose: IOPurpose = IOPurpose.OTHER) -> SpareArea:
@@ -273,7 +328,7 @@ class FlashDevice:
             self._check(address)
         self.stats.spare_read_counts[purpose] += 1
         block = self.blocks[block_id]
-        if not block._state[offset]:
+        if offset >= block.next_free_offset:
             return None
         logical = block._logical[offset]
         return logical if logical >= 0 else None
@@ -334,10 +389,10 @@ class FlashDevice:
                 f"snapshot has {len(snapshot.blocks)} blocks but the device "
                 f"has {self._num_blocks}")
         if snapshot.blocks and \
-                len(snapshot.blocks[0].state) != self._pages_per_block:
+                snapshot.blocks[0].pages_per_block != self._pages_per_block:
             raise ValueError(
-                f"snapshot blocks have {len(snapshot.blocks[0].state)} pages "
-                f"but the device has {self._pages_per_block} per block")
+                f"snapshot blocks have {snapshot.blocks[0].pages_per_block} "
+                f"pages but the device has {self._pages_per_block} per block")
         self._write_clock = snapshot.write_clock
         for block, frozen in zip(self.blocks, snapshot.blocks):
             frozen.restore_into(block)

@@ -88,12 +88,12 @@ class FlashPage:
 
     @property
     def state(self) -> PageState:
-        return (PageState.WRITTEN if self._block._state[self._offset]
+        return (PageState.WRITTEN if self._block.is_written(self._offset)
                 else PageState.FREE)
 
     @property
     def is_free(self) -> bool:
-        return not self._block._state[self._offset]
+        return not self._block.is_written(self._offset)
 
     @property
     def data(self) -> Any:

@@ -251,6 +251,28 @@ class IOStats:
         result.host_reads = self.host_reads - earlier.host_reads
         return result
 
+    @classmethod
+    def merged(cls, parts: Iterable["IOStats"]) -> "IOStats":
+        """Sum several independent counters into one fresh instance.
+
+        Used by multi-device data planes (:mod:`repro.flash.device_array`):
+        each shard device keeps its own ledger and reporting merges them, so
+        the combined counters are exactly the element-wise sum of what N
+        independent devices would have recorded.
+        """
+        merged = cls()
+        for part in parts:
+            for slot in ("page_read_counts", "page_write_counts",
+                         "block_erase_counts", "spare_read_counts",
+                         "spare_write_counts"):
+                into: Dict[IOPurpose, int] = getattr(merged, slot)
+                for purpose, count in getattr(part, slot).items():
+                    if count:
+                        into[purpose] += count
+            merged.host_writes += part.host_writes
+            merged.host_reads += part.host_reads
+        return merged
+
     def reset(self) -> None:
         """Clear all counters."""
         self.page_read_counts = _ZERO_COUNTS.copy()

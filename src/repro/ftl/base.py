@@ -24,8 +24,10 @@ from abc import abstractmethod
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..flash.address import LogicalAddress, PhysicalAddress
+from ..flash.block import _intern_block_type
 from ..flash.config import DeviceConfig
 from ..flash.device import FlashDevice
+from ..flash.errors import ReadFreePageError
 from ..flash.stats import IOPurpose, IOStats
 from .block_manager import BlockManager, BlockType
 from .bvc import BlockValidityCounter
@@ -39,6 +41,13 @@ from .wear_leveling import WearLeveler
 
 #: Block-type tag stamped into every user page's spare area.
 _USER_TYPE = BlockType.USER.value
+
+#: ``tuple.__new__(PhysicalAddress, (block, page))`` skips the generated
+#: namedtuple ``__new__`` frame — measurably cheaper on paths that mint one
+#: address per host write or migrated page.
+_new_address = tuple.__new__
+#: Its interned column code, resolved once at import for the inlined paths.
+_USER_CODE = _intern_block_type(_USER_TYPE)
 
 
 class PageMappedFTL:
@@ -81,6 +90,7 @@ class PageMappedFTL:
             bvc=self.bvc,
             validity_store=self.validity_store,
             migrate_user_page=self._migrate_user_page,
+            migrate_user_pages=self._migrate_user_pages,
             migrate_metadata_page=self._migrate_metadata_page,
             policy=victim_policy,
             free_block_threshold=free_block_threshold)
@@ -90,6 +100,12 @@ class PageMappedFTL:
         # slot, so FTLs on a plain device see None and every timing branch
         # below stays a single predictable ``is not None`` check.
         self.timing = getattr(device, "timing", None)
+        # Device subclasses that intercept write_page_tagged (timing,
+        # observability) must keep seeing every program operation, so the
+        # inlined submit/GC-migration fast paths are enabled only on the
+        # plain device. Method identity is the discovery mechanism here too.
+        self._plain_device = (type(device).write_page_tagged
+                              is FlashDevice.write_page_tagged)
         # Same discovery idiom for the observability layer: only the observed
         # device variants carry an ``obs`` slot. By this point every hooked
         # structure (garbage collector, validity store — hence GeckoFTL's
@@ -251,59 +267,148 @@ class PageMappedFTL:
         write-amplification breakdown) are identical. The batch boundary is
         the seam where future relaxations (async completion, sharded
         submission queues) can plug in without touching the callers.
+
+        Batch resolution happens in one pass over the submitted operations:
+        consecutive operations of the same kind are grouped into *runs* by a
+        single scan (bulk list slicing), so the kind dispatch is paid once
+        per run instead of once per op. On a plain :class:`FlashDevice`
+        without a timing model, the write-run handler additionally inlines
+        the whole program-and-map sequence — active-block cursor, packed
+        state-word set, column stores, write clock, BVC bump and IO
+        accounting are poked directly instead of through five method calls
+        per page. Mapping updates keep their exact per-op interleaving with
+        flash IO (cache evictions and translation synchronization happen at
+        precisely the same points), which is what keeps the submit goldens
+        bit-identical. Devices that intercept ``write_page_tagged`` (timing,
+        observability) take the per-op path so their capture hooks see every
+        program operation.
         """
         stats = self.stats
         before = stats.snapshot()
-        writes = reads = trims = submitted = 0
+        writes = reads = trims = 0
         payloads: Optional[List[Any]] = [] if collect_payloads else None
         logical_pages = self.config.logical_pages
         record_host_write = stats.record_host_write
         needs_collection = self.garbage_collector.needs_collection
         program_user_page = self._program_user_page
         update_mapping = self._update_mapping_on_write
-        after_write = self._after_write
+        after_write = (self._after_write
+                       if type(self)._after_write
+                       is not PageMappedFTL._after_write else None)
         wear_leveler = self.wear_leveler
         enforce_dirty = (self._enforce_dirty_limit
                          if self.dirty_fraction_limit is not None else None)
         timing = self.timing
+        device = self.device
         user_purpose = IOPurpose.USER
         write_kind, read_kind, trim_kind = OpKind.WRITE, OpKind.READ, OpKind.TRIM
-        for operation in batch:
-            submitted += 1
-            kind = operation.kind
+        fast = self._plain_device and timing is None
+        if fast:
+            blocks = device.blocks
+            block_manager = self.block_manager
+            active_blocks = block_manager.active_blocks
+            open_block = block_manager._open_new_active_block
+            free_blocks = block_manager.free_blocks
+            threshold = self.garbage_collector.free_block_threshold
+            write_counts = stats.page_write_counts
+            bvc_counts = self.bvc._counts
+            pages_per_block = self.config.pages_per_block
+            user_code = _USER_CODE
+            user_type = BlockType.USER
+        operations = batch if isinstance(batch, list) else list(batch)
+        total = len(operations)
+        index = 0
+        while index < total:
+            kind = operations[index].kind
             if kind is write_kind:
-                logical = operation.logical
-                if not 0 <= logical < logical_pages:
-                    raise ValueError(
-                        f"logical page {logical} outside the device's logical "
-                        f"space of {logical_pages} pages")
-                writes += 1
-                if timing is not None:
-                    timing.begin_request("write")
-                record_host_write()
-                if not self._in_gc and needs_collection():
-                    self._maybe_collect()
-                new_address = program_user_page(logical, operation.payload,
-                                                user_purpose)
-                update_mapping(logical, new_address)
-                if wear_leveler is not None:
-                    wear_leveler.on_flash_write()
-                after_write(logical)
-                if enforce_dirty is not None:
-                    enforce_dirty()
-                if timing is not None:
-                    timing.end_request()
+                run_end = index + 1
+                while (run_end < total
+                       and operations[run_end].kind is write_kind):
+                    run_end += 1
+                run = (operations if index == 0 and run_end == total
+                       else operations[index:run_end])
+                if fast:
+                    for operation in run:
+                        logical = operation.logical
+                        if not 0 <= logical < logical_pages:
+                            raise ValueError(
+                                f"logical page {logical} outside the "
+                                f"device's logical space of {logical_pages} "
+                                f"pages")
+                        stats.host_writes += 1
+                        if len(free_blocks) < threshold:
+                            self._maybe_collect()
+                        active_id = active_blocks[user_type]
+                        if active_id is None:
+                            active_id = open_block(user_type, False)
+                        block = blocks[active_id]
+                        offset = block.next_free_offset
+                        if offset >= pages_per_block:
+                            active_id = open_block(user_type, False)
+                            block = blocks[active_id]
+                            offset = block.next_free_offset
+                        # Inlined write_page_tagged: the address is the
+                        # active block's cursor by construction, so the
+                        # bounds / free-page / sequential checks hold.
+                        device._write_clock = timestamp = \
+                            device._write_clock + 1
+                        block._state_words[offset >> 6] |= 1 << (offset & 63)
+                        block._logical[offset] = logical
+                        block._timestamp[offset] = timestamp
+                        block._type_code[offset] = user_code
+                        data = operation.payload
+                        if data is not None:
+                            block._data[offset] = data
+                        block.next_free_offset = offset + 1
+                        write_counts[user_purpose] += 1
+                        bvc_counts[active_id] += 1
+                        update_mapping(logical, _new_address(
+                            PhysicalAddress, (active_id, offset)))
+                        if wear_leveler is not None:
+                            wear_leveler.on_flash_write()
+                        if after_write is not None:
+                            after_write(logical)
+                        if enforce_dirty is not None:
+                            enforce_dirty()
+                else:
+                    for operation in run:
+                        logical = operation.logical
+                        if not 0 <= logical < logical_pages:
+                            raise ValueError(
+                                f"logical page {logical} outside the "
+                                f"device's logical space of {logical_pages} "
+                                f"pages")
+                        if timing is not None:
+                            timing.begin_request("write")
+                        record_host_write()
+                        if not self._in_gc and needs_collection():
+                            self._maybe_collect()
+                        new_address = program_user_page(
+                            logical, operation.payload, user_purpose)
+                        update_mapping(logical, new_address)
+                        if wear_leveler is not None:
+                            wear_leveler.on_flash_write()
+                        if after_write is not None:
+                            after_write(logical)
+                        if enforce_dirty is not None:
+                            enforce_dirty()
+                        if timing is not None:
+                            timing.end_request()
+                writes += run_end - index
+                index = run_end
             elif kind is read_kind:
                 reads += 1
-                value = self.read(operation.logical)
+                value = self.read(operations[index].logical)
                 if payloads is not None:
                     payloads.append(value)
+                index += 1
             elif kind is trim_kind:
                 trims += 1
-                self.trim(operation.logical)
+                self.trim(operations[index].logical)
+                index += 1
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown operation kind {kind}")
-        return BatchResult(submitted=submitted, host_writes=writes,
+        return BatchResult(submitted=index, host_writes=writes,
                            host_reads=reads, host_trims=trims,
                            stats_delta=stats.diff(before), payloads=payloads)
 
@@ -367,16 +472,40 @@ class PageMappedFTL:
         # the collection finishes (see _maybe_collect).
         if self._in_gc:
             return
-        while len(self.cache) > self.cache.capacity:
-            victim = self.cache.pop_lru()
+        cache = self.cache
+        capacity = cache.capacity
+        obs = self.obs
+        entries = cache._entries
+        by_translation_page = cache._by_translation_page
+        entries_per_translation_page = cache.entries_per_translation_page
+        pop_coldest = entries.popitem
+        while cache._live_count > capacity:
+            # Inlined ``cache.pop_lru`` (one eviction per over-capacity
+            # insert on the steady-state write path): walk past expired
+            # checkpoint symbols to the coldest real entry.
+            victim = None
+            while entries:
+                key, victim = pop_coldest(False)
+                if victim is None:
+                    continue
+                cache._live_count -= 1
+                translation_page = key // entries_per_translation_page
+                bucket = by_translation_page.get(translation_page)
+                if bucket is not None:
+                    bucket.discard(key)
+                    if not bucket:
+                        del by_translation_page[translation_page]
+                if victim.dirty:
+                    cache._dirty_count -= 1
+                break
             if victim is None:
                 break
-            if self.obs is not None:
-                self.obs.on_cache_evict(victim.logical, victim.dirty)
+            if obs is not None:
+                obs.on_cache_evict(victim.logical, victim.dirty)
             if victim.dirty:
-                translation_page = self.cache.translation_page_of(victim.logical)
-                self._synchronize_translation_page(translation_page,
-                                                   extra_entry=victim)
+                self._synchronize_translation_page(
+                    victim.logical // entries_per_translation_page,
+                    extra_entry=victim)
 
     def _enforce_dirty_limit(self) -> None:
         """LazyFTL / IB-FTL: bound dirty entries to a fraction of the cache.
@@ -441,22 +570,93 @@ class PageMappedFTL:
 
         Migrations are treated like application writes: the new location is
         recorded as a dirty cached mapping entry and synchronized lazily.
+
+        On a plain device the read-allocate-program sequence is inlined (the
+        same column pokes as the submit fast path, charged to the GC
+        purpose): migrations run once per live page of every victim, which
+        makes this the hottest call chain of the whole collector.
         """
-        data, logical = self.device.read_page_record(old_address,
-                                                     purpose=IOPurpose.GC)
-        new_address = self.block_manager.allocate_page(BlockType.USER,
-                                                       use_reserve=True)
-        self.device.write_page_tagged(new_address, data, logical=logical,
-                                      block_type=_USER_TYPE,
-                                      purpose=IOPurpose.GC)
-        self.bvc.increment(new_address.block)
-        entry = self.cache.get(logical)
-        if entry is not None:
-            entry.physical = new_address
-            self.cache.mark_dirty(logical, True)
+        device = self.device
+        if self._plain_device:
+            block_id, offset = old_address
+            block = device.blocks[block_id]
+            # Inlined read_page_record: GC only visits written offsets, so
+            # the cursor check is the only validation needed.
+            if offset >= block.next_free_offset:
+                raise ReadFreePageError(
+                    f"{old_address} has not been programmed")
+            stats = device.stats
+            stats.page_read_counts[IOPurpose.GC] += 1
+            tag = block._logical[offset]
+            logical = tag if tag >= 0 else None
+            data = block._data.get(offset)
+            # Inlined allocate_page(USER, use_reserve=True) + program.
+            manager = self.block_manager
+            active_id = manager.active_blocks[BlockType.USER]
+            if active_id is None \
+                    or device.blocks[active_id].next_free_offset \
+                    >= block.pages_per_block:
+                active_id = manager._open_new_active_block(
+                    BlockType.USER, True)
+            target = device.blocks[active_id]
+            new_offset = target.next_free_offset
+            device._write_clock = timestamp = device._write_clock + 1
+            target._state_words[new_offset >> 6] |= 1 << (new_offset & 63)
+            target._logical[new_offset] = tag
+            target._timestamp[new_offset] = timestamp
+            target._type_code[new_offset] = _USER_CODE
+            if data is not None:
+                target._data[new_offset] = data
+            target.next_free_offset = new_offset + 1
+            stats.page_write_counts[IOPurpose.GC] += 1
+            self.bvc._counts[active_id] += 1
+            new_address = _new_address(PhysicalAddress,
+                                       (active_id, new_offset))
         else:
-            self.cache.put(CachedMapping(logical, new_address, dirty=True))
-            self._evict_if_over_capacity()
+            data, logical = device.read_page_record(old_address,
+                                                    purpose=IOPurpose.GC)
+            new_address = self.block_manager.allocate_page(BlockType.USER,
+                                                           use_reserve=True)
+            device.write_page_tagged(new_address, data, logical=logical,
+                                     block_type=_USER_TYPE,
+                                     purpose=IOPurpose.GC)
+            self.bvc.increment(new_address.block)
+        # Inlined cache update (get-hit refresh / put of an absent key):
+        # migrations run under _in_gc, so evictions are deferred anyway.
+        cache = self.cache
+        entry = cache._entries.get(logical)
+        if entry is not None:
+            cache.hits += 1
+            cache._entries.move_to_end(logical)
+            entry.physical = new_address
+            if not entry.dirty:
+                entry.dirty = True
+                cache._dirty_count += 1
+        else:
+            cache.misses += 1
+            cache._entries[logical] = CachedMapping(logical, new_address,
+                                                    dirty=True)
+            cache._live_count += 1
+            cache._dirty_count += 1
+            translation_page = logical // cache.entries_per_translation_page
+            bucket = cache._by_translation_page.get(translation_page)
+            if bucket is None:
+                cache._by_translation_page[translation_page] = {logical}
+            else:
+                bucket.add(logical)
+            if cache._live_count > cache.capacity:
+                self._evict_if_over_capacity()
+
+    def _migrate_user_pages(self, victim: int, offsets: List[int]) -> None:
+        """Migrate a victim's live user pages, ascending-offset order.
+
+        The batch form exists so subclasses can hoist per-victim state out
+        of the per-page loop; the base implementation just dispatches to
+        :meth:`_migrate_user_page` per offset and is observably identical.
+        """
+        migrate = self._migrate_user_page
+        for offset in offsets:
+            migrate(PhysicalAddress(victim, offset))
 
     def _migrate_metadata_page(self, address: PhysicalAddress,
                                block_type: BlockType) -> None:

@@ -17,6 +17,7 @@ flash PVB, PVL, or Logarithmic Gecko).
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Set
@@ -38,6 +39,11 @@ class BlockType(str, Enum):
 
 #: Block types that hold FTL metadata rather than user data.
 METADATA_TYPES = (BlockType.TRANSLATION, BlockType.VALIDITY)
+
+#: Interned per-block type codes for the flat column the GC argmin scans.
+TYPE_CODE = {BlockType.FREE: 0, BlockType.USER: 1,
+             BlockType.TRANSLATION: 2, BlockType.VALIDITY: 3}
+USER_CODE = TYPE_CODE[BlockType.USER]
 
 
 @dataclass
@@ -67,6 +73,18 @@ class BlockManager:
             BlockType.TRANSLATION: None,
             BlockType.VALIDITY: None,
         }
+        #: Flat column of interned block-type codes (see ``TYPE_CODE``),
+        #: maintained in lockstep with ``info``. GC victim selection argmins
+        #: over it instead of chasing ``BlockInfo`` objects.
+        self._type_codes = bytearray(self.config.num_blocks)
+        #: Ids of blocks currently holding metadata (translation/validity),
+        #: so the metadata-aware free-victim check never scans user blocks.
+        self.metadata_blocks: Set[int] = set()
+        #: The same ids as a maintained ascending list: the free-victim
+        #: check runs once per collection and wants lowest-id-first order,
+        #: so the (rare) metadata block open/release keeps this sorted
+        #: instead of re-sorting the set per collection.
+        self.metadata_blocks_sorted: List[int] = []
 
     # ------------------------------------------------------------------
     # Queries
@@ -147,6 +165,10 @@ class BlockManager:
         block_id = self.free_blocks.pop()
         self.info[block_id] = BlockInfo(block_type=block_type)
         self.active_blocks[block_type] = block_id
+        self._type_codes[block_id] = TYPE_CODE[block_type]
+        if block_type in METADATA_TYPES and block_id not in self.metadata_blocks:
+            self.metadata_blocks.add(block_id)
+            insort(self.metadata_blocks_sorted, block_id)
         return block_id
 
     # ------------------------------------------------------------------
@@ -161,6 +183,10 @@ class BlockManager:
         """Erase ``block_id`` and return it to the free pool."""
         self.device.erase_block(block_id, purpose=purpose)
         self.info[block_id] = BlockInfo(block_type=BlockType.FREE)
+        self._type_codes[block_id] = 0
+        if block_id in self.metadata_blocks:
+            self.metadata_blocks.discard(block_id)
+            self.metadata_blocks_sorted.remove(block_id)
         for block_type, active in self.active_blocks.items():
             if active == block_id:
                 self.active_blocks[block_type] = None
@@ -181,12 +207,20 @@ class BlockManager:
         self.active_blocks = {BlockType.USER: None,
                               BlockType.TRANSLATION: None,
                               BlockType.VALIDITY: None}
+        self._type_codes = bytearray(self.config.num_blocks)
+        self.metadata_blocks = set()
+        self.metadata_blocks_sorted = []
         for block_id in range(self.config.num_blocks):
             block_type = block_types.get(block_id, BlockType.FREE)
             block = self.device.block(block_id)
             if block.is_erased:
                 block_type = BlockType.FREE
             self.info[block_id].block_type = block_type
+            self._type_codes[block_id] = TYPE_CODE[block_type]
+            if block_type in METADATA_TYPES:
+                self.metadata_blocks.add(block_id)
+                # Ascending scan, so appending keeps the list sorted.
+                self.metadata_blocks_sorted.append(block_id)
             if block_type is BlockType.FREE:
                 self.free_blocks.append(block_id)
             elif not block.is_full and self.active_blocks.get(block_type) is None:

@@ -12,16 +12,22 @@ cost but still ~45x smaller than a RAM-resident PVB.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from array import array
+from typing import Iterable, Optional
 
 
 class BlockValidityCounter:
-    """Per-block count of valid pages."""
+    """Per-block count of valid pages.
+
+    The counters live in a flat ``array('q')`` column so that greedy victim
+    selection can argmin over the whole device in one pass (and zero-copy
+    into numpy when the acceleration flag is on).
+    """
 
     def __init__(self, num_blocks: int, pages_per_block: int) -> None:
         self.num_blocks = num_blocks
         self.pages_per_block = pages_per_block
-        self._counts: List[int] = [0] * num_blocks
+        self._counts = array("q", bytes(8 * num_blocks))
 
     def valid_count(self, block_id: int) -> int:
         """Number of valid pages currently accounted to ``block_id``."""
@@ -48,7 +54,7 @@ class BlockValidityCounter:
 
     def reset(self) -> None:
         """Zero every counter (power failure loses the BVC)."""
-        self._counts = [0] * self.num_blocks
+        self._counts = array("q", bytes(8 * self.num_blocks))
 
     def victim_candidates(self, block_ids: Iterable[int]) -> Optional[int]:
         """Return the block among ``block_ids`` with the fewest valid pages."""

@@ -26,10 +26,12 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, List, Optional
 
+from ..accel import get_numpy
 from ..flash.address import PhysicalAddress
 from ..flash.device import FlashDevice
 from ..flash.stats import IOPurpose
-from .block_manager import METADATA_TYPES, BlockManager, BlockType
+from .block_manager import (METADATA_TYPES, USER_CODE, BlockManager,
+                            BlockType)
 from .bvc import BlockValidityCounter
 from .validity.base import ValidityStore
 
@@ -62,12 +64,19 @@ class GarbageCollector:
                  migrate_user_page: Callable[[PhysicalAddress], None],
                  migrate_metadata_page: Callable[[PhysicalAddress, BlockType], None],
                  policy: VictimPolicy = VictimPolicy.GREEDY,
-                 free_block_threshold: int = 6) -> None:
+                 free_block_threshold: int = 6,
+                 migrate_user_pages: Optional[
+                     Callable[[int, List[int]], None]] = None) -> None:
         self.device = device
         self.block_manager = block_manager
         self.bvc = bvc
         self.validity_store = validity_store
         self.migrate_user_page = migrate_user_page
+        #: Optional batch form of ``migrate_user_page``: called once per
+        #: victim with its live offsets (ascending), letting the FTL hoist
+        #: per-victim state out of the per-page loop. Must be observably
+        #: identical to calling ``migrate_user_page`` per offset in order.
+        self.migrate_user_pages = migrate_user_pages
         self.migrate_metadata_page = migrate_metadata_page
         self.policy = policy
         self.free_block_threshold = free_block_threshold
@@ -136,42 +145,78 @@ class GarbageCollector:
         """Pick the cheapest victim under the configured policy.
 
         GeckoFTL's metadata-aware policy first looks for a *free* victim — a
-        metadata block whose pages are all superseded — and only then falls
-        back to a greedy choice among user blocks.
-
-        This is a single ascending pass over the block-manager bookkeeping
-        (garbage collection runs on every write once the device is full, so
-        an O(K) pass with per-block method calls showed up hot); ties and
-        the fully-invalid-first rule resolve exactly as the two-scan
-        formulation did: lowest block id wins.
+        metadata block whose pages are all superseded (checked over the
+        block manager's metadata-block set, ascending = lowest id) — and
+        only then argmins the maintained BVC column over the user blocks.
+        The argmin preserves the historical ascending-scan tie-break
+        exactly: the lowest block id among equal valid counts wins (numpy's
+        ``argmin`` returns the first minimum; the stdlib fallback keeps the
+        strict ``<`` comparison). ``tests/test_victim_selection.py`` locks
+        both the tie-break and full victim sequences against the
+        pre-argmin scan.
         """
         block_manager = self.block_manager
-        active = set(block_manager.active_blocks.values())
-        metadata_aware = self.policy is VictimPolicy.METADATA_AWARE
-        valid_count = self.bvc.valid_count
-        best: Optional[int] = None
-        best_cost: Optional[int] = None
-        for block_id, info in enumerate(block_manager.info):
-            block_type = info.block_type
-            if block_type is BlockType.FREE:
-                continue
-            is_metadata = block_type in METADATA_TYPES
-            if metadata_aware and is_metadata:
-                # A fully-invalid metadata block is a free victim: take the
-                # first one immediately (ascending scan = lowest id).
-                block = self.device.blocks[block_id]
+        type_codes = block_manager._type_codes
+        counts = self.bvc._counts
+        if self.policy is VictimPolicy.METADATA_AWARE:
+            # Free-victim check: only metadata blocks, typically a handful.
+            info = block_manager.info
+            blocks = self.device.blocks
+            active = block_manager.active_blocks.values()
+            for block_id in block_manager.metadata_blocks_sorted:
+                block = blocks[block_id]
                 written = block.next_free_offset
                 if block_id in active and written < block.pages_per_block:
                     continue
-                if written > 0 and len(info.invalid_metadata_offsets) >= written:
+                if written > 0 and \
+                        len(info[block_id].invalid_metadata_offsets) >= written:
                     return block_id
+            # Greedy argmin over the user blocks (metadata never competes).
+            active_user = block_manager.active_blocks[BlockType.USER]
+            np_mod = get_numpy()
+            if np_mod is not None:
+                codes = np_mod.frombuffer(type_codes, dtype=np_mod.uint8)
+                costs = np_mod.frombuffer(counts, dtype=np_mod.int64)
+                sentinel = np_mod.iinfo(np_mod.int64).max
+                masked = np_mod.where(codes == USER_CODE, costs, sentinel)
+                if active_user is not None:
+                    masked[active_user] = sentinel
+                best_id = int(masked.argmin())
+                return None if masked[best_id] == sentinel else best_id
+            # Stdlib argmin without a per-block Python loop: copy the
+            # maintained BVC column (a C-level array slice), poke a sentinel
+            # into the few non-candidate slots (free blocks, metadata
+            # blocks, the active user block — a dozen indices, not a
+            # 96-element scan), then let ``min``/``index`` run at C speed.
+            # ``index`` of the minimum returns the first occurrence, which
+            # preserves the lowest-block-id tie-break exactly.
+            masked = counts[:]
+            sentinel = 1 << 62
+            for block_id in block_manager.free_blocks:
+                masked[block_id] = sentinel
+            for block_id in block_manager.metadata_blocks:
+                masked[block_id] = sentinel
+            if active_user is not None:
+                masked[active_user] = sentinel
+            best_cost = min(masked)
+            if best_cost == sentinel:
+                return None
+            return masked.index(best_cost)
+        # Greedy policy: metadata blocks compete, costed by their live
+        # metadata pages (written minus superseded).
+        info = block_manager.info
+        blocks = self.device.blocks
+        active = set(block_manager.active_blocks.values())
+        best = None
+        best_cost = None
+        for block_id, code in enumerate(type_codes):
+            if code == 0 or block_id in active:
                 continue
-            if block_id in active:
-                continue
-            if is_metadata:
-                cost = len(block_manager.metadata_valid_offsets(block_id))
+            if code == USER_CODE:
+                cost = counts[block_id]
             else:
-                cost = valid_count(block_id)
+                cost = (blocks[block_id].next_free_offset
+                        - len(info[block_id].invalid_metadata_offsets))
             if best_cost is None or cost < best_cost:
                 best = block_id
                 best_cost = cost
@@ -241,17 +286,33 @@ class GarbageCollector:
     def _collect_user_block(self, victim: int) -> int:
         """Migrate live user pages (identified by a GC query), then erase."""
         block = self.device.block(victim)
-        invalid = self.validity_store.invalid_offsets(victim)
-        migrated = 0
-        for offset in range(block.written_pages):
-            if offset in invalid:
-                continue
-            self.migrate_user_page(PhysicalAddress(victim, offset))
-            migrated += 1
+        written = block.written_pages
+        bitmap_query = getattr(self.validity_store, "invalid_bitmap", None)
+        if bitmap_query is not None:
+            # Packed-int query: the live set is the complement of the
+            # invalid bitmap over the written range, walked set-bit by
+            # set-bit (ascending, like the historical offset scan).
+            valid = ~bitmap_query(victim) & ((1 << written) - 1)
+            live = []
+            append_live = live.append
+            while valid:
+                low_bit = valid & -valid
+                append_live(low_bit.bit_length() - 1)
+                valid ^= low_bit
+        else:
+            invalid = self.validity_store.invalid_offsets(victim)
+            live = [offset for offset in range(written)
+                    if offset not in invalid]
+        if self.migrate_user_pages is not None:
+            self.migrate_user_pages(victim, live)
+        else:
+            migrate = self.migrate_user_page
+            for offset in live:
+                migrate(PhysicalAddress(victim, offset))
         # A garbage-collection operation reports the erase to the validity
         # store (for Logarithmic Gecko this is the erase-flag insertion).
         self.validity_store.note_erase(victim)
-        return migrated
+        return len(live)
 
     def _collect_metadata_block(self, victim: int,
                                 victim_type: BlockType) -> int:

@@ -43,9 +43,13 @@ from typing import Dict, Iterator, List, Optional, Set
 from ..flash.address import LogicalAddress, PhysicalAddress
 
 
-@dataclass
+@dataclass(slots=True)
 class CachedMapping:
-    """One cached logical-to-physical mapping entry."""
+    """One cached logical-to-physical mapping entry.
+
+    Slotted: the FTL write path creates and mutates one of these per host
+    write, so attribute storage stays flat instead of per-entry ``__dict__``.
+    """
 
     logical: LogicalAddress
     physical: PhysicalAddress
@@ -198,14 +202,27 @@ class MappingCache:
 
         Checkpoint symbols encountered at the cold end are silently discarded:
         an expired symbol carries no information once the entries behind it
-        have been evicted.
+        have been evicted. The removal bookkeeping is inlined (one dict walk,
+        no second key lookup through :meth:`remove`) because this runs once
+        per eviction on the write path.
         """
-        while self._entries:
-            key, value = next(iter(self._entries.items()))
-            if value is None:
-                self._entries.pop(key)
+        entries = self._entries
+        while entries:
+            key, entry = next(iter(entries.items()))
+            entries.pop(key)
+            if entry is None:
                 continue
-            return self.remove(key)
+            self._live_count -= 1
+            bucket = self._by_translation_page.get(
+                key // self.entries_per_translation_page)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._by_translation_page[
+                        key // self.entries_per_translation_page]
+            if entry.dirty:
+                self._dirty_count -= 1
+            return entry
         return None
 
     def clear(self) -> None:

@@ -28,9 +28,15 @@ class OpKind(str, Enum):
     TRIM = "trim"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Operation:
-    """One host operation against the FTL's logical address space."""
+    """One host operation against the FTL's logical address space.
+
+    Treated as immutable by convention (nothing mutates a submitted
+    operation), but deliberately not ``frozen``: workloads materialize one
+    per host op, and a frozen dataclass pays three ``object.__setattr__``
+    calls per construction. Slotted for flat per-op storage.
+    """
 
     kind: OpKind
     logical: int

@@ -93,10 +93,48 @@ class TranslationTable:
     def lookup(self, logical: LogicalAddress,
                purpose: IOPurpose = IOPurpose.TRANSLATION
                ) -> Optional[PhysicalAddress]:
-        """Fetch the flash-resident mapping entry for one logical page."""
-        content = self.read_translation_page(
-            self.translation_page_of(logical), purpose=purpose)
+        """Fetch the flash-resident mapping entry for one logical page.
+
+        Reads the covering translation page (one charged page read) but skips
+        the defensive content copy :meth:`read_translation_page` makes — the
+        stored content is only probed for one immutable address, never
+        mutated or exposed.
+        """
+        location = self.gmd[logical // self.entries_per_page]
+        if location is None:
+            return None
+        content = self.device.read_page_data(location, purpose=purpose)
         return content.entries.get(logical)
+
+    def lookup_batch(self, logicals, purpose: IOPurpose = IOPurpose.TRANSLATION
+                     ) -> Dict[LogicalAddress, Optional[PhysicalAddress]]:
+        """Resolve many logical pages in one pass over the translation table.
+
+        Sorted-key grouping: the logicals are sorted so that all keys covered
+        by the same translation page form a contiguous run, and each distinct
+        translation page is read from flash exactly once (one charged page
+        read per *page*, not per key). This is the batch analogue of
+        :meth:`lookup` for callers whose IO trace is defined in terms of
+        distinct translation pages touched — per-op host paths keep calling
+        :meth:`lookup` so their one-read-per-miss accounting is preserved.
+        """
+        resolved: Dict[LogicalAddress, Optional[PhysicalAddress]] = {}
+        entries_per_page = self.entries_per_page
+        gmd = self.gmd
+        read_page_data = self.device.read_page_data
+        current_page = -1
+        current_entries: Optional[Dict[LogicalAddress, PhysicalAddress]] = None
+        for logical in sorted(set(logicals)):
+            translation_page = logical // entries_per_page
+            if translation_page != current_page:
+                current_page = translation_page
+                location = gmd[translation_page]
+                current_entries = (
+                    None if location is None
+                    else read_page_data(location, purpose=purpose).entries)
+            resolved[logical] = (current_entries.get(logical)
+                                 if current_entries is not None else None)
+        return resolved
 
     # ------------------------------------------------------------------
     # Writes (synchronization)

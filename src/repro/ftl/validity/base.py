@@ -19,7 +19,7 @@ they supersede one of their own pages.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from ...flash.address import PhysicalAddress
 
@@ -30,6 +30,28 @@ class ValidityStore(ABC):
     @abstractmethod
     def mark_invalid(self, address: PhysicalAddress) -> None:
         """Record that the flash page at ``address`` no longer holds live data."""
+
+    def invalidate_pages(self, addresses: Iterable[PhysicalAddress]) -> None:
+        """Batch :meth:`mark_invalid`.
+
+        The default loops per page so that flash-resident stores keep their
+        exact per-update IO accounting (a flash PVB pays one read-modify-write
+        per reported page, batched or not); RAM-resident stores override this
+        with whole-word bitmap operations.
+        """
+        for address in addresses:
+            self.mark_invalid(address)
+
+    def count_valid(self, block_id: int, written_pages: int) -> int:
+        """Number of still-valid pages among the first ``written_pages``.
+
+        The default derives the count from :meth:`invalid_offsets`, so on
+        flash-resident stores it costs exactly one GC query's worth of IO.
+        Bit-packed stores override it with a whole-word popcount.
+        """
+        invalid = self.invalid_offsets(block_id)
+        return written_pages - sum(1 for offset in invalid
+                                   if offset < written_pages)
 
     @abstractmethod
     def note_erase(self, block_id: int) -> None:

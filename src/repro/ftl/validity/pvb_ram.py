@@ -5,11 +5,17 @@ GC queries cost no flash IO, but the RAM footprint is ``K * B / 8`` bytes —
 64 MB for the paper's 2 TB device — which makes it the dominant RAM consumer
 (about 95% of all FTL metadata) and, because the bitmap is volatile, it must
 be rebuilt after a power failure by scanning the whole translation table.
+
+Layout: blocks with ``B <= 64`` pages pack one ``array('Q')`` word per block
+(whole-word set/clear and ``int.bit_count`` popcounts); larger blocks fall
+back to a big-int side table (one arbitrary-width Python int per block), the
+same whole-word idiom at ``ceil(B/64)`` machine words per entry.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from array import array
+from typing import Dict, Iterable, Set
 
 from ...flash.address import PhysicalAddress
 from ...flash.config import DeviceConfig
@@ -21,21 +27,54 @@ class RamPVB(ValidityStore):
 
     def __init__(self, config: DeviceConfig) -> None:
         self.config = config
-        #: Bitmap per block stored as a Python int; bit i set means the page
-        #: at offset i is invalid.
+        #: One bit per page; bit i set means the page at offset i is invalid.
+        #: ``_words`` is the packed fast path (one 64-bit word per block);
+        #: ``_bitmaps`` is the big-int side table for blocks wider than 64
+        #: pages. Exactly one of the two is in use.
+        self._packed = config.pages_per_block <= 64
+        self._words = (array("Q", bytes(8 * config.num_blocks))
+                       if self._packed else array("Q"))
         self._bitmaps: Dict[int, int] = {}
 
     def mark_invalid(self, address: PhysicalAddress) -> None:
-        self._bitmaps[address.block] = (
-            self._bitmaps.get(address.block, 0) | (1 << address.page))
+        if self._packed:
+            self._words[address.block] |= 1 << address.page
+        else:
+            self._bitmaps[address.block] = (
+                self._bitmaps.get(address.block, 0) | (1 << address.page))
+
+    def invalidate_pages(self, addresses: Iterable[PhysicalAddress]) -> None:
+        """Batch invalidation: one RAM word OR per page, no dict churn."""
+        if self._packed:
+            words = self._words
+            for block_id, page in addresses:
+                words[block_id] |= 1 << page
+        else:
+            bitmaps = self._bitmaps
+            for block_id, page in addresses:
+                bitmaps[block_id] = bitmaps.get(block_id, 0) | (1 << page)
 
     def note_erase(self, block_id: int) -> None:
-        self._bitmaps.pop(block_id, None)
+        if self._packed:
+            self._words[block_id] = 0
+        else:
+            self._bitmaps.pop(block_id, None)
+
+    def _bitmap(self, block_id: int) -> int:
+        return (self._words[block_id] if self._packed
+                else self._bitmaps.get(block_id, 0))
 
     def invalid_offsets(self, block_id: int) -> Set[int]:
-        bitmap = self._bitmaps.get(block_id, 0)
+        bitmap = self._bitmap(block_id)
         return {offset for offset in range(self.config.pages_per_block)
                 if bitmap >> offset & 1}
+
+    def count_valid(self, block_id: int, written_pages: int) -> int:
+        """Whole-word popcount instead of materializing the offset set."""
+        bitmap = self._bitmap(block_id)
+        if written_pages < self.config.pages_per_block:
+            bitmap &= (1 << written_pages) - 1
+        return written_pages - bitmap.bit_count()
 
     def ram_bytes(self) -> int:
         """One bit per physical page, regardless of how many bits are set."""
@@ -43,6 +82,8 @@ class RamPVB(ValidityStore):
 
     def reset_ram_state(self) -> None:
         """Power failure wipes the whole bitmap; recovery must rebuild it."""
+        if self._packed:
+            self._words = array("Q", bytes(8 * self.config.num_blocks))
         self._bitmaps.clear()
 
     # ------------------------------------------------------------------
@@ -50,10 +91,15 @@ class RamPVB(ValidityStore):
     # ------------------------------------------------------------------
     def rebuild(self, invalid_by_block: Dict[int, Set[int]]) -> None:
         """Install a rebuilt bitmap (offsets of invalid pages per block)."""
-        self._bitmaps = {
-            block_id: sum(1 << offset for offset in offsets)
-            for block_id, offsets in invalid_by_block.items() if offsets
-        }
+        self.reset_ram_state()
+        if self._packed:
+            for block_id, offsets in invalid_by_block.items():
+                self._words[block_id] = sum(1 << offset for offset in offsets)
+        else:
+            self._bitmaps = {
+                block_id: sum(1 << offset for offset in offsets)
+                for block_id, offsets in invalid_by_block.items() if offsets
+            }
 
     def rebuild_after_crash(self, invalid_by_block, metadata_pages) -> None:
         """The bitmap is pure RAM: the scan's stale-copy map *is* the bitmap."""

@@ -39,6 +39,12 @@ __all__ = [
 class Workload(ABC):
     """Base class of all workload generators."""
 
+    #: True when every emitted operation is a write. Lets batch consumers
+    #: count host writes per chunk arithmetically instead of inspecting
+    #: each operation's kind; generators that can emit reads or trims must
+    #: leave this False.
+    write_only: bool = False
+
     def __init__(self, logical_pages: int, seed: int = 42) -> None:
         if logical_pages <= 0:
             raise ValueError("logical_pages must be positive")
@@ -49,6 +55,30 @@ class Workload(ABC):
     @abstractmethod
     def operations(self, count: int):
         """Yield ``count`` operations."""
+
+    def batches(self, count: int, batch_ops: int = 256):
+        """Yield the same ``count`` operations chunked into lists.
+
+        Concatenating the yielded lists is identical to ``operations(count)``
+        for every ``batch_ops`` — the chunk size only bounds how many
+        operations are materialized at once. Batch consumers (the runner,
+        ``fill_device``-style warm-up loops) prefer this form because one
+        C-level list per chunk replaces a per-operation generator round
+        trip; generators with a cheap per-op inner loop override it to
+        build each chunk without yielding through ``operations`` at all.
+        """
+        if batch_ops <= 0:
+            raise ValueError("batch_ops must be positive")
+        chunk: List[Operation] = []
+        append = chunk.append
+        for operation in self.operations(count):
+            append(operation)
+            if len(chunk) >= batch_ops:
+                yield chunk
+                chunk = []
+                append = chunk.append
+        if chunk:
+            yield chunk
 
     def reset(self) -> None:
         """Restart the generator from its seed (for repeated runs).
@@ -136,37 +166,62 @@ class WorkloadRunner:
         intervals: List[IntervalMeasurement] = []
         executed = 0
         writes_in_interval = 0
-        batch: List[Operation] = []
-        append = batch.append
         interval_writes = self.interval_writes
-        max_batch_ops = self.max_batch_ops
         write_kind = OpKind.WRITE
 
-        def flush_batch() -> None:
-            nonlocal executed
-            if batch:
-                executed += submit(batch).submitted
-                batch.clear()
-
-        for operation in workload.operations(operation_count):
-            append(operation)
-            if operation.kind is write_kind:
-                writes_in_interval += 1
-                if writes_in_interval >= interval_writes:
-                    flush_batch()
-                    measurement = IntervalMeasurement(
-                        interval_index=len(intervals),
-                        host_writes=writes_in_interval,
-                        stats=stats.diff(interval_start))
-                    intervals.append(measurement)
-                    if on_interval is not None:
-                        on_interval(measurement)
-                    interval_start = stats.snapshot()
-                    writes_in_interval = 0
-                    continue
-            if len(batch) >= max_batch_ops:
-                flush_batch()
-        flush_batch()
+        # Chunked execution: the workload materializes operations in lists
+        # (one C-level list per chunk instead of a per-op generator round
+        # trip) and each chunk is submitted whole unless a measurement
+        # boundary falls inside it, in which case it is sliced at the
+        # boundary. Interval measurements are cut at exactly the same host
+        # write counts as per-op dispatch; submit-call boundaries may
+        # differ, which the batch path guarantees is trace-equivalent.
+        # Duck-typed workloads (anything with ``operations``) are accepted:
+        # they just take the generic chunking and the per-op kind scan.
+        write_only = getattr(workload, "write_only", False)
+        batches = getattr(workload, "batches", None)
+        if batches is not None:
+            chunks = batches(operation_count, self.max_batch_ops)
+        else:
+            chunks = Workload.batches(workload, operation_count,
+                                      self.max_batch_ops)
+        for chunk in chunks:
+            start = 0
+            length = len(chunk)
+            while start < length:
+                needed = interval_writes - writes_in_interval
+                if write_only:
+                    # Every operation is a write: the boundary position is
+                    # arithmetic, no per-op kind inspection.
+                    remaining = length - start
+                    seen = min(needed, remaining)
+                    boundary = start + needed - 1 if needed <= remaining \
+                        else -1
+                else:
+                    seen = 0
+                    boundary = -1
+                    for index in range(start, length):
+                        if chunk[index].kind is write_kind:
+                            seen += 1
+                            if seen >= needed:
+                                boundary = index
+                                break
+                if boundary < 0:
+                    piece = chunk[start:] if start else chunk
+                    executed += submit(piece).submitted
+                    writes_in_interval += seen
+                    break
+                executed += submit(chunk[start:boundary + 1]).submitted
+                measurement = IntervalMeasurement(
+                    interval_index=len(intervals),
+                    host_writes=interval_writes,
+                    stats=stats.diff(interval_start))
+                intervals.append(measurement)
+                if on_interval is not None:
+                    on_interval(measurement)
+                interval_start = stats.snapshot()
+                writes_in_interval = 0
+                start = boundary + 1
         if writes_in_interval:
             intervals.append(IntervalMeasurement(
                 interval_index=len(intervals),
@@ -193,10 +248,19 @@ def fill_device(ftl: PageMappedFTL, fraction: float = 1.0,
     pages = int(ftl.config.logical_pages * fraction)
     factory = payload_factory
     write_kind = OpKind.WRITE
+    submit = ftl.submit
+    new_operation = object.__new__
+    operation_cls = Operation
     for start in range(0, pages, batch_pages):
         stop = min(start + batch_pages, pages)
-        ftl.submit([
-            Operation(write_kind, logical,
-                      factory(logical) if factory else ("init", logical))
-            for logical in range(start, stop)])
+        batch = []
+        append = batch.append
+        for logical in range(start, stop):
+            operation = new_operation(operation_cls)
+            operation.kind = write_kind
+            operation.logical = logical
+            operation.payload = (factory(logical) if factory
+                                 else ("init", logical))
+            append(operation)
+        submit(batch)
     return pages

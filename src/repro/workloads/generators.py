@@ -30,6 +30,8 @@ class UniformRandomWrites(Workload):
     validity store and the translation table.
     """
 
+    write_only = True
+
     def __init__(self, logical_pages: int, seed: int = 42) -> None:
         super().__init__(logical_pages, seed)
         self._versions = 0
@@ -45,10 +47,47 @@ class UniformRandomWrites(Workload):
             yield Operation(OpKind.WRITE, logical,
                             _payload(logical, self._versions))
 
+    def batches(self, count: int, batch_ops: int = 256):
+        """Chunked form of :meth:`operations` with the per-op loop inlined.
+
+        Emits exactly the operations :meth:`operations` would (same RNG
+        stream, same payloads); this is the benchmark-critical generator,
+        so each chunk is built in one tight loop with the RNG method and
+        version counter hoisted and the dataclass ``__init__`` bypassed
+        (``Operation`` is slotted; three slot stores are cheaper than the
+        generated constructor call).
+        """
+        if batch_ops <= 0:
+            raise ValueError("batch_ops must be positive")
+        randrange = self._rng.randrange
+        pages = self.logical_pages
+        write_kind = OpKind.WRITE
+        new_operation = object.__new__
+        operation_cls = Operation
+        emitted = 0
+        while emitted < count:
+            size = min(batch_ops, count - emitted)
+            versions = self._versions
+            chunk = []
+            append = chunk.append
+            for _ in range(size):
+                logical = randrange(pages)
+                versions += 1
+                operation = new_operation(operation_cls)
+                operation.kind = write_kind
+                operation.logical = logical
+                operation.payload = ("v", logical, versions)
+                append(operation)
+            self._versions = versions
+            emitted += size
+            yield chunk
+
 
 @register_workload("SequentialWrites", "sequential")
 class SequentialWrites(Workload):
     """Cyclic sequential updates (log-structured application behaviour)."""
+
+    write_only = True
 
     def __init__(self, logical_pages: int, seed: int = 42,
                  start: int = 0) -> None:
@@ -79,6 +118,8 @@ class ZipfianWrites(Workload):
     updates. ``theta`` close to 0 approaches uniform; ~0.99 is the YCSB
     default skew.
     """
+
+    write_only = True
 
     def __init__(self, logical_pages: int, seed: int = 42,
                  theta: float = 0.99, max_distinct: int = 4096) -> None:
@@ -132,6 +173,8 @@ class HotColdWrites(Workload):
     of the pages). Useful for exercising GeckoFTL's claim that data type is a
     better hotness signal than temperature detectors.
     """
+
+    write_only = True
 
     def __init__(self, logical_pages: int, seed: int = 42,
                  hot_fraction: float = 0.1,

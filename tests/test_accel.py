@@ -1,0 +1,114 @@
+"""Tests for the optional numpy acceleration layer (repro.accel).
+
+The contract: acceleration is opt-in (``REPRO_NUMPY`` / programmatic
+override), numpy stays a soft dependency, and every accelerated call site
+produces results identical to its pure-stdlib twin. The one accelerated
+site today is the GC victim argmin in
+:meth:`repro.ftl.garbage_collector.GarbageCollector.choose_victim`; this
+module drives both paths over the same simulations and requires identical
+victim sequences and end-to-end counters.
+"""
+
+import pytest
+
+from repro import (
+    IOStats,
+    SimulationSession,
+    UniformRandomWrites,
+    simulation_configuration,
+)
+from repro.accel import get_numpy, numpy_enabled, set_numpy_enabled
+
+numpy = pytest.importorskip("numpy")
+
+#: Small but GC-heavy geometry: few blocks, so collections happen early.
+TINY = dict(num_blocks=48, pages_per_block=8, page_size=256)
+
+_STATS_SLOTS = ("page_read_counts", "page_write_counts",
+                "block_erase_counts", "spare_read_counts",
+                "spare_write_counts")
+
+
+@pytest.fixture(autouse=True)
+def restore_flag():
+    """Leave the process-wide flag exactly as the environment defines it."""
+    yield
+    set_numpy_enabled(None)
+
+
+class TestFlagResolution:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NUMPY", raising=False)
+        set_numpy_enabled(None)
+        assert get_numpy() is None
+        assert not numpy_enabled()
+
+    def test_environment_opt_in(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUMPY", "1")
+        set_numpy_enabled(None)
+        assert get_numpy() is numpy
+
+    def test_programmatic_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUMPY", "1")
+        set_numpy_enabled(False)
+        assert get_numpy() is None
+        set_numpy_enabled(True)
+        assert get_numpy() is numpy
+
+
+def _run_cell(ftl: str, seed: int, writes: int = 3000):
+    """One GC-heavy simulation; returns (stats, victim count, row)."""
+    config = simulation_configuration(**TINY)
+    with SimulationSession(ftl, device=config,
+                           ftl_kwargs={"cache_capacity": 48}) as session:
+        session.warmup()
+        workload = UniformRandomWrites(session.config.logical_pages,
+                                       seed=seed)
+        session.run(workload, writes)
+        collections = session.ftl.garbage_collector.collections
+        stats = session.stats.snapshot()
+        row = session.snapshot().row()
+    return stats, collections, row
+
+
+class TestArgminEquivalence:
+    """numpy argmin and the stdlib fallback must be indistinguishable."""
+
+    @pytest.mark.parametrize("ftl", ["GeckoFTL", "DFTL"])
+    @pytest.mark.parametrize("seed", [7, 1234])
+    def test_end_to_end_runs_identical(self, ftl, seed):
+        set_numpy_enabled(False)
+        stdlib_stats, stdlib_collections, stdlib_row = _run_cell(ftl, seed)
+        set_numpy_enabled(True)
+        assert numpy_enabled()
+        numpy_stats, numpy_collections, numpy_row = _run_cell(ftl, seed)
+        assert numpy_collections == stdlib_collections
+        assert numpy_row == stdlib_row
+        for slot in _STATS_SLOTS:
+            assert getattr(numpy_stats, slot) == getattr(stdlib_stats, slot)
+        assert numpy_stats.host_writes == stdlib_stats.host_writes
+
+    def test_victim_sequences_identical(self):
+        """Collect actual victim ids under both paths, not just totals."""
+        sequences = []
+        for enabled in (False, True):
+            set_numpy_enabled(enabled)
+            config = simulation_configuration(**TINY)
+            with SimulationSession(
+                    "GeckoFTL", device=config,
+                    ftl_kwargs={"cache_capacity": 48}) as session:
+                session.warmup()
+                victims = []
+                original = session.ftl.garbage_collector.collect_block
+
+                def spy(victim, _original=original, _victims=victims):
+                    _victims.append(victim)
+                    return _original(victim)
+
+                session.ftl.garbage_collector.collect_block = spy
+                workload = UniformRandomWrites(
+                    session.config.logical_pages, seed=11)
+                session.run(workload, 2500)
+                sequences.append(victims)
+        assert sequences[0], "workload never triggered garbage collection"
+        assert sequences[0] == sequences[1]

@@ -20,10 +20,12 @@ from repro.cli import main
 
 #: The named benchmarks, in reporting order (gecko_gc_query joined the
 #: original five with the columnar Gecko rewrite, gecko_recovery with the
-#: crash-recovery scenario engine).
+#: crash-recovery scenario engine, submit_batch/device_array_fill with the
+#: batch-vectorized submit path and the multi-device data plane).
 EXPECTED_NAMES = ["device_fill", "gecko_update", "gecko_merge",
                   "gecko_gc_query", "gecko_recovery",
-                  "dftl_cache_miss", "sweep_cell", "latency_sweep",
+                  "dftl_cache_miss", "submit_batch", "device_array_fill",
+                  "sweep_cell", "latency_sweep",
                   "obs_overhead", "store_append"]
 
 

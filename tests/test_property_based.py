@@ -226,3 +226,88 @@ def test_ftl_reads_return_latest_writes(seed, ftl_class):
     sample = rng.sample(sorted(shadow), min(60, len(shadow)))
     for logical in sample:
         assert ftl.read(logical) == shadow[logical]
+
+
+# ----------------------------------------------------------------------
+# Whole-word validity bitmaps vs a per-page reference
+# ----------------------------------------------------------------------
+bitmap_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("invalid"), st.integers(0, 31),
+                  st.integers(0, 1023)),
+        st.tuples(st.just("batch"),
+                  st.lists(st.tuples(st.integers(0, 31),
+                                     st.integers(0, 1023)),
+                           max_size=40),
+                  st.just(0)),
+        st.tuples(st.just("erase"), st.integers(0, 31), st.just(0)),
+    ),
+    min_size=1, max_size=200)
+
+
+def _check_pvb_against_reference(pages_per_block, operations):
+    """Drive RamPVB and a per-page set-of-offsets model with the same ops."""
+    from repro.ftl.validity.pvb_ram import RamPVB
+
+    config = simulation_configuration(num_blocks=32,
+                                      pages_per_block=pages_per_block,
+                                      page_size=256)
+    pvb = RamPVB(config)
+    reference = {block: set() for block in range(config.num_blocks)}
+    for kind, first, second in operations:
+        if kind == "invalid":
+            page = second % pages_per_block
+            pvb.mark_invalid(PhysicalAddress(first, page))
+            reference[first].add(page)
+        elif kind == "batch":
+            addresses = [PhysicalAddress(block, page % pages_per_block)
+                         for block, page in first]
+            pvb.invalidate_pages(addresses)
+            for address in addresses:
+                reference[address.block].add(address.page)
+        else:
+            pvb.note_erase(first)
+            reference[first].clear()
+    for block in range(config.num_blocks):
+        assert pvb.invalid_offsets(block) == reference[block]
+        for written in (0, 1, pages_per_block // 2, pages_per_block):
+            expected = written - sum(1 for offset in reference[block]
+                                     if offset < written)
+            assert pvb.count_valid(block, written) == expected
+
+
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(operations=bitmap_ops)
+def test_packed_word_bitmap_matches_reference(operations):
+    """B <= 64: the packed one-word-per-block array('Q') fast path."""
+    _check_pvb_against_reference(32, operations)
+
+
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(operations=bitmap_ops)
+def test_bigint_side_table_matches_reference(operations):
+    """B > 64: the arbitrary-width big-int side table takes over."""
+    _check_pvb_against_reference(96, operations)
+
+
+@settings(max_examples=100, deadline=None)
+@given(total_bits=st.integers(1, 200),
+       runs=st.lists(st.tuples(st.integers(0, 199), st.integers(0, 199)),
+                     max_size=20))
+def test_set_bit_run_and_popcount_match_per_bit_reference(total_bits, runs):
+    """The block column's run setter against a per-bit reference."""
+    from array import array
+
+    from repro.flash.block import popcount_words, set_bit_run
+
+    words = array("Q", bytes(8 * ((total_bits + 63) >> 6)))
+    reference = set()
+    for start, stop in runs:
+        start, stop = start % total_bits, stop % total_bits
+        set_bit_run(words, start, stop)
+        reference.update(range(start, stop))
+    assert popcount_words(words) == len(reference)
+    for bit in range(total_bits):
+        assert bool(words[bit >> 6] >> (bit & 63) & 1) == (bit in reference)

@@ -1,0 +1,113 @@
+"""Victim-selection determinism: argmin must match the historical scan.
+
+The greedy/metadata-aware victim scan historically walked block ids in
+ascending order with a strict ``<`` comparison, so the lowest block id wins
+every valid-count tie. The argmin rewrite must keep that exact tie-break:
+these tests pin synthetic tie scenarios directly and lock full victim
+sequences from seeded runs against a golden generated with the pre-rewrite
+scan (``tests/data/victim_golden.json``).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.session import SimulationSession
+from repro.flash.config import simulation_configuration
+from repro.ftl.block_manager import BlockType
+from repro.workloads.generators import UniformRandomWrites
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "victim_golden.json"
+
+
+def record_victim_sequence(ftl_name: str, seed: int, operations: int,
+                           cache_capacity: int = 64):
+    """Run a seeded update workload and record every chosen GC victim."""
+    config = simulation_configuration(num_blocks=64, pages_per_block=8,
+                                      page_size=256)
+    session = SimulationSession(ftl=ftl_name, device=config,
+                                ftl_kwargs={"cache_capacity": cache_capacity})
+    collector = session.ftl.garbage_collector
+    victims = []
+    original = collector.choose_victim
+
+    def recording_choose_victim(*args, **kwargs):
+        victim = original(*args, **kwargs)
+        victims.append(victim)
+        return victim
+
+    collector.choose_victim = recording_choose_victim
+    session.warmup()
+    workload = UniformRandomWrites(config.logical_pages, seed=seed)
+    session.run(workload, operations)
+    return victims
+
+
+SCENARIOS = [
+    ("GeckoFTL", 7, 1200),
+    ("DFTL", 7, 1200),
+    ("GeckoFTL", 23, 800),
+    ("DFTL", 23, 800),
+]
+
+
+class TestVictimSequenceGolden:
+    @pytest.mark.parametrize("ftl_name,seed,operations", SCENARIOS)
+    def test_matches_pre_argmin_scan(self, ftl_name, seed, operations):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        key = f"{ftl_name}-seed{seed}-ops{operations}"
+        assert key in golden, f"golden is missing scenario {key}"
+        victims = record_victim_sequence(ftl_name, seed, operations)
+        assert victims == golden[key]
+
+
+class TestTieBreaking:
+    """Direct tie scenarios: the lowest block id must win, deterministically."""
+
+    def _fresh_ftl(self, ftl_name: str):
+        config = simulation_configuration(num_blocks=32, pages_per_block=8,
+                                          page_size=256)
+        session = SimulationSession(ftl=ftl_name, device=config,
+                                    ftl_kwargs={"cache_capacity": 32})
+        session.warmup()
+        return session.ftl
+
+    @pytest.mark.parametrize("ftl_name", ["DFTL", "GeckoFTL"])
+    def test_all_tied_counts_choose_lowest_id(self, ftl_name):
+        ftl = self._fresh_ftl(ftl_name)
+        collector = ftl.garbage_collector
+        bvc = ftl.bvc
+        manager = ftl.block_manager
+        active = set(manager.active_blocks.values())
+        user_blocks = [block_id
+                       for block_id in range(ftl.config.num_blocks)
+                       if manager.info[block_id].block_type is BlockType.USER
+                       and block_id not in active
+                       and ftl.device.block(block_id).written_pages > 0]
+        assert len(user_blocks) >= 2, "warmup left too few candidate blocks"
+        # Force an exact tie across every candidate.
+        for block_id in user_blocks:
+            bvc.set_count(block_id, 3)
+        assert collector.choose_victim() == min(user_blocks)
+
+    @pytest.mark.parametrize("ftl_name", ["DFTL", "GeckoFTL"])
+    def test_two_way_tie_is_stable_across_calls(self, ftl_name):
+        ftl = self._fresh_ftl(ftl_name)
+        collector = ftl.garbage_collector
+        bvc = ftl.bvc
+        manager = ftl.block_manager
+        active = set(manager.active_blocks.values())
+        user_blocks = sorted(
+            block_id for block_id in range(ftl.config.num_blocks)
+            if manager.info[block_id].block_type is BlockType.USER
+            and block_id not in active
+            and ftl.device.block(block_id).written_pages > 0)
+        assert len(user_blocks) >= 3
+        low, high = user_blocks[0], user_blocks[-1]
+        for block_id in user_blocks:
+            bvc.set_count(block_id, 5)
+        bvc.set_count(low, 2)
+        bvc.set_count(high, 2)
+        for _ in range(3):
+            assert collector.choose_victim() == low

@@ -159,6 +159,56 @@ class TestRunner:
         assert fresh.read(written - 1) is not None
 
 
+    def test_batches_flatten_to_the_operation_trace(self):
+        """Chunked generation must be a pure re-batching of operations()."""
+        def mixed(seed):
+            return MixedReadWrite(UniformRandomWrites(LOGICAL_PAGES,
+                                                      seed=seed))
+
+        for factory in (UniformRandomWrites, SequentialWrites,
+                        ZipfianWrites, HotColdWrites, mixed):
+            reference = _materialize(factory(5), 333) \
+                if factory is mixed else \
+                _materialize(factory(LOGICAL_PAGES, seed=5), 333)
+            for batch_ops in (1, 7, 256, 1000):
+                workload = factory(5) if factory is mixed \
+                    else factory(LOGICAL_PAGES, seed=5)
+                flattened = [(op.kind, op.logical, op.payload)
+                             for chunk in workload.batches(333, batch_ops)
+                             for op in chunk]
+                assert flattened == reference, \
+                    (getattr(factory, "__name__", "mixed"), batch_ops)
+
+    def test_batches_rejects_nonpositive_chunk(self):
+        workload = UniformRandomWrites(LOGICAL_PAGES, seed=5)
+        with pytest.raises(ValueError):
+            next(workload.batches(10, 0))
+
+    def test_run_is_chunk_size_invariant(self):
+        """Same trace, intervals, and counters for any max_batch_ops."""
+        def run_with(max_batch_ops):
+            config = simulation_configuration(num_blocks=64,
+                                              pages_per_block=8,
+                                              page_size=256)
+            ftl = DFTL(FlashDevice(config), cache_capacity=64)
+            fill_device(ftl)
+            ftl.device.stats.reset()
+            runner = WorkloadRunner(ftl, interval_writes=100,
+                                    max_batch_ops=max_batch_ops)
+            result = runner.run(
+                UniformRandomWrites(config.logical_pages, seed=9), 450)
+            return ([(m.interval_index, m.host_writes,
+                      m.stats.page_writes, m.stats.page_reads)
+                     for m in result.intervals],
+                    result.final_stats.page_writes,
+                    result.final_stats.page_reads,
+                    result.host_writes)
+
+        reference = run_with(4096)
+        for max_batch_ops in (1, 33, 100, 101, 256):
+            assert run_with(max_batch_ops) == reference, max_batch_ops
+
+
 def _materialize(workload, count):
     return [(op.kind, op.logical, op.payload)
             for op in workload.operations(count)]
