@@ -1,50 +1,53 @@
 #!/usr/bin/env python3
-"""Trace replay — record a workload, replay it against two FTLs, compare.
+"""Trace replay — stream a real-format block trace through two FTLs.
 
-Real FTL evaluations are trace-driven. This example shows the full loop with
-the library's portable text trace format:
+Real FTL evaluations are trace-driven. This example replays the checked-in
+mini MSR-Cambridge trace (``examples/data/mini_msr.csv``, standard
+``Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime`` CSV) without
+ever materialising it in memory:
 
-1. generate a mixed hot/cold workload and record it to a trace file,
-2. replay the identical trace against GeckoFTL and against µ-FTL through one
-   :class:`SimulationSession` each, and
-3. compare the resulting write-amplification breakdowns.
+1. :class:`StreamingTraceWorkload` parses the CSV lazily, windows each byte
+   request onto 4 KB logical pages (a request spanning several pages emits
+   one op per page), and clips offsets beyond the simulated device,
+2. the identical stream replays against GeckoFTL and against µ-FTL through
+   one :class:`SimulationSession` each (``reset()`` rewinds by reopening the
+   file — O(1) memory however large the trace), and
+3. the resulting write-amplification breakdowns are compared.
 
-To replay your own block trace, convert it to one ``W <logical page>`` /
-``R <logical page>`` line per request.
+Any MSR / FIU-SPC / blktrace-text / native trace works the same way; pass
+``--trace PATH --format NAME``. ``repro ingest --stat PATH`` summarises a
+trace before you commit to a replay.
 
 Run with::
 
-    python examples/trace_replay.py [--trace PATH]
+    python examples/trace_replay.py [--trace PATH] [--format NAME]
 """
 
 from __future__ import annotations
 
 import argparse
-import tempfile
 from pathlib import Path
 
 from repro import SimulationSession, simulation_configuration
 from repro.bench.reporting import print_report
-from repro.workloads import HotColdWrites, TraceWorkload, record_trace
+from repro.workloads import StreamingTraceWorkload
 
+MINI_TRACE = Path(__file__).parent / "data" / "mini_msr.csv"
 OPERATIONS = 8_000
 
 
-def make_trace(path: Path, logical_pages: int) -> None:
-    workload = HotColdWrites(logical_pages, seed=11, hot_fraction=0.2,
-                             hot_probability=0.8)
-    count = record_trace(workload.operations(OPERATIONS), path)
-    print(f"Recorded {count} operations to {path}")
-
-
-def replay(ftl_spec: str, config, trace_path: Path) -> dict:
+def replay(ftl_spec: str, config, trace_path: Path, trace_format: str) -> dict:
     with SimulationSession(ftl_spec, device=config,
                            interval_writes=2_000) as session:
         session.warmup()
-        workload = TraceWorkload.from_file(trace_path, config.logical_pages)
+        workload = StreamingTraceWorkload(trace_path, config.logical_pages,
+                                          format=trace_format,
+                                          lpn_scale=4096, oor="clip",
+                                          wrap=True)
         result = session.run(workload, OPERATIONS)
         return {
             "ftl": session.ftl.name,
+            "host_writes": result.host_writes,
             "wa_total": round(result.write_amplification(config.delta), 3),
             **{f"wa_{purpose}": round(value, 3)
                for purpose, value in sorted(session.wa_breakdown().items())},
@@ -53,20 +56,23 @@ def replay(ftl_spec: str, config, trace_path: Path) -> dict:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--trace", type=Path, default=None,
-                        help="existing trace file to replay (optional)")
+    parser.add_argument("--trace", type=Path, default=MINI_TRACE,
+                        help="trace file to replay (default: the checked-in "
+                             "mini MSR trace)")
+    parser.add_argument("--format", default="msr",
+                        help="trace format: native, msr, fiu or blktrace "
+                             "(default: msr)")
     arguments = parser.parse_args()
 
     config = simulation_configuration(num_blocks=256, pages_per_block=32,
                                       page_size=512)
-    if arguments.trace is not None:
-        trace_path = arguments.trace
-    else:
-        trace_path = Path(tempfile.gettempdir()) / "repro_example_trace.txt"
-        make_trace(trace_path, config.logical_pages)
+    print(f"Replaying {arguments.trace} ({arguments.format}, wrapped to "
+          f"{OPERATIONS} ops) on a {config.logical_pages}-page device\n")
 
-    rows = [replay("GeckoFTL(cache_capacity=512)", config, trace_path),
-            replay("uFTL(cache_capacity=512)", config, trace_path)]
+    rows = [replay("GeckoFTL(cache_capacity=512)", config,
+                   arguments.trace, arguments.format),
+            replay("uFTL(cache_capacity=512)", config,
+                   arguments.trace, arguments.format)]
     print_report("Identical trace, two FTLs", rows)
     print("\nGeckoFTL's advantage is concentrated in the 'validity' column: "
           "µ-FTL pays a flash read-modify-write per invalidation, Logarithmic "

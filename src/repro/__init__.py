@@ -107,6 +107,9 @@ from .timing import (
 )
 from .workloads import (
     HotColdWrites,
+    OpStream,
+    StreamingTraceWorkload,
+    TenantMix,
     TraceFormatError,
     WorkloadSpec,
     MixedReadWrite,
@@ -156,6 +159,7 @@ __all__ = [
     "ObservedTimedFlashDevice",
     "Observer",
     "OpKind",
+    "OpStream",
     "Operation",
     "PageMappedFTL",
     "PhysicalAddress",
@@ -166,10 +170,12 @@ __all__ = [
     "SessionSnapshot",
     "SimulationSession",
     "SqliteResultStore",
+    "StreamingTraceWorkload",
     "SweepExecutor",
     "SweepPlan",
     "SweepProgress",
     "SweepTask",
+    "TenantMix",
     "TimedFlashDevice",
     "TimingModel",
     "TimingSpec",

@@ -44,6 +44,26 @@ from ..workloads.base import RunResult, Workload, WorkloadRunner, fill_device
 from .registry import FTLSpec
 
 
+def tenant_breakdown(stats: IOStats,
+                     delta: float) -> Optional[Dict[str, Dict[str, Any]]]:
+    """Per-tenant counters and write amplification, or ``None`` if untagged.
+
+    Reads the :attr:`IOStats.tenant_counts` ledger the workload runner fills
+    for tenant-tagged workloads; each tenant's entry carries its host/flash
+    counters plus ``"wa"`` (the tenant's write amplification at ``delta``).
+    """
+    ledger = getattr(stats, "tenant_counts", None)
+    if not ledger:
+        return None
+    breakdown: Dict[str, Dict[str, Any]] = {}
+    for tenant in sorted(ledger):
+        counters: Dict[str, Any] = dict(ledger[tenant])
+        counters["wa"] = round(
+            stats.tenant_write_amplification(tenant, delta), 4)
+        breakdown[tenant] = counters
+    return breakdown
+
+
 def write_amplification_breakdown(stats: IOStats, delta: float,
                                   host_writes: Optional[int] = None
                                   ) -> Dict[str, float]:
@@ -73,6 +93,11 @@ class SessionSnapshot:
     #: and ``wa_total``), or ``None`` for single-device sessions. Only
     #: :class:`~repro.flash.device_array.DeviceArraySession` fills this.
     shards: Optional[List[Dict[str, Any]]] = None
+    #: Per-tenant breakdown (``{tenant: {counters..., "wa"}}``), or ``None``
+    #: when no tenant-tagged operations ran (the historical single-tenant
+    #: case). Only multi-tenant mixes (:class:`repro.workloads.TenantMix`)
+    #: populate the underlying ledger.
+    tenants: Optional[Dict[str, Dict[str, Any]]] = None
 
     @property
     def ram_bytes(self) -> int:
@@ -98,6 +123,15 @@ class SessionSnapshot:
             row["array_shards"] = len(self.shards)
             row["shard_wa_max"] = max(
                 (shard["wa_total"] for shard in self.shards), default=0.0)
+        if self.tenants is not None:
+            # Tenant columns likewise appear only for tenant-tagged runs,
+            # keeping untagged rows byte-identical to their historical shape.
+            row["tenants"] = ",".join(sorted(self.tenants))
+            for tenant in sorted(self.tenants):
+                counters = self.tenants[tenant]
+                row[f"tenant_wa_{tenant}"] = counters["wa"]
+                row[f"tenant_writes_{tenant}"] = counters["host_writes"]
+                row[f"tenant_reads_{tenant}"] = counters["host_reads"]
         return row
 
 
@@ -290,7 +324,8 @@ class SimulationSession:
             write_amplification=stats.write_amplification(delta),
             wa_breakdown=write_amplification_breakdown(stats, delta),
             ram_breakdown=self.ftl.ram_breakdown(),
-            latency=self.latency_summary())
+            latency=self.latency_summary(),
+            tenants=tenant_breakdown(stats, delta))
 
     def latency_summary(self) -> Optional[Dict[str, Any]]:
         """Latency/throughput figures for the capture window, or ``None``.

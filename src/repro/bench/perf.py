@@ -534,6 +534,63 @@ def _bench_store_append(quick: bool) -> PreparedBench:
                   "store": "sqlite"})
 
 
+def _bench_trace_replay(quick: bool) -> PreparedBench:
+    """Stream an MSR-format trace through GeckoFTL's submit path.
+
+    Setup (not timed) synthesises a skewed MSR-Cambridge CSV trace on disk
+    and fills the device; the thunk builds a fresh
+    :class:`~repro.workloads.ingest.StreamingTraceWorkload` (so every repeat
+    re-parses from line 1), wraps it and drives the requested op count
+    through ``ftl.submit`` in batches. Measures the whole ingestion path —
+    line parsing, byte-offset→LPN windowing, clip policy, batch chunking —
+    on top of the simulator's hot loop.
+    """
+    import tempfile
+
+    from ..core.gecko_ftl import GeckoFTL
+    from ..flash.config import simulation_configuration
+    from ..flash.device import FlashDevice
+    from ..workloads.base import fill_device
+    from ..workloads.ingest import StreamingTraceWorkload
+
+    config = simulation_configuration(num_blocks=128, pages_per_block=16,
+                                      page_size=256)
+    ftl = GeckoFTL(FlashDevice(config), cache_capacity=256)
+    fill_device(ftl, payload_factory=lambda logical: None)
+    operations = 4_000 if quick else 16_000
+    lpn_scale = 4096
+    rng = random.Random(0x7ACE)
+    scratch = tempfile.TemporaryDirectory(prefix="bench_trace_replay_")
+    trace_path = Path(scratch.name) / "trace.csv"
+    with trace_path.open("w") as handle:
+        span = config.logical_pages * lpn_scale
+        for index in range(2_000):
+            kind = "Read" if rng.random() < 0.25 else "Write"
+            offset = rng.randrange(span)
+            size = rng.choice((4096, 8192, 16384))
+            handle.write(f"{128166372000000 + index},src,0,{kind},"
+                         f"{offset},{size},100\n")
+    logical_pages = config.logical_pages
+
+    def thunk() -> int:
+        workload = StreamingTraceWorkload(
+            trace_path, logical_pages, format="msr", lpn_scale=lpn_scale,
+            oor="clip", wrap=True)
+        submit = ftl.submit
+        executed = 0
+        for batch in workload.batches(operations, 512):
+            executed += submit(batch).submitted
+        # Keep the scratch directory alive until the last repeat's thunk
+        # has run, then let refcounting clean it up with the bench.
+        thunk.scratch = scratch
+        return executed
+
+    return PreparedBench(
+        thunk=thunk, ops=operations,
+        geometry={**_geometry_dict(config), "format": "msr",
+                  "lpn_scale": lpn_scale, "trace_lines": 2_000})
+
+
 #: The fixed set of named microbenchmarks, in reporting order.
 BENCH_CASES: Dict[str, BenchFactory] = {
     "device_fill": _bench_device_fill,
@@ -548,6 +605,7 @@ BENCH_CASES: Dict[str, BenchFactory] = {
     "latency_sweep": _bench_latency_sweep,
     "obs_overhead": _bench_obs_overhead,
     "store_append": _bench_store_append,
+    "trace_replay": _bench_trace_replay,
 }
 
 

@@ -42,7 +42,10 @@ from .engine.executor import SweepTaskError
 from .flash.config import paper_configuration, simulation_configuration
 from .obs import ObsSpec, SweepProgress, event_names
 from .timing import DEVICE_PRESETS, TimingSpec
-from .workloads import TraceWorkload, WorkloadSpec, workload_names
+from .workloads import StreamingTraceWorkload, WorkloadSpec, workload_names
+from .workloads.ingest.formats import (TRACE_FORMATS, TraceFormatError,
+                                       _open_trace, get_trace_format,
+                                       iter_trace_records)
 
 
 def _ftl_spec(text: str) -> FTLSpec:
@@ -163,9 +166,12 @@ def cmd_replay(arguments) -> int:
             interval_writes=max(1, arguments.writes // 10),
             ftl_kwargs={"cache_capacity": arguments.cache_entries}) as session:
         session.warmup()
-        workload = TraceWorkload.from_file(arguments.trace,
-                                           device_config.logical_pages,
-                                           wrap=arguments.wrap)
+        workload = StreamingTraceWorkload(arguments.trace,
+                                          device_config.logical_pages,
+                                          format=arguments.format,
+                                          lpn_scale=arguments.lpn_scale,
+                                          oor=arguments.oor,
+                                          wrap=arguments.wrap)
         result = session.run(workload, arguments.writes)
         print_report(f"Replay of {arguments.trace} against {spec}", [{
             "host_writes": result.host_writes,
@@ -174,6 +180,99 @@ def cmd_replay(arguments) -> int:
                 result.write_amplification(device_config.delta), 4),
             "ram_bytes": session.ftl.ram_bytes(),
         }])
+    return 0
+
+
+def _ingest_scan(path: str, trace_format, lpn_scale: int, sink=None):
+    """Stream one trace once, returning its summary row (and converting).
+
+    Constant-memory except for the footprint estimate, which tracks the set
+    of distinct pages touched — fine for the offline tooling path.
+    """
+    kinds = {"WRITE": 0, "READ": 0, "TRIM": 0}
+    records = operations = 0
+    pages = set()
+    min_offset = max_offset = None
+    first_ts = last_ts = None
+    for record, _line in iter_trace_records(path, trace_format):
+        records += 1
+        kinds[record.kind.name] += 1
+        if trace_format.byte_addressed:
+            first = record.offset // lpn_scale
+            last = (record.offset + max(record.size, 1) - 1) // lpn_scale
+        else:
+            first = last = record.offset
+        operations += last - first + 1
+        pages.update(range(first, last + 1))
+        if min_offset is None or record.offset < min_offset:
+            min_offset = record.offset
+        span = record.offset + record.size
+        if max_offset is None or span > max_offset:
+            max_offset = span
+        if record.timestamp is not None:
+            if first_ts is None:
+                first_ts = record.timestamp
+            last_ts = record.timestamp
+        if sink is not None:
+            letter = {"WRITE": "W", "READ": "R", "TRIM": "T"}[record.kind.name]
+            for lpn in range(first, last + 1):
+                sink.write(f"{letter} {lpn}\n")
+    return {
+        "trace": path,
+        "records": records,
+        "ops": operations,
+        "writes": kinds["WRITE"],
+        "reads": kinds["READ"],
+        "trims": kinds["TRIM"],
+        "footprint_pages": len(pages),
+        "footprint": format_bytes(len(pages) * lpn_scale),
+        "offset_range": ("-" if min_offset is None
+                         else f"{min_offset}..{max_offset}"),
+        "span_s": (round(last_ts - first_ts, 3)
+                   if first_ts is not None and last_ts > first_ts else 0.0),
+    }
+
+
+def cmd_ingest(arguments) -> int:
+    """Validate, summarise or convert block traces (the offline half of
+    :mod:`repro.workloads.ingest` — no device or FTL involved)."""
+    trace_format = get_trace_format(arguments.format)
+    sink = None
+    if arguments.convert:
+        sink = _open_trace(arguments.convert, "wt")
+    rows = []
+    try:
+        for path in arguments.traces:
+            rows.append(_ingest_scan(path, trace_format, arguments.lpn_scale,
+                                     sink=sink))
+    except TraceFormatError as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if sink is not None:
+            sink.close()
+    if arguments.stat:
+        print_report(
+            f"Trace statistics ({arguments.format}, "
+            f"lpn_scale={arguments.lpn_scale})", rows)
+        if len(rows) > 1:
+            total = sum(row["ops"] for row in rows) or 1
+            print_report("Tenant split (by windowed ops)", [
+                {"tenant": f"t{index}", "trace": row["trace"],
+                 "ops": row["ops"],
+                 "share": f"{100.0 * row['ops'] / total:.1f}%"}
+                for index, row in enumerate(rows)])
+    else:
+        print_report(
+            f"Validated {len(rows)} trace(s) ({arguments.format})",
+            [{"trace": row["trace"], "records": row["records"],
+              "ops": row["ops"]} for row in rows])
+    if arguments.convert:
+        converted = sum(row["ops"] for row in rows)
+        print(f"\nwrote {converted} native op(s) to {arguments.convert}")
     return 0
 
 
@@ -643,7 +742,37 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--writes", type=int, default=4000)
     replay.add_argument("--wrap", action="store_true",
                         help="wrap around when the trace is exhausted")
+    replay.add_argument("--format", default="native",
+                        choices=sorted(TRACE_FORMATS),
+                        help="trace format (default: native W/R/T <lpn>)")
+    replay.add_argument("--lpn-scale", type=int, default=4096,
+                        help="bytes per logical page when the format is "
+                             "byte-addressed (default: 4096)")
+    replay.add_argument("--oor", default="clip",
+                        choices=("clip", "wrap", "error"),
+                        help="policy for trace pages beyond the device's "
+                             "logical space (default: clip)")
     replay.set_defaults(handler=cmd_replay)
+
+    ingest = subparsers.add_parser(
+        "ingest", help="validate, summarise or convert block traces")
+    ingest.add_argument("traces", nargs="+", metavar="TRACE",
+                        help="trace file(s); .gz is read transparently")
+    ingest.add_argument("--format", default="native",
+                        choices=sorted(TRACE_FORMATS),
+                        help="trace format of every input file")
+    ingest.add_argument("--lpn-scale", type=int, default=4096,
+                        help="bytes per logical page when the format is "
+                             "byte-addressed (default: 4096)")
+    ingest.add_argument("--stat", action="store_true",
+                        help="print the op histogram, footprint and offset "
+                             "range per file (plus the tenant split when "
+                             "several files are given)")
+    ingest.add_argument("--convert", metavar="OUT",
+                        help="write the windowed ops of all inputs, in "
+                             "order, as one native-format trace (.gz "
+                             "compresses)")
+    ingest.set_defaults(handler=cmd_ingest)
 
     sweep = subparsers.add_parser(
         "sweep", help="run a grid of experiments, optionally in parallel")

@@ -83,6 +83,20 @@ def _base_row(task: SweepTask, session, snapshot) -> Dict[str, Any]:
         row["shard_wa_max"] = max(
             (shard["wa_total"] for shard in shards), default=0.0)
         row["shards"] = [dict(shard) for shard in shards]
+    tenants = getattr(snapshot, "tenants", None)
+    if tenants is not None:
+        # Multi-tenant cells: per-tenant attribution is deterministic for a
+        # given task (the mix schedule derives from the task seed), so these
+        # are canonical columns too; untagged rows keep their historical
+        # shape byte for byte.
+        row["tenants"] = ",".join(sorted(tenants))
+        for tenant in sorted(tenants):
+            counters = tenants[tenant]
+            row[f"tenant_wa_{tenant}"] = counters["wa"]
+            row[f"tenant_writes_{tenant}"] = counters["host_writes"]
+            row[f"tenant_reads_{tenant}"] = counters["host_reads"]
+        row["tenant_breakdown"] = {tenant: dict(counters) for tenant, counters
+                                   in sorted(tenants.items())}
     return row
 
 

@@ -345,6 +345,7 @@ class DeviceArraySession(SimulationSession):
                 local.kind = operation.kind
                 local.logical = logical - shard * pages_per_shard
                 local.payload = operation.payload
+                local.tenant = operation.tenant
                 pending[shard].append(local)
                 if operation.kind is write_kind:
                     writes_in_interval += 1
@@ -433,6 +434,7 @@ class DeviceArraySession(SimulationSession):
             local.kind = operation.kind
             local.logical = operation.logical - shard * pages_per_shard
             local.payload = operation.payload
+            local.tenant = operation.tenant
             per_shard[shard].append(local)
             origin[shard].append(position)
         before = self.stats

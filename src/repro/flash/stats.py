@@ -51,6 +51,13 @@ _ZERO_COUNTS: Dict[IOPurpose, int] = {purpose: 0 for purpose in IOPurpose}
 _KINDS_SORTED = sorted(IOKind, key=lambda kind: kind.value)
 _PURPOSES_SORTED = sorted(IOPurpose, key=lambda purpose: purpose.value)
 
+#: Per-tenant counter fields, in canonical reporting order. The per-tenant
+#: ledger is deliberately coarse (totals, not per-purpose maps): it exists to
+#: attribute write amplification and op counts to tenants of a mixed
+#: workload, not to reproduce the full purpose breakdown per tenant.
+TENANT_FIELDS = ("host_writes", "host_reads", "host_trims",
+                 "page_writes", "page_reads", "block_erases")
+
 
 class IOStats:
     """Mutable counter of flash operations grouped by kind and purpose.
@@ -64,7 +71,8 @@ class IOStats:
 
     __slots__ = ("page_read_counts", "page_write_counts",
                  "block_erase_counts", "spare_read_counts",
-                 "spare_write_counts", "host_writes", "host_reads")
+                 "spare_write_counts", "host_writes", "host_reads",
+                 "tenant_counts")
 
     def __init__(self) -> None:
         self.page_read_counts: Dict[IOPurpose, int] = _ZERO_COUNTS.copy()
@@ -74,6 +82,10 @@ class IOStats:
         self.spare_write_counts: Dict[IOPurpose, int] = _ZERO_COUNTS.copy()
         self.host_writes = 0
         self.host_reads = 0
+        #: Lazily populated ``{tenant: {field: count}}`` ledger (see
+        #: :data:`TENANT_FIELDS`); ``None`` until the first tenant-tagged
+        #: batch so single-tenant runs pay nothing.
+        self.tenant_counts: Optional[Dict[str, Dict[str, int]]] = None
 
     def _counts_of(self, kind: IOKind) -> Dict[IOPurpose, int]:
         if kind is IOKind.PAGE_READ:
@@ -103,6 +115,29 @@ class IOStats:
     def record_host_read(self, amount: int = 1) -> None:
         """Record a logical read issued by the application."""
         self.host_reads += amount
+
+    def record_tenant_batch(self, tenant: str, host_writes: int,
+                            host_reads: int, host_trims: int,
+                            delta: "IOStats") -> None:
+        """Attribute one submitted batch's IO to ``tenant``.
+
+        ``delta`` is the :class:`IOStats` window the batch produced (e.g.
+        :attr:`~repro.ftl.operations.BatchResult.stats_delta`); only its
+        kind totals are folded into the tenant ledger. Called by the
+        workload runner once per same-tenant run of a mixed stream.
+        """
+        ledger = self.tenant_counts
+        if ledger is None:
+            ledger = self.tenant_counts = {}
+        counts = ledger.get(tenant)
+        if counts is None:
+            counts = ledger[tenant] = dict.fromkeys(TENANT_FIELDS, 0)
+        counts["host_writes"] += host_writes
+        counts["host_reads"] += host_reads
+        counts["host_trims"] += host_trims
+        counts["page_writes"] += sum(delta.page_write_counts.values())
+        counts["page_reads"] += sum(delta.page_read_counts.values())
+        counts["block_erases"] += sum(delta.block_erase_counts.values())
 
     # ------------------------------------------------------------------
     # Queries
@@ -191,6 +226,20 @@ class IOStats:
                 if purpose in purposes)
         return (internal_writes + internal_reads / delta) / writes_denominator
 
+    def tenant_write_amplification(self, tenant: str, delta: float) -> float:
+        """Write amplification of one tenant's share of the IO.
+
+        Same formula as :meth:`write_amplification` but over the tenant
+        ledger's totals; 0.0 for unknown tenants or tenants that wrote
+        nothing.
+        """
+        ledger = getattr(self, "tenant_counts", None)
+        counts = ledger.get(tenant) if ledger else None
+        if not counts or not counts["host_writes"]:
+            return 0.0
+        return ((counts["page_writes"] + counts["page_reads"] / delta)
+                / counts["host_writes"])
+
     def latency_us(self, latency) -> float:
         """Total simulated time of all recorded operations, in microseconds.
 
@@ -221,6 +270,10 @@ class IOStats:
         copy.spare_write_counts = self.spare_write_counts.copy()
         copy.host_writes = self.host_writes
         copy.host_reads = self.host_reads
+        ledger = self.tenant_counts
+        copy.tenant_counts = (None if ledger is None else
+                              {tenant: counts.copy()
+                               for tenant, counts in ledger.items()})
         return copy
 
     def diff(self, earlier: "IOStats") -> "IOStats":
@@ -249,6 +302,23 @@ class IOStats:
             setattr(result, slot, window)
         result.host_writes = self.host_writes - earlier.host_writes
         result.host_reads = self.host_reads - earlier.host_reads
+        # Hand-built instances (``IOStats.__new__`` without the tenant slot
+        # stored) diff like untagged ones.
+        mine = getattr(self, "tenant_counts", None)
+        theirs = getattr(earlier, "tenant_counts", None) or {}
+        if mine is None:
+            result.tenant_counts = None
+        else:
+            window: Dict[str, Dict[str, int]] = {}
+            for tenant, counts in mine.items():
+                base = theirs.get(tenant)
+                entry = {}
+                for field in TENANT_FIELDS:
+                    value = counts[field] - (base.get(field, 0) if base else 0)
+                    entry[field] = value if value > 0 else 0
+                if any(entry.values()):
+                    window[tenant] = entry
+            result.tenant_counts = window or None
         return result
 
     @classmethod
@@ -271,6 +341,18 @@ class IOStats:
                         into[purpose] += count
             merged.host_writes += part.host_writes
             merged.host_reads += part.host_reads
+            ledger = getattr(part, "tenant_counts", None)
+            if ledger:
+                into_ledger = merged.tenant_counts
+                if into_ledger is None:
+                    into_ledger = merged.tenant_counts = {}
+                for tenant, counts in ledger.items():
+                    entry = into_ledger.get(tenant)
+                    if entry is None:
+                        entry = into_ledger[tenant] = dict.fromkeys(
+                            TENANT_FIELDS, 0)
+                    for field in TENANT_FIELDS:
+                        entry[field] += counts.get(field, 0)
         return merged
 
     def reset(self) -> None:
@@ -282,3 +364,4 @@ class IOStats:
         self.spare_write_counts = _ZERO_COUNTS.copy()
         self.host_writes = 0
         self.host_reads = 0
+        self.tenant_counts = None

@@ -36,11 +36,18 @@ class Operation:
     operation), but deliberately not ``frozen``: workloads materialize one
     per host op, and a frozen dataclass pays three ``object.__setattr__``
     calls per construction. Slotted for flat per-op storage.
+
+    ``tenant`` identifies which stream of a multi-tenant mix emitted the
+    operation (see :class:`repro.workloads.ingest.TenantMix`); ``None`` —
+    the default every single-tenant producer uses — keeps all accounting on
+    the historical untagged paths. Producers that bypass ``__init__`` via
+    ``object.__new__`` must store all four slots.
     """
 
     kind: OpKind
     logical: int
     payload: Any = None
+    tenant: Any = None
 
 
 @dataclass

@@ -162,6 +162,19 @@ class MetricsRecorder:
             row["p99_us_w"] = round(sketch.p99_us, 3)
             row["p999_us_w"] = round(sketch.p999_us, 3)
             sketch.reset()
+        tenant_window = getattr(window, "tenant_counts", None)
+        if tenant_window:
+            # Tenant-tagged windows grow per-tenant columns; untagged rows
+            # (and whole untagged captures) keep the historical schema.
+            delta = self._delta
+            for tenant in sorted(tenant_window):
+                counts = tenant_window[tenant]
+                host_writes = counts["host_writes"]
+                row[f"writes_{tenant}_w"] = host_writes
+                amplification = ((counts["page_writes"]
+                                  + counts["page_reads"] / delta)
+                                 / host_writes) if host_writes else 0.0
+                row[f"wa_{tenant}_w"] = round(amplification, 4)
         self.rows.append(row)
         self._last = stats.snapshot()
         self._next_sample = (stats.host_writes + stats.host_reads
@@ -202,10 +215,19 @@ class MetricsRecorder:
     # ------------------------------------------------------------------
     @property
     def columns(self) -> List[str]:
-        """Canonical column order for CSV export."""
+        """Canonical column order for CSV export.
+
+        Tenant columns (``writes_<tenant>_w``, ``wa_<tenant>_w``) are
+        appended, sorted, only when some captured row carries them, so
+        untagged exports stay byte-identical to the historical schema.
+        """
         result = list(BASE_COLUMNS)
         if self._timing is not None:
             result.extend(TIMING_COLUMNS)
+        known = set(result)
+        extras = sorted({key for row in self.rows
+                         for key in row if key not in known})
+        result.extend(extras)
         return result
 
     def export_csv(self, target: Union[str, IO[str]]) -> int:

@@ -51,7 +51,8 @@ class TimingModel:
     """Sequences tagged flash ops onto device units under a virtual clock."""
 
     __slots__ = ("spec", "units", "now", "sketch", "kind_sketches",
-                 "requests", "window_sketch", "_busy", "_service", "_cursor",
+                 "requests", "window_sketch", "current_tenant",
+                 "tenant_sketches", "_busy", "_service", "_cursor",
                  "_arrival", "_depth", "_kind", "_capture_start",
                  "_background")
 
@@ -87,6 +88,11 @@ class TimingModel:
         #: at each window boundary. ``None`` (the default) keeps the request
         #: path free of any window bookkeeping.
         self.window_sketch: Optional[LatencySketch] = None
+        #: Tenant the workload runner is currently submitting for (``None``
+        #: outside tenant-tagged runs); while set, closed requests are
+        #: additionally recorded into that tenant's sketch.
+        self.current_tenant: Optional[str] = None
+        self.tenant_sketches: Dict[str, LatencySketch] = {}
         self._capture_start = 0.0
 
     # ------------------------------------------------------------------
@@ -116,6 +122,13 @@ class TimingModel:
             if per_kind is None:
                 per_kind = self.kind_sketches[kind] = LatencySketch()
             per_kind.record(latency)
+            tenant = self.current_tenant
+            if tenant is not None:
+                per_tenant = self.tenant_sketches.get(tenant)
+                if per_tenant is None:
+                    per_tenant = self.tenant_sketches[tenant] = \
+                        LatencySketch()
+                per_tenant.record(latency)
         elif depth < 0:  # pragma: no cover - defensive
             self._depth = 0
 
@@ -165,6 +178,7 @@ class TimingModel:
         state survives, exactly like ``IOStats.reset`` keeps flash state)."""
         self.sketch = LatencySketch()
         self.kind_sketches = {}
+        self.tenant_sketches = {}
         self.requests = 0
         if self.window_sketch is not None:
             self.window_sketch.reset()
@@ -191,6 +205,12 @@ class TimingModel:
         result.update(self.sketch.summary())
         result["kinds"] = {kind: self.kind_sketches[kind].summary()
                            for kind in sorted(self.kind_sketches)}
+        if self.tenant_sketches:
+            # Only tenant-tagged runs grow this section, so untagged
+            # summaries keep their historical shape.
+            result["tenants"] = {
+                tenant: self.tenant_sketches[tenant].summary()
+                for tenant in sorted(self.tenant_sketches)}
         return result
 
     def row_fields(self) -> Dict[str, float]:

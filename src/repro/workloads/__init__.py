@@ -1,10 +1,11 @@
-"""Workload generators, trace replay, the workload registry, and the runner."""
+"""Workload generators, trace ingestion, the workload registry, and the runner."""
 
 from .base import (
     BatchResult,
     IntervalMeasurement,
     Operation,
     OpKind,
+    OpStream,
     RunResult,
     Workload,
     WorkloadRunner,
@@ -17,6 +18,18 @@ from .generators import (
     UniformRandomWrites,
     ZipfianWrites,
 )
+from .ingest import (
+    TRACE_FORMATS,
+    StreamingTraceWorkload,
+    TenantMix,
+    TraceFormat,
+    TraceFormatError,
+    TraceRecord,
+    get_trace_format,
+    iter_trace_records,
+    parse_trace_line,
+    record_trace,
+)
 from .registry import (
     WorkloadSpec,
     get_workload_factory,
@@ -25,11 +38,8 @@ from .registry import (
     workload_names,
 )
 from .trace import (
-    TraceFormatError,
     TraceWorkload,
     load_trace,
-    parse_trace_line,
-    record_trace,
 )
 
 __all__ = [
@@ -39,9 +49,15 @@ __all__ = [
     "MixedReadWrite",
     "Operation",
     "OpKind",
+    "OpStream",
     "RunResult",
     "SequentialWrites",
+    "StreamingTraceWorkload",
+    "TRACE_FORMATS",
+    "TenantMix",
+    "TraceFormat",
     "TraceFormatError",
+    "TraceRecord",
     "TraceWorkload",
     "UniformRandomWrites",
     "Workload",
@@ -49,7 +65,9 @@ __all__ = [
     "WorkloadSpec",
     "ZipfianWrites",
     "fill_device",
+    "get_trace_format",
     "get_workload_factory",
+    "iter_trace_records",
     "load_trace",
     "parse_trace_line",
     "record_trace",

@@ -1,10 +1,15 @@
-"""Workload abstractions: operations, generators, and execution.
+"""Workload abstractions: operation streams, generators, and execution.
 
-A workload is an iterable of :class:`Operation` objects (writes, reads,
-trims) over the device's logical address space. Generators are deterministic
-given a seed so experiments are repeatable; the runner drives an FTL with a
-workload and measures IO over configurable intervals (the paper reports
-averages over intervals of 10,000 application writes).
+A workload is a *stream* of :class:`Operation` objects (writes, reads,
+trims) over the device's logical address space. Streams implement the
+:class:`OpStream` protocol — ``__iter__`` produces operations lazily,
+``reset()`` rewinds to the beginning, ``remaining_hint()`` reports how many
+operations are left when that is knowable — so that arbitrarily long inputs
+(multi-GB block traces, infinite synthetic generators) replay in constant
+memory. Generators are deterministic given a seed so experiments are
+repeatable; the runner drives an FTL with a workload and measures IO over
+configurable intervals (the paper reports averages over intervals of 10,000
+application writes).
 
 The operation types themselves live in :mod:`repro.ftl.operations` (they are
 the FTL's host interface); they are re-exported here under their historical
@@ -18,7 +23,8 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional
+from itertools import islice
+from typing import Any, Callable, Iterator, List, Optional
 
 from ..flash.stats import IOStats
 from ..ftl.base import PageMappedFTL
@@ -29,6 +35,7 @@ __all__ = [
     "IntervalMeasurement",
     "Operation",
     "OpKind",
+    "OpStream",
     "RunResult",
     "Workload",
     "WorkloadRunner",
@@ -36,8 +43,43 @@ __all__ = [
 ]
 
 
-class Workload(ABC):
-    """Base class of all workload generators."""
+class OpStream(ABC):
+    """A resumable, constant-memory stream of operations.
+
+    The contract every producer in the workload layer satisfies:
+
+    - ``__iter__`` lazily yields :class:`Operation` objects, one at a time,
+      without materializing the stream. It may be infinite (synthetic
+      generators) or finite (trace replay without wrap).
+    - ``reset()`` restores the stream to its initial state, so a second
+      iteration yields the identical sequence. For file-backed streams this
+      reopens the file rather than buffering its contents.
+    - ``remaining_hint()`` returns how many operations are left before the
+      stream ends, or ``None`` when unbounded/unknown. It is a hint for
+      progress reporting and validation, never load-bearing for correctness.
+    """
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[Operation]:
+        """Lazily yield operations from the current position."""
+
+    def reset(self) -> None:
+        """Rewind the stream to its initial state."""
+
+    def remaining_hint(self) -> Optional[int]:
+        """Operations left until exhaustion, or ``None`` if unknown."""
+        return None
+
+
+class Workload(OpStream):
+    """Base class of all workload generators.
+
+    Concrete workloads implement ``__iter__`` as a lazy (usually infinite)
+    stream; :meth:`operations` and :meth:`batches` are thin bounded views
+    over one persistent iterator, so consecutive calls continue the stream
+    exactly where the previous call stopped — the RNG draw sequence is
+    identical to per-call generation.
+    """
 
     #: True when every emitted operation is a write. Lets batch consumers
     #: count host writes per chunk arithmetically instead of inspecting
@@ -45,16 +87,29 @@ class Workload(ABC):
     #: leave this False.
     write_only: bool = False
 
+    #: True when operations carry meaningful ``tenant`` tags (see
+    #: :class:`repro.workloads.ingest.TenantMix`). The runner only pays for
+    #: per-tenant accounting when this is set.
+    tenanted: bool = False
+
     def __init__(self, logical_pages: int, seed: int = 42) -> None:
         if logical_pages <= 0:
             raise ValueError("logical_pages must be positive")
         self.logical_pages = logical_pages
         self.seed = seed
         self._rng = random.Random(seed)
+        self._stream: Optional[Iterator[Operation]] = None
 
-    @abstractmethod
-    def operations(self, count: int):
-        """Yield ``count`` operations."""
+    def _iterator(self) -> Iterator[Operation]:
+        """The persistent lazy iterator backing the bounded views."""
+        stream = self._stream
+        if stream is None:
+            stream = self._stream = iter(self)
+        return stream
+
+    def operations(self, count: int) -> Iterator[Operation]:
+        """Yield up to ``count`` operations (fewer if the stream ends)."""
+        return islice(self._iterator(), count)
 
     def batches(self, count: int, batch_ops: int = 256):
         """Yield the same ``count`` operations chunked into lists.
@@ -65,19 +120,21 @@ class Workload(ABC):
         ``fill_device``-style warm-up loops) prefer this form because one
         C-level list per chunk replaces a per-operation generator round
         trip; generators with a cheap per-op inner loop override it to
-        build each chunk without yielding through ``operations`` at all.
+        build each chunk without yielding through the stream at all.
         """
         if batch_ops <= 0:
             raise ValueError("batch_ops must be positive")
-        chunk: List[Operation] = []
-        append = chunk.append
-        for operation in self.operations(count):
-            append(operation)
-            if len(chunk) >= batch_ops:
-                yield chunk
-                chunk = []
-                append = chunk.append
-        if chunk:
+        # Called unbound (``Workload.batches(duck, ...)``) on duck-typed
+        # workloads that only provide ``operations``; those take the bounded
+        # view they offer instead of the persistent stream.
+        if hasattr(self, "_iterator"):
+            stream = islice(self._iterator(), count)
+        else:
+            stream = iter(self.operations(count))
+        while True:
+            chunk = list(islice(stream, batch_ops))
+            if not chunk:
+                break
             yield chunk
 
     def reset(self) -> None:
@@ -89,6 +146,7 @@ class Workload(ABC):
         consecutive runs of the same workload emit identical streams.
         """
         self._rng = random.Random(self.seed)
+        self._stream = None
 
 
 @dataclass
@@ -144,6 +202,11 @@ class WorkloadRunner:
     submission queue. Batches are cut exactly at measurement-interval
     boundaries (and at ``max_batch_ops`` in between), so interval
     measurements are identical to those of per-op dispatch.
+
+    For tenant-tagged workloads (``workload.tenanted``) each submitted piece
+    is additionally split into consecutive same-tenant runs so the per-batch
+    IO delta can be attributed to the emitting tenant; untagged workloads
+    take the historical single-submit path unchanged.
     """
 
     def __init__(self, ftl: PageMappedFTL,
@@ -168,6 +231,41 @@ class WorkloadRunner:
         writes_in_interval = 0
         interval_writes = self.interval_writes
         write_kind = OpKind.WRITE
+
+        tenanted = getattr(workload, "tenanted", False)
+        if tenanted:
+            timing = getattr(self.ftl, "timing", None)
+
+            def submit_piece(piece: List[Operation]) -> int:
+                # Split the piece into consecutive same-tenant runs; each
+                # run is one submit call whose stats delta is attributed to
+                # its tenant (and, when a timing model is attached, whose
+                # latencies land in that tenant's sketch).
+                total = 0
+                start = 0
+                length = len(piece)
+                while start < length:
+                    tenant = piece[start].tenant
+                    end = start + 1
+                    while end < length and piece[end].tenant == tenant:
+                        end += 1
+                    group = piece if end - start == length \
+                        else piece[start:end]
+                    if timing is not None:
+                        timing.current_tenant = tenant
+                    result = submit(group)
+                    if tenant is not None:
+                        stats.record_tenant_batch(
+                            tenant, result.host_writes, result.host_reads,
+                            result.host_trims, result.stats_delta)
+                    total += result.submitted
+                    start = end
+                if timing is not None:
+                    timing.current_tenant = None
+                return total
+        else:
+            def submit_piece(piece: List[Operation]) -> int:
+                return submit(piece).submitted
 
         # Chunked execution: the workload materializes operations in lists
         # (one C-level list per chunk instead of a per-op generator round
@@ -208,10 +306,10 @@ class WorkloadRunner:
                                 break
                 if boundary < 0:
                     piece = chunk[start:] if start else chunk
-                    executed += submit(piece).submitted
+                    executed += submit_piece(piece)
                     writes_in_interval += seen
                     break
-                executed += submit(chunk[start:boundary + 1]).submitted
+                executed += submit_piece(chunk[start:boundary + 1])
                 measurement = IntervalMeasurement(
                     interval_index=len(intervals),
                     host_writes=interval_writes,
@@ -261,6 +359,7 @@ def fill_device(ftl: PageMappedFTL, fraction: float = 1.0,
             operation.logical = logical
             operation.payload = (factory(logical) if factory
                                  else ("init", logical))
+            operation.tenant = None
             append(operation)
         submit(batch)
     return pages

@@ -5,6 +5,12 @@ adversarial case for Logarithmic Gecko because the buffer absorbs as few
 repeat updates as possible — but real database workloads are skewed, so the
 library also ships Zipfian, sequential, hot/cold, and mixed read/write
 generators for the example applications and the wider test suite.
+
+Every generator implements the :class:`~repro.workloads.base.OpStream`
+protocol as an *infinite* lazy ``__iter__``: per-op state (RNG, version
+counters, cursors) is read live at each yield, so the bounded
+``operations``/``batches`` views in the base class continue the stream
+bit-identically across calls.
 """
 
 from __future__ import annotations
@@ -40,21 +46,21 @@ class UniformRandomWrites(Workload):
         super().reset()
         self._versions = 0
 
-    def operations(self, count: int) -> Iterator[Operation]:
-        for _ in range(count):
+    def __iter__(self) -> Iterator[Operation]:
+        while True:
             logical = self._rng.randrange(self.logical_pages)
             self._versions += 1
             yield Operation(OpKind.WRITE, logical,
                             _payload(logical, self._versions))
 
     def batches(self, count: int, batch_ops: int = 256):
-        """Chunked form of :meth:`operations` with the per-op loop inlined.
+        """Chunked form of the stream with the per-op loop inlined.
 
-        Emits exactly the operations :meth:`operations` would (same RNG
-        stream, same payloads); this is the benchmark-critical generator,
-        so each chunk is built in one tight loop with the RNG method and
-        version counter hoisted and the dataclass ``__init__`` bypassed
-        (``Operation`` is slotted; three slot stores are cheaper than the
+        Emits exactly the operations ``__iter__`` would (same RNG stream,
+        same payloads); this is the benchmark-critical generator, so each
+        chunk is built in one tight loop with the RNG method and version
+        counter hoisted and the dataclass ``__init__`` bypassed
+        (``Operation`` is slotted; four slot stores are cheaper than the
         generated constructor call).
         """
         if batch_ops <= 0:
@@ -77,6 +83,7 @@ class UniformRandomWrites(Workload):
                 operation.kind = write_kind
                 operation.logical = logical
                 operation.payload = ("v", logical, versions)
+                operation.tenant = None
                 append(operation)
             self._versions = versions
             emitted += size
@@ -101,8 +108,8 @@ class SequentialWrites(Workload):
         self._cursor = self._start
         self._versions = 0
 
-    def operations(self, count: int) -> Iterator[Operation]:
-        for _ in range(count):
+    def __iter__(self) -> Iterator[Operation]:
+        while True:
             logical = self._cursor
             self._cursor = (self._cursor + 1) % self.logical_pages
             self._versions += 1
@@ -157,8 +164,8 @@ class ZipfianWrites(Workload):
                 high = mid
         return self._rank_to_page[low]
 
-    def operations(self, count: int) -> Iterator[Operation]:
-        for _ in range(count):
+    def __iter__(self) -> Iterator[Operation]:
+        while True:
             logical = self._sample_page()
             self._versions += 1
             yield Operation(OpKind.WRITE, logical,
@@ -193,8 +200,8 @@ class HotColdWrites(Workload):
         super().reset()
         self._versions = 0
 
-    def operations(self, count: int) -> Iterator[Operation]:
-        for _ in range(count):
+    def __iter__(self) -> Iterator[Operation]:
+        while True:
             if self._rng.random() < self.hot_probability:
                 logical = self._rng.randrange(self._hot_pages)
             else:
@@ -233,16 +240,18 @@ class MixedReadWrite(Workload):
         self.write_workload.reset()
         self._written = []
 
-    def operations(self, count: int) -> Iterator[Operation]:
-        write_source = self.write_workload.operations(count)
-        for _ in range(count):
+    def __iter__(self) -> Iterator[Operation]:
+        write_source = iter(self.write_workload)
+        while True:
             if self._written and self._rng.random() < self.read_fraction:
                 yield Operation(OpKind.READ,
                                 self._rng.choice(self._written))
             else:
                 operation = next(write_source, None)
                 if operation is None:
-                    break
+                    # Finite inner stream (e.g. a trace without wrap)
+                    # exhausted: the mix ends with it.
+                    return
                 self._written.append(operation.logical)
                 if len(self._written) > 65536:
                     self._written = self._written[-32768:]

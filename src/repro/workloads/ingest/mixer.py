@@ -1,0 +1,178 @@
+"""Multi-tenant workload mixing.
+
+:class:`TenantMix` interleaves N child op streams onto one device. Every
+emitted operation is a tagged *copy* of a child's operation — ``tenant``
+names the emitting stream — so downstream accounting (per-tenant write
+amplification, latency sketches, metrics windows) can attribute IO without
+the FTL knowing anything about tenancy.
+
+Two deterministic schedules:
+
+``"weighted"``
+    Each next operation's tenant is drawn from the mix's own seeded RNG with
+    the given weights (a weighted round-robin in expectation). Exhausted
+    children drop out and the remaining weights renormalize implicitly; the
+    mix ends when every child is exhausted.
+
+``"time"``
+    Children must expose ``timed_iter()`` (timestamped trace replays, see
+    :class:`~repro.workloads.ingest.StreamingTraceWorkload`); operations are
+    merged in trace-timestamp order, ties broken by child index. This
+    replays the relative arrival order two real traces had.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator, List, Optional, Sequence, Union
+
+from ..base import Operation, Workload
+from ..registry import WorkloadSpec, register_workload
+
+_SCHEDULES = ("weighted", "time")
+
+
+class TenantMix(Workload):
+    """Interleave child workloads onto one device with tenant attribution."""
+
+    tenanted = True
+
+    def __init__(self, children: Sequence[Workload], logical_pages: int,
+                 weights: Optional[Sequence[float]] = None,
+                 names: Optional[Sequence[str]] = None,
+                 schedule: str = "weighted", seed: int = 42) -> None:
+        super().__init__(logical_pages, seed)
+        self.children: List[Workload] = list(children)
+        if not self.children:
+            raise ValueError("TenantMix needs at least one child workload")
+        if weights is None:
+            weights = [1.0] * len(self.children)
+        self.weights = [float(weight) for weight in weights]
+        if len(self.weights) != len(self.children):
+            raise ValueError("weights must match the number of children")
+        if any(weight <= 0 for weight in self.weights):
+            raise ValueError("weights must be positive")
+        if names is None:
+            names = [f"t{index}" for index in range(len(self.children))]
+        self.names = [str(name) for name in names]
+        if len(self.names) != len(self.children):
+            raise ValueError("names must match the number of children")
+        if len(set(self.names)) != len(self.names):
+            raise ValueError("tenant names must be unique")
+        if schedule not in _SCHEDULES:
+            raise ValueError(f"schedule must be one of {_SCHEDULES}, "
+                             f"not {schedule!r}")
+        self.schedule = schedule
+        #: Write-only iff every tenant is: lets the runner keep the
+        #: arithmetic interval-boundary path for all-write mixes.
+        self.write_only = all(getattr(child, "write_only", False)
+                              for child in self.children)
+
+    def reset(self) -> None:
+        super().reset()
+        for child in self.children:
+            child.reset()
+
+    @staticmethod
+    def _tag(operation: Operation, tenant: str) -> Operation:
+        # Tagged copy (not in-place): child streams may hand out shared or
+        # reused Operation objects.
+        tagged = object.__new__(Operation)
+        tagged.kind = operation.kind
+        tagged.logical = operation.logical
+        tagged.payload = operation.payload
+        tagged.tenant = tenant
+        return tagged
+
+    def _weighted(self) -> Iterator[Operation]:
+        rng = self._rng
+        names = self.names
+        streams = [iter(child) for child in self.children]
+        active = list(range(len(streams)))
+        weights = list(self.weights)
+        total = sum(weights[index] for index in active)
+        while active:
+            if len(active) == 1:
+                index = active[0]
+            else:
+                point = rng.random() * total
+                cumulative = 0.0
+                index = active[-1]
+                for candidate in active:
+                    cumulative += weights[candidate]
+                    if point < cumulative:
+                        index = candidate
+                        break
+            operation = next(streams[index], None)
+            if operation is None:
+                active.remove(index)
+                total = sum(weights[i] for i in active)
+                continue
+            yield self._tag(operation, names[index])
+
+    def _time_ordered(self) -> Iterator[Operation]:
+        names = self.names
+
+        def keyed(timed, index):
+            # index must be bound per-stream here: a bare generator
+            # expression in the loop below would read the loop variable
+            # lazily and stamp every stream with the last child's index.
+            for timestamp, operation in timed():
+                yield timestamp, index, operation
+
+        streams = []
+        for index, child in enumerate(self.children):
+            timed = getattr(child, "timed_iter", None)
+            if timed is None:
+                raise ValueError(
+                    f"schedule='time' needs timestamped children; "
+                    f"{type(child).__name__} (tenant {names[index]!r}) has "
+                    f"no timed_iter()")
+            streams.append(keyed(timed, index))
+        for _, index, operation in heapq.merge(*streams):
+            yield self._tag(operation, names[index])
+
+    def __iter__(self) -> Iterator[Operation]:
+        if self.schedule == "time":
+            return self._time_ordered()
+        return self._weighted()
+
+    def remaining_hint(self) -> Optional[int]:
+        total = 0
+        for child in self.children:
+            hint = child.remaining_hint()
+            if hint is None:
+                return None
+            total += hint
+        return total
+
+
+@register_workload("TenantMix", "tenant-mix", "tenants")
+def _tenant_mix(logical_pages: int, seed: int = 42,
+                tenants: Union[str, Sequence[str]] = (),
+                weights: Optional[Sequence[float]] = None,
+                names: Optional[Sequence[str]] = None,
+                schedule: str = "weighted") -> TenantMix:
+    """Registry factory: ``TenantMix(tenants=('uniform', 'zipfian'))``.
+
+    ``tenants`` is a tuple of child workload *spec strings* (or one
+    ``;``-separated string), so the whole mix stays serializable as a sweep
+    axis value. Each child gets a seed decorrelated from the mix's own (and
+    from its siblings'), so tenant streams never share RNG draws with the
+    schedule or each other.
+    """
+    if isinstance(tenants, str):
+        specs = [part.strip() for part in tenants.split(";") if part.strip()]
+    else:
+        specs = [str(part) for part in tenants]
+    if not specs:
+        raise ValueError(
+            "TenantMix needs child specs, e.g. "
+            "\"TenantMix(tenants=('uniform', 'ZipfianWrites(theta=0.9)'))\"")
+    children = []
+    for index, spec in enumerate(specs):
+        child_seed = (seed ^ ((index + 1) * 0x9E3779B1)) & 0x7FFFFFFF
+        children.append(WorkloadSpec.of(spec).build(logical_pages,
+                                                    seed=child_seed))
+    return TenantMix(children, logical_pages, weights=weights, names=names,
+                     schedule=schedule, seed=seed)

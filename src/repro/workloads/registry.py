@@ -35,7 +35,7 @@ from ..api.registry import CallSpec, SpecRegistry
 
 def _load_builtin_workloads() -> None:
     """Import the built-in workload modules so their decorators have run."""
-    from . import generators, trace  # noqa: F401
+    from . import generators, ingest  # noqa: F401
 
 
 #: The process-wide workload registry.

@@ -1,115 +1,49 @@
-"""Trace recording and replay.
+"""Legacy list-backed trace replay (deprecated shim).
 
-The paper's evaluation is trace-driven simulation. Since production block
-traces are not redistributable, the library can (a) record the operation
-stream of any generator into a simple text format, and (b) replay such traces
-against any FTL. The format is one operation per line::
-
-    W <logical_page>
-    R <logical_page>
-    T <logical_page>
-
-which is close enough to the common MSR-Cambridge/blkparse-derived formats
-that converting real traces is a few lines of awk. Paths ending in ``.gz``
-are transparently gzip-compressed on write and decompressed on read, so large
-recorded traces can be kept compressed on disk. Malformed lines are rejected
-with a :class:`TraceFormatError` that names the offending line number (and
-file, when reading from a path).
+The trace machinery moved to :mod:`repro.workloads.ingest`:
+:class:`~repro.workloads.ingest.StreamingTraceWorkload` replays plain or
+``.gz`` traces in constant memory (the ``Trace(path=...)`` workload spec now
+builds it), and the parsing helpers live in
+:mod:`repro.workloads.ingest.formats`. This module keeps the historical
+import surface working — ``TraceFormatError``, ``parse_trace_line``,
+``record_trace`` re-export unchanged, while :func:`load_trace` and
+:class:`TraceWorkload` still materialize the whole trace as a list and now
+emit a :class:`DeprecationWarning` pointing at the streaming API.
 """
 
 from __future__ import annotations
 
-import gzip
 import io
+import warnings
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Union
+from typing import Iterator, List, Optional, Union
 
-from .base import Operation, OpKind, Workload
-from .registry import register_workload
+from .base import Operation, OpKind, Workload  # noqa: F401  (re-export)
+from .ingest.formats import (TraceFormatError, _open_trace,  # noqa: F401
+                             parse_trace_line, record_trace)
 
-_KIND_TO_CODE = {OpKind.WRITE: "W", OpKind.READ: "R", OpKind.TRIM: "T"}
-_CODE_TO_KIND = {code: kind for kind, code in _KIND_TO_CODE.items()}
-
-
-class TraceFormatError(ValueError):
-    """A trace line could not be parsed.
-
-    Carries the one-based ``line_number`` (and ``source``, when known) so
-    users of multi-million-line traces can find the bad line instead of
-    guessing from a bare ``ValueError``.
-    """
-
-    def __init__(self, message: str, line_number: Optional[int] = None,
-                 source: Optional[str] = None) -> None:
-        location = ""
-        if source is not None and line_number is not None:
-            location = f"{source}:{line_number}: "
-        elif line_number is not None:
-            location = f"line {line_number}: "
-        super().__init__(f"{location}{message}")
-        self.line_number = line_number
-        self.source = source
-
-
-def _open_trace(path: Union[str, Path], mode: str):
-    """Open a trace path for text IO, transparently handling ``.gz``."""
-    if str(path).endswith(".gz"):
-        return gzip.open(path, mode + "t")
-    return open(path, mode)
-
-
-def record_trace(operations: Iterable[Operation],
-                 destination: Union[str, Path, io.TextIOBase]) -> int:
-    """Write an operation stream to ``destination``; returns the line count.
-
-    A ``.gz`` destination path is written gzip-compressed.
-    """
-    own_handle = isinstance(destination, (str, Path))
-    handle = _open_trace(destination, "w") if own_handle else destination
-    count = 0
-    try:
-        for operation in operations:
-            handle.write(f"{_KIND_TO_CODE[operation.kind]} {operation.logical}\n")
-            count += 1
-    finally:
-        if own_handle:
-            handle.close()
-    return count
-
-
-def parse_trace_line(line: str, line_number: Optional[int] = None,
-                     source: Optional[str] = None) -> Optional[Operation]:
-    """Parse one trace line; blank lines and ``#`` comments yield ``None``.
-
-    Malformed lines raise :class:`TraceFormatError`, tagged with
-    ``line_number``/``source`` when the caller supplies them.
-    """
-    stripped = line.strip()
-    if not stripped or stripped.startswith("#"):
-        return None
-    parts = stripped.split()
-    if len(parts) != 2:
-        raise TraceFormatError(f"malformed trace line: {line!r}",
-                               line_number, source)
-    code, logical_text = parts
-    kind = _CODE_TO_KIND.get(code.upper())
-    if kind is None:
-        raise TraceFormatError(f"unknown operation code {code!r} "
-                               f"in line {line!r}", line_number, source)
-    try:
-        logical = int(logical_text)
-    except ValueError:
-        raise TraceFormatError(f"non-integer logical page in line {line!r}",
-                               line_number, source) from None
-    if logical < 0:
-        raise TraceFormatError(f"negative logical page in line {line!r}",
-                               line_number, source)
-    payload = ("trace", logical) if kind is OpKind.WRITE else None
-    return Operation(kind, logical, payload)
+__all__ = [
+    "TraceFormatError",
+    "TraceWorkload",
+    "load_trace",
+    "parse_trace_line",
+    "record_trace",
+]
 
 
 def load_trace(source: Union[str, Path, io.TextIOBase]) -> List[Operation]:
-    """Load a whole trace file into memory (``.gz`` paths are decompressed)."""
+    """Load a whole trace file into memory (``.gz`` paths are decompressed).
+
+    .. deprecated::
+        Materializes the full trace; use
+        :class:`repro.workloads.ingest.StreamingTraceWorkload` (or
+        :func:`repro.workloads.ingest.iter_trace_records`) to replay in
+        constant memory.
+    """
+    warnings.warn(
+        "load_trace() materializes the whole trace; use "
+        "repro.workloads.ingest.StreamingTraceWorkload for constant-memory "
+        "replay", DeprecationWarning, stacklevel=2)
     own_handle = isinstance(source, (str, Path))
     handle = _open_trace(source, "r") if own_handle else source
     source_name = str(source) if own_handle else None
@@ -126,10 +60,21 @@ def load_trace(source: Union[str, Path, io.TextIOBase]) -> List[Operation]:
 
 
 class TraceWorkload(Workload):
-    """Replay a recorded trace (optionally wrapping around at the end)."""
+    """Replay an in-memory operation list (optionally wrapping at the end).
+
+    .. deprecated::
+        Holds the whole trace in memory; use
+        :class:`repro.workloads.ingest.StreamingTraceWorkload` for
+        file-backed constant-memory replay. Still handy for small
+        hand-built operation lists in tests.
+    """
 
     def __init__(self, operations: List[Operation], logical_pages: int,
                  wrap: bool = False, seed: int = 42) -> None:
+        warnings.warn(
+            "TraceWorkload is deprecated; use "
+            "repro.workloads.ingest.StreamingTraceWorkload for "
+            "constant-memory trace replay", DeprecationWarning, stacklevel=2)
         super().__init__(logical_pages, seed)
         for operation in operations:
             if operation.logical >= logical_pages:
@@ -143,34 +88,27 @@ class TraceWorkload(Workload):
     @classmethod
     def from_file(cls, path: Union[str, Path], logical_pages: int,
                   wrap: bool = False) -> "TraceWorkload":
-        return cls(load_trace(path), logical_pages, wrap=wrap)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            operations = load_trace(path)
+        return cls(operations, logical_pages, wrap=wrap)
 
-    def operations(self, count: int) -> Iterator[Operation]:
-        emitted = 0
-        while emitted < count:
-            if self._cursor >= len(self._trace):
-                if not self.wrap or not self._trace:
+    def __iter__(self) -> Iterator[Operation]:
+        trace = self._trace
+        while True:
+            if self._cursor >= len(trace):
+                if not self.wrap or not trace:
                     return
                 self._cursor = 0
-            yield self._trace[self._cursor]
+            operation = trace[self._cursor]
             self._cursor += 1
-            emitted += 1
+            yield operation
+
+    def remaining_hint(self) -> Optional[int]:
+        if self.wrap and self._trace:
+            return None
+        return len(self._trace) - self._cursor
 
     def reset(self) -> None:
         super().reset()
         self._cursor = 0
-
-
-@register_workload("Trace", "TraceWorkload", "replay")
-def _trace_workload(logical_pages: int, path: str = "",
-                    wrap: bool = False) -> TraceWorkload:
-    """Registry factory: ``Trace(path='trace.txt.gz', wrap=True)``.
-
-    The trace is re-read from ``path`` in whichever process builds the
-    workload, so a :class:`~repro.engine.plan.SweepTask` naming a trace stays
-    a few bytes of spec string rather than an embedded operation list.
-    """
-    if not path:
-        raise ValueError(
-            "the Trace workload needs a path, e.g. \"Trace(path='t.txt')\"")
-    return TraceWorkload.from_file(path, logical_pages, wrap=wrap)

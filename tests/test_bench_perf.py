@@ -26,7 +26,7 @@ EXPECTED_NAMES = ["device_fill", "gecko_update", "gecko_merge",
                   "gecko_gc_query", "gecko_recovery",
                   "dftl_cache_miss", "submit_batch", "device_array_fill",
                   "sweep_cell", "latency_sweep",
-                  "obs_overhead", "store_append"]
+                  "obs_overhead", "store_append", "trace_replay"]
 
 
 def _record(name, ops_per_sec, quick=True, **extra):

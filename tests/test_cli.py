@@ -91,6 +91,80 @@ class TestCommands:
         assert "write_amplification" in output
         assert "host_writes" in output
 
+    def test_replay_command_accepts_msr_format(self, tmp_path, capsys):
+        trace = tmp_path / "trace.csv"
+        with trace.open("w") as handle:
+            for index in range(200):
+                handle.write(f"{index},host,0,Write,"
+                             f"{(index % 50) * 4096},4096,100\n")
+        code = main(["replay", str(trace), "--format", "msr", "--wrap",
+                     "--writes", "300", "--blocks", "64",
+                     "--pages-per-block", "8", "--page-size", "256",
+                     "--cache-entries", "64"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "write_amplification" in output
+
+
+class TestIngestCommand:
+    """repro ingest: validate / --stat / --convert over trace files."""
+
+    @pytest.fixture
+    def msr_trace(self, tmp_path):
+        trace = tmp_path / "trace.csv"
+        # 3 records; the 8 KB write at byte 4096 windows onto 2 pages.
+        trace.write_text("1,host,0,Write,4096,8192,100\n"
+                         "2,host,0,Read,0,4096,100\n"
+                         "3,host,0,Write,40960,4096,100\n")
+        return trace
+
+    def test_validate_default_counts_records_and_ops(self, msr_trace,
+                                                     capsys):
+        assert main(["ingest", str(msr_trace), "--format", "msr"]) == 0
+        output = capsys.readouterr().out
+        assert "Validated 1 trace(s) (msr)" in output
+        assert "records" in output and "ops" in output
+
+    def test_stat_prints_histogram_and_footprint(self, msr_trace, capsys):
+        assert main(["ingest", str(msr_trace), "--format", "msr",
+                     "--stat"]) == 0
+        output = capsys.readouterr().out
+        assert "Trace statistics (msr, lpn_scale=4096)" in output
+        for column in ("writes", "reads", "trims", "footprint_pages",
+                       "offset_range"):
+            assert column in output
+
+    def test_stat_on_several_files_prints_the_tenant_split(self, msr_trace,
+                                                           tmp_path, capsys):
+        other = tmp_path / "other.csv"
+        other.write_text("1,host,0,Write,0,4096,100\n")
+        assert main(["ingest", str(msr_trace), str(other),
+                     "--format", "msr", "--stat"]) == 0
+        output = capsys.readouterr().out
+        assert "Tenant split (by windowed ops)" in output
+        assert "t0" in output and "t1" in output
+        assert "80.0%" in output and "20.0%" in output
+
+    def test_convert_writes_a_native_trace(self, msr_trace, tmp_path,
+                                           capsys):
+        out = tmp_path / "native.txt"
+        assert main(["ingest", str(msr_trace), "--format", "msr",
+                     "--convert", str(out)]) == 0
+        assert out.read_text().splitlines() == [
+            "W 1", "W 2", "R 0", "W 10"]
+        assert "wrote 4 native op(s)" in capsys.readouterr().out
+
+    def test_malformed_trace_fails_with_line_number(self, tmp_path, capsys):
+        trace = tmp_path / "bad.csv"
+        trace.write_text("1,host,0,Write,0,4096,100\ngarbage\n")
+        assert main(["ingest", str(trace), "--format", "msr"]) == 2
+        error = capsys.readouterr().err
+        assert "invalid trace" in error and ":2:" in error
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["ingest", str(tmp_path / "nope.csv")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
 
 class TestSweepCommand:
     """The `repro sweep` subcommand: grids, plan files, sinks, resume."""

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.workloads import (HotColdWrites, MixedReadWrite, OpKind,
-                             SequentialWrites, TraceWorkload,
+                             SequentialWrites, StreamingTraceWorkload,
                              UniformRandomWrites, WorkloadSpec, ZipfianWrites,
                              record_trace, register_workload,
                              resolve_workload_name, workload_names)
@@ -108,7 +108,7 @@ class TestBuild:
         record_trace([Operation(OpKind.WRITE, i) for i in range(10)], path)
         workload = WorkloadSpec.parse(
             f"Trace(path='{path}', wrap=True)").build(16)
-        assert isinstance(workload, TraceWorkload)
+        assert isinstance(workload, StreamingTraceWorkload)
         assert workload.wrap is True
         operations = list(workload.operations(15))
         assert len(operations) == 15  # wrapped past the 10-line trace

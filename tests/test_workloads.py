@@ -20,13 +20,15 @@ from repro.workloads.generators import (
     UniformRandomWrites,
     ZipfianWrites,
 )
-from repro.workloads.trace import (
+from repro.workloads.ingest import (
+    StreamingTraceWorkload,
     TraceFormatError,
-    TraceWorkload,
-    load_trace,
     parse_trace_line,
     record_trace,
 )
+# The legacy eager-list API: still importable, now a deprecation shim over
+# repro.workloads.ingest (see TestTrace / TestTraceGzipAndErrors).
+from repro.workloads.trace import TraceWorkload, load_trace
 
 
 LOGICAL_PAGES = 1000
@@ -219,7 +221,7 @@ class TestReset:
 
     @pytest.fixture(params=["uniform", "sequential", "zipfian", "hotcold",
                             "mixed", "trace"])
-    def workload(self, request):
+    def workload(self, request, tmp_path_factory):
         if request.param == "uniform":
             return UniformRandomWrites(LOGICAL_PAGES, seed=9)
         if request.param == "sequential":
@@ -232,9 +234,10 @@ class TestReset:
         if request.param == "mixed":
             return MixedReadWrite(UniformRandomWrites(LOGICAL_PAGES, seed=9),
                                   read_fraction=0.4, seed=9)
-        operations = [Operation(OpKind.WRITE, i % 40, ("t", i % 40))
-                      for i in range(120)]
-        return TraceWorkload(operations, LOGICAL_PAGES, wrap=True)
+        path = tmp_path_factory.mktemp("reset") / "trace.txt"
+        record_trace([Operation(OpKind.WRITE, i % 40) for i in range(120)],
+                     path)
+        return StreamingTraceWorkload(path, LOGICAL_PAGES, wrap=True)
 
     def test_two_consecutive_runs_are_identical(self, workload):
         first = _materialize(workload, 200)
@@ -294,31 +297,35 @@ class TestTrace:
         count = record_trace(operations, buffer)
         assert count == 3
         buffer.seek(0)
-        loaded = load_trace(buffer)
+        with pytest.warns(DeprecationWarning):
+            loaded = load_trace(buffer)
         assert [(op.kind, op.logical) for op in loaded] == [
             (OpKind.WRITE, 3), (OpKind.READ, 3), (OpKind.TRIM, 4)]
 
     def test_trace_workload_replays_in_order(self):
         operations = [Operation(OpKind.WRITE, i, ("t", i)) for i in range(5)]
-        workload = TraceWorkload(operations, logical_pages=10)
+        with pytest.warns(DeprecationWarning):
+            workload = TraceWorkload(operations, logical_pages=10)
         replayed = [op.logical for op in workload.operations(10)]
         assert replayed == [0, 1, 2, 3, 4]
 
     def test_trace_workload_wraps_when_asked(self):
         operations = [Operation(OpKind.WRITE, i) for i in range(3)]
-        workload = TraceWorkload(operations, logical_pages=10, wrap=True)
+        with pytest.warns(DeprecationWarning):
+            workload = TraceWorkload(operations, logical_pages=10, wrap=True)
         replayed = [op.logical for op in workload.operations(7)]
         assert replayed == [0, 1, 2, 0, 1, 2, 0]
 
     def test_trace_workload_rejects_out_of_range_pages(self):
-        with pytest.raises(ValueError):
+        with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
             TraceWorkload([Operation(OpKind.WRITE, 99)], logical_pages=10)
 
     def test_file_roundtrip(self, tmp_path):
         path = tmp_path / "trace.txt"
         operations = [Operation(OpKind.WRITE, i) for i in range(4)]
         record_trace(operations, path)
-        workload = TraceWorkload.from_file(path, logical_pages=10)
+        with pytest.warns(DeprecationWarning):
+            workload = TraceWorkload.from_file(path, logical_pages=10)
         assert [op.logical for op in workload.operations(4)] == [0, 1, 2, 3]
 
 
@@ -331,19 +338,22 @@ class TestTraceGzipAndErrors:
         record_trace(operations, path)
         # The file really is gzip (magic bytes), not plain text.
         assert path.read_bytes()[:2] == b"\x1f\x8b"
-        loaded = load_trace(path)
+        with pytest.warns(DeprecationWarning):
+            loaded = load_trace(path)
         assert [op.logical for op in loaded] == list(range(50))
 
     def test_gzip_workload_from_file(self, tmp_path):
         path = tmp_path / "trace.txt.gz"
         record_trace([Operation(OpKind.WRITE, i) for i in range(5)], path)
-        workload = TraceWorkload.from_file(path, logical_pages=10)
+        with pytest.warns(DeprecationWarning):
+            workload = TraceWorkload.from_file(path, logical_pages=10)
         assert [op.logical for op in workload.operations(5)] == [0, 1, 2, 3, 4]
 
     def test_malformed_line_reports_file_and_line_number(self, tmp_path):
         path = tmp_path / "trace.txt"
         path.write_text("W 1\n# fine\nW xyz\n")
-        with pytest.raises(TraceFormatError) as excinfo:
+        with pytest.warns(DeprecationWarning), \
+                pytest.raises(TraceFormatError) as excinfo:
             load_trace(path)
         assert excinfo.value.line_number == 3
         assert excinfo.value.source == str(path)
@@ -354,7 +364,8 @@ class TestTraceGzipAndErrors:
         import gzip
         with gzip.open(path, "wt") as handle:
             handle.write("W 1\nQ 2\n")
-        with pytest.raises(TraceFormatError, match=":2:"):
+        with pytest.warns(DeprecationWarning), \
+                pytest.raises(TraceFormatError, match=":2:"):
             load_trace(path)
 
     def test_error_is_still_a_value_error(self):
